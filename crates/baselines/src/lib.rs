@@ -1,0 +1,42 @@
+//! Temporal baseline detectors and ground-truth extraction.
+//!
+//! The paper validates the subspace method against "true" anomalies
+//! extracted from OD-flow data by two *temporal* methods — exponentially
+//! weighted moving averages ([`Ewma`]) and an eight-period Fourier model
+//! ([`FourierModel`]) — and contrasts the subspace method against the same
+//! temporal filters applied per link (Figure 10). This crate implements
+//! those methods, plus two related-work comparators used in ablation
+//! benches ([`HoltWinters`], [`HaarWavelet`]).
+//!
+//! Contents:
+//!
+//! * [`Ewma`] — exponential smoothing with the paper's bidirectional
+//!   minimum-spike estimator (footnote 4) and multi-grid α search.
+//! * [`FourierModel`] — least-squares fit on the paper's basis periods
+//!   (7 d, 5 d, 3 d, 24 h, 12 h, 6 h, 3 h, 1.5 h).
+//! * [`HoltWinters`] — additive seasonal forecasting (referenced via
+//!   Brutlag \[5\]).
+//! * [`HaarWavelet`] — a multiscale approximation residual in the spirit
+//!   of Barford et al. \[2\].
+//! * [`ground_truth`] — the Section 6.2 procedure: run a temporal method
+//!   over every OD flow, rank spike sizes, find the knee, emit the set of
+//!   "true" anomalies.
+//! * [`link_residual`] — per-link temporal filtering of the measurement
+//!   matrix for the Figure 10 comparison.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ewma;
+mod fourier;
+pub mod ground_truth;
+mod holt_winters;
+pub mod knee;
+pub mod link_residual;
+mod wavelet;
+
+pub use ewma::Ewma;
+pub use fourier::FourierModel;
+pub use ground_truth::{extract_true_anomalies, ExtractedAnomaly, TruthMethod};
+pub use holt_winters::HoltWinters;
+pub use wavelet::HaarWavelet;

@@ -1,0 +1,57 @@
+//! Benchmarks of the temporal baseline detectors — the ablation behind
+//! Figure 10's methodological comparison and the cost context for the
+//! paper's claim that per-OD-flow temporal decomposition "is impractical".
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netanom_baselines::{Ewma, FourierModel, HaarWavelet, HoltWinters};
+use netanom_bench::sprint1;
+
+fn bench_baselines(c: &mut Criterion) {
+    let ds = sprint1();
+    // One real link timeseries (the busiest link) as the workload.
+    let means = ds.links.link_means();
+    let busiest = means
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .expect("links exist");
+    let series = ds.links.link_series(busiest);
+
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(20);
+
+    group.bench_function("ewma_forecast_1008", |b| {
+        let e = Ewma::new(0.25);
+        b.iter(|| e.bidirectional_spike_sizes(black_box(&series)))
+    });
+    group.bench_function("ewma_grid_search_1008", |b| {
+        b.iter(|| Ewma::grid_search(black_box(&series)))
+    });
+    group.bench_function("fourier_fit_1008", |b| {
+        b.iter(|| FourierModel::fit_paper_basis(black_box(&series)))
+    });
+    group.bench_function("holt_winters_1008", |b| {
+        let hw = HoltWinters::daily();
+        b.iter(|| hw.residuals(black_box(&series)))
+    });
+    group.bench_function("haar_wavelet_1008", |b| {
+        let w = HaarWavelet::new(5);
+        b.iter(|| w.residuals(black_box(&series)))
+    });
+
+    // The paper's scaling argument: temporal methods must run per OD
+    // flow (169 of them), the subspace method once. This measures the
+    // per-flow Fourier cost that multiplies.
+    let flow_series = ds.od.flow_series(ds.od.num_flows() / 2);
+    group.bench_function("fourier_fit_per_od_flow", |b| {
+        b.iter(|| FourierModel::fit_paper_basis(black_box(&flow_series)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

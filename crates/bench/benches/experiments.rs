@@ -1,0 +1,96 @@
+//! One bench per table/figure: measures the computation that regenerates
+//! each artifact of the paper's evaluation (the artifacts themselves are
+//! produced by `cargo run -p netanom-eval --bin experiments`).
+//!
+//! Injection-sweep benches (fig7/fig8/fig9/table3) run on a reduced time
+//! grid so the whole suite stays in CI-friendly territory; the sweep cost
+//! is linear in the number of injection times.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netanom_baselines::link_residual::{residual_energy_series, LinkFilter};
+use netanom_baselines::{extract_true_anomalies, TruthMethod};
+use netanom_bench::{abilene, abilene_diagnoser, sprint1, sprint1_diagnoser};
+use netanom_core::{Pca, SeparationPolicy};
+use netanom_eval::injection;
+use netanom_eval::metrics::{self, TruthEvent};
+
+fn bench_experiments(c: &mut Criterion) {
+    let ds = sprint1();
+    let diagnoser = sprint1_diagnoser();
+    let links = ds.links.matrix();
+
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+
+    // Figure 3: scree (PCA + variance fractions) per dataset.
+    group.bench_function("fig3_scree", |b| {
+        b.iter(|| {
+            let pca = Pca::fit(black_box(links), Default::default()).expect("fits");
+            (pca.variance_fractions(), SeparationPolicy::default().normal_dim(&pca))
+        })
+    });
+
+    // Figure 4: temporal projections of four axes.
+    group.bench_function("fig4_projections", |b| {
+        let pca = Pca::fit(links, Default::default()).expect("fits");
+        b.iter(|| {
+            for i in [0usize, 1, 5, 7] {
+                black_box(pca.temporal_projection(i));
+            }
+        })
+    });
+
+    // Figure 5: state + SPE series with both thresholds.
+    group.bench_function("fig5_spe_series", |b| {
+        let model = diagnoser.model();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in 0..links.rows() {
+                acc += model.spe(links.row(t)).expect("dims");
+            }
+            (acc, model.q_threshold(0.995).expect("ok").delta_sq)
+        })
+    });
+
+    // Figure 6 / Table 2: temporal ground-truth extraction + validation.
+    group.bench_function("fig6_fourier_extraction", |b| {
+        b.iter(|| extract_true_anomalies(black_box(&ds.od), TruthMethod::Fourier, 40))
+    });
+    group.bench_function("table2_validation", |b| {
+        let truth: Vec<TruthEvent> = extract_true_anomalies(&ds.od, TruthMethod::Fourier, 40)
+            .into_iter()
+            .map(Into::into)
+            .collect();
+        let reports = diagnoser.diagnose_series(links).expect("dims");
+        b.iter(|| metrics::validate_strict(black_box(&reports), &truth, ds.cutoff_bytes))
+    });
+
+    // Figures 7-9 / Table 3: injection sweeps (reduced grid: 12 times).
+    let times: Vec<usize> = (288..432).step_by(12).collect();
+    group.bench_function("fig7_injection_sweep_large", |b| {
+        b.iter(|| injection::sweep(ds, diagnoser, ds.large_injection, black_box(&times), 8))
+    });
+    group.bench_function("table3_injection_sweep_small", |b| {
+        b.iter(|| injection::sweep(ds, diagnoser, ds.small_injection, black_box(&times), 8))
+    });
+    group.bench_function("table3_abilene_sweep_large", |b| {
+        let ads = abilene();
+        let adiag = abilene_diagnoser();
+        b.iter(|| injection::sweep(ads, adiag, ads.large_injection, black_box(&times), 8))
+    });
+
+    // Figure 10: per-link temporal residuals (Fourier is the heavy one).
+    group.bench_function("fig10_fourier_link_residuals", |b| {
+        b.iter(|| residual_energy_series(black_box(&ds.links), LinkFilter::Fourier))
+    });
+    group.bench_function("fig10_haar_link_residuals", |b| {
+        b.iter(|| residual_energy_series(black_box(&ds.links), LinkFilter::Haar { levels: 5 }))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

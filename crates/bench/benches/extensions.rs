@@ -1,0 +1,93 @@
+//! Benchmarks of the Section 7 extensions: incremental maintenance,
+//! multi-flow identification, two-flow exhaustive search, and the
+//! multi-timescale pyramid.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netanom_bench::{sprint1, sprint1_diagnoser};
+use netanom_core::incremental::IncrementalCovariance;
+use netanom_core::{multiflow, timescale, DiagnoserConfig, SeparationPolicy};
+use netanom_linalg::vector;
+
+fn bench_extensions(c: &mut Criterion) {
+    let ds = sprint1();
+    let diagnoser = sprint1_diagnoser();
+    let links = ds.links.matrix();
+    let rm = &ds.network.routing_matrix;
+    let model = diagnoser.model();
+
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+
+    // Incremental window maintenance: one slide step (remove + add) vs
+    // the cost of a full refit.
+    group.bench_function("incremental_slide_step", |b| {
+        let mut inc = IncrementalCovariance::from_matrix(links);
+        let old = links.row(0).to_vec();
+        let new = links.row(500).to_vec();
+        b.iter(|| {
+            inc.remove(black_box(&old)).expect("dims match");
+            inc.add(black_box(&new)).expect("dims match");
+        })
+    });
+    group.bench_function("incremental_rebuild_model", |b| {
+        let inc = IncrementalCovariance::from_matrix(links);
+        b.iter(|| {
+            inc.to_model(SeparationPolicy::FixedCount(model.normal_dim()))
+                .expect("window is healthy")
+        })
+    });
+
+    // Multi-flow machinery on a staged two-origin event.
+    let mut y = links.row(400).to_vec();
+    vector::axpy(3e7, &rm.column(20), &mut y);
+    vector::axpy(2e7, &rm.column(87), &mut y);
+    group.bench_function("multiflow_known_pair_estimate", |b| {
+        b.iter(|| multiflow::estimate_intensities(model, rm, &[20, 87], black_box(&y)))
+    });
+    group.bench_function("multiflow_greedy_identify", |b| {
+        b.iter(|| {
+            multiflow::greedy_identify(model, rm, diagnoser.identifier(), black_box(&y), 4, 0.05)
+                .expect("residual explainable")
+        })
+    });
+    group.bench_function("multiflow_exhaustive_pairs_169", |b| {
+        b.iter(|| {
+            multiflow::identify_best_pair(model, rm, black_box(&y)).expect("pairs exist")
+        })
+    });
+
+    // Multi-timescale pyramid: fit and sweep.
+    group.bench_function("timescale_fit_4_levels", |b| {
+        b.iter(|| {
+            timescale::MultiscaleDiagnoser::fit(
+                black_box(links),
+                rm,
+                DiagnoserConfig::default(),
+                4,
+            )
+            .expect("week supports 4 levels")
+        })
+    });
+    group.bench_function("timescale_diagnose_week", |b| {
+        let ms =
+            timescale::MultiscaleDiagnoser::fit(links, rm, DiagnoserConfig::default(), 4)
+                .expect("week supports 4 levels");
+        b.iter(|| ms.diagnose_series(black_box(links)).expect("dims match"))
+    });
+
+    // CSV round-trip throughput for the week-long measurement file.
+    group.bench_function("csv_serialize_week", |b| {
+        b.iter(|| netanom_traffic::io::link_series_to_csv_string(black_box(&ds.links), None))
+    });
+    group.bench_function("csv_parse_week", |b| {
+        let csv = netanom_traffic::io::link_series_to_csv_string(&ds.links, None);
+        b.iter(|| netanom_traffic::io::link_series_from_csv_str(black_box(&csv)).expect("valid"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Benchmarks of the diagnosis pipeline stages: the numbers behind the
+//! paper's Section 7.1 deployment argument (fit occasionally, diagnose
+//! every arrival cheaply).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netanom_bench::{sprint1, sprint1_diagnoser};
+use netanom_core::{Diagnoser, DiagnoserConfig, Pca, PcaMethod, SubspaceModel};
+use netanom_linalg::vector;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let ds = sprint1();
+    let diagnoser = sprint1_diagnoser();
+    let links = ds.links.matrix();
+    let rm = &ds.network.routing_matrix;
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    // Model fitting — done "occasionally" per the paper.
+    group.bench_function("pca_fit_svd", |b| {
+        b.iter(|| Pca::fit(black_box(links), PcaMethod::Svd).expect("fits"))
+    });
+    group.bench_function("pca_fit_covariance", |b| {
+        b.iter(|| Pca::fit(black_box(links), PcaMethod::Covariance).expect("fits"))
+    });
+    group.bench_function("diagnoser_fit_full", |b| {
+        b.iter(|| {
+            Diagnoser::fit(black_box(links), rm, DiagnoserConfig::default()).expect("fits")
+        })
+    });
+
+    // Per-arrival costs — the online path.
+    let model: &SubspaceModel = diagnoser.model();
+    let quiet = links.row(10).to_vec();
+    let mut anomalous = links.row(10).to_vec();
+    vector::axpy(5e7, &rm.column(100), &mut anomalous);
+
+    group.bench_function("spe_single_vector", |b| {
+        b.iter(|| model.spe(black_box(&quiet)).expect("dims"))
+    });
+    group.bench_function("diagnose_quiet_vector", |b| {
+        b.iter(|| diagnoser.diagnose_vector(black_box(&quiet)).expect("dims"))
+    });
+    group.bench_function("diagnose_anomalous_vector", |b| {
+        b.iter(|| diagnoser.diagnose_vector(black_box(&anomalous)).expect("dims"))
+    });
+
+    // Identification alone (fast path vs naive Equation-1 evaluation).
+    let residual = model.residual(&anomalous).expect("dims");
+    group.bench_function("identify_fast", |b| {
+        b.iter(|| {
+            diagnoser
+                .identifier()
+                .identify(black_box(&residual))
+                .expect("candidates exist")
+        })
+    });
+    group.bench_function("identify_naive_eq1", |b| {
+        b.iter(|| {
+            diagnoser
+                .identifier()
+                .identify_naive(model, black_box(&anomalous))
+                .expect("candidates exist")
+        })
+    });
+
+    // The full week, batch mode.
+    group.bench_function("diagnose_series_1008", |b| {
+        b.iter(|| diagnoser.diagnose_series(black_box(links)).expect("dims"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

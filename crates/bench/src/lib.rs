@@ -1,0 +1,54 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! The benches live in `benches/`; this library only provides cached
+//! dataset construction so every bench file measures computation, not
+//! dataset generation.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::OnceLock;
+
+use netanom_core::{Diagnoser, DiagnoserConfig};
+use netanom_traffic::datasets::{self, Dataset};
+
+/// The Sprint-1 dataset, generated once per process.
+pub fn sprint1() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(datasets::sprint1)
+}
+
+/// The Abilene dataset, generated once per process.
+pub fn abilene() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(datasets::abilene)
+}
+
+/// A diagnoser fitted on Sprint-1 with the paper's default configuration,
+/// fitted once per process.
+pub fn sprint1_diagnoser() -> &'static Diagnoser {
+    static D: OnceLock<Diagnoser> = OnceLock::new();
+    D.get_or_init(|| {
+        let ds = sprint1();
+        Diagnoser::fit(
+            ds.links.matrix(),
+            &ds.network.routing_matrix,
+            DiagnoserConfig::default(),
+        )
+        .expect("canned dataset fits")
+    })
+}
+
+/// A diagnoser fitted on Abilene.
+pub fn abilene_diagnoser() -> &'static Diagnoser {
+    static D: OnceLock<Diagnoser> = OnceLock::new();
+    D.get_or_init(|| {
+        let ds = abilene();
+        Diagnoser::fit(
+            ds.links.matrix(),
+            &ds.network.routing_matrix,
+            DiagnoserConfig::default(),
+        )
+        .expect("canned dataset fits")
+    })
+}

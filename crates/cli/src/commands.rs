@@ -1,0 +1,345 @@
+//! The three subcommands.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use netanom_core::{Diagnoser, DiagnoserConfig};
+use netanom_topology::RoutingMatrix;
+use netanom_traffic::datasets::{self, Dataset};
+use netanom_traffic::io as traffic_io;
+
+use crate::paths_csv;
+
+/// Parse `--key value` pairs; returns an error on stray positionals or
+/// repeated keys.
+fn parse_flags<'a>(
+    args: &'a [String],
+    allowed: &[&str],
+) -> Result<HashMap<&'a str, &'a str>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("unexpected argument {key:?}"));
+        };
+        if !allowed.contains(&name) {
+            return Err(format!("unknown flag --{name}"));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} requires a value"))?;
+        if out.insert(name, value.as_str()).is_some() {
+            return Err(format!("--{name} given twice"));
+        }
+    }
+    Ok(out)
+}
+
+fn require<'a>(flags: &HashMap<&str, &'a str>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .copied()
+        .ok_or_else(|| format!("--{name} is required"))
+}
+
+fn confidence_of(flags: &HashMap<&str, &str>) -> Result<f64, String> {
+    match flags.get("confidence") {
+        None => Ok(0.999),
+        Some(s) => s
+            .parse::<f64>()
+            .ok()
+            .filter(|c| *c > 0.0 && *c < 1.0)
+            .ok_or_else(|| format!("--confidence must be in (0,1), got {s:?}")),
+    }
+}
+
+/// `netanom simulate --dataset NAME --out-dir DIR`
+pub fn simulate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["dataset", "out-dir"])?;
+    let name = require(&flags, "dataset")?;
+    let out_dir = PathBuf::from(require(&flags, "out-dir")?);
+
+    let ds: Dataset = match name {
+        "sprint1" => datasets::sprint1(),
+        "sprint2" => datasets::sprint2(),
+        "abilene" => datasets::abilene(),
+        "mini" => datasets::mini(1),
+        other => return Err(format!("unknown dataset {other:?}")),
+    };
+
+    fs::create_dir_all(&out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+
+    // links.csv with human-readable link names.
+    let topo = &ds.network.topology;
+    let names: Vec<String> = (0..topo.num_links())
+        .map(|l| topo.link_label(netanom_topology::LinkId(l)).replace(',', "_"))
+        .collect();
+    traffic_io::link_series_to_csv(&ds.links, Some(&names), &out_dir.join("links.csv"))
+        .map_err(|e| format!("writing links.csv: {e}"))?;
+
+    // paths.csv for identification.
+    let rm = &ds.network.routing_matrix;
+    let paths: Vec<Vec<usize>> = (0..rm.num_flows())
+        .map(|f| rm.flow(f).path.iter().map(|l| l.0).collect())
+        .collect();
+    fs::write(out_dir.join("paths.csv"), paths_csv::serialize(&paths))
+        .map_err(|e| format!("writing paths.csv: {e}"))?;
+
+    // truth.csv — the generator's exact ground truth.
+    let mut truth = String::from("time,flow,delta_bytes\n");
+    for e in &ds.truth {
+        let _ = writeln!(truth, "{},{},{}", e.time, e.flow, e.delta_bytes);
+    }
+    fs::write(out_dir.join("truth.csv"), truth)
+        .map_err(|e| format!("writing truth.csv: {e}"))?;
+
+    println!(
+        "wrote {}/links.csv ({} bins x {} links), paths.csv ({} flows), truth.csv ({} anomalies)",
+        out_dir.display(),
+        ds.links.num_bins(),
+        ds.links.num_links(),
+        rm.num_flows(),
+        ds.truth.len(),
+    );
+    Ok(())
+}
+
+fn load_links(path: &str) -> Result<(netanom_traffic::LinkSeries, Vec<String>), String> {
+    traffic_io::link_series_from_csv(Path::new(path))
+        .map_err(|e| format!("reading {path}: {e}"))
+}
+
+/// `netanom detect --links FILE [--confidence C] [--train-bins N]`
+pub fn detect(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["links", "confidence", "train-bins"])?;
+    let (links, names) = load_links(require(&flags, "links")?)?;
+    let confidence = confidence_of(&flags)?;
+    let train_bins = train_bins_of(&flags, links.num_bins())?;
+
+    // Detection needs no routing information: fit the model directly.
+    let training = links
+        .matrix()
+        .row_block(0, train_bins)
+        .map_err(|e| e.to_string())?;
+    let model = netanom_core::SubspaceModel::fit(
+        &training,
+        netanom_core::SeparationPolicy::default(),
+        netanom_core::PcaMethod::default(),
+    )
+    .map_err(|e| format!("fitting model: {e}"))?;
+    let detector =
+        netanom_core::Detector::new(model, confidence).map_err(|e| format!("threshold: {e}"))?;
+
+    let detections = detector
+        .detect_series(links.matrix())
+        .map_err(|e| e.to_string())?;
+    let q = detector.threshold();
+    println!(
+        "# {} links, {} bins; r = {}, delta^2({:.2}%) = {:.6e}",
+        names.len(),
+        links.num_bins(),
+        detector.model().normal_dim(),
+        confidence * 100.0,
+        q.delta_sq,
+    );
+    println!("time,spe,threshold,anomalous");
+    let mut alarms = 0usize;
+    for d in &detections {
+        if d.anomalous {
+            alarms += 1;
+            println!("{},{:.6e},{:.6e},1", d.time, d.spe, d.threshold);
+        }
+    }
+    eprintln!("{alarms} anomalous bins of {}", detections.len());
+    Ok(())
+}
+
+fn train_bins_of(flags: &HashMap<&str, &str>, total: usize) -> Result<usize, String> {
+    match flags.get("train-bins") {
+        None => Ok(total),
+        Some(s) => {
+            let n: usize = s
+                .parse()
+                .map_err(|_| format!("--train-bins must be an integer, got {s:?}"))?;
+            if n == 0 || n > total {
+                return Err(format!("--train-bins must be in 1..={total}"));
+            }
+            Ok(n)
+        }
+    }
+}
+
+/// `netanom diagnose --links FILE --paths FILE [--confidence C]
+/// [--train-bins N] [--out FILE]`
+pub fn diagnose(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["links", "paths", "confidence", "train-bins", "out"])?;
+    let (links, _names) = load_links(require(&flags, "links")?)?;
+    let confidence = confidence_of(&flags)?;
+    let train_bins = train_bins_of(&flags, links.num_bins())?;
+
+    let paths_file = require(&flags, "paths")?;
+    let paths_content =
+        fs::read_to_string(paths_file).map_err(|e| format!("reading {paths_file}: {e}"))?;
+    let paths = paths_csv::parse(&paths_content)?;
+    for (f, p) in paths.iter().enumerate() {
+        for &l in p {
+            if l >= links.num_links() {
+                return Err(format!(
+                    "flow {f} references link {l}, but links.csv has only {}",
+                    links.num_links()
+                ));
+            }
+        }
+    }
+    let rm = RoutingMatrix::from_paths(links.num_links(), &paths);
+
+    let training = links
+        .matrix()
+        .row_block(0, train_bins)
+        .map_err(|e| e.to_string())?;
+    let diagnoser = Diagnoser::fit(
+        &training,
+        &rm,
+        DiagnoserConfig {
+            confidence,
+            ..DiagnoserConfig::default()
+        },
+    )
+    .map_err(|e| format!("fitting model: {e}"))?;
+
+    let reports = diagnoser
+        .diagnose_series(links.matrix())
+        .map_err(|e| e.to_string())?;
+
+    let mut csv = String::from("time,spe,threshold,flow,estimated_bytes,explained_fraction\n");
+    let mut alarms = 0usize;
+    for rep in reports.iter().filter(|r| r.detected) {
+        alarms += 1;
+        let id = rep.identification.expect("detected implies identified");
+        let _ = writeln!(
+            csv,
+            "{},{:.6e},{:.6e},{},{:.6e},{:.4}",
+            rep.time,
+            rep.spe,
+            rep.threshold,
+            id.flow,
+            rep.estimated_bytes.unwrap_or(0.0),
+            id.explained_fraction(),
+        );
+    }
+
+    match flags.get("out") {
+        Some(out) => {
+            fs::write(out, &csv).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!(
+                "{alarms} anomalies in {} bins (r = {}); report written to {out}",
+                reports.len(),
+                diagnoser.model().normal_dim()
+            );
+        }
+        None => {
+            print!("{csv}");
+            eprintln!(
+                "{alarms} anomalies in {} bins (r = {})",
+                reports.len(),
+                diagnoser.model().normal_dim()
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing_basics() {
+        let args = s(&["--links", "a.csv", "--confidence", "0.99"]);
+        let flags = parse_flags(&args, &["links", "confidence"]).unwrap();
+        assert_eq!(flags["links"], "a.csv");
+        assert_eq!(confidence_of(&flags).unwrap(), 0.99);
+    }
+
+    #[test]
+    fn flag_errors() {
+        assert!(parse_flags(&s(&["stray"]), &["links"]).is_err());
+        assert!(parse_flags(&s(&["--nope", "x"]), &["links"]).is_err());
+        assert!(parse_flags(&s(&["--links"]), &["links"]).is_err());
+        assert!(parse_flags(&s(&["--links", "a", "--links", "b"]), &["links"]).is_err());
+    }
+
+    #[test]
+    fn confidence_validation() {
+        for bad in ["0", "1", "1.5", "abc", "-0.1"] {
+            let args = s(&["--confidence", bad]);
+            let flags = parse_flags(&args, &["confidence"]).unwrap();
+            assert!(confidence_of(&flags).is_err(), "accepted {bad}");
+        }
+        let empty: Vec<String> = vec![];
+        let flags = parse_flags(&empty, &["confidence"]).unwrap();
+        assert_eq!(confidence_of(&flags).unwrap(), 0.999);
+    }
+
+    #[test]
+    fn train_bins_validation() {
+        let args = s(&["--train-bins", "50"]);
+        let flags = parse_flags(&args, &["train-bins"]).unwrap();
+        assert_eq!(train_bins_of(&flags, 100).unwrap(), 50);
+        assert!(train_bins_of(&flags, 40).is_err());
+        let bad = s(&["--train-bins", "0"]);
+        let flags = parse_flags(&bad, &["train-bins"]).unwrap();
+        assert!(train_bins_of(&flags, 100).is_err());
+    }
+
+    #[test]
+    fn simulate_then_diagnose_end_to_end() {
+        let dir = std::env::temp_dir().join("netanom-cli-test");
+        let _ = fs::remove_dir_all(&dir);
+        simulate(&s(&["--dataset", "mini", "--out-dir", dir.to_str().unwrap()])).unwrap();
+        assert!(dir.join("links.csv").exists());
+        assert!(dir.join("paths.csv").exists());
+        assert!(dir.join("truth.csv").exists());
+
+        // Full diagnose on the exported files.
+        let out = dir.join("report.csv");
+        diagnose(&s(&[
+            "--links",
+            dir.join("links.csv").to_str().unwrap(),
+            "--paths",
+            dir.join("paths.csv").to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let report = fs::read_to_string(&out).unwrap();
+        assert!(report.starts_with("time,spe,threshold,flow"));
+        // The mini dataset embeds anomalies; at least one should be found.
+        assert!(report.lines().count() > 1, "no anomalies reported");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn diagnose_rejects_out_of_range_paths() {
+        let dir = std::env::temp_dir().join("netanom-cli-badpaths");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("links.csv"), "a,b\n1,2\n3,4\n5,6\n").unwrap();
+        fs::write(dir.join("paths.csv"), "flow,links\n0,5\n").unwrap();
+        let err = diagnose(&s(&[
+            "--links",
+            dir.join("links.csv").to_str().unwrap(),
+            "--paths",
+            dir.join("paths.csv").to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("references link"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

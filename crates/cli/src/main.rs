@@ -1,0 +1,55 @@
+//! `netanom` — diagnose network-wide traffic anomalies from the shell.
+//!
+//! ```text
+//! netanom simulate --dataset sprint1 --out-dir data/
+//! netanom detect   --links data/links.csv [--confidence 0.999] [--train-bins N]
+//! netanom diagnose --links data/links.csv --paths data/paths.csv [--out report.csv]
+//! ```
+//!
+//! * `simulate` exports one of the canned paper datasets as CSV (link
+//!   measurements, flow paths, and exact ground truth) — both a demo and
+//!   a format reference for your own exports.
+//! * `detect` runs detection only: it needs nothing but link byte counts
+//!   (the SNMP-collectable input the paper emphasizes).
+//! * `diagnose` adds identification and quantification, which require the
+//!   routing information (`paths.csv`: `flow,links` with `;`-separated
+//!   link indices per flow).
+
+mod commands;
+mod paths_csv;
+
+use std::process::ExitCode;
+
+fn usage() {
+    eprintln!(
+        "usage:\n  netanom simulate --dataset <sprint1|sprint2|abilene|mini> --out-dir DIR\n  \
+         netanom detect   --links FILE [--confidence C] [--train-bins N]\n  \
+         netanom diagnose --links FILE --paths FILE [--confidence C] [--train-bins N] [--out FILE]"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "simulate" => commands::simulate(rest),
+        "detect" => commands::detect(rest),
+        "diagnose" => commands::diagnose(rest),
+        "--help" | "-h" | "help" => {
+            usage();
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,117 @@
+use std::fmt;
+
+use netanom_linalg::LinalgError;
+
+/// Errors produced by the subspace method.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An underlying linear-algebra routine failed.
+    Linalg(LinalgError),
+    /// A measurement vector or matrix had the wrong number of links.
+    DimensionMismatch {
+        /// What the model expected.
+        expected: usize,
+        /// What the caller supplied.
+        got: usize,
+    },
+    /// The measurement matrix had too few timesteps to fit a model.
+    TooFewSamples {
+        /// Number of rows supplied.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// A confidence level outside the open interval `(0, 1)`.
+    InvalidConfidence {
+        /// The offending value.
+        value: f64,
+    },
+    /// The normal subspace covers the whole space (`r = m`), so the
+    /// residual is identically zero and nothing can ever be detected.
+    DegenerateResidual {
+        /// The normal-subspace dimension that was selected.
+        r: usize,
+    },
+    /// A measurement vector contained a NaN or infinite value (e.g. an
+    /// SNMP polling gap encoded as a sentinel).
+    NonFiniteMeasurement {
+        /// Index of the first offending link.
+        link: usize,
+    },
+    /// Identification was asked to choose among zero candidate anomalies.
+    NoCandidates,
+    /// A candidate-flow set for multi-flow estimation was numerically
+    /// dependent (e.g. two flows with identical residual footprints).
+    DependentCandidates,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            CoreError::DimensionMismatch { expected, got } => {
+                write!(f, "expected {expected} links, got {got}")
+            }
+            CoreError::TooFewSamples { got, need } => {
+                write!(f, "need at least {need} timesteps, got {got}")
+            }
+            CoreError::InvalidConfidence { value } => {
+                write!(f, "confidence level {value} outside (0, 1)")
+            }
+            CoreError::DegenerateResidual { r } => write!(
+                f,
+                "normal subspace spans all {r} dimensions; residual is empty"
+            ),
+            CoreError::NonFiniteMeasurement { link } => {
+                write!(f, "measurement for link {link} is not finite")
+            }
+            CoreError::NoCandidates => write!(f, "no candidate anomalies to identify among"),
+            CoreError::DependentCandidates => {
+                write!(f, "candidate flows are linearly dependent in the residual subspace")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::DimensionMismatch {
+            expected: 49,
+            got: 41
+        }
+        .to_string()
+        .contains("49"));
+        assert!(CoreError::InvalidConfidence { value: 1.5 }
+            .to_string()
+            .contains("1.5"));
+        assert!(CoreError::NoCandidates.to_string().contains("candidate"));
+    }
+
+    #[test]
+    fn linalg_source_is_preserved() {
+        use std::error::Error;
+        let inner = LinalgError::Empty { op: "svd" };
+        let e = CoreError::from(inner.clone());
+        assert_eq!(e, CoreError::Linalg(inner));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,312 @@
+//! Incremental model maintenance for online deployment.
+//!
+//! The paper notes that recomputing the SVD per timestep is unnecessary
+//! ("one need only compute the SVD occasionally") and points to the
+//! decomposition-updating literature for busier settings. This module
+//! implements the practical middle ground: maintain the sufficient
+//! statistics of the measurement window — column sums and the raw
+//! cross-product matrix `Σ y yᵀ` — under `O(m²)` row additions and
+//! removals, and rebuild the `m × m` covariance eigendecomposition on
+//! demand (a ~3 ms Jacobi solve at backbone sizes, versus ~30 ms for the
+//! full-window SVD).
+//!
+//! A sliding one-week window over 10-minute bins therefore costs `O(m²)`
+//! per arrival plus one small eigen-solve per refit, independent of the
+//! window length.
+
+use netanom_linalg::decomposition::SymmetricEigen;
+use netanom_linalg::{Matrix, vector};
+
+use crate::separation::SeparationPolicy;
+use crate::subspace::SubspaceModel;
+use crate::{CoreError, Result};
+
+/// Running sufficient statistics (`n`, `Σy`, `Σyyᵀ`) of a set of
+/// measurement vectors, supporting O(m²) add/remove.
+///
+/// # Numerical note
+///
+/// The covariance is formed as `(Σyyᵀ − n·μμᵀ)/(n−1)`, which cancels
+/// ~`(μ/σ)²` of precision. At backbone scales (`μ/σ` ≈ 10–100) this
+/// costs 2–4 of the 16 significant digits — harmless here, but callers
+/// with extreme mean-to-variance ratios should refit from raw data
+/// occasionally. The `from_matrix` → `covariance` path is tested against
+/// the direct two-pass computation to 1e-9 relative accuracy.
+#[derive(Debug, Clone)]
+pub struct IncrementalCovariance {
+    dim: usize,
+    count: usize,
+    sum: Vec<f64>,
+    /// Upper triangle (including diagonal) of `Σ y yᵀ`, row-major.
+    cross: Matrix,
+}
+
+impl IncrementalCovariance {
+    /// Empty statistics over `m`-dimensional measurements.
+    pub fn new(dim: usize) -> Self {
+        IncrementalCovariance {
+            dim,
+            count: 0,
+            sum: vec![0.0; dim],
+            cross: Matrix::zeros(dim, dim),
+        }
+    }
+
+    /// Statistics of every row of a `t × m` matrix.
+    pub fn from_matrix(data: &Matrix) -> Self {
+        let mut acc = Self::new(data.cols());
+        for t in 0..data.rows() {
+            acc.add(data.row(t)).expect("row length matches by construction");
+        }
+        acc
+    }
+
+    /// Number of accumulated measurements.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Measurement dimension `m`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn check(&self, y: &[f64]) -> Result<()> {
+        if y.len() != self.dim {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim,
+                got: y.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Add one measurement (`O(m²)`).
+    pub fn add(&mut self, y: &[f64]) -> Result<()> {
+        self.check(y)?;
+        self.count += 1;
+        vector::axpy(1.0, y, &mut self.sum);
+        for i in 0..self.dim {
+            let yi = y[i];
+            if yi == 0.0 {
+                continue;
+            }
+            for j in i..self.dim {
+                self.cross[(i, j)] += yi * y[j];
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove a previously-added measurement (`O(m²)`).
+    ///
+    /// The caller is responsible for passing exactly a vector that was
+    /// added earlier (the sliding-window pattern); removing anything else
+    /// silently corrupts the statistics. Removing below zero measurements
+    /// is an error.
+    pub fn remove(&mut self, y: &[f64]) -> Result<()> {
+        self.check(y)?;
+        if self.count == 0 {
+            return Err(CoreError::TooFewSamples { got: 0, need: 1 });
+        }
+        self.count -= 1;
+        vector::axpy(-1.0, y, &mut self.sum);
+        for i in 0..self.dim {
+            let yi = y[i];
+            if yi == 0.0 {
+                continue;
+            }
+            for j in i..self.dim {
+                self.cross[(i, j)] -= yi * y[j];
+            }
+        }
+        Ok(())
+    }
+
+    /// Current mean vector.
+    ///
+    /// Returns an error with zero measurements.
+    pub fn mean(&self) -> Result<Vec<f64>> {
+        if self.count == 0 {
+            return Err(CoreError::TooFewSamples { got: 0, need: 1 });
+        }
+        Ok(vector::scaled(&self.sum, 1.0 / self.count as f64))
+    }
+
+    /// Sample covariance `(Σyyᵀ − n·μμᵀ)/(n−1)`.
+    ///
+    /// Requires at least two measurements. Tiny negative diagonal values
+    /// from cancellation are clamped to zero.
+    pub fn covariance(&self) -> Result<Matrix> {
+        if self.count < 2 {
+            return Err(CoreError::TooFewSamples {
+                got: self.count,
+                need: 2,
+            });
+        }
+        let n = self.count as f64;
+        let mean = self.mean()?;
+        let denom = n - 1.0;
+        let mut cov = Matrix::zeros(self.dim, self.dim);
+        for i in 0..self.dim {
+            for j in i..self.dim {
+                let v = (self.cross[(i, j)] - n * mean[i] * mean[j]) / denom;
+                let v = if i == j { v.max(0.0) } else { v };
+                cov[(i, j)] = v;
+                cov[(j, i)] = v;
+            }
+        }
+        Ok(cov)
+    }
+
+    /// Rebuild a [`SubspaceModel`] from the current window under the
+    /// given separation policy.
+    ///
+    /// The 3σ policy needs the temporal projections, which sufficient
+    /// statistics cannot provide; use [`SeparationPolicy::FixedCount`] or
+    /// [`SeparationPolicy::VarianceFraction`] here (typically with the
+    /// `r` the 3σ rule chose at the last full fit — the subspace is
+    /// stable week over week, which is the paper's whole argument for
+    /// fitting occasionally).
+    pub fn to_model(&self, policy: SeparationPolicy) -> Result<SubspaceModel> {
+        if let SeparationPolicy::ThreeSigma { .. } = policy {
+            return Err(CoreError::DegenerateResidual { r: usize::MAX });
+        }
+        let cov = self.covariance()?;
+        let eig = SymmetricEigen::new(&cov)?;
+        let eigenvalues: Vec<f64> = eig.eigenvalues.iter().map(|&l| l.max(0.0)).collect();
+        let r = match policy {
+            SeparationPolicy::FixedCount(r) => r.min(self.dim),
+            SeparationPolicy::VarianceFraction(f) => {
+                let total: f64 = eigenvalues.iter().sum();
+                if total <= 0.0 {
+                    0
+                } else {
+                    let target = f.clamp(0.0, 1.0) * total;
+                    let mut acc = 0.0;
+                    let mut r = eigenvalues.len();
+                    for (i, &l) in eigenvalues.iter().enumerate() {
+                        acc += l;
+                        if acc >= target {
+                            r = i + 1;
+                            break;
+                        }
+                    }
+                    r
+                }
+            }
+            SeparationPolicy::ThreeSigma { .. } => unreachable!("rejected above"),
+        };
+        SubspaceModel::from_eigen(self.mean()?, &eig.eigenvectors, eigenvalues, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pca::{Pca, PcaMethod};
+
+    fn data(t: usize, m: usize, seed: usize) -> Matrix {
+        Matrix::from_fn(t, m, |i, j| {
+            let phase = i as f64 * std::f64::consts::TAU / 144.0;
+            let smooth = 1e5 * phase.sin() * ((j % 3) as f64 + 1.0);
+            let noise =
+                (((i * m + j + seed).wrapping_mul(2654435761)) % 8192) as f64 - 4096.0;
+            1e6 + smooth + noise
+        })
+    }
+
+    #[test]
+    fn matches_two_pass_covariance() {
+        let y = data(300, 6, 0);
+        let inc = IncrementalCovariance::from_matrix(&y);
+        let (centered, mean) = y.mean_centered_columns();
+        let direct = centered.gram().scaled(1.0 / 299.0);
+        let cov = inc.covariance().unwrap();
+        assert!(
+            cov.approx_eq(&direct, 1e-9 * direct.max_abs()),
+            "incremental covariance diverges from two-pass"
+        );
+        assert!(vector::approx_eq(&inc.mean().unwrap(), &mean, 1e-9));
+    }
+
+    #[test]
+    fn sliding_window_equals_batch_on_window() {
+        let y = data(400, 5, 1);
+        let window = 250;
+        let mut inc = IncrementalCovariance::from_matrix(&y.row_block(0, window).unwrap());
+        // Slide by 150 steps.
+        for t in 0..150 {
+            inc.remove(y.row(t)).unwrap();
+            inc.add(y.row(window + t)).unwrap();
+        }
+        let batch = IncrementalCovariance::from_matrix(&y.row_block(150, window).unwrap());
+        assert_eq!(inc.count(), window);
+        let a = inc.covariance().unwrap();
+        let b = batch.covariance().unwrap();
+        assert!(a.approx_eq(&b, 1e-6 * b.max_abs().max(1.0)));
+    }
+
+    #[test]
+    fn model_matches_full_pca_fit() {
+        let y = data(500, 6, 2);
+        let inc = IncrementalCovariance::from_matrix(&y);
+        let model_inc = inc.to_model(SeparationPolicy::FixedCount(2)).unwrap();
+        let pca = Pca::fit(&y, PcaMethod::Covariance).unwrap();
+        let model_batch = SubspaceModel::from_pca(&pca, 2).unwrap();
+
+        // Same SPE on arbitrary probes (sign flips in eigenvectors cancel
+        // inside the projector).
+        for t in [0usize, 123, 499] {
+            let a = model_inc.spe(y.row(t)).unwrap();
+            let b = model_batch.spe(y.row(t)).unwrap();
+            assert!(
+                (a - b).abs() <= 1e-6 * b.max(1.0),
+                "SPE mismatch at row {t}: {a} vs {b}"
+            );
+        }
+        // Same spectrum.
+        for (a, b) in model_inc.eigenvalues().iter().zip(model_batch.eigenvalues()) {
+            assert!((a - b).abs() <= 1e-6 * b.max(1.0));
+        }
+    }
+
+    #[test]
+    fn variance_fraction_policy_works_without_temporal_data() {
+        let y = data(300, 6, 3);
+        let inc = IncrementalCovariance::from_matrix(&y);
+        let model = inc.to_model(SeparationPolicy::VarianceFraction(0.9)).unwrap();
+        assert!(model.normal_dim() >= 1);
+        assert!(model.normal_dim() < 6);
+    }
+
+    #[test]
+    fn three_sigma_policy_is_rejected() {
+        let y = data(100, 4, 4);
+        let inc = IncrementalCovariance::from_matrix(&y);
+        assert!(inc.to_model(SeparationPolicy::default()).is_err());
+    }
+
+    #[test]
+    fn empty_and_underfull_errors() {
+        let mut inc = IncrementalCovariance::new(3);
+        assert!(inc.mean().is_err());
+        assert!(inc.covariance().is_err());
+        assert!(inc.remove(&[1.0, 2.0, 3.0]).is_err());
+        inc.add(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(inc.covariance().is_err()); // needs 2
+        assert!(inc.add(&[1.0]).is_err()); // dim check
+    }
+
+    #[test]
+    fn add_remove_roundtrip_restores_state() {
+        let y = data(50, 4, 5);
+        let mut inc = IncrementalCovariance::from_matrix(&y);
+        let before = inc.covariance().unwrap();
+        let probe = vec![5e6, -1e6, 3e6, 0.0];
+        inc.add(&probe).unwrap();
+        inc.remove(&probe).unwrap();
+        let after = inc.covariance().unwrap();
+        assert!(after.approx_eq(&before, 1e-6 * before.max_abs()));
+    }
+}

@@ -1,0 +1,288 @@
+//! Principal component analysis of the link measurement matrix.
+
+use netanom_linalg::decomposition::{Svd, SymmetricEigen};
+use netanom_linalg::{vector, Matrix};
+
+use crate::{CoreError, Result};
+
+/// How to compute the principal components.
+///
+/// Both routes produce the same subspace; they are cross-validated against
+/// each other in tests. The covariance route is what the paper describes
+/// ("solving the symmetric eigenvalue problem for the covariance matrix,
+/// YᵀY"); the SVD route has better numerical behaviour for tiny trailing
+/// eigenvalues and is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PcaMethod {
+    /// One-sided Jacobi SVD of the centered data matrix.
+    #[default]
+    Svd,
+    /// Jacobi eigendecomposition of the sample covariance `YᵀY/(t−1)`.
+    Covariance,
+}
+
+/// The PCA of a `t × m` link measurement matrix.
+///
+/// * `components` — the principal axes `vᵢ` as columns (`m × m`),
+///   ordered by decreasing captured variance;
+/// * `eigenvalues` — `λᵢ = ‖Yvᵢ‖²/(t−1)`, the **sample variance** captured
+///   by axis `i`. The paper writes `‖Yvᵢ‖²`; the `1/(t−1)` normalization
+///   puts the values on the same scale as the per-timestep SPE so the
+///   Jackson–Mudholkar threshold is calibrated correctly (see DESIGN.md);
+/// * `mean` — the per-link means removed before the decomposition.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    components: Matrix,
+    eigenvalues: Vec<f64>,
+    mean: Vec<f64>,
+    num_samples: usize,
+    /// Centered data matrix (kept for temporal projections `uᵢ`).
+    centered: Matrix,
+}
+
+impl Pca {
+    /// Fit a PCA to the raw (uncentered) measurement matrix.
+    ///
+    /// Requires at least two timesteps and `t ≥ m` (one week of 10-minute
+    /// bins against ≤ 49 links leaves a huge margin).
+    pub fn fit(links: &Matrix, method: PcaMethod) -> Result<Self> {
+        let (t, m) = links.shape();
+        if t < 2 {
+            return Err(CoreError::TooFewSamples { got: t, need: 2 });
+        }
+        if t < m {
+            return Err(CoreError::TooFewSamples { got: t, need: m });
+        }
+        let (centered, mean) = links.mean_centered_columns();
+        let denom = (t - 1) as f64;
+
+        let (components, eigenvalues) = match method {
+            PcaMethod::Svd => {
+                let svd = Svd::new(&centered)?;
+                let eig: Vec<f64> = svd.sigma.iter().map(|s| s * s / denom).collect();
+                (svd.v, eig)
+            }
+            PcaMethod::Covariance => {
+                let cov = centered.gram().scaled(1.0 / denom);
+                let eig = SymmetricEigen::new(&cov)?;
+                // Clamp tiny negative values from roundoff.
+                let vals = eig.eigenvalues.iter().map(|&l| l.max(0.0)).collect();
+                (eig.eigenvectors, vals)
+            }
+        };
+
+        Ok(Pca {
+            components,
+            eigenvalues,
+            mean,
+            num_samples: t,
+            centered,
+        })
+    }
+
+    /// Number of links `m`.
+    pub fn dim(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Number of timesteps the model was fit on.
+    pub fn num_samples(&self) -> usize {
+        self.num_samples
+    }
+
+    /// The principal axes as columns of an `m × m` orthogonal matrix.
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+
+    /// Principal axis `i` (unit vector of length `m`).
+    ///
+    /// # Panics
+    /// Panics if `i ≥ m`.
+    pub fn component(&self, i: usize) -> Vec<f64> {
+        self.components.col(i)
+    }
+
+    /// Captured sample variances `λᵢ`, decreasing.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Per-link means removed before the decomposition.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Fraction of total variance captured by each axis — the data behind
+    /// the paper's Figure 3 scree plot.
+    pub fn variance_fractions(&self) -> Vec<f64> {
+        let total: f64 = self.eigenvalues.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.eigenvalues.len()];
+        }
+        self.eigenvalues.iter().map(|&l| l / total).collect()
+    }
+
+    /// Smallest number of leading axes capturing at least `fraction` of
+    /// the total variance.
+    pub fn effective_dimension(&self, fraction: f64) -> usize {
+        let fracs = self.variance_fractions();
+        let mut acc = 0.0;
+        for (i, f) in fracs.iter().enumerate() {
+            acc += f;
+            if acc >= fraction {
+                return i + 1;
+            }
+        }
+        fracs.len()
+    }
+
+    /// The normalized temporal projection `uᵢ = Yvᵢ / ‖Yvᵢ‖` (length `t`).
+    ///
+    /// `u₁, u₂` show the clean diurnal trends of the paper's Figure 4(a);
+    /// higher-order projections carry spikes (Figure 4(b)). For an axis
+    /// with zero captured variance the projection is the zero vector.
+    ///
+    /// # Panics
+    /// Panics if `i ≥ m`.
+    pub fn temporal_projection(&self, i: usize) -> Vec<f64> {
+        let v = self.components.col(i);
+        let mut u = self
+            .centered
+            .matvec(&v)
+            .expect("component length matches column count");
+        vector::normalize(&mut u);
+        u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random data matrix with two strong directions.
+    fn structured_data(t: usize, m: usize) -> Matrix {
+        Matrix::from_fn(t, m, |i, j| {
+            let daily = (i as f64 * std::f64::consts::TAU / 144.0).sin();
+            let trend = (j as f64 + 1.0) * daily * 100.0;
+            let noise = ((i * m + j).wrapping_mul(2654435761) % 1000) as f64 / 100.0;
+            1000.0 + trend + noise
+        })
+    }
+
+    #[test]
+    fn methods_agree_on_eigenvalues() {
+        let y = structured_data(200, 8);
+        let svd = Pca::fit(&y, PcaMethod::Svd).unwrap();
+        let cov = Pca::fit(&y, PcaMethod::Covariance).unwrap();
+        for k in 0..8 {
+            let a = svd.eigenvalues()[k];
+            let b = cov.eigenvalues()[k];
+            assert!(
+                (a - b).abs() <= 1e-6 * svd.eigenvalues()[0].max(1.0),
+                "eigenvalue {k}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn methods_agree_on_leading_subspace() {
+        let y = structured_data(150, 6);
+        let svd = Pca::fit(&y, PcaMethod::Svd).unwrap();
+        let cov = Pca::fit(&y, PcaMethod::Covariance).unwrap();
+        // Component signs may flip; compare |dot| ≈ 1.
+        for k in 0..2 {
+            let d = vector::dot(&svd.component(k), &cov.component(k)).abs();
+            assert!(d > 1.0 - 1e-6, "component {k} differs: |dot| = {d}");
+        }
+    }
+
+    #[test]
+    fn eigenvalues_match_projected_variance() {
+        let y = structured_data(300, 5);
+        let pca = Pca::fit(&y, PcaMethod::Svd).unwrap();
+        let (centered, _) = y.mean_centered_columns();
+        for k in 0..5 {
+            let proj = centered.matvec(&pca.component(k)).unwrap();
+            let var = vector::norm_sq(&proj) / (y.rows() as f64 - 1.0);
+            assert!(
+                (var - pca.eigenvalues()[k]).abs() <= 1e-8 * pca.eigenvalues()[0].max(1.0),
+                "eigenvalue {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn variance_fractions_sum_to_one() {
+        let y = structured_data(100, 7);
+        let pca = Pca::fit(&y, PcaMethod::Covariance).unwrap();
+        let sum: f64 = pca.variance_fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strong_structure_concentrates_variance() {
+        // One dominant direction -> first axis captures nearly everything.
+        let y = structured_data(400, 10);
+        let pca = Pca::fit(&y, PcaMethod::Svd).unwrap();
+        assert!(pca.variance_fractions()[0] > 0.9);
+        assert_eq!(pca.effective_dimension(0.9), 1);
+        assert!(pca.effective_dimension(0.99999) <= 10);
+    }
+
+    #[test]
+    fn temporal_projection_is_unit_norm_and_tracks_signal() {
+        let y = structured_data(288, 6);
+        let pca = Pca::fit(&y, PcaMethod::Svd).unwrap();
+        let u1 = pca.temporal_projection(0);
+        assert_eq!(u1.len(), 288);
+        assert!((vector::norm(&u1) - 1.0).abs() < 1e-9);
+        // The first projection should correlate almost perfectly with the
+        // daily sine that generated the data.
+        let daily: Vec<f64> = (0..288)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 144.0).sin())
+            .collect();
+        let corr = netanom_linalg::stats::pearson(&u1, &daily).unwrap().abs();
+        assert!(corr > 0.99, "correlation {corr}");
+    }
+
+    #[test]
+    fn zero_variance_axis_projects_to_zero() {
+        // Rank-1 data: only one nonzero eigenvalue.
+        let y = Matrix::from_fn(50, 3, |i, _| i as f64);
+        let pca = Pca::fit(&y, PcaMethod::Svd).unwrap();
+        assert!(pca.eigenvalues()[1] < 1e-9 * pca.eigenvalues()[0]);
+        let u3 = pca.temporal_projection(2);
+        assert!(vector::norm(&u3) < 1e-9);
+    }
+
+    #[test]
+    fn rejects_too_few_samples() {
+        let y = Matrix::zeros(1, 5);
+        assert!(matches!(
+            Pca::fit(&y, PcaMethod::Svd),
+            Err(CoreError::TooFewSamples { .. })
+        ));
+        let wide = Matrix::zeros(4, 10);
+        assert!(matches!(
+            Pca::fit(&wide, PcaMethod::Svd),
+            Err(CoreError::TooFewSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_traffic_has_zero_spectrum() {
+        let y = Matrix::from_fn(60, 4, |_, j| 100.0 * (j + 1) as f64);
+        let pca = Pca::fit(&y, PcaMethod::Svd).unwrap();
+        assert!(pca.eigenvalues().iter().all(|&l| l < 1e-18));
+        assert_eq!(pca.variance_fractions(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn mean_is_removed() {
+        let y = structured_data(120, 4);
+        let pca = Pca::fit(&y, PcaMethod::Covariance).unwrap();
+        let means = y.column_means();
+        assert!(vector::approx_eq(pca.mean(), &means, 1e-9));
+    }
+}

@@ -1,0 +1,399 @@
+//! The fitted subspace model and the detection step.
+
+use netanom_linalg::{vector, Matrix};
+
+use crate::pca::{Pca, PcaMethod};
+use crate::qstat::{q_threshold, QStatistic};
+use crate::separation::SeparationPolicy;
+use crate::{CoreError, Result};
+
+/// A fitted subspace model: the separation `R^m = S ⊕ S̃` plus everything
+/// needed to project new measurements onto the two subspaces.
+///
+/// The projector onto the normal subspace is `C = PPᵀ` with `P` the
+/// `m × r` matrix of leading principal axes; the residual projector is
+/// `C̃ = I − PPᵀ`. Projection is implemented as `ỹ = z − P(Pᵀz)` which is
+/// `O(m·r)` per vector — the per-arrival cost quoted in the paper's
+/// Section 7.1 deployment discussion.
+#[derive(Debug, Clone)]
+pub struct SubspaceModel {
+    mean: Vec<f64>,
+    /// Normal basis: `m × r`, orthonormal columns.
+    p: Matrix,
+    /// Full spectrum (covariance scale), decreasing.
+    eigenvalues: Vec<f64>,
+    r: usize,
+}
+
+impl SubspaceModel {
+    /// Fit a model to a `t × m` measurement matrix: PCA, then subspace
+    /// separation under `policy`.
+    ///
+    /// Returns [`CoreError::DegenerateResidual`] if the policy assigns
+    /// every axis to the normal subspace or the residual carries no
+    /// variance (in either case there is nothing to detect with).
+    pub fn fit(links: &Matrix, policy: SeparationPolicy, method: PcaMethod) -> Result<Self> {
+        let pca = Pca::fit(links, method)?;
+        let r = policy.normal_dim(&pca);
+        Self::from_pca(&pca, r)
+    }
+
+    /// Build a model directly from a mean vector and a covariance
+    /// eigendecomposition (components as columns, eigenvalues decreasing,
+    /// covariance scale).
+    ///
+    /// This is the constructor used by incremental maintenance
+    /// ([`crate::incremental::IncrementalCovariance`]), where no centered
+    /// data matrix exists to run the full [`Pca`] path on.
+    pub fn from_eigen(
+        mean: Vec<f64>,
+        components: &Matrix,
+        eigenvalues: Vec<f64>,
+        r: usize,
+    ) -> Result<Self> {
+        let m = mean.len();
+        if components.shape() != (m, m) || eigenvalues.len() != m {
+            return Err(CoreError::DimensionMismatch {
+                expected: m,
+                got: components.rows(),
+            });
+        }
+        if r >= m {
+            return Err(CoreError::DegenerateResidual { r });
+        }
+        let resid_var: f64 = eigenvalues[r..].iter().sum();
+        let scale = eigenvalues.first().copied().unwrap_or(0.0).max(1.0);
+        if resid_var <= scale * 1e-15 {
+            return Err(CoreError::DegenerateResidual { r });
+        }
+        let indices: Vec<usize> = (0..r).collect();
+        Ok(SubspaceModel {
+            mean,
+            p: components.select_columns(&indices),
+            eigenvalues,
+            r,
+        })
+    }
+
+    /// Build a model from an existing PCA with an explicit normal
+    /// dimension `r`.
+    pub fn from_pca(pca: &Pca, r: usize) -> Result<Self> {
+        let m = pca.dim();
+        if r >= m {
+            return Err(CoreError::DegenerateResidual { r });
+        }
+        // Verify the residual carries variance; otherwise SPE ≡ 0.
+        let resid_var: f64 = pca.eigenvalues()[r..].iter().sum();
+        let scale = pca.eigenvalues().first().copied().unwrap_or(0.0).max(1.0);
+        if resid_var <= scale * 1e-15 {
+            return Err(CoreError::DegenerateResidual { r });
+        }
+        let indices: Vec<usize> = (0..r).collect();
+        let p = pca.components().select_columns(&indices);
+        Ok(SubspaceModel {
+            mean: pca.mean().to_vec(),
+            p,
+            eigenvalues: pca.eigenvalues().to_vec(),
+            r,
+        })
+    }
+
+    /// Number of links `m`.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Dimension `r` of the normal subspace.
+    pub fn normal_dim(&self) -> usize {
+        self.r
+    }
+
+    /// The per-link training means subtracted before projection.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The `m × r` normal basis `P`.
+    pub fn normal_basis(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// The full eigenvalue spectrum (covariance scale).
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    fn check_dim(&self, y: &[f64]) -> Result<()> {
+        if y.len() != self.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim(),
+                got: y.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Split a measurement into modeled and residual parts:
+    /// `y − μ = ŷ + ỹ` with `ŷ ∈ S`, `ỹ ∈ S̃`.
+    ///
+    /// Rejects non-finite measurements (a NaN would otherwise poison the
+    /// SPE and silently disable detection — `NaN > δ²` is `false`).
+    pub fn decompose(&self, y: &[f64]) -> Result<(Vec<f64>, Vec<f64>)> {
+        self.check_dim(y)?;
+        if let Some(link) = y.iter().position(|v| !v.is_finite()) {
+            return Err(CoreError::NonFiniteMeasurement { link });
+        }
+        let z = vector::sub(y, &self.mean);
+        let coeffs = self.p.matvec_t(&z).expect("dim checked");
+        let modeled = self.p.matvec(&coeffs).expect("dim checked");
+        let residual = vector::sub(&z, &modeled);
+        Ok((modeled, residual))
+    }
+
+    /// The residual (anomalous-subspace) part `ỹ = C̃(y − μ)`.
+    pub fn residual(&self, y: &[f64]) -> Result<Vec<f64>> {
+        Ok(self.decompose(y)?.1)
+    }
+
+    /// Project an arbitrary *direction* (not a measurement — no mean
+    /// subtraction) onto the anomalous subspace: `C̃ v`.
+    ///
+    /// Used to compute `θ̃ᵢ = C̃θᵢ` for identification and detectability.
+    pub fn residual_direction(&self, v: &[f64]) -> Result<Vec<f64>> {
+        self.check_dim(v)?;
+        let coeffs = self.p.matvec_t(v).expect("dim checked");
+        let modeled = self.p.matvec(&coeffs).expect("dim checked");
+        Ok(vector::sub(v, &modeled))
+    }
+
+    /// The squared prediction error `SPE = ‖ỹ‖²` of a measurement.
+    pub fn spe(&self, y: &[f64]) -> Result<f64> {
+        Ok(vector::norm_sq(&self.residual(y)?))
+    }
+
+    /// The Q-statistic threshold `δ²_α` at the given confidence level.
+    pub fn q_threshold(&self, confidence: f64) -> Result<QStatistic> {
+        q_threshold(&self.eigenvalues, self.r, confidence)
+    }
+}
+
+/// Result of the detection step at one timestep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Timestep index within the diagnosed series.
+    pub time: usize,
+    /// The squared prediction error `‖ỹ‖²`.
+    pub spe: f64,
+    /// The threshold `δ²_α` it was compared against.
+    pub threshold: f64,
+    /// `spe > threshold`.
+    pub anomalous: bool,
+}
+
+/// The detection step: SPE vs. the Q-statistic threshold.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    model: SubspaceModel,
+    q: QStatistic,
+}
+
+impl Detector {
+    /// Build a detector from a fitted model at a confidence level
+    /// (the paper evaluates 0.995 and 0.999).
+    pub fn new(model: SubspaceModel, confidence: f64) -> Result<Self> {
+        let q = model.q_threshold(confidence)?;
+        Ok(Detector { model, q })
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &SubspaceModel {
+        &self.model
+    }
+
+    /// The active threshold.
+    pub fn threshold(&self) -> &QStatistic {
+        &self.q
+    }
+
+    /// Test a single measurement vector (timestep recorded as 0).
+    pub fn detect_vector(&self, y: &[f64]) -> Result<Detection> {
+        let spe = self.model.spe(y)?;
+        Ok(Detection {
+            time: 0,
+            spe,
+            threshold: self.q.delta_sq,
+            anomalous: spe > self.q.delta_sq,
+        })
+    }
+
+    /// Test every row of a `t × m` measurement matrix.
+    pub fn detect_series(&self, links: &Matrix) -> Result<Vec<Detection>> {
+        if links.cols() != self.model.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.model.dim(),
+                got: links.cols(),
+            });
+        }
+        let mut out = Vec::with_capacity(links.rows());
+        for t in 0..links.rows() {
+            let mut d = self.detect_vector(links.row(t))?;
+            d.time = t;
+            out.push(d);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 300 bins, 6 links: strong sinusoid on links 0–3, noise everywhere.
+    fn training_data() -> Matrix {
+        Matrix::from_fn(300, 6, |i, j| {
+            let phase = i as f64 * std::f64::consts::TAU / 144.0;
+            let smooth = if j < 4 { 1e4 * ((j + 1) as f64) * phase.sin() } else { 0.0 };
+            let noise = (((i * 6 + j).wrapping_mul(2654435761)) % 2048) as f64 - 1024.0;
+            1e5 + smooth + noise
+        })
+    }
+
+    fn model() -> SubspaceModel {
+        SubspaceModel::fit(
+            &training_data(),
+            SeparationPolicy::FixedCount(2),
+            PcaMethod::Svd,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn decompose_reconstructs_centered_vector() {
+        let m = model();
+        let y: Vec<f64> = (0..6).map(|j| 1e5 + 100.0 * j as f64).collect();
+        let (modeled, residual) = m.decompose(&y).unwrap();
+        let z = vector::sub(&y, m.mean());
+        let back = vector::add(&modeled, &residual);
+        assert!(vector::approx_eq(&back, &z, 1e-9));
+    }
+
+    #[test]
+    fn modeled_and_residual_are_orthogonal() {
+        let m = model();
+        let y: Vec<f64> = (0..6).map(|j| 9e4 + 500.0 * (j as f64).powi(2)).collect();
+        let (modeled, residual) = m.decompose(&y).unwrap();
+        assert!(vector::dot(&modeled, &residual).abs() < 1e-6 * vector::norm(&modeled).max(1.0));
+    }
+
+    #[test]
+    fn residual_projector_is_idempotent() {
+        let m = model();
+        let v: Vec<f64> = (0..6).map(|j| (j as f64 + 1.0).sin()).collect();
+        let once = m.residual_direction(&v).unwrap();
+        let twice = m.residual_direction(&once).unwrap();
+        assert!(vector::approx_eq(&once, &twice, 1e-10));
+    }
+
+    #[test]
+    fn residual_kills_normal_basis_vectors() {
+        let m = model();
+        for k in 0..m.normal_dim() {
+            let v = m.normal_basis().col(k);
+            let r = m.residual_direction(&v).unwrap();
+            assert!(vector::norm(&r) < 1e-9, "basis vector {k} leaks");
+        }
+    }
+
+    #[test]
+    fn spe_is_residual_norm_sq() {
+        let m = model();
+        let y: Vec<f64> = (0..6).map(|j| 1.1e5 - 30.0 * j as f64).collect();
+        let r = m.residual(&y).unwrap();
+        assert!((m.spe(&y).unwrap() - vector::norm_sq(&r)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_rows_rarely_exceed_999_threshold() {
+        let y = training_data();
+        let det = Detector::new(model(), 0.999).unwrap();
+        let detections = det.detect_series(&y).unwrap();
+        let alarms = detections.iter().filter(|d| d.anomalous).count();
+        // Nominal rate 0.1% of 300 ≈ 0.3; the noise here is uniform
+        // (lighter-tailed than Gaussian), so a handful at most.
+        assert!(alarms <= 3, "{alarms} alarms on clean training data");
+    }
+
+    #[test]
+    fn obvious_spike_is_detected() {
+        let det = Detector::new(model(), 0.999).unwrap();
+        // Take a typical row and slam links 4 and 5 (residual-aligned).
+        let y = training_data();
+        let mut v = y.row(10).to_vec();
+        v[4] += 1e5;
+        v[5] += 1e5;
+        let d = det.detect_vector(&v).unwrap();
+        assert!(d.anomalous, "spe {} vs threshold {}", d.spe, d.threshold);
+    }
+
+    #[test]
+    fn perturbation_inside_normal_subspace_is_invisible() {
+        let m = model();
+        let y = training_data();
+        let base = y.row(20).to_vec();
+        let spe0 = m.spe(&base).unwrap();
+        // Move along the first normal axis — SPE must not change.
+        let v1 = m.normal_basis().col(0);
+        let moved = vector::add(&base, &vector::scaled(&v1, 1e6));
+        let spe1 = m.spe(&moved).unwrap();
+        assert!(
+            (spe0 - spe1).abs() < 1e-6 * spe0.max(1.0),
+            "SPE moved from {spe0} to {spe1}"
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let m = model();
+        assert!(matches!(
+            m.spe(&[1.0, 2.0]),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+        let det = Detector::new(m, 0.999).unwrap();
+        assert!(det.detect_series(&Matrix::zeros(5, 3)).is_err());
+    }
+
+    #[test]
+    fn degenerate_separation_rejected() {
+        let y = training_data();
+        // r = m leaves no residual.
+        assert!(matches!(
+            SubspaceModel::fit(&y, SeparationPolicy::FixedCount(6), PcaMethod::Svd),
+            Err(CoreError::DegenerateResidual { .. })
+        ));
+        // Constant data has no variance anywhere.
+        let flat = Matrix::from_fn(50, 4, |_, _| 7.0);
+        assert!(matches!(
+            SubspaceModel::fit(&flat, SeparationPolicy::FixedCount(1), PcaMethod::Svd),
+            Err(CoreError::DegenerateResidual { .. })
+        ));
+    }
+
+    #[test]
+    fn detect_series_indexes_time() {
+        let det = Detector::new(model(), 0.995).unwrap();
+        let y = training_data();
+        let ds = det.detect_series(&y).unwrap();
+        assert_eq!(ds.len(), 300);
+        for (t, d) in ds.iter().enumerate() {
+            assert_eq!(d.time, t);
+        }
+    }
+
+    #[test]
+    fn threshold_ordering_matches_confidence() {
+        let m = model();
+        let lo = m.q_threshold(0.995).unwrap().delta_sq;
+        let hi = m.q_threshold(0.999).unwrap().delta_sq;
+        assert!(hi > lo);
+    }
+}

@@ -1,0 +1,194 @@
+//! Robustness: degenerate and adversarial inputs through the pipeline.
+
+use netanom_core::{
+    CoreError, Diagnoser, DiagnoserConfig, PcaMethod, SeparationPolicy, SubspaceModel,
+};
+use netanom_linalg::{vector, Matrix};
+use netanom_topology::builtin;
+
+fn measurements(t: usize, m: usize) -> Matrix {
+    Matrix::from_fn(t, m, |i, j| {
+        let phase = i as f64 * std::f64::consts::TAU / 144.0;
+        let smooth = 1e5 * (phase + j as f64).sin();
+        let h = (i * m + j).wrapping_mul(2654435761) % 8192;
+        1e6 + smooth + (h as f64 - 4096.0)
+    })
+}
+
+#[test]
+fn nan_measurement_is_rejected_not_swallowed() {
+    let net = builtin::line(3);
+    let links = measurements(200, net.routing_matrix.num_links());
+    let diagnoser = Diagnoser::fit(
+        &links,
+        &net.routing_matrix,
+        DiagnoserConfig {
+            separation: SeparationPolicy::FixedCount(2),
+            ..DiagnoserConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut y = links.row(5).to_vec();
+    y[3] = f64::NAN;
+    match diagnoser.diagnose_vector(&y) {
+        Err(CoreError::NonFiniteMeasurement { link: 3 }) => {}
+        other => panic!("expected NonFiniteMeasurement, got {other:?}"),
+    }
+    let mut y2 = links.row(5).to_vec();
+    y2[0] = f64::INFINITY;
+    assert!(matches!(
+        diagnoser.diagnose_vector(&y2),
+        Err(CoreError::NonFiniteMeasurement { link: 0 })
+    ));
+}
+
+#[test]
+fn constant_link_column_is_harmless() {
+    // A dead link (constant zero) must not break fitting or detection on
+    // the other links.
+    let net = builtin::line(3);
+    let m = net.routing_matrix.num_links();
+    let links = Matrix::from_fn(300, m, |i, j| {
+        if j == 2 {
+            0.0
+        } else {
+            measurements(300, m)[(i, j)]
+        }
+    });
+    let diagnoser = Diagnoser::fit(
+        &links,
+        &net.routing_matrix,
+        DiagnoserConfig {
+            separation: SeparationPolicy::FixedCount(2),
+            ..DiagnoserConfig::default()
+        },
+    )
+    .expect("dead link must not prevent fitting");
+    let mut y = links.row(50).to_vec();
+    vector::axpy(1e7, &net.routing_matrix.column(5), &mut y);
+    let rep = diagnoser.diagnose_vector(&y).unwrap();
+    assert!(rep.detected);
+}
+
+#[test]
+fn link_permutation_equivariance() {
+    // Renumbering links consistently in Y and A must not change any
+    // diagnosis outcome — the method has no preferred link order.
+    let net = builtin::line(4);
+    let rm = &net.routing_matrix;
+    let m = rm.num_links();
+    let links = measurements(400, m);
+
+    // Permutation: reverse the links.
+    let perm: Vec<usize> = (0..m).rev().collect();
+    let links_p = links.select_columns(&perm);
+    let paths_p: Vec<Vec<usize>> = (0..rm.num_flows())
+        .map(|f| {
+            rm.flow(f)
+                .path
+                .iter()
+                .map(|l| perm.iter().position(|&p| p == l.0).unwrap())
+                .collect()
+        })
+        .collect();
+    let rm_p = netanom_topology::RoutingMatrix::from_paths(m, &paths_p);
+
+    let cfg = DiagnoserConfig {
+        separation: SeparationPolicy::FixedCount(3),
+        ..DiagnoserConfig::default()
+    };
+    let d1 = Diagnoser::fit(&links, rm, cfg).unwrap();
+    let d2 = Diagnoser::fit(&links_p, &rm_p, cfg).unwrap();
+
+    for (flow, t, size) in [(5usize, 100usize, 8e6), (11, 222, 5e6)] {
+        let mut y1 = links.row(t).to_vec();
+        vector::axpy(size, &rm.column(flow), &mut y1);
+        let mut y2 = links_p.row(t).to_vec();
+        vector::axpy(size, &rm_p.column(flow), &mut y2);
+        let r1 = d1.diagnose_vector(&y1).unwrap();
+        let r2 = d2.diagnose_vector(&y2).unwrap();
+        assert_eq!(r1.detected, r2.detected);
+        assert!((r1.spe - r2.spe).abs() < 1e-6 * r1.spe.max(1.0));
+        if r1.detected {
+            assert_eq!(
+                r1.identification.unwrap().flow,
+                r2.identification.unwrap().flow
+            );
+        }
+    }
+}
+
+#[test]
+fn fitting_on_nan_training_data_fails_loudly() {
+    let net = builtin::line(3);
+    let m = net.routing_matrix.num_links();
+    let mut links = measurements(100, m);
+    links[(50, 1)] = f64::NAN;
+    // Either PCA fails to converge or downstream checks reject — what
+    // must NOT happen is a silently-NaN model.
+    match Diagnoser::fit(&links, &net.routing_matrix, DiagnoserConfig::default()) {
+        Err(_) => {}
+        Ok(d) => {
+            // If a model was produced, it must still reject measurements
+            // and not emit NaN SPEs on clean input.
+            let spe = d.model().spe(measurements(100, m).row(0)).unwrap();
+            assert!(
+                spe.is_finite(),
+                "model fitted on NaN data emits NaN SPE — silent corruption"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_size_training_is_rejected() {
+    let net = builtin::line(3);
+    assert!(Diagnoser::fit(
+        &Matrix::zeros(0, net.routing_matrix.num_links()),
+        &net.routing_matrix,
+        DiagnoserConfig::default()
+    )
+    .is_err());
+}
+
+#[test]
+fn extreme_magnitudes_do_not_overflow() {
+    // Traffic in exabytes per bin: the pipeline must stay finite.
+    let net = builtin::line(3);
+    let m = net.routing_matrix.num_links();
+    let links = Matrix::from_fn(200, m, |i, j| {
+        1e18 + 1e17 * ((i + j) as f64 * 0.37).sin()
+            + ((i * m + j).wrapping_mul(2654435761) % 1024) as f64 * 1e13
+    });
+    let diagnoser = Diagnoser::fit(
+        &links,
+        &net.routing_matrix,
+        DiagnoserConfig {
+            separation: SeparationPolicy::FixedCount(1),
+            ..DiagnoserConfig::default()
+        },
+    )
+    .unwrap();
+    let rep = diagnoser.diagnose_vector(links.row(7)).unwrap();
+    assert!(rep.spe.is_finite());
+    assert!(rep.threshold.is_finite());
+}
+
+#[test]
+fn model_rejects_vectors_from_other_network() {
+    let net_a = builtin::line(4);
+    let links = measurements(300, net_a.routing_matrix.num_links());
+    let model = SubspaceModel::fit(
+        &links,
+        SeparationPolicy::FixedCount(2),
+        PcaMethod::Svd,
+    )
+    .unwrap();
+    let net_b = builtin::ring(6);
+    let wrong = vec![1.0; net_b.routing_matrix.num_links()];
+    assert!(matches!(
+        model.spe(&wrong),
+        Err(CoreError::DimensionMismatch { .. })
+    ));
+}

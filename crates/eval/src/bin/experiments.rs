@@ -1,0 +1,83 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments all                 # every table and figure
+//! experiments fig3 table2 ...     # a selection
+//! experiments --list              # available ids
+//! experiments --out DIR fig5      # custom output directory
+//! ```
+//!
+//! ASCII renderings go to stdout; the underlying data is written as CSV
+//! under the output directory (default `target/paper/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use netanom_eval::experiments::{self, EXPERIMENT_IDS};
+use netanom_eval::lab::Lab;
+
+fn usage() {
+    eprintln!("usage: experiments [--out DIR] [--list] (all | ID...)");
+    eprintln!("ids: {}", EXPERIMENT_IDS.join(" "));
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut out_dir = PathBuf::from("target/paper");
+    let mut ids: Vec<String> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for id in EXPERIMENT_IDS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        if !EXPERIMENT_IDS.contains(&id.as_str()) {
+            eprintln!("unknown experiment id: {id}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!("loading datasets and fitting models…");
+    let lab = Lab::load();
+
+    for id in &ids {
+        let start = std::time::Instant::now();
+        let output = experiments::run_by_id(id, &lab, &out_dir).expect("id validated above");
+        println!("================================================================");
+        println!("{} ({})", output.title, output.id);
+        println!("================================================================");
+        println!("{}", output.rendered);
+        for f in &output.files {
+            println!("  wrote {}", f.display());
+        }
+        eprintln!("[{id} took {:.1?}]", start.elapsed());
+    }
+    ExitCode::SUCCESS
+}

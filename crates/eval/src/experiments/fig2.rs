@@ -1,0 +1,91 @@
+//! Figure 2: the topologies studied.
+
+use std::path::Path;
+
+use super::ExperimentOutput;
+use crate::lab::Lab;
+use crate::report;
+
+pub fn run(lab: &Lab, out_dir: &Path) -> ExperimentOutput {
+    let mut rendered = String::from("Figure 2: topologies studied.\n\n");
+    let mut files = Vec::new();
+
+    for ds in [&lab.abilene, &lab.sprint1] {
+        let topo = &ds.network.topology;
+        rendered.push_str(&format!(
+            "{}: {} PoPs, {} bidirectional edges, {} links total \
+             ({} directed inter-PoP + {} intra-PoP)\n",
+            topo.name(),
+            topo.num_pops(),
+            topo.num_inter_pop_links() / 2,
+            topo.num_links(),
+            topo.num_inter_pop_links(),
+            topo.num_pops(),
+        ));
+        rendered.push_str("  PoPs: ");
+        rendered.push_str(
+            &topo
+                .pops()
+                .iter()
+                .map(|p| p.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        rendered.push('\n');
+
+        let mut edge_rows = Vec::new();
+        rendered.push_str("  edges: ");
+        let mut labels = Vec::new();
+        for (i, link) in topo.links().iter().enumerate() {
+            if link.is_intra_pop() || link.src.0 > link.dst.0 {
+                continue; // one direction per edge
+            }
+            let label = topo.link_label(netanom_topology::LinkId(i));
+            labels.push(label.clone());
+            edge_rows.push(vec![
+                topo.pop(link.src).name.clone(),
+                topo.pop(link.dst).name.clone(),
+                format!("{}", link.weight),
+            ]);
+        }
+        rendered.push_str(&labels.join(", "));
+        rendered.push_str("\n\n");
+
+        let csv = report::write_csv(
+            &out_dir
+                .join("fig2")
+                .join(format!("{}_edges.csv", topo.name())),
+            &["src", "dst", "igp_weight"],
+            &edge_rows,
+        )
+        .expect("csv writable");
+        files.push(csv);
+    }
+
+    // Path-length distribution — the structural property that matters to
+    // the method (it sets ‖Aᵢ‖).
+    for ds in [&lab.abilene, &lab.sprint1] {
+        let rm = &ds.network.routing_matrix;
+        let mut hist = [0usize; 8];
+        for f in 0..rm.num_flows() {
+            let l = rm.path_len(f).min(7);
+            hist[l] += 1;
+        }
+        rendered.push_str(&format!(
+            "{} OD path lengths: {}\n",
+            ds.network.topology.name(),
+            (1..8)
+                .filter(|&l| hist[l] > 0)
+                .map(|l| format!("{l} links x{}", hist[l]))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+
+    ExperimentOutput {
+        id: "fig2",
+        title: "Figure 2: topology of networks studied",
+        rendered,
+        files,
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 5: state-vector magnitude vs residual (SPE) timeseries with
+//! Q-statistic thresholds.
+
+use std::path::Path;
+use std::path::PathBuf;
+
+use netanom_linalg::vector;
+
+use super::ExperimentOutput;
+use crate::lab::Lab;
+use crate::report;
+
+pub fn run(lab: &Lab, out_dir: &Path) -> ExperimentOutput {
+    let mut rendered = String::from(
+        "Figure 5: ‖y‖² (state, mean-centered) vs ‖ỹ‖² (residual/SPE) with\n\
+         Q-statistic thresholds at 99.5% and 99.9% confidence.\n\n",
+    );
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    for (ds, diagnoser) in [(&lab.sprint1, &lab.diag_sprint1), (&lab.sprint2, &lab.diag_sprint2)]
+    {
+        let model = diagnoser.model();
+        let links = ds.links.matrix();
+        let q995 = model.q_threshold(0.995).expect("residual non-degenerate");
+        let q999 = model.q_threshold(0.999).expect("residual non-degenerate");
+
+        let mut state = Vec::with_capacity(links.rows());
+        let mut spe = Vec::with_capacity(links.rows());
+        for t in 0..links.rows() {
+            let centered = vector::sub(links.row(t), model.mean());
+            state.push(vector::norm_sq(&centered));
+            spe.push(model.spe(links.row(t)).expect("dims match"));
+        }
+        let above_995 = spe.iter().filter(|&&s| s > q995.delta_sq).count();
+        let above_999 = spe.iter().filter(|&&s| s > q999.delta_sq).count();
+        let truth_marks: Vec<usize> = ds
+            .truth
+            .iter()
+            .filter(|e| e.size() >= ds.cutoff_bytes)
+            .map(|e| e.time)
+            .collect();
+
+        rendered.push_str(&format!(
+            "{}:\n  state    {}\n  residual {}\n  δ²(99.5%) = {}  exceeded {above_995}×; \
+             δ²(99.9%) = {}  exceeded {above_999}× \
+             ({} important true anomalies in the week)\n\n",
+            ds.name,
+            report::sparkline(&report::downsample_max(&state, 96)),
+            report::sparkline(&report::downsample_max(&spe, 96)),
+            report::fmt_num(q995.delta_sq),
+            report::fmt_num(q999.delta_sq),
+            truth_marks.len(),
+        ));
+
+        let rows: Vec<Vec<String>> = (0..links.rows())
+            .map(|t| {
+                vec![
+                    t.to_string(),
+                    format!("{}", state[t]),
+                    format!("{}", spe[t]),
+                    format!("{}", q995.delta_sq),
+                    format!("{}", q999.delta_sq),
+                    (truth_marks.contains(&t) as u8).to_string(),
+                ]
+            })
+            .collect();
+        let csv = report::write_csv(
+            &out_dir.join("fig5").join(format!("{}_series.csv", ds.name)),
+            &[
+                "bin",
+                "state_norm_sq",
+                "spe",
+                "delta_sq_995",
+                "delta_sq_999",
+                "important_truth",
+            ],
+            &rows,
+        )
+        .expect("csv writable");
+        files.push(csv);
+    }
+
+    rendered.push_str(
+        "Reading: anomalies are invisible in the state magnitude but stand\n\
+         sharply above the thresholds in the residual — the paper's core plot.\n",
+    );
+
+    ExperimentOutput {
+        id: "fig5",
+        title: "Figure 5: state vs residual timeseries with Q thresholds",
+        rendered,
+        files,
+    }
+}

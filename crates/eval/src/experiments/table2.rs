@@ -1,0 +1,82 @@
+//! Table 2: diagnosis of actual volume anomalies, validated against both
+//! temporal extraction methods, at the 99.9% confidence level.
+
+use std::path::Path;
+
+use netanom_baselines::{extract_true_anomalies, TruthMethod};
+
+use super::ExperimentOutput;
+use crate::lab::Lab;
+use crate::metrics::{self, TruthEvent};
+use crate::report;
+
+pub fn run(lab: &Lab, out_dir: &Path) -> ExperimentOutput {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for method in [TruthMethod::Fourier, TruthMethod::Ewma] {
+        for (ds, diagnoser) in lab.all() {
+            let truth: Vec<TruthEvent> = extract_true_anomalies(&ds.od, method, 40)
+                .into_iter()
+                .map(Into::into)
+                .collect();
+            let reports = diagnoser
+                .diagnose_series(ds.links.matrix())
+                .expect("dims match");
+            let v = metrics::validate_strict(&reports, &truth, ds.cutoff_bytes);
+            rows.push(vec![
+                format!("{method:?}"),
+                ds.name.to_string(),
+                report::fmt_num(ds.cutoff_bytes),
+                format!("{}/{}", v.detected, v.truth_total),
+                format!("{}/{}", v.false_alarms, v.normal_bins),
+                format!("{}/{}", v.identified, v.detected),
+                v.mean_quant_error()
+                    .map(report::fmt_pct)
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+    }
+
+    let table = report::ascii_table(
+        &[
+            "validation",
+            "dataset",
+            "anomaly size",
+            "detection",
+            "false alarm",
+            "identification",
+            "quantification",
+        ],
+        &rows,
+    );
+
+    let csv = report::write_csv(
+        &out_dir.join("table2").join("actual_anomalies.csv"),
+        &[
+            "validation",
+            "dataset",
+            "cutoff_bytes",
+            "detection",
+            "false_alarm",
+            "identification",
+            "quantification_mare",
+        ],
+        &rows,
+    )
+    .expect("csv writable");
+
+    let rendered = format!(
+        "Table 2: results from actual volume anomalies diagnosed, 99.9% confidence.\n\
+         (paper: e.g. Fourier/Sprint-1 9/9 det, 1/999 FA, 9/9 id, 15.6% quant)\n\n{table}\n\
+         Quantification is measured against the temporal method's size estimate,\n\
+         which is itself noisy — the paper notes \"actual performance may in fact\n\
+         be better than what is shown here\".\n"
+    );
+
+    ExperimentOutput {
+        id: "table2",
+        title: "Table 2: diagnosis of actual volume anomalies",
+        rendered,
+        files: vec![csv],
+    }
+}

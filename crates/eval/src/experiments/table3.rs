@@ -1,0 +1,82 @@
+//! Table 3: summary results for synthetic volume anomalies.
+
+use std::path::Path;
+
+use super::{injection_day, sweep_threads, ExperimentOutput};
+use crate::injection;
+use crate::lab::Lab;
+use crate::report;
+
+pub fn run(lab: &Lab, out_dir: &Path) -> ExperimentOutput {
+    let times = injection_day();
+    let threads = sweep_threads();
+
+    let cases = [
+        ("Sprint", &lab.sprint1, &lab.diag_sprint1, true),
+        ("Abilene", &lab.abilene, &lab.diag_abilene, true),
+        ("Sprint", &lab.sprint1, &lab.diag_sprint1, false),
+        ("Abilene", &lab.abilene, &lab.diag_abilene, false),
+    ];
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (name, ds, diagnoser, is_large) in cases {
+        let size = if is_large {
+            ds.large_injection
+        } else {
+            ds.small_injection
+        };
+        let result = injection::sweep(ds, diagnoser, size, &times, threads);
+        rows.push(vec![
+            name.to_string(),
+            format!(
+                "{} ({})",
+                if is_large { "Large" } else { "Small" },
+                report::fmt_num(size)
+            ),
+            report::fmt_pct(result.detection_rate()),
+            report::fmt_pct(result.identification_rate()),
+            result
+                .mean_quant_error()
+                .map(report::fmt_pct)
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+
+    let table = report::ascii_table(
+        &[
+            "network",
+            "injection size",
+            "detection",
+            "identification",
+            "quantification",
+        ],
+        &rows,
+    );
+    let csv = report::write_csv(
+        &out_dir.join("table3").join("synthetic_injections.csv"),
+        &[
+            "network",
+            "injection_size",
+            "detection_rate",
+            "identification_rate",
+            "quantification_mare",
+        ],
+        &rows,
+    )
+    .expect("csv writable");
+
+    let rendered = format!(
+        "Table 3: diagnosing synthetic volume anomalies (every OD flow × every\n\
+         bin of one day). (paper: Sprint large 93%/85%/18%, Abilene large\n\
+         90%/69%/21%, Sprint small 15%, Abilene small 5%)\n\n{table}\n\
+         Small injections are deliberately sized below the rank-size knee: the\n\
+         low rates in rows 3-4 are the desired *non*-detection of non-anomalies.\n"
+    );
+
+    ExperimentOutput {
+        id: "table3",
+        title: "Table 3: synthetic injection summary",
+        rendered,
+        files: vec![csv],
+    }
+}

@@ -1,0 +1,299 @@
+//! Synthetic injection sweeps (paper Section 6.3).
+//!
+//! "In multiple experiments, we insert a spike of each size in every OD
+//! flow and at every point in time over the period of a day. For each
+//! permutation of spike size, timestep and OD flow selected, we generate
+//! the corresponding set of link traffic counts. We then apply our
+//! procedure and note whether it successfully diagnoses the injected
+//! anomaly."
+//!
+//! Because a single-bin spike changes one row of the 1008-row training
+//! matrix, its effect on the fitted subspace is negligible; the sweep
+//! fits the model once on the base data and evaluates every injection
+//! against it (see DESIGN.md). The `injection_model_stability` test in
+//! `tests/` quantifies this.
+
+use crossbeam::thread;
+
+use netanom_core::Diagnoser;
+use netanom_linalg::vector;
+use netanom_traffic::datasets::Dataset;
+
+/// Outcome of one injected spike.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectionOutcome {
+    /// Flow that received the spike.
+    pub flow: usize,
+    /// Bin at which it was injected.
+    pub time: usize,
+    /// Whether the detection step fired.
+    pub detected: bool,
+    /// Whether identification picked the injected flow (only meaningful
+    /// when `detected`).
+    pub identified: bool,
+    /// Relative quantification error `|est − size|/size` when identified.
+    pub quant_rel_error: Option<f64>,
+}
+
+/// Aggregated results of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Injected spike size (bytes).
+    pub size: f64,
+    /// All per-injection outcomes, ordered by `(flow, time)`.
+    pub outcomes: Vec<InjectionOutcome>,
+    /// Number of flows swept.
+    pub num_flows: usize,
+    /// The timesteps swept.
+    pub times: Vec<usize>,
+}
+
+impl SweepResult {
+    /// Overall detection rate.
+    pub fn detection_rate(&self) -> f64 {
+        rate(self.outcomes.iter().map(|o| o.detected))
+    }
+
+    /// Overall identification rate (fraction of **all** injections both
+    /// detected and correctly identified — the paper's Table 3 reports
+    /// identification this way, which is why its identification column is
+    /// below its detection column).
+    pub fn identification_rate(&self) -> f64 {
+        rate(self.outcomes.iter().map(|o| o.detected && o.identified))
+    }
+
+    /// Mean relative quantification error over identified injections.
+    pub fn mean_quant_error(&self) -> Option<f64> {
+        let errs: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter_map(|o| o.quant_rel_error)
+            .collect();
+        if errs.is_empty() {
+            None
+        } else {
+            Some(errs.iter().sum::<f64>() / errs.len() as f64)
+        }
+    }
+
+    /// Per-flow detection rates (over times) — the distribution shown in
+    /// Figure 7.
+    pub fn per_flow_detection_rates(&self) -> Vec<(usize, f64)> {
+        let mut by_flow: std::collections::BTreeMap<usize, (usize, usize)> = Default::default();
+        for o in &self.outcomes {
+            let e = by_flow.entry(o.flow).or_insert((0, 0));
+            e.0 += o.detected as usize;
+            e.1 += 1;
+        }
+        by_flow
+            .into_iter()
+            .map(|(f, (d, n))| (f, d as f64 / n as f64))
+            .collect()
+    }
+
+    /// Per-timestep detection rates (over flows) — the timeseries of
+    /// Figure 8.
+    pub fn per_time_detection_rates(&self) -> Vec<(usize, f64)> {
+        let mut by_time: std::collections::BTreeMap<usize, (usize, usize)> = Default::default();
+        for o in &self.outcomes {
+            let e = by_time.entry(o.time).or_insert((0, 0));
+            e.0 += o.detected as usize;
+            e.1 += 1;
+        }
+        by_time
+            .into_iter()
+            .map(|(t, (d, n))| (t, d as f64 / n as f64))
+            .collect()
+    }
+}
+
+fn rate(iter: impl Iterator<Item = bool>) -> f64 {
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for b in iter {
+        hit += b as usize;
+        total += 1;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hit as f64 / total as f64
+    }
+}
+
+/// Sweep one spike size over every OD flow × every timestep in `times`.
+///
+/// The injection happens in the link domain (`y + size·Aᵢ`), which is the
+/// exact image of an OD-domain spike under `y = Ax`. Work is split across
+/// flows onto `threads` crossbeam-scoped workers.
+///
+/// # Panics
+/// Panics if `times` contains an out-of-range bin.
+pub fn sweep(ds: &Dataset, diagnoser: &Diagnoser, size: f64, times: &[usize], threads: usize) -> SweepResult {
+    let rm = &ds.network.routing_matrix;
+    let n_flows = rm.num_flows();
+    let links = ds.links.matrix();
+    for &t in times {
+        assert!(t < links.rows(), "time {t} out of range");
+    }
+
+    let threads = threads.clamp(1, n_flows);
+    let chunk = n_flows.div_ceil(threads);
+    let flow_ranges: Vec<(usize, usize)> = (0..threads)
+        .map(|k| (k * chunk, ((k + 1) * chunk).min(n_flows)))
+        .filter(|(a, b)| a < b)
+        .collect();
+
+    let mut outcomes: Vec<Vec<InjectionOutcome>> = Vec::new();
+    thread::scope(|s| {
+        let handles: Vec<_> = flow_ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                s.spawn(move |_| {
+                    let mut out = Vec::with_capacity((hi - lo) * times.len());
+                    for flow in lo..hi {
+                        let column = rm.column(flow);
+                        for &t in times {
+                            let mut y = links.row(t).to_vec();
+                            vector::axpy(size, &column, &mut y);
+                            let rep = diagnoser
+                                .diagnose_vector(&y)
+                                .expect("dimensions fixed by dataset");
+                            let identified = rep
+                                .identification
+                                .map(|id| id.flow == flow)
+                                .unwrap_or(false);
+                            let quant_rel_error = if rep.detected && identified {
+                                rep.estimated_bytes
+                                    .map(|est| ((est - size) / size).abs())
+                            } else {
+                                None
+                            };
+                            out.push(InjectionOutcome {
+                                flow,
+                                time: t,
+                                detected: rep.detected,
+                                identified,
+                                quant_rel_error,
+                            });
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            outcomes.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut flat: Vec<InjectionOutcome> = outcomes.into_iter().flatten().collect();
+    flat.sort_by_key(|o| (o.flow, o.time));
+    SweepResult {
+        size,
+        outcomes: flat,
+        num_flows: n_flows,
+        times: times.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netanom_core::DiagnoserConfig;
+    use netanom_traffic::datasets;
+
+    fn mini_setup() -> (Dataset, Diagnoser) {
+        let ds = datasets::mini(3);
+        let diagnoser = Diagnoser::fit(
+            ds.links.matrix(),
+            &ds.network.routing_matrix,
+            DiagnoserConfig::default(),
+        )
+        .unwrap();
+        (ds, diagnoser)
+    }
+
+    #[test]
+    fn large_injections_mostly_detected_small_mostly_not() {
+        let (ds, diagnoser) = mini_setup();
+        let times: Vec<usize> = (40..80).collect();
+        let large = sweep(&ds, &diagnoser, 1.5e8, &times, 4);
+        let small = sweep(&ds, &diagnoser, 2.0e6, &times, 4);
+        assert!(
+            large.detection_rate() > 0.8,
+            "large rate {}",
+            large.detection_rate()
+        );
+        assert!(
+            small.detection_rate() < 0.3,
+            "small rate {}",
+            small.detection_rate()
+        );
+        assert!(large.detection_rate() > small.detection_rate());
+    }
+
+    #[test]
+    fn identification_tracks_detection_for_large_spikes() {
+        let (ds, diagnoser) = mini_setup();
+        let times: Vec<usize> = (100..130).collect();
+        let res = sweep(&ds, &diagnoser, 1.0e8, &times, 2);
+        assert!(res.identification_rate() > 0.6 * res.detection_rate());
+        assert!(res.identification_rate() <= res.detection_rate() + 1e-12);
+    }
+
+    #[test]
+    fn quantification_error_is_moderate() {
+        let (ds, diagnoser) = mini_setup();
+        let times: Vec<usize> = (150..170).collect();
+        let res = sweep(&ds, &diagnoser, 1.0e8, &times, 2);
+        let err = res.mean_quant_error().expect("some identified");
+        assert!(err < 0.35, "quantification error {err}");
+    }
+
+    #[test]
+    fn outcome_grid_is_complete_and_ordered() {
+        let (ds, diagnoser) = mini_setup();
+        let times = vec![10usize, 20, 30];
+        let res = sweep(&ds, &diagnoser, 5.0e7, &times, 3);
+        assert_eq!(res.outcomes.len(), ds.od.num_flows() * 3);
+        // Ordered by (flow, time).
+        for w in res.outcomes.windows(2) {
+            assert!((w[0].flow, w[0].time) < (w[1].flow, w[1].time));
+        }
+    }
+
+    #[test]
+    fn per_flow_and_per_time_rates_cover_everything() {
+        let (ds, diagnoser) = mini_setup();
+        let times = vec![50usize, 60];
+        let res = sweep(&ds, &diagnoser, 8.0e7, &times, 2);
+        let pf = res.per_flow_detection_rates();
+        assert_eq!(pf.len(), ds.od.num_flows());
+        let pt = res.per_time_detection_rates();
+        assert_eq!(pt.len(), 2);
+        for (_, r) in pf.iter().chain(&pt) {
+            assert!((0.0..=1.0).contains(r));
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (ds, diagnoser) = mini_setup();
+        let times = vec![33usize, 77];
+        let a = sweep(&ds, &diagnoser, 6.0e7, &times, 1);
+        let b = sweep(&ds, &diagnoser, 6.0e7, &times, 7);
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!((x.flow, x.time, x.detected), (y.flow, y.time, y.detected));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_time_panics() {
+        let (ds, diagnoser) = mini_setup();
+        sweep(&ds, &diagnoser, 1e7, &[100_000], 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! Validation metrics, injection sweeps, and the drivers that regenerate
+//! every table and figure of the paper's evaluation (Section 6).
+//!
+//! * [`metrics`] — the paper's four success measures: detection rate,
+//!   false-alarm rate, identification rate, and mean absolute relative
+//!   quantification error.
+//! * [`injection`] — the Section 6.3 harness: inject a spike of a given
+//!   size into every OD flow at every timestep of a day, diagnose each
+//!   injection, and aggregate rates per flow and per time (parallelized
+//!   with crossbeam).
+//! * [`report`] — ASCII tables/charts and CSV output.
+//! * [`experiments`] — one module per table/figure (see DESIGN.md's
+//!   experiment index). Each produces an [`experiments::ExperimentOutput`]
+//!   with a printable rendering and CSV files.
+//! * [`lab`] — the shared experiment context (the three canned datasets,
+//!   loaded once).
+//!
+//! The `experiments` binary (`cargo run -p netanom-eval --release --bin
+//! experiments -- all`) runs everything and writes results under
+//! `target/paper/`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod injection;
+pub mod lab;
+pub mod metrics;
+pub mod report;

@@ -1,0 +1,306 @@
+//! The paper's validation metrics (Section 6.1).
+//!
+//! * **Detection rate** — fraction of true anomalies detected.
+//! * **False alarm rate** — fraction of normal measurements that trigger
+//!   an erroneous detection.
+//! * **Identification rate** — fraction of detected anomalies whose
+//!   responsible OD flow was chosen correctly.
+//! * **Quantification error** — mean absolute relative error between the
+//!   estimated and true anomaly sizes, over correctly identified events.
+
+use netanom_core::DiagnosisReport;
+use std::collections::HashMap;
+
+/// A labelled anomaly to validate against, from either exact ground truth
+/// or a temporal extraction method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruthEvent {
+    /// Time bin of the anomaly.
+    pub time: usize,
+    /// Responsible OD flow.
+    pub flow: usize,
+    /// Size in bytes (signed; negative for traffic drops).
+    pub size_bytes: f64,
+}
+
+impl From<netanom_traffic::AnomalyEvent> for TruthEvent {
+    fn from(e: netanom_traffic::AnomalyEvent) -> Self {
+        TruthEvent {
+            time: e.time,
+            flow: e.flow,
+            size_bytes: e.delta_bytes,
+        }
+    }
+}
+
+impl From<netanom_baselines::ExtractedAnomaly> for TruthEvent {
+    fn from(e: netanom_baselines::ExtractedAnomaly) -> Self {
+        TruthEvent {
+            time: e.time,
+            flow: e.flow,
+            size_bytes: e.size,
+        }
+    }
+}
+
+/// Aggregate outcome of validating a diagnosis run against labelled
+/// truth, in the paper's Table 2 shape.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationCounts {
+    /// Number of important (≥ cutoff) truth events.
+    pub truth_total: usize,
+    /// Important truth events whose bin was flagged.
+    pub detected: usize,
+    /// Detections at bins carrying no truth event of any size.
+    pub false_alarms: usize,
+    /// Bins carrying no truth event (the false-alarm denominator).
+    pub normal_bins: usize,
+    /// Detected important events whose flow was correctly identified.
+    pub identified: usize,
+    /// `|est − true| / |true|` for each correctly identified event.
+    pub quant_rel_errors: Vec<f64>,
+}
+
+impl ValidationCounts {
+    /// Detection rate `detected / truth_total` (1.0 when no truth).
+    pub fn detection_rate(&self) -> f64 {
+        if self.truth_total == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.truth_total as f64
+        }
+    }
+
+    /// False alarm rate `false_alarms / normal_bins` (0.0 when no normal
+    /// bins).
+    pub fn false_alarm_rate(&self) -> f64 {
+        if self.normal_bins == 0 {
+            0.0
+        } else {
+            self.false_alarms as f64 / self.normal_bins as f64
+        }
+    }
+
+    /// Identification rate `identified / detected` (1.0 when nothing was
+    /// detected — there was nothing to misidentify).
+    pub fn identification_rate(&self) -> f64 {
+        if self.detected == 0 {
+            1.0
+        } else {
+            self.identified as f64 / self.detected as f64
+        }
+    }
+
+    /// Mean absolute relative quantification error, `None` when no event
+    /// was identified.
+    pub fn mean_quant_error(&self) -> Option<f64> {
+        if self.quant_rel_errors.is_empty() {
+            None
+        } else {
+            Some(self.quant_rel_errors.iter().sum::<f64>() / self.quant_rel_errors.len() as f64)
+        }
+    }
+}
+
+/// Validate diagnosis reports against labelled truth.
+///
+/// * Events with `|size| ≥ cutoff_bytes` form the important set (the
+///   paper's "anomalies to the left of the knee").
+/// * A detection at a bin carrying an important event counts toward the
+///   detection rate; identification requires the matching flow; the
+///   quantification error compares the signed byte estimates.
+/// * A detection at a bin with **no** event of any size is a false alarm.
+///   Detections of unimportant (below-cutoff) events are neither hits nor
+///   false alarms, mirroring the paper's handling of the sub-knee mass.
+pub fn validate(
+    reports: &[DiagnosisReport],
+    truth: &[TruthEvent],
+    cutoff_bytes: f64,
+) -> ValidationCounts {
+    let by_time: HashMap<usize, &TruthEvent> = truth.iter().map(|e| (e.time, e)).collect();
+    let mut counts = ValidationCounts {
+        truth_total: truth
+            .iter()
+            .filter(|e| e.size_bytes.abs() >= cutoff_bytes)
+            .count(),
+        normal_bins: reports
+            .iter()
+            .filter(|r| !by_time.contains_key(&r.time))
+            .count(),
+        ..Default::default()
+    };
+
+    for rep in reports.iter().filter(|r| r.detected) {
+        match by_time.get(&rep.time) {
+            None => counts.false_alarms += 1,
+            Some(event) if event.size_bytes.abs() >= cutoff_bytes => {
+                counts.detected += 1;
+                if let Some(id) = rep.identification {
+                    if id.flow == event.flow {
+                        counts.identified += 1;
+                        if let Some(est) = rep.estimated_bytes {
+                            // Temporal extraction reports unsigned sizes;
+                            // compare magnitudes in that case.
+                            let (e, t) = if event.size_bytes >= 0.0 {
+                                (est.abs(), event.size_bytes)
+                            } else {
+                                (est, event.size_bytes)
+                            };
+                            counts.quant_rel_errors.push(((e - t) / t).abs());
+                        }
+                    }
+                }
+            }
+            Some(_) => {} // detected an unimportant real event
+        }
+    }
+    counts
+}
+
+/// Validate with the paper's Table 2 convention: only events at or above
+/// the cutoff are anomalies; every other bin — including bins carrying
+/// below-cutoff events — is normal, and a detection there is a false
+/// alarm. (This is how Sprint-1's "1/999" arises: 1008 bins minus 9
+/// important anomalies leaves 999 normal points.)
+pub fn validate_strict(
+    reports: &[DiagnosisReport],
+    truth: &[TruthEvent],
+    cutoff_bytes: f64,
+) -> ValidationCounts {
+    let important: Vec<TruthEvent> = truth
+        .iter()
+        .copied()
+        .filter(|e| e.size_bytes.abs() >= cutoff_bytes)
+        .collect();
+    validate(reports, &important, cutoff_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netanom_core::Identification;
+
+    fn report(time: usize, detected: bool, flow: usize, bytes: f64) -> DiagnosisReport {
+        DiagnosisReport {
+            time,
+            spe: if detected { 10.0 } else { 1.0 },
+            threshold: 5.0,
+            detected,
+            identification: detected.then_some(Identification {
+                flow,
+                f_hat: bytes,
+                residual_energy: 10.0,
+                remaining_energy: 1.0,
+            }),
+            estimated_bytes: detected.then_some(bytes),
+        }
+    }
+
+    fn truth(time: usize, flow: usize, size: f64) -> TruthEvent {
+        TruthEvent {
+            time,
+            flow,
+            size_bytes: size,
+        }
+    }
+
+    #[test]
+    fn perfect_run() {
+        let reports = vec![
+            report(0, false, 0, 0.0),
+            report(1, true, 3, 95.0),
+            report(2, false, 0, 0.0),
+        ];
+        let t = vec![truth(1, 3, 100.0)];
+        let v = validate(&reports, &t, 50.0);
+        assert_eq!(v.truth_total, 1);
+        assert_eq!(v.detected, 1);
+        assert_eq!(v.identified, 1);
+        assert_eq!(v.false_alarms, 0);
+        assert_eq!(v.normal_bins, 2);
+        assert_eq!(v.detection_rate(), 1.0);
+        assert_eq!(v.identification_rate(), 1.0);
+        assert!((v.mean_quant_error().unwrap() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missed_detection_and_false_alarm() {
+        let reports = vec![
+            report(0, true, 1, 42.0), // false alarm: no truth at bin 0
+            report(1, false, 0, 0.0), // miss: truth at bin 1
+        ];
+        let t = vec![truth(1, 3, 100.0)];
+        let v = validate(&reports, &t, 50.0);
+        assert_eq!(v.detected, 0);
+        assert_eq!(v.false_alarms, 1);
+        assert_eq!(v.detection_rate(), 0.0);
+        assert_eq!(v.false_alarm_rate(), 1.0);
+        assert_eq!(v.mean_quant_error(), None);
+    }
+
+    #[test]
+    fn wrong_flow_counts_detection_but_not_identification() {
+        let reports = vec![report(5, true, 9, 80.0)];
+        let t = vec![truth(5, 3, 100.0)];
+        let v = validate(&reports, &t, 50.0);
+        assert_eq!(v.detected, 1);
+        assert_eq!(v.identified, 0);
+        assert_eq!(v.identification_rate(), 0.0);
+    }
+
+    #[test]
+    fn below_cutoff_events_are_neutral() {
+        // Detecting a small real event: neither hit nor false alarm.
+        let reports = vec![report(7, true, 2, 30.0)];
+        let t = vec![truth(7, 2, 30.0)];
+        let v = validate(&reports, &t, 50.0);
+        assert_eq!(v.truth_total, 0);
+        assert_eq!(v.detected, 0);
+        assert_eq!(v.false_alarms, 0);
+        assert_eq!(v.normal_bins, 0);
+    }
+
+    #[test]
+    fn negative_anomalies_compare_signed() {
+        let reports = vec![report(2, true, 4, -90.0)];
+        let t = vec![truth(2, 4, -100.0)];
+        let v = validate(&reports, &t, 50.0);
+        assert_eq!(v.identified, 1);
+        assert!((v.mean_quant_error().unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_rates() {
+        let v = ValidationCounts::default();
+        assert_eq!(v.detection_rate(), 1.0);
+        assert_eq!(v.false_alarm_rate(), 0.0);
+        assert_eq!(v.identification_rate(), 1.0);
+    }
+
+    #[test]
+    fn strict_convention_counts_small_event_detection_as_false_alarm() {
+        let reports = vec![report(7, true, 2, 30.0)];
+        let t = vec![truth(7, 2, 30.0)];
+        let v = validate_strict(&reports, &t, 50.0);
+        assert_eq!(v.false_alarms, 1);
+        assert_eq!(v.normal_bins, 1);
+    }
+
+    #[test]
+    fn truth_event_conversions() {
+        let a: TruthEvent = netanom_traffic::AnomalyEvent {
+            flow: 1,
+            time: 2,
+            delta_bytes: -3.0,
+        }
+        .into();
+        assert_eq!(a, truth(2, 1, -3.0));
+        let b: TruthEvent = netanom_baselines::ExtractedAnomaly {
+            flow: 4,
+            time: 5,
+            size: 6.0,
+        }
+        .into();
+        assert_eq!(b, truth(5, 4, 6.0));
+    }
+}

@@ -1,0 +1,270 @@
+//! ASCII rendering and CSV output for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Render a simple ASCII table with a header row.
+///
+/// Column widths adapt to the longest cell; numeric alignment is left to
+/// the caller (pre-format values as strings).
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let rule = |out: &mut String| {
+        for w in &widths {
+            let _ = write!(out, "+{}", "-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    rule(&mut out);
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "| {:width$} ", h, width = widths[i]);
+    }
+    out.push_str("|\n");
+    rule(&mut out);
+    for row in rows {
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = row.get(i).unwrap_or(&empty);
+            let _ = write!(out, "| {cell:w$} ");
+        }
+        out.push_str("|\n");
+    }
+    rule(&mut out);
+    out
+}
+
+/// Unicode sparkline of a series (8 levels). Empty input renders empty.
+///
+/// NaN values render as spaces.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return String::new();
+    }
+    let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else {
+                let idx = (((v - lo) / span) * 7.0).round() as usize;
+                LEVELS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Downsample a series to at most `width` points by taking per-bucket
+/// maxima (spikes must survive the downsampling — that is the whole point
+/// of these plots).
+pub fn downsample_max(values: &[f64], width: usize) -> Vec<f64> {
+    if width == 0 || values.is_empty() || values.len() <= width {
+        return values.to_vec();
+    }
+    let bucket = values.len() as f64 / width as f64;
+    (0..width)
+        .map(|i| {
+            let lo = (i as f64 * bucket) as usize;
+            let hi = (((i + 1) as f64 * bucket) as usize).min(values.len());
+            values[lo..hi.max(lo + 1)]
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect()
+}
+
+/// Horizontal bar chart: one row per (label, value), bars scaled to
+/// `width` characters against the maximum value.
+pub fn bar_chart(items: &[(String, f64)], width: usize) -> String {
+    let max = items
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let label_w = items
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in items {
+        let n = ((v / max) * width as f64).round().max(0.0) as usize;
+        let _ = writeln!(
+            out,
+            "{:label_w$} | {:<width$} {v:.4}",
+            label,
+            "█".repeat(n.min(width)),
+        );
+    }
+    out
+}
+
+/// Write a CSV file (header + stringified rows), creating parent
+/// directories. Returns the path written.
+///
+/// Fields containing commas or quotes are quoted per RFC 4180.
+pub fn write_csv(
+    path: &Path,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<PathBuf> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut content = String::new();
+    let escape = |s: &str| -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    content.push_str(
+        &headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    content.push('\n');
+    for row in rows {
+        content.push_str(
+            &row.iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        content.push('\n');
+    }
+    fs::write(path, content)?;
+    Ok(path.to_path_buf())
+}
+
+/// Format a float in compact scientific-ish notation for tables.
+pub fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e5 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Format a rate as a percentage with one decimal.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let s = ascii_table(
+            &["name", "value"],
+            &[
+                vec!["alpha".into(), "1".into()],
+                vec!["b".into(), "10000".into()],
+            ],
+        );
+        assert!(s.contains("| name  | value |"));
+        assert!(s.contains("| alpha | 1     |"));
+        assert!(s.lines().count() >= 6);
+    }
+
+    #[test]
+    fn table_handles_short_rows() {
+        let s = ascii_table(&["a", "b"], &[vec!["x".into()]]);
+        assert!(s.contains("| x | "));
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s, "▁█");
+        assert_eq!(sparkline(&[]), "");
+        let flat = sparkline(&[5.0, 5.0, 5.0]);
+        assert_eq!(flat.chars().count(), 3);
+    }
+
+    #[test]
+    fn sparkline_handles_nan() {
+        let s = sparkline(&[0.0, f64::NAN, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(s.chars().nth(1), Some(' '));
+    }
+
+    #[test]
+    fn downsample_preserves_spikes() {
+        let mut v = vec![0.0; 1000];
+        v[637] = 99.0;
+        let d = downsample_max(&v, 50);
+        assert_eq!(d.len(), 50);
+        assert!(d.contains(&99.0), "spike lost in downsampling");
+    }
+
+    #[test]
+    fn downsample_short_input_is_identity() {
+        let v = vec![1.0, 2.0];
+        assert_eq!(downsample_max(&v, 10), v);
+        assert_eq!(downsample_max(&v, 0), v);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s = bar_chart(
+            &[("big".into(), 10.0), ("small".into(), 5.0)],
+            20,
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        let bars: Vec<usize> = lines
+            .iter()
+            .map(|l| l.chars().filter(|&c| c == '█').count())
+            .collect();
+        assert_eq!(bars[0], 20);
+        assert_eq!(bars[1], 10);
+    }
+
+    #[test]
+    fn csv_roundtrip_and_escaping() {
+        let dir = std::env::temp_dir().join("netanom-report-test");
+        let path = dir.join("out.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["1,5".into(), "say \"hi\"".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a,b\n"));
+        assert!(content.contains("\"1,5\""));
+        assert!(content.contains("\"say \"\"hi\"\"\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(2.0e7), "2.000e7");
+        assert_eq!(fmt_num(0.156), "0.156");
+        assert_eq!(fmt_num(156.0), "156");
+        assert_eq!(fmt_pct(0.931), "93.1%");
+    }
+}

@@ -1,0 +1,26 @@
+//! Matrix decompositions.
+//!
+//! Four decompositions cover everything the subspace method and its
+//! baselines need:
+//!
+//! * [`SymmetricEigen`] — cyclic Jacobi eigendecomposition of a symmetric
+//!   matrix. The paper computes principal components by "solving the
+//!   symmetric eigenvalue problem for the covariance matrix"; this is that
+//!   solver.
+//! * [`Svd`] — thin singular value decomposition via one-sided Jacobi
+//!   (Hestenes) rotations, the alternative PCA route the paper mentions
+//!   ("the standard procedure for this relies on computing the SVD").
+//! * [`Qr`] — Householder QR with a least-squares solver, used to fit the
+//!   Fourier baseline's basis functions.
+//! * [`Cholesky`] — SPD factorization used by the multi-flow identification
+//!   extension (Section 7.2) for its small normal-equation solves.
+
+mod cholesky;
+mod jacobi;
+mod qr;
+mod svd;
+
+pub use cholesky::Cholesky;
+pub use jacobi::SymmetricEigen;
+pub use qr::{least_squares, Qr};
+pub use svd::Svd;

@@ -1,0 +1,289 @@
+//! Thin SVD via one-sided Jacobi (Hestenes) rotations.
+
+use crate::{vector, LinalgError, Matrix, Result};
+
+/// Maximum number of full sweeps over all column pairs.
+const MAX_SWEEPS: usize = 64;
+
+/// Thin singular value decomposition `A = U Σ Vᵀ` of a tall (or square)
+/// matrix with `rows ≥ cols`.
+///
+/// * `u` is `rows × cols` with orthonormal columns,
+/// * `sigma` holds the `cols` singular values in decreasing order,
+/// * `v` is `cols × cols` orthogonal.
+///
+/// # Algorithm
+///
+/// One-sided Jacobi (Hestenes): repeatedly apply plane rotations on the
+/// *right* of a working copy `W` of `A`, chosen to orthogonalize pairs of
+/// columns of `W`. At convergence the columns of `W` are orthogonal; their
+/// norms are the singular values, the normalized columns form `U`, and the
+/// accumulated rotations form `V`. The method is simple, backward-stable and
+/// computes small singular values to high *relative* accuracy — more than
+/// adequate for the ≤ 1008 × 49 matrices in this workspace.
+///
+/// For a mean-centered data matrix `Y`, the right singular vectors are the
+/// principal components and `σₖ²/(t−1)` are the variances captured along
+/// them, which is exactly the quantity the subspace method thresholds.
+///
+/// # Example
+///
+/// ```
+/// use netanom_linalg::{Matrix, decomposition::Svd};
+/// let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0], vec![0.0, 0.0]]);
+/// let svd = Svd::new(&a).unwrap();
+/// assert!((svd.sigma[0] - 4.0).abs() < 1e-12);
+/// assert!((svd.sigma[1] - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors as columns (`rows × cols`).
+    pub u: Matrix,
+    /// Singular values, decreasing.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors as columns (`cols × cols`).
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Compute the thin SVD of `a`.
+    ///
+    /// Requires `rows ≥ cols` (the data-matrix orientation used throughout
+    /// the workspace: timesteps × links). Returns
+    /// [`LinalgError::DimensionMismatch`] otherwise and
+    /// [`LinalgError::Empty`] for empty input.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.is_empty() {
+            return Err(LinalgError::Empty { op: "svd" });
+        }
+        if a.rows() < a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "svd (requires rows >= cols)",
+                lhs: a.shape(),
+                rhs: (a.cols(), a.rows()),
+            });
+        }
+        let n = a.cols();
+        // Work column-wise: w[j] is the j-th column of the working matrix.
+        let mut w: Vec<Vec<f64>> = (0..n).map(|j| a.col(j)).collect();
+        let mut v = Matrix::identity(n);
+
+        let frob = a.frobenius_norm().max(f64::MIN_POSITIVE);
+        let tol = 1e-15 * frob * frob;
+
+        let mut sweeps = 0;
+        loop {
+            let mut rotated = false;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let alpha = vector::dot(&w[p], &w[p]);
+                    let beta = vector::dot(&w[q], &w[q]);
+                    let gamma = vector::dot(&w[p], &w[q]);
+                    // Columns already orthogonal (relative to their sizes)?
+                    if gamma.abs() <= tol || gamma.abs() <= 1e-15 * (alpha * beta).sqrt() {
+                        continue;
+                    }
+                    rotated = true;
+                    // Rotation that zeroes the (p,q) entry of WᵀW.
+                    let zeta = (beta - alpha) / (2.0 * gamma);
+                    let t = if zeta >= 0.0 {
+                        1.0 / (zeta + (1.0 + zeta * zeta).sqrt())
+                    } else {
+                        -1.0 / (-zeta + (1.0 + zeta * zeta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    for i in 0..w[p].len() {
+                        let wip = w[p][i];
+                        let wiq = w[q][i];
+                        w[p][i] = c * wip - s * wiq;
+                        w[q][i] = s * wip + c * wiq;
+                    }
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+            sweeps += 1;
+            if !rotated {
+                break;
+            }
+            if sweeps >= MAX_SWEEPS {
+                return Err(LinalgError::NonConvergence {
+                    algorithm: "one-sided Jacobi SVD",
+                    iterations: sweeps,
+                });
+            }
+        }
+
+        // Column norms are the singular values.
+        let mut sigma: Vec<f64> = w.iter().map(|col| vector::norm(col)).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| {
+            sigma[j]
+                .partial_cmp(&sigma[i])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let mut u = Matrix::zeros(a.rows(), n);
+        let mut v_sorted = Matrix::zeros(n, n);
+        let mut sigma_sorted = Vec::with_capacity(n);
+        for (new_j, &old_j) in order.iter().enumerate() {
+            let s = sigma[old_j];
+            sigma_sorted.push(s);
+            if s > 0.0 {
+                let unit: Vec<f64> = w[old_j].iter().map(|x| x / s).collect();
+                u.set_col(new_j, &unit);
+            } else {
+                // Null direction: leave the U column zero. Callers that need
+                // a full orthonormal U can complete the basis, but the
+                // subspace method never uses null columns of U.
+                u.set_col(new_j, &vec![0.0; a.rows()]);
+            }
+            for k in 0..n {
+                v_sorted[(k, new_j)] = v[(k, old_j)];
+            }
+        }
+        sigma = sigma_sorted;
+
+        Ok(Svd {
+            u,
+            sigma,
+            v: v_sorted,
+        })
+    }
+
+    /// Numerical rank: the number of singular values above
+    /// `rtol * sigma_max`.
+    pub fn rank(&self, rtol: f64) -> usize {
+        match self.sigma.first() {
+            None | Some(&0.0) => 0,
+            Some(&smax) => self.sigma.iter().take_while(|&&s| s > rtol * smax).count(),
+        }
+    }
+
+    /// Reconstruct `U Σ Vᵀ`; useful for accuracy checks.
+    pub fn reconstruct(&self) -> Matrix {
+        let us = Matrix::from_fn(self.u.rows(), self.u.cols(), |i, j| {
+            self.u[(i, j)] * self.sigma[j]
+        });
+        us.matmul(&self.v.transpose())
+            .expect("shapes are consistent by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_known_values() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0], vec![0.0, 0.0]]);
+        let svd = Svd::new(&a).unwrap();
+        assert!((svd.sigma[0] - 4.0).abs() < 1e-12);
+        assert!((svd.sigma[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = Matrix::from_fn(30, 8, |i, j| ((i * 3 + j * 5) as f64).sin() * (j as f64 + 1.0));
+        let svd = Svd::new(&a).unwrap();
+        assert!(svd.reconstruct().approx_eq(&a, 1e-9 * a.frobenius_norm()));
+    }
+
+    #[test]
+    fn u_and_v_orthonormal() {
+        // Hash-style fill gives a generic full-rank matrix.
+        let a = Matrix::from_fn(25, 6, |i, j| {
+            let h = (i * 6 + j).wrapping_mul(2654435761) % 1000;
+            h as f64 / 500.0 - 1.0
+        });
+        let svd = Svd::new(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 6, "test matrix must be full rank");
+        assert!(svd.u.gram().approx_eq(&Matrix::identity(6), 1e-10));
+        assert!(svd.v.gram().approx_eq(&Matrix::identity(6), 1e-10));
+    }
+
+    #[test]
+    fn singular_values_decreasing_and_nonnegative() {
+        let a = Matrix::from_fn(40, 10, |i, j| ((i * j + 1) as f64).ln());
+        let svd = Svd::new(&a).unwrap();
+        for pair in svd.sigma.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Two identical columns -> rank 1.
+        let a = Matrix::from_fn(10, 2, |i, _| (i as f64) + 1.0);
+        let svd = Svd::new(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 1);
+        assert!(svd.sigma[1] < 1e-10 * svd.sigma[0]);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let svd = Svd::new(&Matrix::zeros(5, 3)).unwrap();
+        assert_eq!(svd.sigma, vec![0.0, 0.0, 0.0]);
+        assert_eq!(svd.rank(1e-12), 0);
+    }
+
+    #[test]
+    fn rejects_wide_matrix() {
+        assert!(matches!(
+            Svd::new(&Matrix::zeros(2, 5)),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            Svd::new(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn agrees_with_eigendecomposition_of_gram() {
+        use crate::decomposition::SymmetricEigen;
+        let a = Matrix::from_fn(50, 7, |i, j| {
+            ((i as f64) * 0.1).sin() * (j as f64 + 1.0) + ((i * j) as f64 * 0.01).cos()
+        });
+        let svd = Svd::new(&a).unwrap();
+        let eig = SymmetricEigen::new(&a.gram()).unwrap();
+        for k in 0..7 {
+            let from_eig = eig.eigenvalues[k].max(0.0).sqrt();
+            assert!(
+                (svd.sigma[k] - from_eig).abs() <= 1e-8 * svd.sigma[0].max(1.0),
+                "sigma[{k}]: svd={} eig={}",
+                svd.sigma[k],
+                from_eig
+            );
+        }
+    }
+
+    #[test]
+    fn square_orthogonal_input() {
+        // A rotation matrix has all singular values equal to 1.
+        let th = 0.7_f64;
+        let a = Matrix::from_rows(&[vec![th.cos(), -th.sin()], vec![th.sin(), th.cos()]]);
+        let svd = Svd::new(&a).unwrap();
+        assert!((svd.sigma[0] - 1.0).abs() < 1e-12);
+        assert!((svd.sigma[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_column() {
+        let a = Matrix::from_fn(4, 1, |i, _| (i + 1) as f64);
+        let svd = Svd::new(&a).unwrap();
+        assert!((svd.sigma[0] - (1.0f64 + 4.0 + 9.0 + 16.0).sqrt()).abs() < 1e-12);
+        assert_eq!(svd.v[(0, 0)].abs(), 1.0);
+    }
+}

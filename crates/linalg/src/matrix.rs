@@ -1,0 +1,677 @@
+//! Row-major dense `f64` matrix.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::vector;
+use crate::{LinalgError, Result};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// `Matrix` is deliberately simple: the workspace's matrices top out around
+/// 1008 × 200, where naive triple-loop products and `Vec<f64>` storage are
+/// entirely adequate and easy to audit.
+///
+/// Indexing uses `(row, col)` tuples and panics out-of-bounds, like slice
+/// indexing. Shape-dependent operations (`matmul`, solves, …) return
+/// [`LinalgError`] on mismatch instead.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Create a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Create a matrix from a slice of equal-length rows.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Create a matrix from a flat row-major buffer.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Create a square diagonal matrix from a slice of diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let mut m = Matrix::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Build a matrix whose columns are the given equal-length vectors.
+    ///
+    /// # Panics
+    /// Panics if the columns have inconsistent lengths.
+    pub fn from_columns(cols: &[Vec<f64>]) -> Self {
+        if cols.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let rows = cols[0].len();
+        Matrix::from_fn(rows, cols.len(), |i, j| {
+            assert_eq!(cols[j].len(), rows, "from_columns: ragged columns");
+            cols[j][i]
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` if the matrix has zero rows or zero columns.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Borrow row `i` mutably.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy column `j` into a new vector.
+    ///
+    /// # Panics
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Overwrite column `j` with `v`.
+    ///
+    /// # Panics
+    /// Panics if `j >= cols` or `v.len() != rows`.
+    pub fn set_col(&mut self, j: usize, v: &[f64]) {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        assert_eq!(v.len(), self.rows, "set_col: wrong length");
+        for i in 0..self.rows {
+            self[(i, j)] = v[i];
+        }
+    }
+
+    /// Overwrite row `i` with `v`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows` or `v.len() != cols`.
+    pub fn set_row(&mut self, i: usize, v: &[f64]) {
+        assert_eq!(v.len(), self.cols, "set_row: wrong length");
+        self.row_mut(i).copy_from_slice(v);
+    }
+
+    /// Flat row-major view of the underlying buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Returns an error if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                vector::axpy(a, rrow, orow);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// Returns an error if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        Ok((0..self.rows).map(|i| vector::dot(self.row(i), x)).collect())
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * x`.
+    ///
+    /// Returns an error if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec_t",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            vector::axpy(x[i], self.row(i), &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `selfᵀ * self` (always square `cols × cols`, symmetric).
+    ///
+    /// This is the building block for covariance-based PCA: for a
+    /// mean-centered data matrix `Y`, `Y.gram() / (t − 1)` is the sample
+    /// covariance.
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            for a in 0..self.cols {
+                let ra = r[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..self.cols {
+                    out[(a, b)] += ra * r[b];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for a in 0..self.cols {
+            for b in (a + 1)..self.cols {
+                out[(b, a)] = out[(a, b)];
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum `self + rhs`.
+    ///
+    /// Returns an error if shapes differ.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "add",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Elementwise difference `self - rhs`.
+    ///
+    /// Returns an error if shapes differ.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "sub",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Copy scaled by a constant.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+
+    /// Per-column arithmetic means (length `cols`).
+    pub fn column_means(&self) -> Vec<f64> {
+        if self.rows == 0 {
+            return vec![0.0; self.cols];
+        }
+        let mut means = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            vector::axpy(1.0, self.row(i), &mut means);
+        }
+        vector::scale_in_place(&mut means, 1.0 / self.rows as f64);
+        means
+    }
+
+    /// Per-column sample variances (length `cols`, denominator `rows − 1`).
+    ///
+    /// Returns zeros when there are fewer than two rows.
+    pub fn column_variances(&self) -> Vec<f64> {
+        if self.rows < 2 {
+            return vec![0.0; self.cols];
+        }
+        let means = self.column_means();
+        let mut vars = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (j, &m) in means.iter().enumerate() {
+                let d = self[(i, j)] - m;
+                vars[j] += d * d;
+            }
+        }
+        vector::scale_in_place(&mut vars, 1.0 / (self.rows as f64 - 1.0));
+        vars
+    }
+
+    /// Subtract each column's mean, returning the centered matrix and the
+    /// vector of removed means.
+    ///
+    /// This is the adjustment the paper applies to the link measurement
+    /// matrix `Y` before PCA so that "PCA dimensions capture true variance".
+    pub fn mean_centered_columns(&self) -> (Matrix, Vec<f64>) {
+        let means = self.column_means();
+        let centered = Matrix::from_fn(self.rows, self.cols, |i, j| self[(i, j)] - means[j]);
+        (centered, means)
+    }
+
+    /// Frobenius norm (Euclidean norm of the flattened matrix).
+    pub fn frobenius_norm(&self) -> f64 {
+        vector::norm(&self.data)
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        vector::norm_inf(&self.data)
+    }
+
+    /// Extract the contiguous block of `nrows` rows starting at `start_row`.
+    ///
+    /// Returns an error if the range exceeds the matrix.
+    pub fn row_block(&self, start_row: usize, nrows: usize) -> Result<Matrix> {
+        if start_row + nrows > self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "row_block",
+                lhs: self.shape(),
+                rhs: (start_row + nrows, self.cols),
+            });
+        }
+        let data = self.data[start_row * self.cols..(start_row + nrows) * self.cols].to_vec();
+        Ok(Matrix {
+            rows: nrows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// New matrix keeping only the listed columns, in the given order.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn select_columns(&self, indices: &[usize]) -> Matrix {
+        Matrix::from_fn(self.rows, indices.len(), |i, j| self[(i, indices[j])])
+    }
+
+    /// `true` if every pairwise entry differs by at most `tol`
+    /// and shapes match.
+    pub fn approx_eq(&self, rhs: &Matrix, tol: f64) -> bool {
+        self.shape() == rhs.shape() && vector::approx_eq(&self.data, &rhs.data, tol)
+    }
+
+    /// Maximum absolute asymmetry `|a[i,j] − a[j,i]|` over the matrix.
+    ///
+    /// Returns `None` for non-square matrices.
+    pub fn asymmetry(&self) -> Option<f64> {
+        if !self.is_square() {
+            return None;
+        }
+        let mut worst = 0.0_f64;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        Some(worst)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for i in 0..show_rows {
+            write!(f, "  [")?;
+            let show_cols = self.cols.min(8);
+            for j in 0..show_cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:10.4}", self[(i, j)])?;
+            }
+            if self.cols > show_cols {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abcd() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(!m.is_square());
+        assert!(!m.is_empty());
+        assert!(Matrix::zeros(0, 3).is_empty());
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let i3 = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i3[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_diag_and_from_columns() {
+        let d = Matrix::from_diag(&[1.0, 2.0]);
+        assert_eq!(d[(0, 0)], 1.0);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+
+        let c = Matrix::from_columns(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(c[(0, 0)], 1.0);
+        assert_eq!(c[(1, 0)], 2.0);
+        assert_eq!(c[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let m = abcd();
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn set_row_and_col() {
+        let mut m = abcd();
+        m.set_row(0, &[9.0, 8.0]);
+        m.set_col(1, &[7.0, 6.0]);
+        assert_eq!(m.row(0), &[9.0, 7.0]);
+        assert_eq!(m.row(1), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 5 + j) as f64);
+        assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+        assert_eq!(m.transpose().shape(), (5, 3));
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = abcd();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert!(c.approx_eq(
+            &Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = abcd();
+        assert!(a.matmul(&Matrix::identity(2)).unwrap().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = abcd();
+        let b = Matrix::zeros(3, 2);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_and_transposed() {
+        let a = abcd();
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert_eq!(a.matvec_t(&[1.0, 1.0]).unwrap(), vec![4.0, 6.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+        assert!(a.matvec_t(&[1.0, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = Matrix::from_fn(4, 3, |i, j| ((i + 1) * (j + 2)) as f64 / 3.0);
+        let explicit = a.transpose().matmul(&a).unwrap();
+        assert!(a.gram().approx_eq(&explicit, 1e-12));
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let a = Matrix::from_fn(5, 4, |i, j| (i as f64 - 2.0) * (j as f64 + 0.5));
+        assert_eq!(a.gram().asymmetry(), Some(0.0));
+    }
+
+    #[test]
+    fn add_sub_scaled() {
+        let a = abcd();
+        let s = a.add(&a).unwrap();
+        assert!(s.approx_eq(&a.scaled(2.0), 0.0));
+        let z = a.sub(&a).unwrap();
+        assert_eq!(z.frobenius_norm(), 0.0);
+        assert!(a.add(&Matrix::zeros(3, 2)).is_err());
+        assert!(a.sub(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn column_statistics() {
+        let m = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0]]);
+        assert_eq!(m.column_means(), vec![2.0, 20.0]);
+        assert_eq!(m.column_variances(), vec![2.0, 200.0]);
+    }
+
+    #[test]
+    fn column_variances_degenerate() {
+        assert_eq!(
+            Matrix::from_rows(&[vec![1.0, 2.0]]).column_variances(),
+            vec![0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn mean_centering_zeroes_means() {
+        let m = Matrix::from_fn(10, 3, |i, j| (i * j) as f64 + j as f64);
+        let (c, means) = m.mean_centered_columns();
+        for v in c.column_means() {
+            assert!(v.abs() < 1e-12);
+        }
+        assert_eq!(means.len(), 3);
+        // Re-adding the means reconstructs the original.
+        let back = Matrix::from_fn(10, 3, |i, j| c[(i, j)] + means[j]);
+        assert!(back.approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn row_block_and_select_columns() {
+        let m = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        let b = m.row_block(1, 2).unwrap();
+        assert_eq!(b.shape(), (2, 3));
+        assert_eq!(b.row(0), &[3.0, 4.0, 5.0]);
+        assert!(m.row_block(3, 2).is_err());
+
+        let s = m.select_columns(&[2, 0]);
+        assert_eq!(s.row(0), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn debug_renders_truncated() {
+        let m = Matrix::zeros(20, 20);
+        let s = format!("{m:?}");
+        assert!(s.contains("Matrix 20x20"));
+        assert!(s.contains('…'));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = abcd();
+        let _ = m[(2, 0)];
+    }
+}

@@ -1,0 +1,257 @@
+//! Standard normal CDF and inverse CDF.
+
+use crate::{LinalgError, Result};
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+///
+/// Computed through the complementary error function, which is in turn
+/// evaluated via the regularized incomplete gamma function
+/// `erfc(z) = Q(1/2, z²)` (series expansion for small arguments, Lentz
+/// continued fraction for large ones). This gives near-machine-precision
+/// accuracy across the full range, including deep tails.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function.
+fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        gamma_q_half(x * x)
+    } else {
+        1.0 + gamma_p_half(x * x)
+    }
+}
+
+/// `ln Γ(1/2) = ln √π`.
+const LN_GAMMA_HALF: f64 = 0.5723649429247001;
+
+/// Regularized lower incomplete gamma `P(1/2, x)` for `x ≥ 0`.
+fn gamma_p_half(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < 1.5 {
+        gamma_p_series(x)
+    } else {
+        1.0 - gamma_q_cf(x)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(1/2, x)` for `x ≥ 0`.
+fn gamma_q_half(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    if x < 1.5 {
+        1.0 - gamma_p_series(x)
+    } else {
+        gamma_q_cf(x)
+    }
+}
+
+/// Series expansion of `P(1/2, x)`, efficient for small `x`.
+fn gamma_p_series(x: f64) -> f64 {
+    const A: f64 = 0.5;
+    let mut ap = A;
+    let mut sum = 1.0 / A;
+    let mut term = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + A * x.ln() - LN_GAMMA_HALF).exp()
+}
+
+/// Modified Lentz continued fraction for `Q(1/2, x)`, efficient for
+/// large `x`.
+fn gamma_q_cf(x: f64) -> f64 {
+    const A: f64 = 0.5;
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - A;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - A);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x + A * x.ln() - LN_GAMMA_HALF).exp() * h
+}
+
+/// Inverse of the standard normal CDF (the quantile function `Φ⁻¹(p)`).
+///
+/// This supplies `c_α`, the `1 − α` percentile used by the
+/// Jackson–Mudholkar Q-statistic: at the paper's 99.9% confidence level,
+/// `c_α = Φ⁻¹(0.999) ≈ 3.0902`.
+///
+/// Implementation: Peter Acklam's rational approximation followed by one
+/// step of Halley refinement against [`normal_cdf`], giving ~1e-9 absolute
+/// accuracy across the whole open interval.
+///
+/// Returns [`LinalgError::DomainError`] unless `0 < p < 1`.
+pub fn inverse_normal_cdf(p: f64) -> Result<f64> {
+    if !(p > 0.0 && p < 1.0) {
+        return Err(LinalgError::DomainError {
+            op: "inverse_normal_cdf",
+            value: p,
+        });
+    }
+
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley step: x -= e/(φ(x) + e·x/2) where e = Φ(x) − p.
+    let e = normal_cdf(x) - p;
+    let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let u = e / pdf.max(f64::MIN_POSITIVE);
+    Ok(x - u / (1.0 + x * u / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((normal_cdf(1.0) - 0.841_344_746_068_543).abs() < 1e-12);
+        assert!((normal_cdf(-1.0) - 0.158_655_253_931_457).abs() < 1e-12);
+        assert!((normal_cdf(1.959_963_984_540_054) - 0.975).abs() < 1e-12);
+        assert!((normal_cdf(2.0) - 0.977_249_868_051_821).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_tails() {
+        assert!(normal_cdf(-10.0) < 1e-20);
+        assert!(normal_cdf(-10.0) > 0.0);
+        assert!(normal_cdf(10.0) >= 1.0 - 1e-15);
+        // Deep-tail relative accuracy: Φ(−8) ≈ 6.22096e-16.
+        let tail = normal_cdf(-8.0);
+        assert!((tail / 6.220_960_574_271_78e-16 - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut prev = 0.0;
+        let mut x = -6.0;
+        while x <= 6.0 {
+            let v = normal_cdf(x);
+            assert!(v >= prev);
+            prev = v;
+            x += 0.01;
+        }
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        // Reference values from standard normal tables.
+        assert!((inverse_normal_cdf(0.5).unwrap()).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975).unwrap() - 1.959_963_984_540_054).abs() < 1e-7);
+        assert!((inverse_normal_cdf(0.995).unwrap() - 2.575_829_303_548_901).abs() < 1e-7);
+        assert!((inverse_normal_cdf(0.999).unwrap() - 3.090_232_306_167_813).abs() < 1e-7);
+        assert!((inverse_normal_cdf(0.001).unwrap() + 3.090_232_306_167_813).abs() < 1e-7);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        for &p in &[1e-6, 0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.995, 0.999, 1.0 - 1e-6] {
+            let x = inverse_normal_cdf(p).unwrap();
+            assert!(
+                (normal_cdf(x) - p).abs() < 1e-7,
+                "roundtrip failed at p={p}: x={x}, cdf={}",
+                normal_cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_domain_errors() {
+        assert!(inverse_normal_cdf(0.0).is_err());
+        assert!(inverse_normal_cdf(1.0).is_err());
+        assert!(inverse_normal_cdf(-0.1).is_err());
+        assert!(inverse_normal_cdf(1.1).is_err());
+        assert!(inverse_normal_cdf(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn quantile_symmetry() {
+        for &p in &[0.01, 0.1, 0.25, 0.4] {
+            let lo = inverse_normal_cdf(p).unwrap();
+            let hi = inverse_normal_cdf(1.0 - p).unwrap();
+            assert!((lo + hi).abs() < 1e-8, "asymmetry at p={p}: {lo} vs {hi}");
+        }
+    }
+
+    #[test]
+    fn paper_confidence_levels() {
+        // The two confidence levels used in Figure 5 / Table 2.
+        let c_999 = inverse_normal_cdf(0.999).unwrap();
+        let c_995 = inverse_normal_cdf(0.995).unwrap();
+        assert!(c_999 > c_995, "99.9% threshold must exceed 99.5%");
+        assert!((c_999 - 3.0902).abs() < 1e-3);
+        assert!((c_995 - 2.5758).abs() < 1e-3);
+    }
+}

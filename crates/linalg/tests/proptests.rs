@@ -1,0 +1,200 @@
+//! Property-based tests for the linear-algebra substrate.
+//!
+//! Matrices are generated with bounded entries so that tolerance choices
+//! scale predictably; shapes are kept in the workspace's realistic range.
+
+use netanom_linalg::decomposition::{Cholesky, Qr, SymmetricEigen, Svd};
+use netanom_linalg::{stats, vector, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: matrix with given shape and entries in [-10, 10].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0..10.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+}
+
+/// Strategy: arbitrary small shape (tall or square).
+fn tall_shape() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..12, 1usize..12).prop_map(|(a, b)| {
+        let rows = a.max(b);
+        let cols = a.min(b);
+        (rows, cols)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in tall_shape().prop_flat_map(|(r, c)| matrix(r, c))) {
+        prop_assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(m in tall_shape().prop_flat_map(|(r, c)| matrix(r, c))) {
+        let left = Matrix::identity(m.rows()).matmul(&m).unwrap();
+        let right = m.matmul(&Matrix::identity(m.cols())).unwrap();
+        prop_assert!(left.approx_eq(&m, 1e-12));
+        prop_assert!(right.approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn gram_equals_explicit_transpose_product(
+        m in tall_shape().prop_flat_map(|(r, c)| matrix(r, c))
+    ) {
+        let explicit = m.transpose().matmul(&m).unwrap();
+        prop_assert!(m.gram().approx_eq(&explicit, 1e-9));
+    }
+
+    #[test]
+    fn mean_centering_zeroes_column_means(
+        m in (2usize..20, 1usize..8).prop_flat_map(|(r, c)| matrix(r, c))
+    ) {
+        let (centered, _) = m.mean_centered_columns();
+        for mean in centered.column_means() {
+            prop_assert!(mean.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs(shape in tall_shape(), seed in 0u64..1000) {
+        let (r, c) = shape;
+        let m = Matrix::from_fn(r, c, |i, j| {
+            let h = (i * 31 + j * 17 + seed as usize).wrapping_mul(2654435761) % 2048;
+            h as f64 / 1024.0 - 1.0
+        });
+        let svd = Svd::new(&m).unwrap();
+        let tol = 1e-9 * m.frobenius_norm().max(1.0);
+        prop_assert!(svd.reconstruct().approx_eq(&m, tol));
+    }
+
+    #[test]
+    fn svd_values_match_gram_eigenvalues(shape in tall_shape(), seed in 0u64..1000) {
+        let (r, c) = shape;
+        let m = Matrix::from_fn(r, c, |i, j| {
+            let h = (i * 13 + j * 7 + seed as usize).wrapping_mul(0x9E3779B9) % 4096;
+            h as f64 / 2048.0 - 1.0
+        });
+        let svd = Svd::new(&m).unwrap();
+        let eig = SymmetricEigen::new(&m.gram()).unwrap();
+        for k in 0..c {
+            let expected = eig.eigenvalues[k].max(0.0).sqrt();
+            prop_assert!(
+                (svd.sigma[k] - expected).abs() < 1e-7 * svd.sigma[0].max(1.0),
+                "sigma[{}]={} vs sqrt(lambda)={}", k, svd.sigma[k], expected
+            );
+        }
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric(n in 1usize..10, seed in 0u64..1000) {
+        let base = Matrix::from_fn(n, n, |i, j| {
+            let h = (i * 23 + j * 41 + seed as usize).wrapping_mul(2654435761) % 1024;
+            h as f64 / 512.0 - 1.0
+        });
+        let sym = Matrix::from_fn(n, n, |i, j| 0.5 * (base[(i, j)] + base[(j, i)]));
+        let eig = SymmetricEigen::new(&sym).unwrap();
+        let tol = 1e-9 * sym.frobenius_norm().max(1.0);
+        prop_assert!(eig.reconstruct().approx_eq(&sym, tol));
+        // Eigenvalues sorted decreasing.
+        for w in eig.eigenvalues.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn eigenvector_matrix_is_orthogonal(n in 1usize..10, seed in 0u64..500) {
+        let base = Matrix::from_fn(n, n, |i, j| {
+            ((i * 7 + j * 3 + seed as usize) as f64 * 0.7).sin()
+        });
+        let sym = Matrix::from_fn(n, n, |i, j| 0.5 * (base[(i, j)] + base[(j, i)]));
+        let eig = SymmetricEigen::new(&sym).unwrap();
+        prop_assert!(eig.eigenvectors.gram().approx_eq(&Matrix::identity(n), 1e-9));
+    }
+
+    #[test]
+    fn qr_least_squares_residual_is_orthogonal(
+        shape in tall_shape(), seed in 0u64..500
+    ) {
+        let (r, c) = shape;
+        // Full-rank-ish random matrix plus diagonal boost for conditioning.
+        let m = Matrix::from_fn(r, c, |i, j| {
+            let h = (i * 19 + j * 29 + seed as usize).wrapping_mul(0x85EBCA6B) % 2048;
+            let v = h as f64 / 1024.0 - 1.0;
+            if i == j { v + 3.0 } else { v }
+        });
+        let b: Vec<f64> = (0..r).map(|i| ((i + seed as usize) as f64 * 0.37).cos()).collect();
+        if let Ok(x) = Qr::new(&m).unwrap().solve_least_squares(&b) {
+            let resid = vector::sub(&b, &m.matvec(&x).unwrap());
+            let at_r = m.matvec_t(&resid).unwrap();
+            prop_assert!(vector::norm_inf(&at_r) < 1e-7 * m.frobenius_norm().max(1.0));
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_inverts(n in 1usize..8, seed in 0u64..500) {
+        // Build an SPD matrix as G = B Bᵀ + I.
+        let b = Matrix::from_fn(n, n + 2, |i, j| {
+            let h = (i * 11 + j * 5 + seed as usize).wrapping_mul(2654435761) % 512;
+            h as f64 / 256.0 - 1.0
+        });
+        let spd = b.matmul(&b.transpose()).unwrap()
+            .add(&Matrix::identity(n)).unwrap();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+        let rhs = spd.matvec(&x_true).unwrap();
+        let x = Cholesky::new(&spd).unwrap().solve(&rhs).unwrap();
+        prop_assert!(vector::approx_eq(&x, &x_true, 1e-8));
+    }
+
+    #[test]
+    fn quantile_within_range(xs in proptest::collection::vec(-100.0..100.0f64, 1..50),
+                             q in 0.0..=1.0f64) {
+        let v = stats::quantile(&xs, q).unwrap();
+        let (lo, hi) = stats::min_max(&xs).unwrap();
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_quantile_roundtrip(p in 0.0001..0.9999f64) {
+        let x = stats::inverse_normal_cdf(p).unwrap();
+        prop_assert!((stats::normal_cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_total_counts_everything(
+        xs in proptest::collection::vec(-2.0..2.0f64, 0..100)
+    ) {
+        let mut h = stats::Histogram::new(0.0, 1.0, 10).unwrap();
+        let counted = h.add_all(&xs);
+        prop_assert_eq!(counted, xs.len());
+        prop_assert_eq!(h.total(), xs.len());
+    }
+
+    #[test]
+    fn vector_norm_triangle_inequality(
+        a in proptest::collection::vec(-10.0..10.0f64, 1..20),
+        b in proptest::collection::vec(-10.0..10.0f64, 1..20)
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let sum = vector::add(a, b);
+        prop_assert!(vector::norm(&sum) <= vector::norm(a) + vector::norm(b) + 1e-9);
+    }
+
+    #[test]
+    fn projector_from_svd_is_idempotent(seed in 0u64..200) {
+        // Build P = V_r V_rᵀ from the top singular directions and verify
+        // the residual projector (I − P) is idempotent — the core algebraic
+        // fact behind the subspace method.
+        let m = Matrix::from_fn(20, 6, |i, j| {
+            let h = (i * 3 + j * 37 + seed as usize).wrapping_mul(2654435761) % 1024;
+            h as f64 / 512.0 - 1.0
+        });
+        let svd = Svd::new(&m).unwrap();
+        let vr = svd.v.select_columns(&[0, 1]);
+        let p = vr.matmul(&vr.transpose()).unwrap();
+        let c_tilde = Matrix::identity(6).sub(&p).unwrap();
+        let c2 = c_tilde.matmul(&c_tilde).unwrap();
+        prop_assert!(c2.approx_eq(&c_tilde, 1e-10));
+    }
+}

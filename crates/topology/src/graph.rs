@@ -1,0 +1,374 @@
+//! The PoP/link graph.
+
+use crate::{Result, TopologyError};
+
+/// Identifier of a PoP (index into [`Topology::pops`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PopId(pub usize);
+
+/// Identifier of a directed link (index into [`Topology::links`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// A point of presence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pop {
+    /// Short name, e.g. `"nycm"` or `"c"`.
+    pub name: String,
+}
+
+/// A directed link between two PoPs, or an intra-PoP link
+/// (`src == dst`).
+///
+/// Intra-PoP links carry the traffic of OD flows that enter and leave the
+/// backbone at the same PoP; the paper counts them among the network's
+/// links (Table 1 and its footnote).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Source PoP.
+    pub src: PopId,
+    /// Destination PoP.
+    pub dst: PopId,
+    /// IGP weight used by shortest-path routing. Intra-PoP links have
+    /// weight `0.0` (they are never part of an inter-PoP route).
+    pub weight: f64,
+}
+
+impl Link {
+    /// `true` if this is an intra-PoP link.
+    pub fn is_intra_pop(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+/// A PoP-level backbone topology.
+///
+/// Build one with [`Topology::builder`]; inter-PoP edges are added as
+/// bidirectional pairs (two directed links with the same weight), and one
+/// intra-PoP link per PoP is appended automatically when the builder is
+/// finished, so that the link count matches the paper's accounting.
+///
+/// Link ordering is deterministic: the `2·E` directed inter-PoP links in
+/// insertion order (forward then reverse for each edge), followed by the
+/// `P` intra-PoP links in PoP order.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    name: String,
+    pops: Vec<Pop>,
+    links: Vec<Link>,
+    /// Outgoing inter-PoP link ids per PoP, for routing.
+    out_links: Vec<Vec<LinkId>>,
+    /// Intra-PoP link id per PoP.
+    intra_links: Vec<LinkId>,
+}
+
+impl Topology {
+    /// Start building a topology with the given human-readable name.
+    pub fn builder(name: impl Into<String>) -> TopologyBuilder {
+        TopologyBuilder {
+            name: name.into(),
+            pops: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Topology name (e.g. `"abilene"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of PoPs.
+    pub fn num_pops(&self) -> usize {
+        self.pops.len()
+    }
+
+    /// Total number of links: directed inter-PoP links plus one intra-PoP
+    /// link per PoP. This is the `m` of the measurement matrix.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// All PoPs, indexable by [`PopId`].
+    pub fn pops(&self) -> &[Pop] {
+        &self.pops
+    }
+
+    /// All links, indexable by [`LinkId`].
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The PoP with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn pop(&self, id: PopId) -> &Pop {
+        &self.pops[id.0]
+    }
+
+    /// The link with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// Ids of the directed inter-PoP links leaving `pop`.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn out_links(&self, pop: PopId) -> &[LinkId] {
+        &self.out_links[pop.0]
+    }
+
+    /// The intra-PoP link of `pop`.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn intra_link(&self, pop: PopId) -> LinkId {
+        self.intra_links[pop.0]
+    }
+
+    /// Find a PoP by name.
+    pub fn pop_by_name(&self, name: &str) -> Option<PopId> {
+        self.pops.iter().position(|p| p.name == name).map(PopId)
+    }
+
+    /// Human-readable label for a link, e.g. `"c-d"` or `"c (intra)"`.
+    pub fn link_label(&self, id: LinkId) -> String {
+        let l = self.link(id);
+        if l.is_intra_pop() {
+            format!("{} (intra)", self.pop(l.src).name)
+        } else {
+            format!("{}-{}", self.pop(l.src).name, self.pop(l.dst).name)
+        }
+    }
+
+    /// Number of directed inter-PoP links (excludes intra-PoP links).
+    pub fn num_inter_pop_links(&self) -> usize {
+        self.links.len() - self.pops.len()
+    }
+}
+
+/// Incremental [`Topology`] construction.
+#[derive(Debug)]
+pub struct TopologyBuilder {
+    name: String,
+    pops: Vec<Pop>,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl TopologyBuilder {
+    /// Register a PoP, returning its id. Names must be unique.
+    pub fn pop(&mut self, name: impl Into<String>) -> Result<PopId> {
+        let name = name.into();
+        if self.pops.iter().any(|p| p.name == name) {
+            return Err(TopologyError::DuplicatePop { name });
+        }
+        self.pops.push(Pop { name });
+        Ok(PopId(self.pops.len() - 1))
+    }
+
+    /// Add a bidirectional inter-PoP edge with unit weight.
+    pub fn edge(&mut self, a: PopId, b: PopId) -> Result<&mut Self> {
+        self.weighted_edge(a, b, 1.0)
+    }
+
+    /// Add a bidirectional inter-PoP edge with an explicit IGP weight.
+    pub fn weighted_edge(&mut self, a: PopId, b: PopId, weight: f64) -> Result<&mut Self> {
+        for id in [a, b] {
+            if id.0 >= self.pops.len() {
+                return Err(TopologyError::UnknownPop {
+                    index: id.0,
+                    num_pops: self.pops.len(),
+                });
+            }
+        }
+        if a == b {
+            return Err(TopologyError::SelfEdge { pop: a.0 });
+        }
+        if weight.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !weight.is_finite() {
+            return Err(TopologyError::InvalidWeight {
+                weight_milli: (weight * 1000.0) as i64,
+            });
+        }
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        if self
+            .edges
+            .iter()
+            .any(|&(x, y, _)| (x.min(y), x.max(y)) == key)
+        {
+            return Err(TopologyError::DuplicateEdge { endpoints: key });
+        }
+        self.edges.push((a.0, b.0, weight));
+        Ok(self)
+    }
+
+    /// Finish building: appends intra-PoP links and freezes the topology.
+    pub fn build(self) -> Result<Topology> {
+        if self.pops.is_empty() {
+            return Err(TopologyError::EmptyTopology);
+        }
+        let mut links = Vec::with_capacity(self.edges.len() * 2 + self.pops.len());
+        let mut out_links = vec![Vec::new(); self.pops.len()];
+        for &(a, b, w) in &self.edges {
+            out_links[a].push(LinkId(links.len()));
+            links.push(Link {
+                src: PopId(a),
+                dst: PopId(b),
+                weight: w,
+            });
+            out_links[b].push(LinkId(links.len()));
+            links.push(Link {
+                src: PopId(b),
+                dst: PopId(a),
+                weight: w,
+            });
+        }
+        let mut intra_links = Vec::with_capacity(self.pops.len());
+        for p in 0..self.pops.len() {
+            intra_links.push(LinkId(links.len()));
+            links.push(Link {
+                src: PopId(p),
+                dst: PopId(p),
+                weight: 0.0,
+            });
+        }
+        Ok(Topology {
+            name: self.name,
+            pops: self.pops,
+            links,
+            out_links,
+            intra_links,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Topology {
+        let mut b = Topology::builder("tri");
+        let x = b.pop("x").unwrap();
+        let y = b.pop("y").unwrap();
+        let z = b.pop("z").unwrap();
+        b.edge(x, y).unwrap();
+        b.edge(y, z).unwrap();
+        b.edge(z, x).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn link_counting_matches_paper_convention() {
+        let t = triangle();
+        assert_eq!(t.num_pops(), 3);
+        // 3 edges -> 6 directed + 3 intra-PoP.
+        assert_eq!(t.num_links(), 9);
+        assert_eq!(t.num_inter_pop_links(), 6);
+    }
+
+    #[test]
+    fn intra_links_are_last_and_self_looped() {
+        let t = triangle();
+        for p in 0..3 {
+            let l = t.link(t.intra_link(PopId(p)));
+            assert!(l.is_intra_pop());
+            assert_eq!(l.src, PopId(p));
+        }
+        // First six links are inter-PoP.
+        for i in 0..6 {
+            assert!(!t.link(LinkId(i)).is_intra_pop());
+        }
+    }
+
+    #[test]
+    fn out_links_cover_both_directions() {
+        let t = triangle();
+        // Each PoP in a triangle has out-degree 2.
+        for p in 0..3 {
+            assert_eq!(t.out_links(PopId(p)).len(), 2);
+            for &lid in t.out_links(PopId(p)) {
+                assert_eq!(t.link(lid).src, PopId(p));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_pop_rejected() {
+        let mut b = Topology::builder("t");
+        b.pop("a").unwrap();
+        assert!(matches!(
+            b.pop("a"),
+            Err(TopologyError::DuplicatePop { .. })
+        ));
+    }
+
+    #[test]
+    fn self_edge_rejected() {
+        let mut b = Topology::builder("t");
+        let a = b.pop("a").unwrap();
+        assert!(matches!(b.edge(a, a), Err(TopologyError::SelfEdge { .. })));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected_either_direction() {
+        let mut b = Topology::builder("t");
+        let a = b.pop("a").unwrap();
+        let c = b.pop("c").unwrap();
+        b.edge(a, c).unwrap();
+        assert!(matches!(
+            b.edge(c, a),
+            Err(TopologyError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_pop_rejected() {
+        let mut b = Topology::builder("t");
+        let a = b.pop("a").unwrap();
+        assert!(matches!(
+            b.edge(a, PopId(9)),
+            Err(TopologyError::UnknownPop { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_weight_rejected() {
+        let mut b = Topology::builder("t");
+        let a = b.pop("a").unwrap();
+        let c = b.pop("c").unwrap();
+        assert!(b.weighted_edge(a, c, 0.0).is_err());
+        assert!(b.weighted_edge(a, c, -1.0).is_err());
+        assert!(b.weighted_edge(a, c, f64::NAN).is_err());
+        assert!(b.weighted_edge(a, c, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn empty_topology_rejected() {
+        assert!(matches!(
+            Topology::builder("t").build(),
+            Err(TopologyError::EmptyTopology)
+        ));
+    }
+
+    #[test]
+    fn pop_by_name_and_labels() {
+        let t = triangle();
+        assert_eq!(t.pop_by_name("y"), Some(PopId(1)));
+        assert_eq!(t.pop_by_name("nope"), None);
+        assert_eq!(t.link_label(LinkId(0)), "x-y");
+        let intra = t.intra_link(PopId(2));
+        assert_eq!(t.link_label(intra), "z (intra)");
+    }
+
+    #[test]
+    fn single_pop_topology_has_one_intra_link() {
+        let mut b = Topology::builder("solo");
+        b.pop("only").unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.num_links(), 1);
+        assert!(t.link(LinkId(0)).is_intra_pop());
+    }
+}

@@ -1,0 +1,370 @@
+//! The routing matrix `A` and per-flow derived vectors.
+
+use netanom_linalg::{vector, Matrix};
+
+use crate::graph::{LinkId, PopId, Topology};
+use crate::routing::Routes;
+
+/// Identifier of an OD flow (column index into the routing matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub usize);
+
+/// An ordered origin–destination PoP pair.
+pub type OdPair = (PopId, PopId);
+
+/// Metadata for one OD flow.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Column index in the routing matrix.
+    pub id: FlowId,
+    /// Origin and destination PoPs.
+    pub od: OdPair,
+    /// The links this flow traverses.
+    pub path: Vec<LinkId>,
+}
+
+/// The routing matrix `A` (`#links × #OD-flows`, entries 0/1) together with
+/// the per-flow vectors the subspace method consumes.
+///
+/// Columns are ordered by `origin * num_pops + destination`, covering every
+/// ordered PoP pair including self-pairs (which traverse only their PoP's
+/// intra-PoP link). For Abilene this gives the paper's 41 × 121 matrix; for
+/// the Sprint-Europe-like topology, 49 × 169.
+///
+/// Three views of column `i` are precomputed because the diagnosis steps
+/// use them constantly:
+///
+/// * `column(i)` — the raw 0/1 column `Aᵢ`,
+/// * [`RoutingMatrix::theta`] — `θᵢ = Aᵢ / ‖Aᵢ‖`, the unit-norm direction in
+///   which a one-dimensional anomaly in flow `i` moves the link vector
+///   (Section 5.2), and
+/// * [`RoutingMatrix::abar`] — `Āᵢ = Aᵢ / ΣAᵢ`, the unit-sum weights used to
+///   convert per-link anomalous traffic back to flow bytes (Section 5.3).
+#[derive(Debug, Clone)]
+pub struct RoutingMatrix {
+    a: Matrix,
+    flows: Vec<Flow>,
+    theta: Matrix,
+    abar: Matrix,
+}
+
+impl RoutingMatrix {
+    /// Build a routing matrix from externally-supplied per-flow link
+    /// paths — the entry point for users bringing their own network
+    /// (routing tables exported from IGP/BGP state rather than computed
+    /// by this crate's Dijkstra).
+    ///
+    /// `paths[f]` lists the link indices flow `f` traverses. Duplicate
+    /// links within a path are collapsed (the matrix is 0/1). Flow
+    /// metadata records a placeholder OD pair derived from the flow index
+    /// when the flow count is a perfect square (`o = f / √n`,
+    /// `d = f mod √n`), or `(0, 0)` otherwise.
+    ///
+    /// # Panics
+    /// Panics if any path is empty or references a link `≥ num_links`.
+    pub fn from_paths(num_links: usize, paths: &[Vec<usize>]) -> Self {
+        let n_flows = paths.len();
+        let side = (n_flows as f64).sqrt() as usize;
+        let square = side * side == n_flows;
+
+        let mut a = Matrix::zeros(num_links, n_flows);
+        let mut flows = Vec::with_capacity(n_flows);
+        for (f, path) in paths.iter().enumerate() {
+            assert!(!path.is_empty(), "flow {f} has an empty path");
+            let mut link_ids = Vec::with_capacity(path.len());
+            for &l in path {
+                assert!(l < num_links, "flow {f} references link {l} >= {num_links}");
+                if a[(l, f)] == 0.0 {
+                    a[(l, f)] = 1.0;
+                    link_ids.push(LinkId(l));
+                }
+            }
+            let od = if square {
+                (PopId(f / side), PopId(f % side))
+            } else {
+                (PopId(0), PopId(0))
+            };
+            flows.push(Flow {
+                id: FlowId(f),
+                od,
+                path: link_ids,
+            });
+        }
+        Self::finish(a, flows)
+    }
+
+    /// Build the routing matrix from a topology and its routes.
+    pub fn new(topo: &Topology, routes: &Routes) -> Self {
+        let n_pops = topo.num_pops();
+        let m = topo.num_links();
+        let n_flows = n_pops * n_pops;
+
+        let mut a = Matrix::zeros(m, n_flows);
+        let mut flows = Vec::with_capacity(n_flows);
+        for o in 0..n_pops {
+            for d in 0..n_pops {
+                let id = FlowId(o * n_pops + d);
+                let od = (PopId(o), PopId(d));
+                let path = routes.path(od).to_vec();
+                for &lid in &path {
+                    a[(lid.0, id.0)] = 1.0;
+                }
+                flows.push(Flow { id, od, path });
+            }
+        }
+
+        Self::finish(a, flows)
+    }
+
+    /// Derive `θᵢ` and `Āᵢ` from the 0/1 matrix and freeze.
+    fn finish(a: Matrix, flows: Vec<Flow>) -> Self {
+        let m = a.rows();
+        let n_flows = a.cols();
+        let mut theta = Matrix::zeros(m, n_flows);
+        let mut abar = Matrix::zeros(m, n_flows);
+        for f in 0..n_flows {
+            let col = a.col(f);
+            let norm = vector::norm(&col);
+            let sum = vector::sum(&col);
+            for (l, &v) in col.iter().enumerate() {
+                if v != 0.0 {
+                    theta[(l, f)] = v / norm;
+                    abar[(l, f)] = v / sum;
+                }
+            }
+        }
+        RoutingMatrix {
+            a,
+            flows,
+            theta,
+            abar,
+        }
+    }
+
+    /// The raw matrix `A`.
+    pub fn a(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// Number of links (rows of `A`).
+    pub fn num_links(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Number of OD flows (columns of `A`).
+    pub fn num_flows(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// Metadata for flow `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn flow(&self, i: usize) -> &Flow {
+        &self.flows[i]
+    }
+
+    /// All flows in column order.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Raw 0/1 column `Aᵢ`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn column(&self, i: usize) -> Vec<f64> {
+        self.a.col(i)
+    }
+
+    /// Unit-norm anomaly direction `θᵢ = Aᵢ / ‖Aᵢ‖`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn theta(&self, i: usize) -> Vec<f64> {
+        self.theta.col(i)
+    }
+
+    /// All `θᵢ` as the columns of an `m × n` matrix.
+    pub fn theta_matrix(&self) -> &Matrix {
+        &self.theta
+    }
+
+    /// Unit-sum quantification weights `Āᵢ = Aᵢ / ΣAᵢ`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn abar(&self, i: usize) -> Vec<f64> {
+        self.abar.col(i)
+    }
+
+    /// Number of links on flow `i`'s path (`ΣAᵢ`, also `‖Aᵢ‖²`).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn path_len(&self, i: usize) -> usize {
+        self.flows[i].path.len()
+    }
+
+    /// Map an OD pair to its flow id.
+    pub fn flow_id(&self, od: OdPair) -> FlowId {
+        let n = (self.flows.len() as f64).sqrt() as usize;
+        FlowId(od.0 .0 * n + od.1 .0)
+    }
+
+    /// Compute link loads `y = A x` for one timestep of OD traffic `x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != num_flows()`.
+    pub fn link_loads(&self, x: &[f64]) -> Vec<f64> {
+        self.a
+            .matvec(x)
+            .expect("x length checked against num_flows")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Topology;
+    use crate::routing::Routes;
+
+    fn line3() -> (Topology, Routes, RoutingMatrix) {
+        let mut b = Topology::builder("line3");
+        let a = b.pop("a").unwrap();
+        let bb = b.pop("b").unwrap();
+        let c = b.pop("c").unwrap();
+        b.edge(a, bb).unwrap();
+        b.edge(bb, c).unwrap();
+        let topo = b.build().unwrap();
+        let routes = Routes::shortest_paths(&topo).unwrap();
+        let rm = RoutingMatrix::new(&topo, &routes);
+        (topo, routes, rm)
+    }
+
+    #[test]
+    fn dimensions() {
+        let (topo, _, rm) = line3();
+        assert_eq!(rm.num_links(), topo.num_links()); // 4 directed + 3 intra = 7
+        assert_eq!(rm.num_links(), 7);
+        assert_eq!(rm.num_flows(), 9);
+    }
+
+    #[test]
+    fn columns_are_path_indicators() {
+        let (topo, routes, rm) = line3();
+        for f in 0..rm.num_flows() {
+            let flow = rm.flow(f);
+            let col = rm.column(f);
+            let expected = routes.path(flow.od);
+            let ones: Vec<usize> = col
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0.0)
+                .map(|(l, _)| l)
+                .collect();
+            let mut path_ids: Vec<usize> = expected.iter().map(|l| l.0).collect();
+            path_ids.sort_unstable();
+            assert_eq!(ones, path_ids, "column {f} mismatch");
+            let _ = &topo;
+        }
+    }
+
+    #[test]
+    fn theta_has_unit_norm() {
+        let (_, _, rm) = line3();
+        for f in 0..rm.num_flows() {
+            let t = rm.theta(f);
+            assert!((vector::norm(&t) - 1.0).abs() < 1e-12, "theta {f} not unit");
+        }
+    }
+
+    #[test]
+    fn abar_has_unit_sum() {
+        let (_, _, rm) = line3();
+        for f in 0..rm.num_flows() {
+            let t = rm.abar(f);
+            assert!((vector::sum(&t) - 1.0).abs() < 1e-12, "abar {f} not unit-sum");
+        }
+    }
+
+    #[test]
+    fn path_len_consistency() {
+        let (_, _, rm) = line3();
+        for f in 0..rm.num_flows() {
+            let col = rm.column(f);
+            assert_eq!(vector::sum(&col) as usize, rm.path_len(f));
+            // For a 0/1 column, ||A_i||^2 == sum(A_i).
+            assert!((vector::norm_sq(&col) - vector::sum(&col)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flow_id_roundtrip() {
+        let (_, _, rm) = line3();
+        for f in 0..rm.num_flows() {
+            let flow = rm.flow(f);
+            assert_eq!(rm.flow_id(flow.od).0, f);
+        }
+    }
+
+    #[test]
+    fn link_loads_superpose() {
+        let (_, _, rm) = line3();
+        // Unit traffic on every flow: each link load equals the number of
+        // flows crossing it.
+        let x = vec![1.0; rm.num_flows()];
+        let y = rm.link_loads(&x);
+        for (l, load) in y.iter().enumerate() {
+            let crossing = (0..rm.num_flows())
+                .filter(|&f| rm.column(f)[l] != 0.0)
+                .count();
+            assert_eq!(*load as usize, crossing);
+        }
+    }
+
+    #[test]
+    fn from_paths_matches_topology_construction() {
+        let (_, _, rm) = line3();
+        let paths: Vec<Vec<usize>> = (0..rm.num_flows())
+            .map(|f| rm.flow(f).path.iter().map(|l| l.0).collect())
+            .collect();
+        let rebuilt = RoutingMatrix::from_paths(rm.num_links(), &paths);
+        assert!(rebuilt.a().approx_eq(rm.a(), 0.0));
+        for f in 0..rm.num_flows() {
+            assert_eq!(rebuilt.flow(f).od, rm.flow(f).od, "OD pair of flow {f}");
+            assert!(vector::approx_eq(&rebuilt.theta(f), &rm.theta(f), 1e-12));
+            assert!(vector::approx_eq(&rebuilt.abar(f), &rm.abar(f), 1e-12));
+        }
+    }
+
+    #[test]
+    fn from_paths_collapses_duplicate_links() {
+        let rm = RoutingMatrix::from_paths(3, &[vec![0, 0, 2]]);
+        assert_eq!(rm.path_len(0), 2);
+        assert_eq!(rm.column(0), vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty path")]
+    fn from_paths_rejects_empty_path() {
+        RoutingMatrix::from_paths(3, &[vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "references link")]
+    fn from_paths_rejects_out_of_range_link() {
+        RoutingMatrix::from_paths(3, &[vec![7]]);
+    }
+
+    #[test]
+    fn self_flows_touch_only_intra_links() {
+        let (topo, _, rm) = line3();
+        for p in 0..3 {
+            let f = rm.flow_id((PopId(p), PopId(p)));
+            let flow = rm.flow(f.0);
+            assert_eq!(flow.path.len(), 1);
+            assert!(topo.link(flow.path[0]).is_intra_pop());
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Shortest-path routing over a [`Topology`].
+//!
+//! The paper determines each OD flow's path from the network's routing
+//! tables (BGP/ISIS); we model that with IGP shortest-path routing over
+//! link weights, which is how intra-domain paths in both studied networks
+//! were established.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{LinkId, PopId, Topology};
+use crate::{Result, TopologyError};
+
+/// Shortest-path routes between every ordered pair of PoPs.
+///
+/// Routes are computed once by running Dijkstra from every origin. Ties are
+/// broken deterministically: by path cost, then hop count, then the
+/// smallest predecessor PoP index, so two runs (or two machines) always
+/// produce the same routing matrix.
+///
+/// The route of a self-pair `(p, p)` is the single intra-PoP link of `p`.
+#[derive(Debug, Clone)]
+pub struct Routes {
+    num_pops: usize,
+    /// `paths[o * num_pops + d]` = link ids from `o` to `d`.
+    paths: Vec<Vec<LinkId>>,
+}
+
+/// Heap entry for Dijkstra: ordered so the `BinaryHeap` (a max-heap) pops
+/// the smallest `(cost, hops, pop)` first.
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    hops: usize,
+    pop: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so smaller cost = greater priority.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.hops.cmp(&self.hops))
+            .then_with(|| other.pop.cmp(&self.pop))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Routes {
+    /// Compute shortest-path routes for all ordered PoP pairs.
+    ///
+    /// Returns [`TopologyError::Disconnected`] (with a witness pair) if any
+    /// PoP cannot reach any other.
+    pub fn shortest_paths(topo: &Topology) -> Result<Self> {
+        let n = topo.num_pops();
+        let mut paths = vec![Vec::new(); n * n];
+
+        for origin in 0..n {
+            let (dist, pred) = dijkstra(topo, PopId(origin));
+            for dest in 0..n {
+                if origin == dest {
+                    paths[origin * n + dest] = vec![topo.intra_link(PopId(origin))];
+                    continue;
+                }
+                if dist[dest].is_infinite() {
+                    return Err(TopologyError::Disconnected {
+                        witness: (origin, dest),
+                    });
+                }
+                // Walk predecessors back from dest.
+                let mut rev = Vec::new();
+                let mut cur = dest;
+                while cur != origin {
+                    let link = pred[cur].expect("finite distance implies a predecessor");
+                    rev.push(link);
+                    cur = topo.link(link).src.0;
+                }
+                rev.reverse();
+                paths[origin * n + dest] = rev;
+            }
+        }
+        Ok(Routes {
+            num_pops: n,
+            paths,
+        })
+    }
+
+    /// The link path from `od.0` to `od.1`.
+    ///
+    /// # Panics
+    /// Panics if either PoP id is out of range.
+    pub fn path(&self, od: (PopId, PopId)) -> &[LinkId] {
+        assert!(od.0 .0 < self.num_pops && od.1 .0 < self.num_pops);
+        &self.paths[od.0 .0 * self.num_pops + od.1 .0]
+    }
+
+    /// Number of PoPs routed over.
+    pub fn num_pops(&self) -> usize {
+        self.num_pops
+    }
+}
+
+/// Dijkstra from `origin`; returns per-PoP distance and the incoming link
+/// on the chosen shortest path.
+fn dijkstra(topo: &Topology, origin: PopId) -> (Vec<f64>, Vec<Option<LinkId>>) {
+    let n = topo.num_pops();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut hops = vec![usize::MAX; n];
+    let mut pred: Vec<Option<LinkId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+
+    dist[origin.0] = 0.0;
+    hops[origin.0] = 0;
+    heap.push(HeapEntry {
+        cost: 0.0,
+        hops: 0,
+        pop: origin.0,
+    });
+
+    while let Some(HeapEntry { cost, hops: h, pop }) = heap.pop() {
+        if cost > dist[pop] || (cost == dist[pop] && h > hops[pop]) {
+            continue; // stale entry
+        }
+        for &lid in topo.out_links(PopId(pop)) {
+            let link = topo.link(lid);
+            let next = link.dst.0;
+            let ncost = cost + link.weight;
+            let nhops = h + 1;
+            // Strict improvement, or an equal-cost path that is
+            // deterministically preferred (fewer hops, then smaller
+            // predecessor index).
+            let better = ncost < dist[next]
+                || (ncost == dist[next]
+                    && (nhops < hops[next]
+                        || (nhops == hops[next]
+                            && pred[next].is_some_and(|p| topo.link(p).src.0 > pop))));
+            if better {
+                dist[next] = ncost;
+                hops[next] = nhops;
+                pred[next] = Some(lid);
+                heap.push(HeapEntry {
+                    cost: ncost,
+                    hops: nhops,
+                    pop: next,
+                });
+            }
+        }
+    }
+    (dist, pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Topology;
+
+    fn line4() -> Topology {
+        // a - b - c - d
+        let mut b = Topology::builder("line4");
+        let ids: Vec<PopId> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| b.pop(*n).unwrap())
+            .collect();
+        b.edge(ids[0], ids[1]).unwrap();
+        b.edge(ids[1], ids[2]).unwrap();
+        b.edge(ids[2], ids[3]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn line_paths_have_expected_lengths() {
+        let t = line4();
+        let r = Routes::shortest_paths(&t).unwrap();
+        assert_eq!(r.path((PopId(0), PopId(3))).len(), 3);
+        assert_eq!(r.path((PopId(0), PopId(1))).len(), 1);
+        assert_eq!(r.path((PopId(3), PopId(0))).len(), 3);
+    }
+
+    #[test]
+    fn self_pair_uses_intra_pop_link() {
+        let t = line4();
+        let r = Routes::shortest_paths(&t).unwrap();
+        let p = r.path((PopId(2), PopId(2)));
+        assert_eq!(p.len(), 1);
+        assert!(t.link(p[0]).is_intra_pop());
+        assert_eq!(t.link(p[0]).src, PopId(2));
+    }
+
+    #[test]
+    fn paths_are_link_consistent() {
+        let t = line4();
+        let r = Routes::shortest_paths(&t).unwrap();
+        // Each consecutive pair of links must share the middle PoP.
+        let p = r.path((PopId(0), PopId(3)));
+        for w in p.windows(2) {
+            assert_eq!(t.link(w[0]).dst, t.link(w[1]).src);
+        }
+        assert_eq!(t.link(p[0]).src, PopId(0));
+        assert_eq!(t.link(p[p.len() - 1]).dst, PopId(3));
+    }
+
+    #[test]
+    fn weighted_routing_avoids_heavy_edge() {
+        // Square: a-b (1), b-d (1), a-c (1), c-d (10). a->d must go via b.
+        let mut b = Topology::builder("square");
+        let a = b.pop("a").unwrap();
+        let bb = b.pop("b").unwrap();
+        let c = b.pop("c").unwrap();
+        let d = b.pop("d").unwrap();
+        b.edge(a, bb).unwrap();
+        b.edge(bb, d).unwrap();
+        b.edge(a, c).unwrap();
+        b.weighted_edge(c, d, 10.0).unwrap();
+        let t = b.build().unwrap();
+        let r = Routes::shortest_paths(&t).unwrap();
+        let p = r.path((PopId(0), PopId(3)));
+        assert_eq!(p.len(), 2);
+        assert_eq!(t.link(p[0]).dst, PopId(1)); // via b
+    }
+
+    #[test]
+    fn disconnected_topology_reports_witness() {
+        let mut b = Topology::builder("disc");
+        b.pop("a").unwrap();
+        b.pop("b").unwrap();
+        let err = Routes::shortest_paths(&b.build().unwrap()).unwrap_err();
+        assert!(matches!(err, TopologyError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        // Diamond: a-b-d and a-c-d, both cost 2. Run twice; identical paths.
+        let build = || {
+            let mut b = Topology::builder("diamond");
+            let a = b.pop("a").unwrap();
+            let x = b.pop("b").unwrap();
+            let y = b.pop("c").unwrap();
+            let d = b.pop("d").unwrap();
+            b.edge(a, x).unwrap();
+            b.edge(a, y).unwrap();
+            b.edge(x, d).unwrap();
+            b.edge(y, d).unwrap();
+            b.build().unwrap()
+        };
+        let t1 = build();
+        let t2 = build();
+        let r1 = Routes::shortest_paths(&t1).unwrap();
+        let r2 = Routes::shortest_paths(&t2).unwrap();
+        for o in 0..4 {
+            for d in 0..4 {
+                assert_eq!(
+                    r1.path((PopId(o), PopId(d))),
+                    r2.path((PopId(o), PopId(d))),
+                    "paths differ for {o}->{d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_and_reverse_paths_mirror_on_symmetric_weights() {
+        let t = line4();
+        let r = Routes::shortest_paths(&t).unwrap();
+        // For the line, o->d and d->o traverse the same PoP sequence
+        // reversed.
+        let fwd = r.path((PopId(0), PopId(3)));
+        let rev = r.path((PopId(3), PopId(0)));
+        let fwd_pops: Vec<usize> = fwd.iter().map(|&l| t.link(l).dst.0).collect();
+        let mut rev_pops: Vec<usize> = rev.iter().map(|&l| t.link(l).src.0).collect();
+        rev_pops.reverse();
+        assert_eq!(fwd_pops, rev_pops);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of routing invariants on random topologies.
+
+use netanom_linalg::vector;
+use netanom_topology::{builtin, PopId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every route on every random connected topology is a valid walk:
+    /// starts at the origin, ends at the destination, consecutive links
+    /// share endpoints, and no PoP repeats (shortest paths are simple).
+    #[test]
+    fn routes_are_simple_valid_walks(n in 2usize..12, extra in 0usize..10, seed in 0u64..500) {
+        let net = builtin::random(n, extra, seed);
+        let topo = &net.topology;
+        for o in 0..n {
+            for d in 0..n {
+                let path = net.routes.path((PopId(o), PopId(d)));
+                prop_assert!(!path.is_empty());
+                if o == d {
+                    prop_assert_eq!(path.len(), 1);
+                    prop_assert!(topo.link(path[0]).is_intra_pop());
+                    continue;
+                }
+                prop_assert_eq!(topo.link(path[0]).src.0, o);
+                prop_assert_eq!(topo.link(path[path.len() - 1]).dst.0, d);
+                let mut visited = vec![o];
+                for w in path.windows(2) {
+                    prop_assert_eq!(topo.link(w[0]).dst, topo.link(w[1]).src);
+                }
+                for &l in path {
+                    let next = topo.link(l).dst.0;
+                    prop_assert!(!visited.contains(&next), "loop through PoP {next}");
+                    visited.push(next);
+                }
+            }
+        }
+    }
+
+    /// Shortest paths satisfy the triangle property: going o→d is never
+    /// longer than o→k plus k→d (unit weights).
+    #[test]
+    fn path_lengths_satisfy_triangle_inequality(
+        n in 3usize..10, extra in 0usize..8, seed in 0u64..300
+    ) {
+        let net = builtin::random(n, extra, seed);
+        let hops = |o: usize, d: usize| {
+            if o == d { 0 } else { net.routes.path((PopId(o), PopId(d))).len() }
+        };
+        for o in 0..n {
+            for d in 0..n {
+                for k in 0..n {
+                    prop_assert!(
+                        hops(o, d) <= hops(o, k) + hops(k, d),
+                        "triangle violated: {o}->{d} vs via {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Routing-matrix identities hold on every generated network:
+    /// ‖θᵢ‖ = 1, ΣĀᵢ = 1, ‖Aᵢ‖² = ΣAᵢ = path length.
+    #[test]
+    fn routing_matrix_identities(n in 2usize..10, extra in 0usize..8, seed in 0u64..300) {
+        let net = builtin::random(n, extra, seed);
+        let rm = &net.routing_matrix;
+        for f in 0..rm.num_flows() {
+            let col = rm.column(f);
+            prop_assert!((vector::norm(&rm.theta(f)) - 1.0).abs() < 1e-12);
+            prop_assert!((vector::sum(&rm.abar(f)) - 1.0).abs() < 1e-12);
+            prop_assert!((vector::norm_sq(&col) - vector::sum(&col)).abs() < 1e-12);
+            prop_assert_eq!(vector::sum(&col) as usize, rm.path_len(f));
+        }
+    }
+
+    /// Link loads are additive in OD traffic: y(x1 + x2) = y(x1) + y(x2).
+    #[test]
+    fn link_loads_are_linear(
+        n in 2usize..8, seed in 0u64..200,
+        scale1 in 0.0..1e6f64, scale2 in 0.0..1e6f64,
+    ) {
+        let net = builtin::random(n, 4, seed);
+        let rm = &net.routing_matrix;
+        let nf = rm.num_flows();
+        let x1: Vec<f64> = (0..nf).map(|f| scale1 * ((f % 7) as f64 + 1.0)).collect();
+        let x2: Vec<f64> = (0..nf).map(|f| scale2 * ((f % 5) as f64 + 1.0)).collect();
+        let sum = vector::add(&x1, &x2);
+        let lhs = rm.link_loads(&sum);
+        let rhs = vector::add(&rm.link_loads(&x1), &rm.link_loads(&x2));
+        prop_assert!(vector::approx_eq(&lhs, &rhs, 1e-6));
+    }
+}

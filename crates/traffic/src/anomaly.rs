@@ -1,0 +1,266 @@
+//! Volume-anomaly events and injection.
+//!
+//! The paper defines a volume anomaly as "a sudden change (positive or
+//! negative) in an OD flow's traffic" and observes that "the most prevalent
+//! anomalies in our datasets were those that lasted less than 10 minutes
+//! and show up as a pronounced spike at a single point in time". Events
+//! here model exactly that: a single-bin byte delta in one OD flow.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::dist;
+use crate::series::OdSeries;
+
+/// One volume anomaly: `delta_bytes` added to flow `flow` at bin `time`.
+///
+/// `delta_bytes` may be negative (traffic loss, e.g. from a routing shift);
+/// when injection clamps at zero the *applied* delta is recorded so ground
+/// truth stays exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyEvent {
+    /// Index of the affected OD flow (routing-matrix column).
+    pub flow: usize,
+    /// Time bin of the spike.
+    pub time: usize,
+    /// Bytes added (positive) or removed (negative).
+    pub delta_bytes: f64,
+}
+
+impl AnomalyEvent {
+    /// Magnitude of the anomaly in bytes.
+    pub fn size(&self) -> f64 {
+        self.delta_bytes.abs()
+    }
+}
+
+/// Inject `event` into `od`, clamping at zero traffic, and return the event
+/// with the delta that was actually applied.
+pub fn inject(od: &mut OdSeries, event: AnomalyEvent) -> AnomalyEvent {
+    let applied = od.add_clamped(event.time, event.flow, event.delta_bytes);
+    AnomalyEvent {
+        delta_bytes: applied,
+        ..event
+    }
+}
+
+/// Configuration for a population of embedded "true" anomalies.
+///
+/// Sizes are Pareto distributed: most events sit below the dataset's
+/// detection cutoff and a handful stand out above it, reproducing the
+/// sharp rank-size knee of the paper's Figure 6.
+#[derive(Debug, Clone)]
+pub struct AnomalyPopulation {
+    /// Number of events in the week.
+    pub count: usize,
+    /// Pareto scale (minimum event size, bytes).
+    pub min_size: f64,
+    /// Pareto shape; smaller = heavier tail. The datasets use ≈ 1.1.
+    pub shape: f64,
+    /// Cap on event size (keeps a single sample from dwarfing the plot).
+    pub max_size: f64,
+    /// Fraction of events that are negative (traffic drops).
+    pub negative_fraction: f64,
+    /// Events are only placed in flows whose mean is at least this many
+    /// bytes per bin, mirroring the paper's observation that anomalies
+    /// live in real traffic, not in near-empty flows.
+    pub min_flow_mean: f64,
+    /// Margin in bins kept clear at the start/end of the week so baseline
+    /// methods (EWMA warm-up, Fourier edges) see every event.
+    pub time_margin: usize,
+}
+
+impl AnomalyPopulation {
+    /// Draw a population of events and inject them into `od`.
+    ///
+    /// Placement is uniform over eligible flows and bins, with at most one
+    /// event per bin (the paper's detection step flags *timesteps*, so
+    /// coincident events would create ambiguous ground truth). Returns the
+    /// injected events with their applied deltas, sorted by time.
+    ///
+    /// Deterministic for a given `seed`.
+    pub fn inject_into(&self, od: &mut OdSeries, seed: u64) -> Vec<AnomalyEvent> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let means = od.flow_means();
+        let eligible: Vec<usize> = (0..od.num_flows())
+            .filter(|&f| means[f] >= self.min_flow_mean)
+            .collect();
+        assert!(
+            !eligible.is_empty(),
+            "no flows above min_flow_mean {}",
+            self.min_flow_mean
+        );
+        let bins = od.num_bins();
+        assert!(
+            bins > 2 * self.time_margin,
+            "time margin {} too large for {} bins",
+            self.time_margin,
+            bins
+        );
+
+        let mut used_bins = vec![false; bins];
+        let mut events = Vec::with_capacity(self.count);
+        let mut attempts = 0usize;
+        while events.len() < self.count && attempts < self.count * 100 {
+            attempts += 1;
+            let time = rng.random_range(self.time_margin..bins - self.time_margin);
+            if used_bins[time] {
+                continue;
+            }
+            let flow = eligible[rng.random_range(0..eligible.len())];
+            let size = dist::pareto(&mut rng, self.min_size, self.shape).min(self.max_size);
+            let sign = if rng.random_range(0.0..1.0) < self.negative_fraction {
+                -1.0
+            } else {
+                1.0
+            };
+            let event = inject(
+                od,
+                AnomalyEvent {
+                    flow,
+                    time,
+                    delta_bytes: sign * size,
+                },
+            );
+            // Skip events that clamped to (near) nothing.
+            if event.size() < self.min_size * 0.5 {
+                continue;
+            }
+            used_bins[time] = true;
+            events.push(event);
+        }
+        events.sort_by_key(|e| e.time);
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netanom_linalg::Matrix;
+
+    fn flat_series(bins: usize, flows: usize, level: f64) -> OdSeries {
+        OdSeries::new(Matrix::from_fn(bins, flows, |_, _| level))
+    }
+
+    fn population() -> AnomalyPopulation {
+        AnomalyPopulation {
+            count: 20,
+            min_size: 100.0,
+            shape: 1.1,
+            max_size: 10_000.0,
+            negative_fraction: 0.2,
+            min_flow_mean: 50.0,
+            time_margin: 10,
+        }
+    }
+
+    #[test]
+    fn inject_applies_delta() {
+        let mut od = flat_series(10, 2, 1000.0);
+        let e = inject(
+            &mut od,
+            AnomalyEvent {
+                flow: 1,
+                time: 3,
+                delta_bytes: 500.0,
+            },
+        );
+        assert_eq!(e.delta_bytes, 500.0);
+        assert_eq!(od.get(3, 1), 1500.0);
+        assert_eq!(od.get(3, 0), 1000.0); // untouched
+    }
+
+    #[test]
+    fn inject_clamps_negative_spike() {
+        let mut od = flat_series(5, 1, 100.0);
+        let e = inject(
+            &mut od,
+            AnomalyEvent {
+                flow: 0,
+                time: 2,
+                delta_bytes: -500.0,
+            },
+        );
+        assert_eq!(e.delta_bytes, -100.0);
+        assert_eq!(od.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn population_respects_count_and_margins() {
+        let mut od = flat_series(500, 5, 1000.0);
+        let events = population().inject_into(&mut od, 1);
+        assert_eq!(events.len(), 20);
+        for e in &events {
+            assert!((10..490).contains(&e.time), "event at margin: {}", e.time);
+            assert!(e.size() >= 50.0);
+        }
+    }
+
+    #[test]
+    fn population_one_event_per_bin() {
+        let mut od = flat_series(500, 5, 1000.0);
+        let events = population().inject_into(&mut od, 2);
+        let mut times: Vec<usize> = events.iter().map(|e| e.time).collect();
+        times.dedup();
+        assert_eq!(times.len(), events.len(), "duplicate bins used");
+    }
+
+    #[test]
+    fn population_is_deterministic() {
+        let mut od1 = flat_series(500, 5, 1000.0);
+        let mut od2 = flat_series(500, 5, 1000.0);
+        let e1 = population().inject_into(&mut od1, 3);
+        let e2 = population().inject_into(&mut od2, 3);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn population_avoids_small_flows() {
+        let mut od = OdSeries::new(Matrix::from_fn(500, 4, |_, f| {
+            if f == 0 {
+                1.0 // below min_flow_mean
+            } else {
+                1000.0
+            }
+        }));
+        let events = population().inject_into(&mut od, 4);
+        assert!(events.iter().all(|e| e.flow != 0));
+    }
+
+    #[test]
+    fn negative_fraction_roughly_respected() {
+        let mut od = flat_series(1000, 3, 1e6);
+        let pop = AnomalyPopulation {
+            count: 200,
+            negative_fraction: 0.5,
+            ..population()
+        };
+        let events = pop.inject_into(&mut od, 5);
+        let negative = events.iter().filter(|e| e.delta_bytes < 0.0).count();
+        let frac = negative as f64 / events.len() as f64;
+        assert!((frac - 0.5).abs() < 0.15, "negative fraction {frac}");
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed() {
+        let mut od = flat_series(1000, 3, 1e7);
+        let pop = AnomalyPopulation {
+            count: 300,
+            max_size: 1e9,
+            ..population()
+        };
+        let events = pop.inject_into(&mut od, 6);
+        let mut sizes: Vec<f64> = events.iter().map(|e| e.size()).collect();
+        sizes.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        // Top event should dwarf the median for Pareto(1.1).
+        assert!(sizes[0] / sizes[sizes.len() / 2] > 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no flows above")]
+    fn empty_eligible_set_panics() {
+        let mut od = flat_series(100, 2, 1.0);
+        population().inject_into(&mut od, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Seeded random samplers built on [`rand::Rng`].
+//!
+//! The allowed dependency set includes `rand` but not `rand_distr`, so the
+//! handful of distributions the generator needs are implemented here:
+//! normal (Box–Muller), lognormal, and Pareto.
+
+use rand::{Rng, RngExt};
+
+/// Sample a standard normal via the Box–Muller transform.
+///
+/// Uses the polar-free form with two uniforms; one variate per call keeps
+/// the sampler stateless.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Guard against log(0).
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample `Normal(mean, std_dev)`.
+///
+/// # Panics
+/// Panics if `std_dev` is negative or non-finite.
+pub fn normal<R: Rng>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(
+        std_dev >= 0.0 && std_dev.is_finite(),
+        "normal: bad std_dev {std_dev}"
+    );
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Sample `LogNormal(mu, sigma)` (`mu`/`sigma` are the parameters of the
+/// underlying normal, i.e. the distribution of `ln X`).
+///
+/// # Panics
+/// Panics if `sigma` is negative or non-finite.
+pub fn log_normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Sample a Pareto (type I) variate with scale `x_min > 0` and shape
+/// `alpha > 0`: `P(X > x) = (x_min/x)^alpha` for `x ≥ x_min`.
+///
+/// Heavy-tailed for small `alpha`; the anomaly-size population uses
+/// `alpha ≈ 1.3`, which produces the sharp rank-size knee of Figure 6.
+///
+/// # Panics
+/// Panics if `x_min` or `alpha` is non-positive or non-finite.
+pub fn pareto<R: Rng>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
+    assert!(x_min > 0.0 && x_min.is_finite(), "pareto: bad x_min {x_min}");
+    assert!(alpha > 0.0 && alpha.is_finite(), "pareto: bad alpha {alpha}");
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    x_min / u.powf(1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xFEED)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn standard_normal_symmetry() {
+        let mut r = rng();
+        let n = 100_000;
+        let positive = (0..n).filter(|_| standard_normal(&mut r) > 0.0).count();
+        let frac = positive as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "positive fraction {frac}");
+    }
+
+    #[test]
+    fn normal_location_scale() {
+        let mut r = rng();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05);
+        assert!((var - 9.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut r = rng();
+        assert_eq!(normal(&mut r, 5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad std_dev")]
+    fn normal_rejects_negative_std() {
+        normal(&mut rng(), 0.0, -1.0);
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_has_right_median() {
+        let mut r = rng();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| log_normal(&mut r, 2.0, 1.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        // Median of LogNormal(mu, sigma) is e^mu.
+        let mut sorted = samples;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[n / 2];
+        assert!(
+            (median - 2.0f64.exp()).abs() < 0.2,
+            "median {median} vs {}",
+            2.0f64.exp()
+        );
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let mut r = rng();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| pareto(&mut r, 2.0, 1.5)).collect();
+        assert!(samples.iter().all(|&x| x >= 2.0));
+        // P(X > 4) = (2/4)^1.5 ≈ 0.3536.
+        let frac = samples.iter().filter(|&&x| x > 4.0).count() as f64 / n as f64;
+        assert!((frac - 0.3536).abs() < 0.01, "tail fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad alpha")]
+    fn pareto_rejects_bad_shape() {
+        pareto(&mut rng(), 1.0, 0.0);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Gravity model for mean OD-flow rates.
+//!
+//! The classical traffic-matrix model: every PoP `p` gets a positive
+//! weight `w_p` (its "mass": customer population, peering volume, …) and
+//! the mean rate of the OD flow from `o` to `d` is
+//!
+//! ```text
+//! mean(o → d) = total · (w_o · w_d) / (Σw)²
+//! ```
+//!
+//! With lognormal weights the resulting flow-size distribution is heavy
+//! tailed — a few elephants, many mice — which matches measured backbone
+//! traffic matrices and is what makes identification non-trivial (large
+//! flows align with the normal subspace; see paper Section 5.4).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dist;
+
+/// Parameters of the gravity model.
+#[derive(Debug, Clone)]
+pub struct GravityModel {
+    /// Total network traffic per bin (bytes) summed over all OD flows.
+    pub total_bytes_per_bin: f64,
+    /// `σ` of the lognormal PoP weights; larger values give a heavier
+    /// tailed flow-size distribution. The datasets use `0.8`.
+    pub weight_sigma: f64,
+}
+
+impl GravityModel {
+    /// Draw PoP weights and produce the `num_pops²` vector of mean OD
+    /// rates, ordered like routing-matrix flows
+    /// (`origin * num_pops + destination`).
+    ///
+    /// Deterministic for a given `seed`.
+    ///
+    /// # Panics
+    /// Panics if `num_pops == 0`, or the parameters are non-positive.
+    pub fn mean_rates(&self, num_pops: usize, seed: u64) -> Vec<f64> {
+        assert!(num_pops > 0, "gravity model needs at least one PoP");
+        assert!(
+            self.total_bytes_per_bin > 0.0,
+            "total_bytes_per_bin must be positive"
+        );
+        assert!(self.weight_sigma >= 0.0, "weight_sigma must be non-negative");
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..num_pops)
+            .map(|_| dist::log_normal(&mut rng, 0.0, self.weight_sigma))
+            .collect();
+        let wsum: f64 = weights.iter().sum();
+
+        let mut rates = Vec::with_capacity(num_pops * num_pops);
+        for o in 0..num_pops {
+            for d in 0..num_pops {
+                rates.push(self.total_bytes_per_bin * weights[o] * weights[d] / (wsum * wsum));
+            }
+        }
+        rates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> GravityModel {
+        GravityModel {
+            total_bytes_per_bin: 1e9,
+            weight_sigma: 0.8,
+        }
+    }
+
+    #[test]
+    fn rates_sum_to_total() {
+        let rates = model().mean_rates(13, 1);
+        let sum: f64 = rates.iter().sum();
+        assert!(
+            (sum / 1e9 - 1.0).abs() < 1e-9,
+            "total {sum} should equal 1e9"
+        );
+    }
+
+    #[test]
+    fn rates_are_positive() {
+        let rates = model().mean_rates(11, 2);
+        assert!(rates.iter().all(|&r| r > 0.0));
+        assert_eq!(rates.len(), 121);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(model().mean_rates(5, 9), model().mean_rates(5, 9));
+        assert_ne!(model().mean_rates(5, 9), model().mean_rates(5, 10));
+    }
+
+    #[test]
+    fn heavy_tail_present() {
+        // The largest flow should dominate the median flow by a wide
+        // margin with lognormal weights.
+        let mut rates = model().mean_rates(13, 3);
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = rates[rates.len() / 2];
+        let max = *rates.last().unwrap();
+        assert!(
+            max / median > 5.0,
+            "flow sizes not heavy-tailed: max/median = {}",
+            max / median
+        );
+    }
+
+    #[test]
+    fn rates_factorize_symmetrically() {
+        // Gravity rates satisfy rate(o,d) * rate(d,o) = rate(o,o) * rate(d,d).
+        let n = 7;
+        let rates = model().mean_rates(n, 4);
+        let at = |o: usize, d: usize| rates[o * n + d];
+        for o in 0..n {
+            for d in 0..n {
+                let lhs = at(o, d) * at(d, o);
+                let rhs = at(o, o) * at(d, d);
+                assert!(
+                    ((lhs - rhs) / rhs).abs() < 1e-9,
+                    "gravity factorization violated at ({o},{d})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_sigma_gives_uniform_rates() {
+        let m = GravityModel {
+            total_bytes_per_bin: 100.0,
+            weight_sigma: 0.0,
+        };
+        let rates = m.mean_rates(4, 0);
+        for &r in &rates {
+            assert!((r - 100.0 / 16.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PoP")]
+    fn zero_pops_rejected() {
+        model().mean_rates(0, 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! CSV import/export for measurement series.
+//!
+//! The paper's method "can be applied in any network where link counts
+//! are available"; these helpers move link measurements between this
+//! library and the SNMP pollers / spreadsheets where such counts live.
+//!
+//! Format: one header row naming the links, then one row per time bin of
+//! numeric byte counts. No external CSV crate is needed — the format is
+//! plain numeric RFC-4180 without quoting.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use netanom_linalg::Matrix;
+
+use crate::series::LinkSeries;
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file had no header or no data rows.
+    Empty,
+    /// A row had a different number of fields than the header.
+    RaggedRow {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Fields found.
+        got: usize,
+        /// Fields expected from the header.
+        expected: usize,
+    },
+    /// A field failed to parse as a finite number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column index.
+        column: usize,
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Empty => write!(f, "csv has no data rows"),
+            CsvError::RaggedRow { line, got, expected } => {
+                write!(f, "line {line}: {got} fields, expected {expected}")
+            }
+            CsvError::BadNumber { line, column, text } => {
+                write!(f, "line {line}, column {column}: {text:?} is not a finite number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parse a link-measurement CSV: a header row of link names, then one
+/// row of byte counts per bin. Returns the series and the header names.
+pub fn link_series_from_csv_str(content: &str) -> Result<(LinkSeries, Vec<String>), CsvError> {
+    let mut lines = content.lines().enumerate();
+    let (_, header) = lines.next().ok_or(CsvError::Empty)?;
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let m = names.len();
+
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (idx, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != m {
+            return Err(CsvError::RaggedRow {
+                line: idx + 1,
+                got: fields.len(),
+                expected: m,
+            });
+        }
+        let mut row = Vec::with_capacity(m);
+        for (column, field) in fields.iter().enumerate() {
+            let v: f64 = field.trim().parse().map_err(|_| CsvError::BadNumber {
+                line: idx + 1,
+                column,
+                text: field.trim().to_string(),
+            })?;
+            if !v.is_finite() {
+                return Err(CsvError::BadNumber {
+                    line: idx + 1,
+                    column,
+                    text: field.trim().to_string(),
+                });
+            }
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok((LinkSeries::new(Matrix::from_rows(&rows)), names))
+}
+
+/// Read a link-measurement CSV from disk.
+pub fn link_series_from_csv(path: &Path) -> Result<(LinkSeries, Vec<String>), CsvError> {
+    let content = fs::read_to_string(path)?;
+    link_series_from_csv_str(&content)
+}
+
+/// Serialize a link series to CSV with the given link names (defaults to
+/// `link_0..` when `names` is `None`).
+///
+/// # Panics
+/// Panics if `names` is provided with the wrong length.
+pub fn link_series_to_csv_string(series: &LinkSeries, names: Option<&[String]>) -> String {
+    let m = series.num_links();
+    let owned: Vec<String>;
+    let names: &[String] = match names {
+        Some(n) => {
+            assert_eq!(n.len(), m, "need one name per link");
+            n
+        }
+        None => {
+            owned = (0..m).map(|l| format!("link_{l}")).collect();
+            &owned
+        }
+    };
+    let mut out = names.join(",");
+    out.push('\n');
+    for t in 0..series.num_bins() {
+        let row = series.bin(t);
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a link series to a CSV file, creating parent directories.
+pub fn link_series_to_csv(
+    series: &LinkSeries,
+    names: Option<&[String]>,
+    path: &Path,
+) -> Result<(), CsvError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, link_series_to_csv_string(series, names))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LinkSeries {
+        LinkSeries::new(Matrix::from_rows(&[
+            vec![1.0, 2.5, 3.0],
+            vec![4.0, 5.0, 6.25],
+        ]))
+    }
+
+    #[test]
+    fn roundtrip_preserves_values_and_names() {
+        let names = vec!["a-b".to_string(), "b-c".to_string(), "c (intra)".to_string()];
+        let csv = link_series_to_csv_string(&sample(), Some(&names));
+        let (parsed, parsed_names) = link_series_from_csv_str(&csv).unwrap();
+        assert_eq!(parsed_names, names);
+        assert!(parsed.matrix().approx_eq(sample().matrix(), 0.0));
+    }
+
+    #[test]
+    fn default_names_generated() {
+        let csv = link_series_to_csv_string(&sample(), None);
+        assert!(csv.starts_with("link_0,link_1,link_2\n"));
+    }
+
+    #[test]
+    fn ragged_row_reported_with_line() {
+        let err = link_series_from_csv_str("a,b\n1,2\n3\n").unwrap_err();
+        match err {
+            CsvError::RaggedRow { line, got, expected } => {
+                assert_eq!((line, got, expected), (3, 1, 2));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_number_reported_with_position() {
+        let err = link_series_from_csv_str("a,b\n1,x\n").unwrap_err();
+        match err {
+            CsvError::BadNumber { line, column, text } => {
+                assert_eq!((line, column), (2, 1));
+                assert_eq!(text, "x");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        // Non-finite numbers rejected too.
+        assert!(link_series_from_csv_str("a\ninf\n").is_err());
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(matches!(link_series_from_csv_str(""), Err(CsvError::Empty)));
+        assert!(matches!(
+            link_series_from_csv_str("a,b\n"),
+            Err(CsvError::Empty)
+        ));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let (s, _) = link_series_from_csv_str("a,b\n1,2\n\n3,4\n").unwrap();
+        assert_eq!(s.num_bins(), 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("netanom-io-test");
+        let path = dir.join("links.csv");
+        link_series_to_csv(&sample(), None, &path).unwrap();
+        let (parsed, names) = link_series_from_csv(&path).unwrap();
+        assert_eq!(names.len(), 3);
+        assert!(parsed.matrix().approx_eq(sample().matrix(), 0.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

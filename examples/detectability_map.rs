@@ -1,0 +1,101 @@
+//! Detectability map: which anomalies can this network even see?
+//!
+//! ```sh
+//! cargo run --release --example detectability_map
+//! ```
+//!
+//! Section 5.4 gives a sufficient condition for detection: an anomaly of
+//! `b` bytes in flow `i` is guaranteed visible when
+//! `b > 2δ_α / (‖C̃θᵢ‖·‖Aᵢ‖)`. This example computes that floor for every
+//! OD flow of the Sprint-like network and prints the most and least
+//! observable flows — the operational answer to "how big must an attack
+//! be before this monitor is guaranteed to notice?".
+
+use netanom::core::{detectability, Diagnoser, DiagnoserConfig};
+use netanom::traffic::datasets;
+
+fn main() {
+    let ds = datasets::sprint1();
+    let rm = &ds.network.routing_matrix;
+    let topo = &ds.network.topology;
+
+    let diagnoser = Diagnoser::fit(ds.links.matrix(), rm, DiagnoserConfig::default())
+        .expect("week of data fits");
+
+    let mut floors =
+        detectability::flow_detectability(diagnoser.model(), rm, 0.999).expect("model fits rm");
+    floors.sort_by(|a, b| {
+        a.min_detectable_bytes
+            .partial_cmp(&b.min_detectable_bytes)
+            .unwrap()
+    });
+
+    let flow_label = |f: usize| {
+        let flow = rm.flow(f);
+        format!(
+            "{}->{}",
+            topo.pop(flow.od.0).name,
+            topo.pop(flow.od.1).name
+        )
+    };
+    let means = ds.od.flow_means();
+
+    println!("most observable flows (lowest guaranteed-detection floor):");
+    println!("{:<10} {:>14} {:>10} {:>12}", "flow", "floor (bytes)", "‖C̃θ‖", "flow mean");
+    for d in floors.iter().take(8) {
+        println!(
+            "{:<10} {:>14.3e} {:>10.3} {:>12.3e}",
+            flow_label(d.flow),
+            d.min_detectable_bytes,
+            d.residual_norm,
+            means[d.flow],
+        );
+    }
+
+    println!("\nleast observable flows (the normal subspace hides them):");
+    for d in floors.iter().rev().take(8) {
+        println!(
+            "{:<10} {:>14.3e} {:>10.3} {:>12.3e}",
+            flow_label(d.flow),
+            d.min_detectable_bytes,
+            d.residual_norm,
+            means[d.flow],
+        );
+    }
+
+    // The Section 5.4 claim: the floor rises with flow size because the
+    // normal subspace aligns with high-variance (large) flows.
+    let floor_logs: Vec<f64> = floors
+        .iter()
+        .map(|d| d.min_detectable_bytes.ln())
+        .collect();
+    let mean_logs: Vec<f64> = floors.iter().map(|d| means[d.flow].max(1.0).ln()).collect();
+    let corr = netanom::linalg::stats::pearson(&mean_logs, &floor_logs).unwrap_or(0.0);
+    println!(
+        "\ncorrelation of log(detectability floor) with log(flow mean): {corr:+.3}\n\
+         (positive = bigger flows need bigger anomalies, paper Section 5.4)"
+    );
+
+    // Put the floors in context of the paper's landmarks. The bound is a
+    // *sufficient* condition with a built-in factor of two (it assumes
+    // the worst-case split between the anomaly and the existing
+    // residual), so empirical detection kicks in well below it — the
+    // Table 3 sweep detects 3e7-byte injections ~90% of the time even
+    // though few flows have a guaranteed floor that low.
+    let q = |p: f64| {
+        netanom::linalg::stats::quantile(
+            &floors.iter().map(|d| d.min_detectable_bytes).collect::<Vec<_>>(),
+            p,
+        )
+        .expect("non-empty")
+    };
+    println!(
+        "floor quartiles: 25% = {:.2e}, median = {:.2e}, 75% = {:.2e} bytes\n\
+         (paper landmarks: knee cutoff {:.1e}, large injection {:.1e})",
+        q(0.25),
+        q(0.5),
+        q(0.75),
+        ds.cutoff_bytes,
+        ds.large_injection,
+    );
+}

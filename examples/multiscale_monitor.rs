@@ -1,0 +1,124 @@
+//! Multi-timescale monitoring: catching slow anomalies (Section 7.3).
+//!
+//! ```sh
+//! cargo run --release --example multiscale_monitor
+//! ```
+//!
+//! A single-bin detector misses low-amplitude anomalies that *persist* —
+//! a slow exfiltration, a misconfigured backup job. Averaging over
+//! blocks of `2^l` bins shrinks the noise floor by `2^{l/2}` while a
+//! sustained shift keeps its full amplitude, so the coarse levels of the
+//! pyramid see what the fine levels cannot. This example stages a
+//! 2.7-hour low-rate anomaly that the plain detector ignores and the
+//! coarse levels catch, name, and size.
+
+use netanom::core::{timescale::MultiscaleDiagnoser, DiagnoserConfig};
+use netanom::linalg::vector;
+use netanom::traffic::datasets;
+
+fn main() {
+    let ds = datasets::sprint1();
+    let rm = &ds.network.routing_matrix;
+    let topo = &ds.network.topology;
+
+    let ms = MultiscaleDiagnoser::fit(
+        ds.links.matrix(),
+        rm,
+        DiagnoserConfig::default(),
+        4, // levels 0..=4: 10 min … 2.7 h blocks
+    )
+    .expect("a week supports a 4-level pyramid");
+    for level in 0..ms.num_levels() {
+        let q = ms.level(level).detector().threshold();
+        println!(
+            "level {level}: blocks of {:>3} bins, δ²(99.9%) = {:.3e}",
+            1usize << level,
+            q.delta_sq
+        );
+    }
+
+    // Stage a sustained low-rate anomaly lasting 16 bins (2.7 h). The
+    // rate is calibrated per flow from Δ SPE = rate² · ‖C̃θ‖² · ‖A‖²:
+    // 40% of the single-bin bar keeps every 10-minute bin below
+    // threshold, while the level-4 block — whose noise floor is ~2.4×
+    // lower — sees the full amplitude. Because real bins carry their own
+    // residual wander, we scan for a (flow, window) pair whose baseline
+    // projection on the flow's direction is quiet.
+    let delta0 = ms.level(0).detector().threshold().delta_sq;
+    let model0 = ms.level(0).model();
+    let pick = (0..rm.num_flows())
+        .filter(|&f| rm.path_len(f) >= 3)
+        .find_map(|f| {
+            let theta_res = model0
+                .residual_direction(&rm.theta(f))
+                .expect("dims match");
+            let vis = vector::norm_sq(&theta_res) * rm.path_len(f) as f64;
+            let rate = (0.40 * delta0 / vis).sqrt();
+            // Candidate level-4-aligned windows, away from margins.
+            for start in [160usize, 304, 592, 736, 448] {
+                let quiet = (start..start + 16).all(|t| {
+                    let resid = model0.residual(ds.links.bin(t)).expect("dims match");
+                    // Baseline energy along the flow direction must be a
+                    // small fraction of the injected energy.
+                    let proj = vector::dot(&theta_res, &resid) / vector::norm(&theta_res);
+                    proj.abs() < 0.35 * rate * vis.sqrt()
+                        && model0.spe(ds.links.bin(t)).expect("dims") < 0.5 * delta0
+                });
+                if quiet {
+                    return Some((f, start, rate));
+                }
+            }
+            None
+        });
+    let Some((flow, start, rate)) = pick else {
+        eprintln!("no quiet window found — regenerate the dataset");
+        return;
+    };
+    let mut links = ds.links.matrix().clone();
+    for t in start..start + 16 {
+        let mut row = links.row(t).to_vec();
+        vector::axpy(rate, &rm.column(flow), &mut row);
+        links.set_row(t, &row);
+    }
+    let od = rm.flow(flow).od;
+    println!(
+        "\nstaged: {:.2e} bytes/bin into {}->{} for bins {start}..{} (≈{:.1e} bytes total)\n",
+        rate,
+        topo.pop(od.0).name,
+        topo.pop(od.1).name,
+        start + 16,
+        rate * 16.0,
+    );
+
+    let hits = ms.diagnose_series(&links).expect("dims match");
+    let staged_range = start..start + 16;
+    let mut fine_hit_in_range = false;
+    for h in &hits {
+        let overlaps = h.bin_range.1 > staged_range.start && h.bin_range.0 < staged_range.end;
+        if h.level == 0 && overlaps {
+            fine_hit_in_range = true;
+        }
+        if !overlaps {
+            continue;
+        }
+        let id = h.report.identification.expect("detected implies identified");
+        let f = rm.flow(id.flow);
+        println!(
+            "level {} block {:>3} (bins {:>4}..{:<4}): flow {}->{} ({}), \
+             ≈{:.2e} bytes/bin, SPE/δ² = {:.1}",
+            h.level,
+            h.block,
+            h.bin_range.0,
+            h.bin_range.1,
+            topo.pop(f.od.0).name,
+            topo.pop(f.od.1).name,
+            if id.flow == flow { "the staged anomaly" } else { "other" },
+            h.report.estimated_bytes.unwrap_or(0.0),
+            h.report.spe / h.report.threshold,
+        );
+    }
+    println!(
+        "\nsingle-bin (level 0) detection inside the staged window: {}",
+        if fine_hit_in_range { "yes" } else { "no — invisible at 10-minute bins" }
+    );
+}

@@ -1,0 +1,69 @@
+//! Quickstart: diagnose a week of backbone traffic in ~30 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Fits the subspace model on the Sprint-Europe-like dataset's link
+//! measurements, walks the week, and prints every diagnosed anomaly next
+//! to the exact ground truth the generator embedded.
+
+use netanom::core::{Diagnoser, DiagnoserConfig};
+use netanom::traffic::datasets;
+
+fn main() {
+    // One week of 10-minute link byte counts for a 13-PoP / 49-link
+    // backbone, with known embedded anomalies.
+    let ds = datasets::sprint1();
+    println!(
+        "dataset {}: {} links x {} bins, {} embedded anomalies\n",
+        ds.name,
+        ds.links.num_links(),
+        ds.links.num_bins(),
+        ds.truth.len()
+    );
+
+    // The diagnoser sees ONLY link data — never the OD flows.
+    let diagnoser = Diagnoser::fit(
+        ds.links.matrix(),
+        &ds.network.routing_matrix,
+        DiagnoserConfig::default(), // 99.9% confidence, 3σ separation
+    )
+    .expect("week of data fits the model");
+
+    println!(
+        "normal subspace: r = {} of {} dimensions; δ²(99.9%) = {:.3e}\n",
+        diagnoser.model().normal_dim(),
+        diagnoser.model().dim(),
+        diagnoser.detector().threshold().delta_sq,
+    );
+
+    let topo = &ds.network.topology;
+    let rm = &ds.network.routing_matrix;
+    println!("{:<6} {:<10} {:>12}  ground truth", "bin", "OD flow", "est. bytes");
+    for report in diagnoser
+        .diagnose_anomalies(ds.links.matrix())
+        .expect("dimensions match")
+    {
+        let id = report.identification.expect("detected implies identified");
+        let flow = rm.flow(id.flow);
+        let label = format!(
+            "{}->{}",
+            topo.pop(flow.od.0).name,
+            topo.pop(flow.od.1).name
+        );
+        let truth = ds
+            .truth
+            .iter()
+            .find(|e| e.time == report.time)
+            .map(|e| format!("flow {} {:+.2e} B", e.flow, e.delta_bytes))
+            .unwrap_or_else(|| "(none — false alarm)".into());
+        println!(
+            "{:<6} {:<10} {:>12.3e}  {}",
+            report.time,
+            label,
+            report.estimated_bytes.unwrap_or(0.0),
+            truth
+        );
+    }
+}
