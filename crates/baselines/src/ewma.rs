@@ -177,7 +177,9 @@ mod tests {
     #[test]
     fn bidirectional_estimate_is_symmetric() {
         let e = Ewma::new(0.3);
-        let s: Vec<f64> = (0..60).map(|i| 100.0 + (i as f64 * 0.5).sin() * 10.0).collect();
+        let s: Vec<f64> = (0..60)
+            .map(|i| 100.0 + (i as f64 * 0.5).sin() * 10.0)
+            .collect();
         let mut rs = s.clone();
         rs.reverse();
         let a = e.bidirectional_spike_sizes(&s);

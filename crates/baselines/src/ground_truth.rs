@@ -79,7 +79,11 @@ pub fn extract_true_anomalies(
     }
 
     let mut all: Vec<ExtractedAnomaly> = best_per_bin.into_iter().flatten().collect();
-    all.sort_by(|a, b| b.size.partial_cmp(&a.size).unwrap_or(std::cmp::Ordering::Equal));
+    all.sort_by(|a, b| {
+        b.size
+            .partial_cmp(&a.size)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     all.truncate(top_k);
     all
 }

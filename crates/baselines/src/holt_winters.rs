@@ -40,7 +40,11 @@ impl HoltWinters {
     /// Panics if the series is shorter than two periods, or parameters
     /// are outside `[0, 1]`.
     pub fn forecasts(&self, series: &[f64]) -> Vec<f64> {
-        for (name, v) in [("alpha", self.alpha), ("beta", self.beta), ("gamma", self.gamma)] {
+        for (name, v) in [
+            ("alpha", self.alpha),
+            ("beta", self.beta),
+            ("gamma", self.gamma),
+        ] {
             assert!(
                 (0.0..=1.0).contains(&v) && v.is_finite(),
                 "{name} {v} outside [0, 1]"

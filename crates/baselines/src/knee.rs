@@ -62,7 +62,7 @@ mod tests {
     fn sharp_knee_is_found() {
         // 5 standouts, then a flat mass.
         let mut sizes = vec![100.0, 90.0, 80.0, 70.0, 60.0];
-        sizes.extend(std::iter::repeat(10.0).take(30));
+        sizes.extend(std::iter::repeat_n(10.0, 30));
         let idx = knee_index(&sizes).unwrap();
         assert!(
             (4..=6).contains(&idx),

@@ -67,8 +67,7 @@ mod tests {
     fn links_with_spike() -> LinkSeries {
         let bins = 1008;
         let mut m = Matrix::from_fn(bins, 3, |t, l| {
-            1e6 * (l + 1) as f64
-                + 1e5 * (std::f64::consts::TAU * t as f64 / 144.0).sin()
+            1e6 * (l + 1) as f64 + 1e5 * (std::f64::consts::TAU * t as f64 / 144.0).sin()
         });
         for l in 0..3 {
             m[(400, l)] += 5e5;

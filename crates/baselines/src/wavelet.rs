@@ -101,7 +101,9 @@ mod tests {
     #[test]
     fn approximation_preserves_mean_on_dyadic_length() {
         let w = HaarWavelet::new(3);
-        let s: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin() * 5.0 + 10.0).collect();
+        let s: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.3).sin() * 5.0 + 10.0)
+            .collect();
         let a = w.approximation(&s);
         let mean_s = s.iter().sum::<f64>() / 64.0;
         let mean_a = a.iter().sum::<f64>() / 64.0;

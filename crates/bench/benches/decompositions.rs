@@ -35,9 +35,7 @@ fn bench_decompositions(c: &mut Criterion) {
     group.bench_function("covariance_eigen_49x49", |b| {
         b.iter(|| SymmetricEigen::new(black_box(&cov)).expect("converges"))
     });
-    group.bench_function("gram_1008x49", |b| {
-        b.iter(|| black_box(&centered).gram())
-    });
+    group.bench_function("gram_1008x49", |b| b.iter(|| black_box(&centered).gram()));
 
     // QR least squares at the Fourier-fit shape (1008 × 17).
     let basis = Matrix::from_fn(1008, 17, |i, j| {

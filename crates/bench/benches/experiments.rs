@@ -28,7 +28,10 @@ fn bench_experiments(c: &mut Criterion) {
     group.bench_function("fig3_scree", |b| {
         b.iter(|| {
             let pca = Pca::fit(black_box(links), Default::default()).expect("fits");
-            (pca.variance_fractions(), SeparationPolicy::default().normal_dim(&pca))
+            (
+                pca.variance_fractions(),
+                SeparationPolicy::default().normal_dim(&pca),
+            )
         })
     });
 

@@ -53,27 +53,19 @@ fn bench_extensions(c: &mut Criterion) {
         })
     });
     group.bench_function("multiflow_exhaustive_pairs_169", |b| {
-        b.iter(|| {
-            multiflow::identify_best_pair(model, rm, black_box(&y)).expect("pairs exist")
-        })
+        b.iter(|| multiflow::identify_best_pair(model, rm, black_box(&y)).expect("pairs exist"))
     });
 
     // Multi-timescale pyramid: fit and sweep.
     group.bench_function("timescale_fit_4_levels", |b| {
         b.iter(|| {
-            timescale::MultiscaleDiagnoser::fit(
-                black_box(links),
-                rm,
-                DiagnoserConfig::default(),
-                4,
-            )
-            .expect("week supports 4 levels")
+            timescale::MultiscaleDiagnoser::fit(black_box(links), rm, DiagnoserConfig::default(), 4)
+                .expect("week supports 4 levels")
         })
     });
     group.bench_function("timescale_diagnose_week", |b| {
-        let ms =
-            timescale::MultiscaleDiagnoser::fit(links, rm, DiagnoserConfig::default(), 4)
-                .expect("week supports 4 levels");
+        let ms = timescale::MultiscaleDiagnoser::fit(links, rm, DiagnoserConfig::default(), 4)
+            .expect("week supports 4 levels");
         b.iter(|| ms.diagnose_series(black_box(links)).expect("dims match"))
     });
 

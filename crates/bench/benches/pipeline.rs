@@ -26,9 +26,7 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| Pca::fit(black_box(links), PcaMethod::Covariance).expect("fits"))
     });
     group.bench_function("diagnoser_fit_full", |b| {
-        b.iter(|| {
-            Diagnoser::fit(black_box(links), rm, DiagnoserConfig::default()).expect("fits")
-        })
+        b.iter(|| Diagnoser::fit(black_box(links), rm, DiagnoserConfig::default()).expect("fits"))
     });
 
     // Per-arrival costs — the online path.
@@ -44,7 +42,11 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| diagnoser.diagnose_vector(black_box(&quiet)).expect("dims"))
     });
     group.bench_function("diagnose_anomalous_vector", |b| {
-        b.iter(|| diagnoser.diagnose_vector(black_box(&anomalous)).expect("dims"))
+        b.iter(|| {
+            diagnoser
+                .diagnose_vector(black_box(&anomalous))
+                .expect("dims")
+        })
     });
 
     // Identification alone (fast path vs naive Equation-1 evaluation).
@@ -74,5 +76,45 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// The headline batch-vs-per-vector comparison on an Abilene-week-scale
+/// matrix (1008 × 121): `Detector::detect_matrix` against the naive
+/// `detect_vector` loop the seed shipped with. The PR that introduced
+/// the batched kernel layer requires `detect_matrix` ≥ 3× faster here.
+fn bench_batch_vs_per_vector(c: &mut Criterion) {
+    use netanom_core::{Detector, PcaMethod, SeparationPolicy, SubspaceModel};
+    use netanom_linalg::Matrix;
+
+    let m = 121;
+    let links = Matrix::from_fn(1008, m, |i, l| {
+        let phase = i as f64 * std::f64::consts::TAU / 144.0;
+        let smooth = 2e5 * phase.sin() * ((l % 7) as f64 + 1.0);
+        let noise = (((i * m + l).wrapping_mul(2654435761)) % 8192) as f64 - 4096.0;
+        2e6 + smooth + noise
+    });
+    let model = SubspaceModel::fit(&links, SeparationPolicy::FixedCount(6), PcaMethod::Svd)
+        .expect("synthetic data fits");
+    let detector = Detector::new(model, 0.999).expect("residual variance present");
+
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(30);
+    group.bench_function("detect_per_vector_1008x121", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(links.rows());
+            for t in 0..links.rows() {
+                let mut d = detector
+                    .detect_vector(black_box(&links).row(t))
+                    .expect("dims");
+                d.time = t;
+                out.push(d);
+            }
+            out
+        })
+    });
+    group.bench_function("detect_matrix_1008x121", |b| {
+        b.iter(|| detector.detect_matrix(black_box(&links)).expect("dims"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_batch_vs_per_vector);
 criterion_main!(benches);

@@ -74,7 +74,10 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     // links.csv with human-readable link names.
     let topo = &ds.network.topology;
     let names: Vec<String> = (0..topo.num_links())
-        .map(|l| topo.link_label(netanom_topology::LinkId(l)).replace(',', "_"))
+        .map(|l| {
+            topo.link_label(netanom_topology::LinkId(l))
+                .replace(',', "_")
+        })
         .collect();
     traffic_io::link_series_to_csv(&ds.links, Some(&names), &out_dir.join("links.csv"))
         .map_err(|e| format!("writing links.csv: {e}"))?;
@@ -92,8 +95,7 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     for e in &ds.truth {
         let _ = writeln!(truth, "{},{},{}", e.time, e.flow, e.delta_bytes);
     }
-    fs::write(out_dir.join("truth.csv"), truth)
-        .map_err(|e| format!("writing truth.csv: {e}"))?;
+    fs::write(out_dir.join("truth.csv"), truth).map_err(|e| format!("writing truth.csv: {e}"))?;
 
     println!(
         "wrote {}/links.csv ({} bins x {} links), paths.csv ({} flows), truth.csv ({} anomalies)",
@@ -107,8 +109,7 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
 }
 
 fn load_links(path: &str) -> Result<(netanom_traffic::LinkSeries, Vec<String>), String> {
-    traffic_io::link_series_from_csv(Path::new(path))
-        .map_err(|e| format!("reading {path}: {e}"))
+    traffic_io::link_series_from_csv(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))
 }
 
 /// `netanom detect --links FILE [--confidence C] [--train-bins N]`
@@ -302,7 +303,13 @@ mod tests {
     fn simulate_then_diagnose_end_to_end() {
         let dir = std::env::temp_dir().join("netanom-cli-test");
         let _ = fs::remove_dir_all(&dir);
-        simulate(&s(&["--dataset", "mini", "--out-dir", dir.to_str().unwrap()])).unwrap();
+        simulate(&s(&[
+            "--dataset",
+            "mini",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
         assert!(dir.join("links.csv").exists());
         assert!(dir.join("paths.csv").exists());
         assert!(dir.join("truth.csv").exists());

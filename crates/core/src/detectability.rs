@@ -49,11 +49,11 @@ pub fn flow_detectability(
         });
     }
     let delta = model.q_threshold(confidence)?.delta_sq.sqrt();
+    // All C̃θᵢ in one batched projection.
+    let theta_tilde = model.residual_directions(rm.theta_matrix())?;
     let mut out = Vec::with_capacity(rm.num_flows());
     for i in 0..rm.num_flows() {
-        let theta = rm.theta(i);
-        let resid = model.residual_direction(&theta)?;
-        let residual_norm = vector::norm(&resid);
+        let residual_norm = vector::norm(&theta_tilde.col(i));
         let a_norm = (rm.path_len(i) as f64).sqrt();
         let min_detectable_bytes = if residual_norm <= 1e-12 {
             f64::INFINITY
@@ -85,7 +85,11 @@ mod tests {
             let phase = i as f64 * std::f64::consts::TAU / 144.0;
             // Give link 0 a big smooth component so flows over it align
             // with the normal subspace.
-            let smooth = if l == 0 { 5e5 * phase.sin() } else { 2e4 * phase.sin() };
+            let smooth = if l == 0 {
+                5e5 * phase.sin()
+            } else {
+                2e4 * phase.sin()
+            };
             let noise = (((i * m + l).wrapping_mul(2654435761)) % 4096) as f64 - 2048.0;
             1e6 + smooth + noise
         });

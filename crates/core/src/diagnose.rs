@@ -69,11 +69,7 @@ impl Diagnoser {
     }
 
     /// Assemble a diagnoser from an already-fitted model.
-    pub fn from_model(
-        model: SubspaceModel,
-        rm: &RoutingMatrix,
-        confidence: f64,
-    ) -> Result<Self> {
+    pub fn from_model(model: SubspaceModel, rm: &RoutingMatrix, confidence: f64) -> Result<Self> {
         let identifier = Identifier::new(&model, rm)?;
         let detector = Detector::new(model, confidence)?;
         let quant_factor = (0..rm.num_flows())
@@ -128,12 +124,42 @@ impl Diagnoser {
     }
 
     /// Diagnose every row of a `t × m` measurement matrix.
+    ///
+    /// Batched: all SPEs come out of the fused single-pass detection
+    /// kernel ([`SubspaceModel::spe_all`]); identification and
+    /// quantification then run only on the rows whose detection fired,
+    /// each against the exact per-vector residual. Relative to running
+    /// [`Diagnoser::diagnose_vector`] per row, SPEs agree within `1e-12`
+    /// and identifications are bitwise identical — while the series as a
+    /// whole runs several times faster (see `crates/bench`).
     pub fn diagnose_series(&self, links: &Matrix) -> Result<Vec<DiagnosisReport>> {
+        let model = self.detector.model();
+        let spes = model.spe_all(links)?;
+        let threshold = self.detector.threshold().delta_sq;
         let mut out = Vec::with_capacity(links.rows());
-        for t in 0..links.rows() {
-            let mut rep = self.diagnose_vector(links.row(t))?;
-            rep.time = t;
-            out.push(rep);
+        for (time, spe) in spes.into_iter().enumerate() {
+            if spe <= threshold {
+                out.push(DiagnosisReport {
+                    time,
+                    spe,
+                    threshold,
+                    detected: false,
+                    identification: None,
+                    estimated_bytes: None,
+                });
+                continue;
+            }
+            let residual = model.residual(links.row(time))?;
+            let id = self.identifier.identify(&residual)?;
+            let bytes = quantify_with_factor(&id, self.quant_factor[id.flow]);
+            out.push(DiagnosisReport {
+                time,
+                spe,
+                threshold,
+                detected: true,
+                identification: Some(id),
+                estimated_bytes: Some(bytes),
+            });
         }
         Ok(out)
     }
@@ -234,9 +260,7 @@ mod tests {
         let id = rep.identification.unwrap();
         let k = rm.path_len(id.flow) as f64;
         let expected = id.f_hat / k.sqrt();
-        assert!(
-            (rep.estimated_bytes.unwrap() - expected).abs() < 1e-6 * expected.abs().max(1.0)
-        );
+        assert!((rep.estimated_bytes.unwrap() - expected).abs() < 1e-6 * expected.abs().max(1.0));
         // And the free function agrees with the precomputed factor.
         assert!(
             (quantify(&id, rm) - rep.estimated_bytes.unwrap()).abs()

@@ -67,7 +67,10 @@ impl fmt::Display for CoreError {
             }
             CoreError::NoCandidates => write!(f, "no candidate anomalies to identify among"),
             CoreError::DependentCandidates => {
-                write!(f, "candidate flows are linearly dependent in the residual subspace")
+                write!(
+                    f,
+                    "candidate flows are linearly dependent in the residual subspace"
+                )
             }
         }
     }

@@ -77,15 +77,12 @@ impl Identifier {
         if n == 0 {
             return Err(CoreError::NoCandidates);
         }
-        let m = model.dim();
-        let mut theta_tilde = Matrix::zeros(m, n);
-        let mut norms = Vec::with_capacity(n);
-        for i in 0..n {
-            let th = rm.theta(i);
-            let tt = model.residual_direction(&th)?;
-            norms.push(vector::norm_sq(&tt));
-            theta_tilde.set_col(i, &tt);
-        }
+        // All θ̃ᵢ = C̃θᵢ in one batched projection instead of n matvec
+        // pairs (identical columns; see SubspaceModel::residual_directions).
+        let theta_tilde = model.residual_directions(rm.theta_matrix())?;
+        let norms: Vec<f64> = (0..n)
+            .map(|i| vector::norm_sq(&theta_tilde.col(i)))
+            .collect();
         Ok(Identifier {
             theta_tilde,
             theta_tilde_norm_sq: norms,
@@ -153,11 +150,7 @@ impl Identifier {
     ///
     /// Quadratically slower than [`Identifier::identify`]; exists to pin
     /// the algebraic reduction in tests and for didactic value.
-    pub fn identify_naive(
-        &self,
-        model: &SubspaceModel,
-        y: &[f64],
-    ) -> Result<Identification> {
+    pub fn identify_naive(&self, model: &SubspaceModel, y: &[f64]) -> Result<Identification> {
         let residual = model.residual(y)?;
         let energy = vector::norm_sq(&residual);
         let mut best: Option<(usize, f64, f64)> = None; // (flow, remaining, f_hat)
@@ -224,7 +217,9 @@ mod tests {
         let (model, ident, net, links) = setup();
         let rm = &net.routing_matrix;
         // Inject 1e6 bytes into a multi-hop flow at a clean timestep.
-        let flow = rm.flow_id((netanom_topology::PopId(0), netanom_topology::PopId(3))).0;
+        let flow = rm
+            .flow_id((netanom_topology::PopId(0), netanom_topology::PopId(3)))
+            .0;
         let mut y = links.row(100).to_vec();
         vector::axpy(1e6, &rm.column(flow), &mut y);
         let id = ident.identify(&model.residual(&y).unwrap()).unwrap();
@@ -243,7 +238,9 @@ mod tests {
     fn negative_anomaly_gets_negative_f_hat() {
         let (model, ident, net, links) = setup();
         let rm = &net.routing_matrix;
-        let flow = rm.flow_id((netanom_topology::PopId(3), netanom_topology::PopId(0))).0;
+        let flow = rm
+            .flow_id((netanom_topology::PopId(3), netanom_topology::PopId(0)))
+            .0;
         let mut y = links.row(50).to_vec();
         vector::axpy(-8e5, &rm.column(flow), &mut y);
         let id = ident.identify(&model.residual(&y).unwrap()).unwrap();

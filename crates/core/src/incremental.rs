@@ -15,7 +15,7 @@
 //! window length.
 
 use netanom_linalg::decomposition::SymmetricEigen;
-use netanom_linalg::{Matrix, vector};
+use netanom_linalg::{vector, Matrix};
 
 use crate::separation::SeparationPolicy;
 use crate::subspace::SubspaceModel;
@@ -56,7 +56,8 @@ impl IncrementalCovariance {
     pub fn from_matrix(data: &Matrix) -> Self {
         let mut acc = Self::new(data.cols());
         for t in 0..data.rows() {
-            acc.add(data.row(t)).expect("row length matches by construction");
+            acc.add(data.row(t))
+                .expect("row length matches by construction");
         }
         acc
     }
@@ -210,8 +211,7 @@ mod tests {
         Matrix::from_fn(t, m, |i, j| {
             let phase = i as f64 * std::f64::consts::TAU / 144.0;
             let smooth = 1e5 * phase.sin() * ((j % 3) as f64 + 1.0);
-            let noise =
-                (((i * m + j + seed).wrapping_mul(2654435761)) % 8192) as f64 - 4096.0;
+            let noise = (((i * m + j + seed).wrapping_mul(2654435761)) % 8192) as f64 - 4096.0;
             1e6 + smooth + noise
         })
     }
@@ -266,7 +266,11 @@ mod tests {
             );
         }
         // Same spectrum.
-        for (a, b) in model_inc.eigenvalues().iter().zip(model_batch.eigenvalues()) {
+        for (a, b) in model_inc
+            .eigenvalues()
+            .iter()
+            .zip(model_batch.eigenvalues())
+        {
             assert!((a - b).abs() <= 1e-6 * b.max(1.0));
         }
     }
@@ -275,7 +279,9 @@ mod tests {
     fn variance_fraction_policy_works_without_temporal_data() {
         let y = data(300, 6, 3);
         let inc = IncrementalCovariance::from_matrix(&y);
-        let model = inc.to_model(SeparationPolicy::VarianceFraction(0.9)).unwrap();
+        let model = inc
+            .to_model(SeparationPolicy::VarianceFraction(0.9))
+            .unwrap();
         assert!(model.normal_dim() >= 1);
         assert!(model.normal_dim() < 6);
     }

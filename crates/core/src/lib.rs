@@ -56,12 +56,12 @@ mod error;
 mod identify;
 pub mod incremental;
 pub mod multiflow;
-pub mod timescale;
 mod online;
 mod pca;
 pub mod qstat;
 mod separation;
 mod subspace;
+pub mod timescale;
 
 pub use diagnose::{quantify, Diagnoser, DiagnoserConfig, DiagnosisReport};
 pub use error::CoreError;

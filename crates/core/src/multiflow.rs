@@ -60,6 +60,12 @@ impl MultiFlowAnomaly {
     }
 }
 
+/// The `m × k` matrix whose columns are `θ_f` for the listed flows.
+fn theta_columns(rm: &RoutingMatrix, flows: &[usize]) -> Matrix {
+    let cols: Vec<Vec<f64>> = flows.iter().map(|&f| rm.theta(f)).collect();
+    Matrix::from_columns(&cols)
+}
+
 /// Estimate the intensities of a *known* set of participating flows
 /// (paper Section 7.2: "replace θᵢ with a matrix Θᵢ … and fᵢ with a
 /// vector fᵢ").
@@ -79,14 +85,8 @@ pub fn estimate_intensities(
     let residual = model.residual(y)?;
     let energy = vector::norm_sq(&residual);
 
-    // Θ̃ columns.
-    let m = model.dim();
-    let k = flows.len();
-    let mut theta_tilde = Matrix::zeros(m, k);
-    for (c, &f) in flows.iter().enumerate() {
-        let tt = model.residual_direction(&rm.theta(f))?;
-        theta_tilde.set_col(c, &tt);
-    }
+    // Θ̃ columns, projected in one batch.
+    let theta_tilde = model.residual_directions(&theta_columns(rm, flows))?;
 
     // Normal equations: (Θ̃ᵀΘ̃) f = Θ̃ᵀ ỹ.
     let gram = theta_tilde.gram();
@@ -137,12 +137,9 @@ pub fn identify_best_pair(
     let residual = model.residual(y)?;
     let energy = vector::norm_sq(&residual);
 
-    // Θ̃ for all flows, then its Gram matrix and projections onto ỹ.
-    let m = model.dim();
-    let mut theta_tilde = Matrix::zeros(m, n);
-    for f in 0..n {
-        theta_tilde.set_col(f, &model.residual_direction(&rm.theta(f))?);
-    }
+    // Θ̃ for all flows in one batched projection, then its Gram matrix
+    // and projections onto ỹ.
+    let theta_tilde = model.residual_directions(rm.theta_matrix())?;
     let gram = theta_tilde.gram();
     let b = theta_tilde
         .matvec_t(&residual)
@@ -236,11 +233,7 @@ pub fn greedy_identify(
             break;
         }
         // Update the working residual to what the joint fit leaves.
-        let m = model.dim();
-        let mut theta_tilde = Matrix::zeros(m, flows.len());
-        for (c, &f) in flows.iter().enumerate() {
-            theta_tilde.set_col(c, &model.residual_direction(&rm.theta(f))?);
-        }
+        let theta_tilde = model.residual_directions(&theta_columns(rm, &flows))?;
         let fitted = theta_tilde
             .matvec(&joint.f_hat)
             .expect("dims consistent by construction");
@@ -258,12 +251,7 @@ mod tests {
     use crate::separation::SeparationPolicy;
     use netanom_topology::builtin;
 
-    fn setup() -> (
-        SubspaceModel,
-        Identifier,
-        netanom_topology::Network,
-        Matrix,
-    ) {
+    fn setup() -> (SubspaceModel, Identifier, netanom_topology::Network, Matrix) {
         let net = builtin::sprint_europe();
         let m = net.routing_matrix.num_links();
         let links = Matrix::from_fn(600, m, |i, l| {
@@ -419,8 +407,7 @@ mod tests {
             assert!((a - b).abs() < 1e-6 * a.abs().max(1.0));
         }
         assert!(
-            (pair.remaining_energy - direct.remaining_energy).abs()
-                < 1e-6 * pair.residual_energy
+            (pair.remaining_energy - direct.remaining_energy).abs() < 1e-6 * pair.residual_energy
         );
     }
 

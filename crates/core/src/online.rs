@@ -97,17 +97,56 @@ impl OnlineDiagnoser {
         Ok(report)
     }
 
+    /// Process a whole block of arrivals (rows of a `b × m` matrix) at
+    /// once.
+    ///
+    /// Equivalent to calling [`OnlineDiagnoser::process`] on every row in
+    /// order — including mid-block refits, which are honored by
+    /// diagnosing batch-wise only up to each refit boundary — but the
+    /// diagnosis between refits runs through the batched
+    /// [`Diagnoser::diagnose_series`] GEMM path. This is the intended
+    /// entry point for replaying backlogs or micro-batched collection
+    /// (e.g. one SNMP poll cycle per call).
+    pub fn process_batch(&mut self, links: &Matrix) -> Result<Vec<DiagnosisReport>> {
+        let mut out = Vec::with_capacity(links.rows());
+        let mut next = 0;
+        while next < links.rows() {
+            let until_refit = match self.refit_every {
+                Some(k) => k.saturating_sub(self.arrivals_since_fit).max(1),
+                None => links.rows() - next,
+            };
+            let take = until_refit.min(links.rows() - next);
+            let block = links.row_block(next, take).expect("range checked");
+            let mut reports = self.diagnoser.diagnose_series(&block)?;
+            for rep in &mut reports {
+                rep.time = self.arrivals_total;
+                self.arrivals_total += 1;
+                self.arrivals_since_fit += 1;
+            }
+            out.append(&mut reports);
+            for t in next..next + take {
+                if self.window.len() == self.window_capacity {
+                    self.window.remove(0);
+                }
+                self.window.push(block.row(t - next).to_vec());
+            }
+            next += take;
+            if let Some(k) = self.refit_every {
+                if self.arrivals_since_fit >= k {
+                    self.refit()?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Recompute the subspace model from the current window.
     ///
     /// Anomalous bins contaminate a refit slightly; the paper's
     /// week-over-week stability argument is that the top components are
     /// dominated by diurnal structure, so sparse spikes barely move them.
     pub fn refit(&mut self) -> Result<()> {
-        let m = self.diagnoser.model().dim();
-        let mut training = Matrix::zeros(self.window.len(), m);
-        for (i, row) in self.window.iter().enumerate() {
-            training.set_row(i, row);
-        }
+        let training = Matrix::from_rows(&self.window);
         self.diagnoser = Diagnoser::fit(&training, &self.rm, self.config)?;
         self.arrivals_since_fit = 0;
         Ok(())
@@ -126,8 +165,7 @@ mod tests {
         Matrix::from_fn(bins, m, |i, l| {
             let phase = i as f64 * std::f64::consts::TAU / 144.0;
             let smooth = 2e5 * phase.sin() * ((l % 3) as f64 + 1.0);
-            let noise =
-                (((i * m + l + seed).wrapping_mul(2654435761)) % 8192) as f64 - 4096.0;
+            let noise = (((i * m + l + seed).wrapping_mul(2654435761)) % 8192) as f64 - 4096.0;
             2e6 + smooth + noise
         })
     }
@@ -192,6 +230,39 @@ mod tests {
             .filter(|&t| online.process(tail.row(t)).unwrap().detected)
             .count();
         assert!(alarms <= 2, "{alarms} alarms after refit");
+    }
+
+    #[test]
+    fn process_batch_equals_sequential_processing() {
+        let net = builtin::line(3);
+        let rm = &net.routing_matrix;
+        let train = training(rm.num_links(), 300, 0);
+        // Refit every 50 so the batch spans several refit boundaries.
+        let mut seq = OnlineDiagnoser::new(&train, rm, config(), 300, Some(50)).unwrap();
+        let mut batch = OnlineDiagnoser::new(&train, rm, config(), 300, Some(50)).unwrap();
+
+        let fresh = training(rm.num_links(), 130, 300);
+        let seq_reports: Vec<_> = (0..fresh.rows())
+            .map(|t| seq.process(fresh.row(t)).unwrap())
+            .collect();
+        let batch_reports = batch.process_batch(&fresh).unwrap();
+
+        assert_eq!(batch_reports.len(), seq_reports.len());
+        for (b, s) in batch_reports.iter().zip(&seq_reports) {
+            assert_eq!(b.time, s.time);
+            assert_eq!(b.detected, s.detected, "divergence at arrival {}", s.time);
+            assert!(
+                (b.spe - s.spe).abs() <= 1e-12 * s.spe.max(1.0),
+                "spe divergence at arrival {}",
+                s.time
+            );
+        }
+        assert_eq!(batch.arrivals(), seq.arrivals());
+        assert_eq!(batch.arrivals_since_fit, seq.arrivals_since_fit);
+        assert_eq!(batch.window.len(), seq.window.len());
+        for (a, b) in batch.window.iter().zip(&seq.window) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -96,7 +96,7 @@ mod tests {
     /// A typical backbone-like spectrum: steep head, flat noisy tail.
     fn spectrum() -> Vec<f64> {
         let mut v: Vec<f64> = vec![1e16, 3e15, 8e14, 2e14];
-        v.extend(std::iter::repeat(4.0e12).take(45));
+        v.extend(std::iter::repeat_n(4.0e12, 45));
         v
     }
 

@@ -189,8 +189,7 @@ mod tests {
         vector::axpy(5e6, &rm.column(4), &mut row);
         y.set_row(200, &row);
 
-        let ms = MultiscaleDiagnoser::fit(&training(rm.num_links(), 512), rm, config(), 3)
-            .unwrap();
+        let ms = MultiscaleDiagnoser::fit(&training(rm.num_links(), 512), rm, config(), 3).unwrap();
         let hits = ms.diagnose_series(&y).unwrap();
         let l0_hit = hits
             .iter()
@@ -230,7 +229,10 @@ mod tests {
             .iter()
             .any(|h| h.level == 3 && h.bin_range == (240, 248));
         assert!(!fine_hit, "shift should be invisible at single bins");
-        assert!(coarse_hit, "sustained shift must surface at level 3: {hits:?}");
+        assert!(
+            coarse_hit,
+            "sustained shift must surface at level 3: {hits:?}"
+        );
     }
 
     #[test]

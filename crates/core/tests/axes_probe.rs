@@ -7,7 +7,11 @@ use netanom_traffic::datasets;
 #[test]
 #[ignore = "manual calibration tool"]
 fn axes_probe() {
-    for ds in [datasets::sprint1(), datasets::sprint2(), datasets::abilene()] {
+    for ds in [
+        datasets::sprint1(),
+        datasets::sprint2(),
+        datasets::abilene(),
+    ] {
         let pca = Pca::fit(ds.links.matrix(), Default::default()).unwrap();
         let fracs = pca.variance_fractions();
         println!("=== {} ===", ds.name);
@@ -15,9 +19,21 @@ fn axes_probe() {
             let u = pca.temporal_projection(i);
             let mean = stats::mean(&u);
             let sd = stats::std_dev(&u);
-            let maxz = u.iter().map(|&x| ((x - mean) / sd).abs()).fold(0.0f64, f64::max);
+            let maxz = u
+                .iter()
+                .map(|&x| ((x - mean) / sd).abs())
+                .fold(0.0f64, f64::max);
             // where is the max?
-            let argmax = u.iter().enumerate().max_by(|a, b| ((a.1 - mean).abs()).partial_cmp(&(b.1 - mean).abs()).unwrap()).unwrap().0;
+            let argmax = u
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    ((a.1 - mean).abs())
+                        .partial_cmp(&(b.1 - mean).abs())
+                        .unwrap()
+                })
+                .unwrap()
+                .0;
             println!("  axis {i}: frac={frac:.4} max|z|={maxz:.2} at t={argmax}");
         }
     }

@@ -14,7 +14,11 @@ use netanom_traffic::datasets;
 #[test]
 #[ignore = "manual calibration tool"]
 fn calibration_report() {
-    for ds in [datasets::sprint1(), datasets::sprint2(), datasets::abilene()] {
+    for ds in [
+        datasets::sprint1(),
+        datasets::sprint2(),
+        datasets::abilene(),
+    ] {
         let pca = Pca::fit(ds.links.matrix(), Default::default()).unwrap();
         let r = SeparationPolicy::default().normal_dim(&pca);
         let q = qstat::q_threshold(pca.eigenvalues(), r, 0.999).unwrap();
@@ -53,7 +57,10 @@ fn calibration_report() {
         }
 
         println!("=== {} ===", ds.name);
-        println!("  r = {r}, phi1 = {:.3e}, delta^2(99.9%) = {:.3e}", q.phi1, q.delta_sq);
+        println!(
+            "  r = {r}, phi1 = {:.3e}, delta^2(99.9%) = {:.3e}",
+            q.phi1, q.delta_sq
+        );
         println!("  median ||C~A_f||^2 = {med_vis:.3}");
         for (label, b) in [
             ("cutoff", ds.cutoff_bytes),

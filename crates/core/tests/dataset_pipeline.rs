@@ -48,7 +48,8 @@ fn run(ds: &Dataset, config: DiagnoserConfig) -> Outcome {
                     if id.flow == truth.flow {
                         identified += 1;
                         let est = rep.estimated_bytes.unwrap();
-                        quant_rel_errors.push(((est - truth.delta_bytes) / truth.delta_bytes).abs());
+                        quant_rel_errors
+                            .push(((est - truth.delta_bytes) / truth.delta_bytes).abs());
                     }
                 }
                 // Below-cutoff true anomalies detected are not false
@@ -131,7 +132,11 @@ fn three_sigma_selects_low_dimensional_normal_subspace() {
     // Paper: "this procedure resulted in placing the first four principal
     // components in the normal subspace in each case". Our synthetic
     // traffic should land in the same low-dimensional ballpark.
-    for ds in [datasets::sprint1(), datasets::sprint2(), datasets::abilene()] {
+    for ds in [
+        datasets::sprint1(),
+        datasets::sprint2(),
+        datasets::abilene(),
+    ] {
         let pca = netanom_core::Pca::fit(ds.links.matrix(), Default::default()).unwrap();
         let r = SeparationPolicy::default().normal_dim(&pca);
         assert!(

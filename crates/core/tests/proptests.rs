@@ -1,8 +1,7 @@
 //! Property-based tests of the subspace method's algebraic invariants.
 
 use netanom_core::{
-    qstat, Diagnoser, DiagnoserConfig, Identifier, Pca, PcaMethod, SeparationPolicy,
-    SubspaceModel,
+    qstat, Diagnoser, DiagnoserConfig, Identifier, Pca, PcaMethod, SeparationPolicy, SubspaceModel,
 };
 use netanom_linalg::{vector, Matrix};
 use netanom_topology::builtin;
@@ -138,7 +137,7 @@ proptest! {
         s in 0.5..2e3f64,
     ) {
         let mut eig = vec![lead * 100.0, lead];
-        eig.extend(std::iter::repeat(tail).take(20));
+        eig.extend(std::iter::repeat_n(tail, 20));
         let lo = qstat::q_threshold(&eig, 2, 0.99).unwrap().delta_sq;
         let hi = qstat::q_threshold(&eig, 2, 0.999).unwrap().delta_sq;
         prop_assert!(hi > lo);

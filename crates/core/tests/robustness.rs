@@ -179,12 +179,8 @@ fn extreme_magnitudes_do_not_overflow() {
 fn model_rejects_vectors_from_other_network() {
     let net_a = builtin::line(4);
     let links = measurements(300, net_a.routing_matrix.num_links());
-    let model = SubspaceModel::fit(
-        &links,
-        SeparationPolicy::FixedCount(2),
-        PcaMethod::Svd,
-    )
-    .unwrap();
+    let model =
+        SubspaceModel::fit(&links, SeparationPolicy::FixedCount(2), PcaMethod::Svd).unwrap();
     let net_b = builtin::ring(6);
     let wrong = vec![1.0; net_b.routing_matrix.num_links()];
     assert!(matches!(

@@ -16,8 +16,7 @@ use crate::report;
 
 fn run_config(lab: &Lab, config: DiagnoserConfig) -> Option<metrics::ValidationCounts> {
     let ds = &lab.sprint1;
-    let diagnoser =
-        Diagnoser::fit(ds.links.matrix(), &ds.network.routing_matrix, config).ok()?;
+    let diagnoser = Diagnoser::fit(ds.links.matrix(), &ds.network.routing_matrix, config).ok()?;
     let reports = diagnoser
         .diagnose_series(ds.links.matrix())
         .expect("dims match");
@@ -52,7 +51,12 @@ pub fn confidence(lab: &Lab, out_dir: &Path) -> ExperimentOutput {
     );
     let csv = report::write_csv(
         &out_dir.join("ablation").join("confidence.csv"),
-        &["confidence", "detection", "false_alarms", "identification_rate"],
+        &[
+            "confidence",
+            "detection",
+            "false_alarms",
+            "identification_rate",
+        ],
         &rows,
     )
     .expect("csv writable");
@@ -75,7 +79,10 @@ pub fn separation(lab: &Lab, out_dir: &Path) -> ExperimentOutput {
     let mut policies: Vec<(String, SeparationPolicy)> = (1..=10)
         .map(|r| (format!("FixedCount({r})"), SeparationPolicy::FixedCount(r)))
         .collect();
-    policies.push(("ThreeSigma(3.0) [paper]".into(), SeparationPolicy::default()));
+    policies.push((
+        "ThreeSigma(3.0) [paper]".into(),
+        SeparationPolicy::default(),
+    ));
     policies.push((
         "VarianceFraction(0.95)".into(),
         SeparationPolicy::VarianceFraction(0.95),
@@ -103,7 +110,12 @@ pub fn separation(lab: &Lab, out_dir: &Path) -> ExperimentOutput {
         }
     }
     let table = report::ascii_table(
-        &["separation policy", "detection", "false alarms", "identification"],
+        &[
+            "separation policy",
+            "detection",
+            "false alarms",
+            "identification",
+        ],
         &rows,
     );
     let csv = report::write_csv(

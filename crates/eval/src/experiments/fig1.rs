@@ -20,16 +20,16 @@ pub fn run(lab: &Lab, out_dir: &Path) -> ExperimentOutput {
         .iter()
         .filter(|e| e.delta_bytes > 0.0 && rm.path_len(e.flow) >= 3)
         .max_by(|a, b| a.size().partial_cmp(&b.size()).unwrap())
-        .or_else(|| ds.truth.iter().max_by(|a, b| a.size().partial_cmp(&b.size()).unwrap()))
+        .or_else(|| {
+            ds.truth
+                .iter()
+                .max_by(|a, b| a.size().partial_cmp(&b.size()).unwrap())
+        })
         .expect("datasets embed anomalies");
 
     let topo = &ds.network.topology;
     let flow = rm.flow(event.flow);
-    let od_label = format!(
-        "{}-{}",
-        topo.pop(flow.od.0).name,
-        topo.pop(flow.od.1).name
-    );
+    let od_label = format!("{}-{}", topo.pop(flow.od.0).name, topo.pop(flow.od.1).name);
 
     let mut rendered = format!(
         "Figure 1: anomaly anatomy (dataset {}).\n\

@@ -86,7 +86,13 @@ pub fn run(lab: &Lab, out_dir: &Path) -> ExperimentOutput {
 
     let csv = report::write_csv(
         &out_dir.join("fig10").join("residual_comparison.csv"),
-        &["bin", "subspace_spe", "fourier_energy", "ewma_energy", "important_truth"],
+        &[
+            "bin",
+            "subspace_spe",
+            "fourier_energy",
+            "ewma_energy",
+            "important_truth",
+        ],
         &csv_rows,
     )
     .expect("csv writable");

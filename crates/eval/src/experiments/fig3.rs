@@ -32,7 +32,10 @@ pub fn run(lab: &Lab, out_dir: &Path) -> ExperimentOutput {
             .collect();
         rendered.push_str(&report::bar_chart(&items, 40));
         let cum: f64 = fracs.iter().take(4).sum();
-        rendered.push_str(&format!("  first 4 components capture {}\n\n", report::fmt_pct(cum)));
+        rendered.push_str(&format!(
+            "  first 4 components capture {}\n\n",
+            report::fmt_pct(cum)
+        ));
     }
 
     // CSV: one row per component, one column per dataset.
@@ -41,12 +44,7 @@ pub fn run(lab: &Lab, out_dir: &Path) -> ExperimentOutput {
         .map(|i| {
             let mut row = vec![(i + 1).to_string()];
             for (_, fracs, _) in &fractions {
-                row.push(
-                    fracs
-                        .get(i)
-                        .map(|f| format!("{f}"))
-                        .unwrap_or_default(),
-                );
+                row.push(fracs.get(i).map(|f| format!("{f}")).unwrap_or_default());
             }
             row
         })

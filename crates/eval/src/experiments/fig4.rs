@@ -36,7 +36,11 @@ pub fn run(lab: &Lab, out_dir: &Path) -> ExperimentOutput {
         rendered.push_str(&format!(
             "{name} (axis {:>2}, max |z| = {maxz:4.1}σ {}):\n  {}\n",
             i + 1,
-            if maxz > 3.0 { "→ anomalous" } else { "→ normal" },
+            if maxz > 3.0 {
+                "→ anomalous"
+            } else {
+                "→ normal"
+            },
             report::sparkline(&report::downsample_max(u, 96)),
         ));
     }

@@ -17,8 +17,10 @@ pub fn run(lab: &Lab, out_dir: &Path) -> ExperimentOutput {
     );
     let mut files: Vec<PathBuf> = Vec::new();
 
-    for (ds, diagnoser) in [(&lab.sprint1, &lab.diag_sprint1), (&lab.sprint2, &lab.diag_sprint2)]
-    {
+    for (ds, diagnoser) in [
+        (&lab.sprint1, &lab.diag_sprint1),
+        (&lab.sprint2, &lab.diag_sprint2),
+    ] {
         let model = diagnoser.model();
         let links = ds.links.matrix();
         let q995 = model.q_threshold(0.995).expect("residual non-degenerate");

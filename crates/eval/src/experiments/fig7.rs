@@ -20,8 +20,16 @@ pub fn run(lab: &Lab, out_dir: &Path) -> ExperimentOutput {
     let bins = 10;
     let mut hist_large = Histogram::new(0.0, 1.0, bins).expect("valid range");
     let mut hist_small = Histogram::new(0.0, 1.0, bins).expect("valid range");
-    let rates_large: Vec<f64> = large.per_flow_detection_rates().iter().map(|&(_, r)| r).collect();
-    let rates_small: Vec<f64> = small.per_flow_detection_rates().iter().map(|&(_, r)| r).collect();
+    let rates_large: Vec<f64> = large
+        .per_flow_detection_rates()
+        .iter()
+        .map(|&(_, r)| r)
+        .collect();
+    let rates_small: Vec<f64> = small
+        .per_flow_detection_rates()
+        .iter()
+        .map(|&(_, r)| r)
+        .collect();
     hist_large.add_all(&rates_large);
     hist_small.add_all(&rates_small);
 

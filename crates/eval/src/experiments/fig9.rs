@@ -35,15 +35,15 @@ pub fn run(lab: &Lab, out_dir: &Path) -> ExperimentOutput {
     .expect("csv writable");
 
     // Correlation of rate with log mean (the paper plots a log x-axis).
-    let log_means: Vec<f64> = per_flow.iter().map(|&(f, _)| means[f].max(1.0).ln()).collect();
+    let log_means: Vec<f64> = per_flow
+        .iter()
+        .map(|&(f, _)| means[f].max(1.0).ln())
+        .collect();
     let rates: Vec<f64> = per_flow.iter().map(|&(_, r)| r).collect();
     let corr = stats::pearson(&log_means, &rates).unwrap_or(0.0);
 
     // Decile summary for the ASCII rendering.
-    let mut by_mean: Vec<(f64, f64)> = per_flow
-        .iter()
-        .map(|&(f, r)| (means[f], r))
-        .collect();
+    let mut by_mean: Vec<(f64, f64)> = per_flow.iter().map(|&(f, r)| (means[f], r)).collect();
     by_mean.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     let deciles = 10usize;
     let chunk = by_mean.len().div_ceil(deciles);

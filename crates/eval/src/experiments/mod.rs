@@ -123,7 +123,11 @@ mod tests {
             for f in &out.files {
                 assert!(f.exists(), "{id}: missing {}", f.display());
                 let content = std::fs::read_to_string(f).expect("readable");
-                assert!(content.lines().count() >= 2, "{id}: empty CSV {}", f.display());
+                assert!(
+                    content.lines().count() >= 2,
+                    "{id}: empty CSV {}",
+                    f.display()
+                );
             }
         }
         std::fs::remove_dir_all(&dir).ok();

@@ -13,10 +13,8 @@
 //! against it (see DESIGN.md). The `injection_model_stability` test in
 //! `tests/` quantifies this.
 
-use crossbeam::thread;
-
 use netanom_core::Diagnoser;
-use netanom_linalg::vector;
+use netanom_linalg::Matrix;
 use netanom_traffic::datasets::Dataset;
 
 /// Outcome of one injected spike.
@@ -124,12 +122,20 @@ fn rate(iter: impl Iterator<Item = bool>) -> f64 {
 /// Sweep one spike size over every OD flow × every timestep in `times`.
 ///
 /// The injection happens in the link domain (`y + size·Aᵢ`), which is the
-/// exact image of an OD-domain spike under `y = Ax`. Work is split across
-/// flows onto `threads` crossbeam-scoped workers.
+/// exact image of an OD-domain spike under `y = Ax`. For each flow, all
+/// injected timesteps are assembled into one `times × m` matrix and
+/// diagnosed through the batched [`Diagnoser::diagnose_series`] GEMM path;
+/// flows are split onto `threads` scoped workers.
 ///
 /// # Panics
 /// Panics if `times` contains an out-of-range bin.
-pub fn sweep(ds: &Dataset, diagnoser: &Diagnoser, size: f64, times: &[usize], threads: usize) -> SweepResult {
+pub fn sweep(
+    ds: &Dataset,
+    diagnoser: &Diagnoser,
+    size: f64,
+    times: &[usize],
+    threads: usize,
+) -> SweepResult {
     let rm = &ds.network.routing_matrix;
     let n_flows = rm.num_flows();
     let links = ds.links.matrix();
@@ -144,49 +150,51 @@ pub fn sweep(ds: &Dataset, diagnoser: &Diagnoser, size: f64, times: &[usize], th
         .filter(|(a, b)| a < b)
         .collect();
 
-    let mut outcomes: Vec<Vec<InjectionOutcome>> = Vec::new();
-    thread::scope(|s| {
-        let handles: Vec<_> = flow_ranges
-            .iter()
-            .map(|&(lo, hi)| {
-                s.spawn(move |_| {
-                    let mut out = Vec::with_capacity((hi - lo) * times.len());
-                    for flow in lo..hi {
-                        let column = rm.column(flow);
-                        for &t in times {
-                            let mut y = links.row(t).to_vec();
-                            vector::axpy(size, &column, &mut y);
-                            let rep = diagnoser
-                                .diagnose_vector(&y)
-                                .expect("dimensions fixed by dataset");
-                            let identified = rep
-                                .identification
-                                .map(|id| id.flow == flow)
-                                .unwrap_or(false);
-                            let quant_rel_error = if rep.detected && identified {
-                                rep.estimated_bytes
-                                    .map(|est| ((est - size) / size).abs())
-                            } else {
-                                None
-                            };
-                            out.push(InjectionOutcome {
-                                flow,
-                                time: t,
-                                detected: rep.detected,
-                                identified,
-                                quant_rel_error,
-                            });
-                        }
-                    }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            outcomes.push(h.join().expect("worker panicked"));
+    let sweep_flow = |flow: usize, out: &mut Vec<InjectionOutcome>| {
+        let column = rm.column(flow);
+        // All injections for this flow as one batch: row i is the
+        // measurement at `times[i]` plus the spike.
+        let injected = Matrix::from_fn(times.len(), links.cols(), |i, j| {
+            links[(times[i], j)] + size * column[j]
+        });
+        let reports = diagnoser
+            .diagnose_series(&injected)
+            .expect("dimensions fixed by dataset");
+        for (i, rep) in reports.iter().enumerate() {
+            let identified = rep
+                .identification
+                .map(|id| id.flow == flow)
+                .unwrap_or(false);
+            let quant_rel_error = if rep.detected && identified {
+                rep.estimated_bytes.map(|est| ((est - size) / size).abs())
+            } else {
+                None
+            };
+            out.push(InjectionOutcome {
+                flow,
+                time: times[i],
+                detected: rep.detected,
+                identified,
+                quant_rel_error,
+            });
         }
-    })
-    .expect("crossbeam scope failed");
+    };
+
+    // One pre-sized output slot per flow range: each worker gets a
+    // disjoint `&mut`, so no synchronization (and no blocking inside
+    // the scope) is needed to collect results.
+    let mut outcomes: Vec<Vec<InjectionOutcome>> = vec![Vec::new(); flow_ranges.len()];
+    rayon::scope(|s| {
+        for (&(lo, hi), slot) in flow_ranges.iter().zip(outcomes.iter_mut()) {
+            let sweep_flow = &sweep_flow;
+            s.spawn(move |_| {
+                slot.reserve((hi - lo) * times.len());
+                for flow in lo..hi {
+                    sweep_flow(flow, slot);
+                }
+            });
+        }
+    });
 
     let mut flat: Vec<InjectionOutcome> = outcomes.into_iter().flatten().collect();
     flat.sort_by_key(|o| (o.flow, o.time));

@@ -7,7 +7,7 @@
 //! * [`injection`] — the Section 6.3 harness: inject a spike of a given
 //!   size into every OD flow at every timestep of a day, diagnose each
 //!   injection, and aggregate rates per flow and per time (parallelized
-//!   with crossbeam).
+//!   with scoped threads).
 //! * [`report`] — ASCII tables/charts and CSV output.
 //! * [`experiments`] — one module per table/figure (see DESIGN.md's
 //!   experiment index). Each produces an [`experiments::ExperimentOutput`]

@@ -116,11 +116,7 @@ pub fn bar_chart(items: &[(String, f64)], width: usize) -> String {
 /// directories. Returns the path written.
 ///
 /// Fields containing commas or quotes are quoted per RFC 4180.
-pub fn write_csv(
-    path: &Path,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<PathBuf> {
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Result<PathBuf> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
@@ -141,12 +137,7 @@ pub fn write_csv(
     );
     content.push('\n');
     for row in rows {
-        content.push_str(
-            &row.iter()
-                .map(|c| escape(c))
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        content.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
         content.push('\n');
     }
     fs::write(path, content)?;
@@ -229,10 +220,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_max() {
-        let s = bar_chart(
-            &[("big".into(), 10.0), ("small".into(), 5.0)],
-            20,
-        );
+        let s = bar_chart(&[("big".into(), 10.0), ("small".into(), 5.0)], 20);
         let lines: Vec<&str> = s.lines().collect();
         let bars: Vec<usize> = lines
             .iter()

@@ -110,9 +110,7 @@ impl Cholesky {
     /// Log-determinant of `A` (sum of `2 ln L[i,i]`), handy for
     /// model-selection diagnostics.
     pub fn log_det(&self) -> f64 {
-        (0..self.l.rows())
-            .map(|i| 2.0 * self.l[(i, i)].ln())
-            .sum()
+        (0..self.l.rows()).map(|i| 2.0 * self.l[(i, i)].ln()).sum()
     }
 }
 
@@ -144,7 +142,11 @@ mod tests {
 
     #[test]
     fn solve_matches_direct() {
-        let a = Matrix::from_rows(&[vec![6.0, 2.0, 1.0], vec![2.0, 5.0, 2.0], vec![1.0, 2.0, 4.0]]);
+        let a = Matrix::from_rows(&[
+            vec![6.0, 2.0, 1.0],
+            vec![2.0, 5.0, 2.0],
+            vec![1.0, 2.0, 4.0],
+        ]);
         let x_true = [1.0, -2.0, 3.0];
         let b = a.matvec(&x_true).unwrap();
         let x = Cholesky::new(&a).unwrap().solve(&b).unwrap();

@@ -190,7 +190,9 @@ mod tests {
 
     #[test]
     fn reconstruction() {
-        let a = Matrix::from_fn(30, 8, |i, j| ((i * 3 + j * 5) as f64).sin() * (j as f64 + 1.0));
+        let a = Matrix::from_fn(30, 8, |i, j| {
+            ((i * 3 + j * 5) as f64).sin() * (j as f64 + 1.0)
+        });
         let svd = Svd::new(&a).unwrap();
         assert!(svd.reconstruct().approx_eq(&a, 1e-9 * a.frobenius_norm()));
     }

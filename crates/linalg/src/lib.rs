@@ -55,6 +55,7 @@
 pub mod decomposition;
 mod error;
 pub mod matrix;
+pub mod parallel;
 pub mod stats;
 pub mod vector;
 

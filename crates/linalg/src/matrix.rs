@@ -3,14 +3,18 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use crate::parallel;
 use crate::vector;
 use crate::{LinalgError, Result};
 
 /// A dense, row-major matrix of `f64` values.
 ///
-/// `Matrix` is deliberately simple: the workspace's matrices top out around
-/// 1008 × 200, where naive triple-loop products and `Vec<f64>` storage are
-/// entirely adequate and easy to audit.
+/// Storage is a flat `Vec<f64>`, easy to audit. Products ([`Matrix::matmul`],
+/// [`Matrix::matmul_nt`], [`Matrix::gram`]) run a cache-friendly row-axpy
+/// kernel and split their *output rows* across threads once the operation is
+/// large enough to amortize the spawn cost; because a row's scalar loop is
+/// identical on every path, results are bitwise independent of the thread
+/// count (see [`crate::parallel`]).
 ///
 /// Indexing uses `(row, col)` tuples and panics out-of-bounds, like slice
 /// indexing. Shape-dependent operations (`matmul`, solves, …) return
@@ -196,6 +200,9 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
+    /// Row-parallel for large operands; bitwise identical to the serial
+    /// kernel regardless of thread count.
+    ///
     /// Returns an error if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
@@ -206,18 +213,188 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = rhs.row(k);
-                let orow = out.row_mut(i);
-                vector::axpy(a, rrow, orow);
-            }
+        if out.data.is_empty() {
+            return Ok(out);
         }
+        let workers = parallel::workers_for(self.rows * self.cols * rhs.cols, self.rows);
+        let boundaries = parallel::balanced_boundaries(self.rows, workers, |_| 1.0);
+        parallel::for_row_blocks(&mut out.data, rhs.cols, &boundaries, |first_row, block| {
+            for (li, orow) in block.chunks_mut(rhs.cols).enumerate() {
+                let arow = self.row(first_row + li);
+                for (k, &aik) in arow.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    vector::axpy(aik, rhs.row(k), orow);
+                }
+            }
+        });
         Ok(out)
+    }
+
+    /// Matrix product with a transposed right-hand side: `self * rhsᵀ`
+    /// (`rhs` given as `n × k` with `k = self.cols`).
+    ///
+    /// Both operands are walked row-major, so no transposed copy is
+    /// materialized; entry `(i, j)` is exactly [`vector::dot`] of row `i`
+    /// of `self` with row `j` of `rhs`. Row-parallel like
+    /// [`Matrix::matmul`].
+    ///
+    /// Returns an error if `self.cols != rhs.cols`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_nt",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        if out.data.is_empty() {
+            return Ok(out);
+        }
+        let workers = parallel::workers_for(self.rows * self.cols * rhs.rows, self.rows);
+        let boundaries = parallel::balanced_boundaries(self.rows, workers, |_| 1.0);
+        parallel::for_row_blocks(&mut out.data, rhs.rows, &boundaries, |first_row, block| {
+            for (li, orow) in block.chunks_mut(rhs.rows).enumerate() {
+                let arow = self.row(first_row + li);
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = vector::dot(arow, rhs.row(j));
+                }
+            }
+        });
+        Ok(out)
+    }
+
+    /// Squared residual norm of every row after subtracting `mean` and
+    /// projecting off the orthonormal `basis` (`cols × r`):
+    /// `out[i] = ‖z − P(Pᵀz)‖²` with `z = row(i) − mean`.
+    ///
+    /// This is the detection hot path of the subspace method (the SPE of
+    /// every timestep), fused into a single row-parallel pass: the
+    /// centered row never leaves a cache-resident scratch buffer, the
+    /// basis width is specialized to a compile-time constant for
+    /// `r ≤ 8`, and the two long reductions run two-way blocked. The
+    /// blocking reassociates the sums, so values agree with the exact
+    /// per-vector computation ([`Matrix::matvec_t`] → [`Matrix::matvec`]
+    /// → subtract → norm) to ~1e-14 relative — far inside the 1e-12
+    /// contract the `netanom-core` batch API documents — instead of
+    /// bitwise. For bitwise results use [`Matrix::project_rows_split`]
+    /// and [`Matrix::row_norms_sq`], at roughly 4× the cost.
+    ///
+    /// Returns an error if `mean.len() != cols` or
+    /// `basis.rows() != cols`.
+    pub fn centered_residual_norms_sq(&self, mean: &[f64], basis: &Matrix) -> Result<Vec<f64>> {
+        if mean.len() != self.cols || basis.rows() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "centered_residual_norms_sq",
+                lhs: self.shape(),
+                rhs: basis.shape(),
+            });
+        }
+        let r = basis.cols();
+        let mut out = vec![0.0_f64; self.rows];
+        if self.rows == 0 {
+            return Ok(out);
+        }
+        let workers = parallel::workers_for(self.rows * self.cols * (2 * r + 3), self.rows);
+        let boundaries = parallel::balanced_boundaries(self.rows, workers, |_| 1.0);
+        let bdata = basis.as_slice();
+        parallel::for_row_blocks(&mut out, 1, &boundaries, |first_row, block| {
+            let mut zbuf = vec![0.0_f64; self.cols];
+            for (li, spe) in block.iter_mut().enumerate() {
+                let yrow = self.row(first_row + li);
+                for ((z, &y), &mu) in zbuf.iter_mut().zip(yrow).zip(mean) {
+                    *z = y - mu;
+                }
+                *spe = match r {
+                    1 => centered_spe_row::<1>(&zbuf, bdata),
+                    2 => centered_spe_row::<2>(&zbuf, bdata),
+                    3 => centered_spe_row::<3>(&zbuf, bdata),
+                    4 => centered_spe_row::<4>(&zbuf, bdata),
+                    5 => centered_spe_row::<5>(&zbuf, bdata),
+                    6 => centered_spe_row::<6>(&zbuf, bdata),
+                    7 => centered_spe_row::<7>(&zbuf, bdata),
+                    8 => centered_spe_row::<8>(&zbuf, bdata),
+                    _ => centered_spe_row_dyn(&zbuf, bdata, r),
+                };
+            }
+        });
+        Ok(out)
+    }
+
+    /// Squared Euclidean norm of every row (length `rows`).
+    ///
+    /// Row `i` equals `vector::norm_sq(self.row(i))` exactly — this is
+    /// the batched form of the SPE statistic.
+    pub fn row_norms_sq(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|i| vector::norm_sq(self.row(i)))
+            .collect()
+    }
+
+    /// Project every row of `self` onto the column space of the
+    /// orthonormal `basis` (`cols × r`), returning `(modeled, residual)`
+    /// with `modeled = (self · basis) · basisᵀ` and
+    /// `residual = self − modeled`.
+    ///
+    /// This is the batched residual-projection kernel behind the subspace
+    /// method: for each row `z`, `modeled = P(Pᵀz)` and `residual` is the
+    /// anomalous-subspace part — computed for all rows in one fused,
+    /// row-parallel pass instead of per-vector matvec pairs. Each output
+    /// value accumulates in exactly the per-vector operation order
+    /// (coefficient `k` sums `z_j·P[j][k]` over ascending `j`; modeled
+    /// entry `l` sums `c_k·P[l][k]` over ascending `k`), so results are
+    /// bitwise identical to [`Matrix::matvec_t`] + [`Matrix::matvec`] per
+    /// row, at a fraction of the cost: the basis width is specialized to
+    /// a compile-time constant for `r ≤ 8` (the subspace method's normal
+    /// dimension in practice), keeping the `r` accumulators in registers.
+    ///
+    /// Returns an error if `basis.rows() != self.cols`.
+    pub fn project_rows_split(&self, basis: &Matrix) -> Result<(Matrix, Matrix)> {
+        if basis.rows() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "project_rows_split",
+                lhs: self.shape(),
+                rhs: basis.shape(),
+            });
+        }
+        let r = basis.cols();
+        let mut modeled = Matrix::zeros(self.rows, self.cols);
+        let mut residual = Matrix::zeros(self.rows, self.cols);
+        if self.data.is_empty() {
+            return Ok((modeled, residual));
+        }
+        let pt = basis.transpose();
+        let workers = parallel::workers_for(2 * self.rows * self.cols * r.max(1), self.rows);
+        let boundaries = parallel::balanced_boundaries(self.rows, workers, |_| 1.0);
+        parallel::for_row_blocks2(
+            &mut modeled.data,
+            &mut residual.data,
+            self.cols,
+            &boundaries,
+            |first_row, mblock, rblock| {
+                let rows = mblock
+                    .chunks_mut(self.cols)
+                    .zip(rblock.chunks_mut(self.cols))
+                    .enumerate();
+                for (li, (mrow, rrow)) in rows {
+                    let zrow = self.row(first_row + li);
+                    match r {
+                        1 => project_row::<1>(zrow, basis, &pt, mrow, rrow),
+                        2 => project_row::<2>(zrow, basis, &pt, mrow, rrow),
+                        3 => project_row::<3>(zrow, basis, &pt, mrow, rrow),
+                        4 => project_row::<4>(zrow, basis, &pt, mrow, rrow),
+                        5 => project_row::<5>(zrow, basis, &pt, mrow, rrow),
+                        6 => project_row::<6>(zrow, basis, &pt, mrow, rrow),
+                        7 => project_row::<7>(zrow, basis, &pt, mrow, rrow),
+                        8 => project_row::<8>(zrow, basis, &pt, mrow, rrow),
+                        _ => project_row_dyn(zrow, basis, &pt, mrow, rrow),
+                    }
+                }
+            },
+        );
+        Ok((modeled, residual))
     }
 
     /// Matrix–vector product `self * x`.
@@ -231,7 +408,9 @@ impl Matrix {
                 rhs: (x.len(), 1),
             });
         }
-        Ok((0..self.rows).map(|i| vector::dot(self.row(i), x)).collect())
+        Ok((0..self.rows)
+            .map(|i| vector::dot(self.row(i), x))
+            .collect())
     }
 
     /// Transposed matrix–vector product `selfᵀ * x`.
@@ -259,18 +438,30 @@ impl Matrix {
     /// covariance.
     pub fn gram(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.cols);
-        for i in 0..self.rows {
-            let r = self.row(i);
-            for a in 0..self.cols {
-                let ra = r[a];
-                if ra == 0.0 {
-                    continue;
-                }
-                for b in a..self.cols {
-                    out[(a, b)] += ra * r[b];
+        if out.data.is_empty() {
+            return out;
+        }
+        // Each worker owns a block of output rows `a`, accumulating the
+        // upper-triangle row `out[a][a..]` over all data rows in order —
+        // the same per-entry operation sequence as a serial (i, a, b)
+        // loop nest, so the result is thread-count independent. Later
+        // rows have shorter triangles, hence the weighted split.
+        let workers = parallel::workers_for(self.rows * self.cols * self.cols / 2, self.cols);
+        let boundaries =
+            parallel::balanced_boundaries(self.cols, workers, |a| (self.cols - a) as f64);
+        parallel::for_row_blocks(&mut out.data, self.cols, &boundaries, |first_row, block| {
+            for (la, orow) in block.chunks_mut(self.cols).enumerate() {
+                let a = first_row + la;
+                for i in 0..self.rows {
+                    let r = self.row(i);
+                    let ra = r[a];
+                    if ra == 0.0 {
+                        continue;
+                    }
+                    vector::axpy(ra, &r[a..], &mut orow[a..]);
                 }
             }
-        }
+        });
         // Mirror the upper triangle.
         for a in 0..self.cols {
             for b in (a + 1)..self.cols {
@@ -437,6 +628,135 @@ impl Matrix {
             }
         }
         Some(worst)
+    }
+}
+
+/// One row of the fused projection kernel with the basis width `R` known
+/// at compile time: `coeffs = Pᵀz` (each lane accumulating over
+/// ascending `j`, exactly like [`Matrix::matvec_t`]), then
+/// `modeled = P·coeffs` via `R` long axpys (each element accumulating
+/// over ascending `k`, exactly like [`Matrix::matvec`]), then the
+/// residual subtraction.
+fn project_row<const R: usize>(
+    zrow: &[f64],
+    basis: &Matrix,
+    pt: &Matrix,
+    mrow: &mut [f64],
+    rrow: &mut [f64],
+) {
+    let mut coeffs = [0.0_f64; R];
+    for (j, &z) in zrow.iter().enumerate() {
+        let brow = &basis.row(j)[..R];
+        for k in 0..R {
+            coeffs[k] += z * brow[k];
+        }
+    }
+    for (k, &c) in coeffs.iter().enumerate() {
+        vector::axpy(c, pt.row(k), mrow);
+    }
+    for ((out, &z), &m) in rrow.iter_mut().zip(zrow).zip(mrow.iter()) {
+        *out = z - m;
+    }
+}
+
+/// One row of the fused SPE kernel with the basis width `R` known at
+/// compile time: coefficients and the residual norm accumulate two-way
+/// blocked over the link axis (fixed reassociation — deterministic, but
+/// not bitwise equal to the serial order; see
+/// [`Matrix::centered_residual_norms_sq`]).
+#[inline]
+fn centered_spe_row<const R: usize>(zrow: &[f64], bdata: &[f64]) -> f64 {
+    let m = zrow.len();
+    // Pass 1: coeffs = Pᵀz.
+    let mut c0 = [0.0_f64; R];
+    let mut c1 = [0.0_f64; R];
+    let mut zit = zrow.chunks_exact(2);
+    let mut bit = bdata.chunks_exact(2 * R);
+    for (pair, bpair) in (&mut zit).zip(&mut bit) {
+        let ba = &bpair[..R];
+        let bb = &bpair[R..2 * R];
+        for k in 0..R {
+            c0[k] += pair[0] * ba[k];
+            c1[k] += pair[1] * bb[k];
+        }
+    }
+    if let [zv] = *zit.remainder() {
+        let ba = &bdata[(m - 1) * R..];
+        for k in 0..R {
+            c0[k] += zv * ba[k];
+        }
+    }
+    let mut c = [0.0_f64; R];
+    for k in 0..R {
+        c[k] = c0[k] + c1[k];
+    }
+    // Pass 2: ‖z − P·coeffs‖².
+    let mut a0 = 0.0_f64;
+    let mut a1 = 0.0_f64;
+    let mut zit = zrow.chunks_exact(2);
+    let mut bit = bdata.chunks_exact(2 * R);
+    for (pair, bpair) in (&mut zit).zip(&mut bit) {
+        let ba = &bpair[..R];
+        let bb = &bpair[R..2 * R];
+        let mut ma = 0.0;
+        let mut mb = 0.0;
+        for k in 0..R {
+            ma += c[k] * ba[k];
+            mb += c[k] * bb[k];
+        }
+        let ra = pair[0] - ma;
+        let rb = pair[1] - mb;
+        a0 += ra * ra;
+        a1 += rb * rb;
+    }
+    if let [zv] = *zit.remainder() {
+        let ba = &bdata[(m - 1) * R..];
+        let mut ma = 0.0;
+        for k in 0..R {
+            ma += c[k] * ba[k];
+        }
+        let rv = zv - ma;
+        a0 += rv * rv;
+    }
+    a0 + a1
+}
+
+/// Fallback of [`centered_spe_row`] for basis widths above the
+/// specialized range (heap-allocated coefficient accumulators, same
+/// two-way blocking).
+fn centered_spe_row_dyn(zrow: &[f64], bdata: &[f64], r: usize) -> f64 {
+    let mut c = vec![0.0_f64; r];
+    for (j, &z) in zrow.iter().enumerate() {
+        let brow = &bdata[j * r..(j + 1) * r];
+        for k in 0..r {
+            c[k] += z * brow[k];
+        }
+    }
+    let mut a0 = 0.0_f64;
+    for (j, &z) in zrow.iter().enumerate() {
+        let brow = &bdata[j * r..(j + 1) * r];
+        let mut mm = 0.0;
+        for k in 0..r {
+            mm += c[k] * brow[k];
+        }
+        let rv = z - mm;
+        a0 += rv * rv;
+    }
+    a0
+}
+
+/// Fallback for basis widths above the specialized range; identical
+/// operation order, heap-allocated coefficient accumulator.
+fn project_row_dyn(zrow: &[f64], basis: &Matrix, pt: &Matrix, mrow: &mut [f64], rrow: &mut [f64]) {
+    let mut coeffs = vec![0.0_f64; basis.cols()];
+    for (j, &z) in zrow.iter().enumerate() {
+        vector::axpy(z, basis.row(j), &mut coeffs);
+    }
+    for (k, &c) in coeffs.iter().enumerate() {
+        vector::axpy(c, pt.row(k), mrow);
+    }
+    for ((out, &z), &m) in rrow.iter_mut().zip(zrow).zip(mrow.iter()) {
+        *out = z - m;
     }
 }
 
@@ -673,5 +993,188 @@ mod tests {
     fn index_out_of_bounds_panics() {
         let m = abcd();
         let _ = m[(2, 0)];
+    }
+
+    /// Reference serial axpy GEMM (the pre-parallel kernel, verbatim).
+    fn matmul_serial(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let v = a[(i, k)];
+                if v == 0.0 {
+                    continue;
+                }
+                let rrow = b.row(k);
+                let orow = out.row_mut(i);
+                vector::axpy(v, rrow, orow);
+            }
+        }
+        out
+    }
+
+    fn hashy(rows: usize, cols: usize, salt: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| {
+            let h = (i * cols + j + salt).wrapping_mul(2654435761) % 8192;
+            h as f64 / 4096.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn parallel_matmul_is_bitwise_serial() {
+        // Big enough to cross MIN_PARALLEL_FLOPS and actually fan out.
+        let a = hashy(600, 96, 1);
+        let b = hashy(96, 80, 2);
+        let par = a.matmul(&b).unwrap();
+        let ser = matmul_serial(&a, &b);
+        assert!(
+            par.approx_eq(&ser, 0.0),
+            "parallel result must be bitwise serial"
+        );
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = hashy(40, 17, 3);
+        let b = hashy(23, 17, 4);
+        let fast = a.matmul_nt(&b).unwrap();
+        let explicit = a.matmul(&b.transpose()).unwrap();
+        assert!(fast.approx_eq(&explicit, 1e-12));
+        assert!(a.matmul_nt(&Matrix::zeros(5, 16)).is_err());
+    }
+
+    #[test]
+    fn parallel_matmul_nt_is_thread_count_stable() {
+        let a = hashy(700, 90, 5);
+        let b = hashy(64, 90, 6);
+        let big = a.matmul_nt(&b).unwrap();
+        // Row 13 computed alone (guaranteed serial) matches the same row
+        // of the fanned-out product bitwise.
+        let row13 = a.row_block(13, 1).unwrap().matmul_nt(&b).unwrap();
+        assert_eq!(row13.row(0), big.row(13));
+    }
+
+    #[test]
+    fn parallel_gram_is_bitwise_serial() {
+        let a = hashy(500, 60, 7);
+        let par = a.gram();
+        // Serial reference: original (i, a, b) loop nest.
+        let mut ser = Matrix::zeros(60, 60);
+        for i in 0..a.rows() {
+            let r = a.row(i);
+            for x in 0..60 {
+                let rx = r[x];
+                if rx == 0.0 {
+                    continue;
+                }
+                for y in x..60 {
+                    ser[(x, y)] += rx * r[y];
+                }
+            }
+        }
+        for x in 0..60 {
+            for y in (x + 1)..60 {
+                ser[(y, x)] = ser[(x, y)];
+            }
+        }
+        assert!(
+            par.approx_eq(&ser, 0.0),
+            "parallel gram must be bitwise serial"
+        );
+    }
+
+    #[test]
+    fn row_norms_sq_matches_vector_norm() {
+        let a = hashy(9, 5, 8);
+        let norms = a.row_norms_sq();
+        assert_eq!(norms.len(), 9);
+        for i in 0..9 {
+            assert_eq!(norms[i], vector::norm_sq(a.row(i)));
+        }
+    }
+
+    #[test]
+    fn project_rows_split_matches_per_vector_projection() {
+        // Orthonormal 2-column basis in R^4.
+        let basis = Matrix::from_columns(&[vec![0.5, 0.5, 0.5, 0.5], vec![0.5, -0.5, 0.5, -0.5]]);
+        let z = hashy(50, 4, 9);
+        let (modeled, residual) = z.project_rows_split(&basis).unwrap();
+        assert_eq!(modeled.shape(), (50, 4));
+        for t in 0..z.rows() {
+            let coeffs = basis.matvec_t(z.row(t)).unwrap();
+            let m = basis.matvec(&coeffs).unwrap();
+            assert_eq!(modeled.row(t), &m[..], "modeled row {t}");
+            let r = vector::sub(z.row(t), &m);
+            assert_eq!(residual.row(t), &r[..], "residual row {t}");
+        }
+        // Residual is orthogonal to the basis.
+        for t in 0..z.rows() {
+            for k in 0..basis.cols() {
+                let b = basis.col(k);
+                assert!(vector::dot(residual.row(t), &b).abs() < 1e-12);
+            }
+        }
+        assert!(z.project_rows_split(&Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn centered_residual_norms_match_exact_route() {
+        // Orthonormal 2-column basis in R^4.
+        let basis = Matrix::from_columns(&[vec![0.5, 0.5, 0.5, 0.5], vec![0.5, -0.5, 0.5, -0.5]]);
+        let y = hashy(600, 4, 11);
+        let mean = vec![0.25, -0.5, 0.125, 0.75];
+        let fast = y.centered_residual_norms_sq(&mean, &basis).unwrap();
+        let centered = Matrix::from_fn(y.rows(), 4, |i, j| y[(i, j)] - mean[j]);
+        let exact = centered
+            .project_rows_split(&basis)
+            .unwrap()
+            .1
+            .row_norms_sq();
+        assert_eq!(fast.len(), exact.len());
+        for (t, (f, e)) in fast.iter().zip(&exact).enumerate() {
+            assert!(
+                (f - e).abs() <= 1e-13 * e.max(1.0),
+                "row {t}: fast {f} vs exact {e}"
+            );
+        }
+        // Dimension errors.
+        assert!(y.centered_residual_norms_sq(&mean[..3], &basis).is_err());
+        assert!(y
+            .centered_residual_norms_sq(&mean, &Matrix::zeros(3, 1))
+            .is_err());
+    }
+
+    #[test]
+    fn centered_residual_norms_every_specialized_width() {
+        // Random-ish orthonormal bases of width 1..=9 in R^12 via QR of a
+        // hash matrix; width 9 exercises the dynamic fallback.
+        use crate::decomposition::Qr;
+        let y = hashy(40, 12, 13);
+        let mean = vec![0.0; 12];
+        for r in 1..=9usize {
+            let src = hashy(12, r, 100 + r);
+            let q = Qr::new(&src).unwrap().q();
+            let fast = y.centered_residual_norms_sq(&mean, &q).unwrap();
+            let exact = y.project_rows_split(&q).unwrap().1.row_norms_sq();
+            for (t, (f, e)) in fast.iter().zip(&exact).enumerate() {
+                assert!(
+                    (f - e).abs() <= 1e-12 * e.max(1.0),
+                    "r={r} row {t}: {f} vs {e}"
+                );
+            }
+        }
+        // Zero-width basis: residual is the centered row itself.
+        let none = Matrix::zeros(12, 0);
+        let fast = y.centered_residual_norms_sq(&mean, &none).unwrap();
+        assert_eq!(fast, y.row_norms_sq());
+    }
+
+    #[test]
+    fn empty_products_are_fine() {
+        let a = Matrix::zeros(0, 4);
+        let b = Matrix::zeros(4, 3);
+        assert_eq!(a.matmul(&b).unwrap().shape(), (0, 3));
+        assert_eq!(a.matmul_nt(&Matrix::zeros(2, 4)).unwrap().shape(), (0, 2));
+        assert_eq!(Matrix::zeros(0, 3).gram().shape(), (3, 3));
+        assert!(Matrix::zeros(0, 3).row_norms_sq().is_empty());
     }
 }

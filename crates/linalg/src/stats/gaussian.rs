@@ -217,7 +217,19 @@ mod tests {
 
     #[test]
     fn quantile_roundtrip() {
-        for &p in &[1e-6, 0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.995, 0.999, 1.0 - 1e-6] {
+        for &p in &[
+            1e-6,
+            0.001,
+            0.01,
+            0.1,
+            0.3,
+            0.5,
+            0.7,
+            0.9,
+            0.995,
+            0.999,
+            1.0 - 1e-6,
+        ] {
             let x = inverse_normal_cdf(p).unwrap();
             assert!(
                 (normal_cdf(x) - p).abs() < 1e-7,

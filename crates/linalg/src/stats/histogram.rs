@@ -28,7 +28,10 @@ impl Histogram {
                 value: 0.0,
             });
         }
-        if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) || !lo.is_finite() || !hi.is_finite() {
+        if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less)
+            || !lo.is_finite()
+            || !hi.is_finite()
+        {
             return Err(LinalgError::DomainError {
                 op: "histogram range",
                 value: lo,

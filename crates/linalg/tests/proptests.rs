@@ -3,7 +3,7 @@
 //! Matrices are generated with bounded entries so that tolerance choices
 //! scale predictably; shapes are kept in the workspace's realistic range.
 
-use netanom_linalg::decomposition::{Cholesky, Qr, SymmetricEigen, Svd};
+use netanom_linalg::decomposition::{Cholesky, Qr, Svd, SymmetricEigen};
 use netanom_linalg::{stats, vector, Matrix};
 use proptest::prelude::*;
 

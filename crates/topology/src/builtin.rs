@@ -2,7 +2,7 @@
 //! fixtures, and a seeded random generator.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::graph::{PopId, Topology};
 use crate::matrix::RoutingMatrix;
@@ -27,8 +27,8 @@ impl Network {
     /// Panics if the topology is not strongly connected; the built-in
     /// topologies all are, and generated ones are made so by construction.
     pub fn from_topology(topology: Topology) -> Self {
-        let routes = Routes::shortest_paths(&topology)
-            .expect("built-in/generated topologies are connected");
+        let routes =
+            Routes::shortest_paths(&topology).expect("built-in/generated topologies are connected");
         let routing_matrix = RoutingMatrix::new(&topology, &routes);
         Network {
             topology,
@@ -121,7 +121,9 @@ pub fn sprint_europe() -> Network {
 /// with multi-hop paths. Useful in tests and examples.
 pub fn line(n: usize) -> Network {
     let mut b = Topology::builder(format!("line{n}"));
-    let ids: Vec<PopId> = (0..n).map(|i| b.pop(format!("p{i}")).expect("unique")).collect();
+    let ids: Vec<PopId> = (0..n)
+        .map(|i| b.pop(format!("p{i}")).expect("unique"))
+        .collect();
     for w in ids.windows(2) {
         b.edge(w[0], w[1]).expect("valid edge");
     }
@@ -147,7 +149,9 @@ pub fn star(n: usize) -> Network {
 pub fn ring(n: usize) -> Network {
     assert!(n >= 3, "ring needs at least 3 PoPs");
     let mut b = Topology::builder(format!("ring{n}"));
-    let ids: Vec<PopId> = (0..n).map(|i| b.pop(format!("r{i}")).expect("unique")).collect();
+    let ids: Vec<PopId> = (0..n)
+        .map(|i| b.pop(format!("r{i}")).expect("unique"))
+        .collect();
     for i in 0..n {
         b.edge(ids[i], ids[(i + 1) % n]).expect("valid edge");
     }
@@ -164,7 +168,9 @@ pub fn random(n: usize, extra_edges: usize, seed: u64) -> Network {
     assert!(n >= 2, "random topology needs at least 2 PoPs");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = Topology::builder(format!("random{n}-{seed}"));
-    let ids: Vec<PopId> = (0..n).map(|i| b.pop(format!("n{i}")).expect("unique")).collect();
+    let ids: Vec<PopId> = (0..n)
+        .map(|i| b.pop(format!("n{i}")).expect("unique"))
+        .collect();
 
     // Random spanning tree: attach each new node to a uniformly random
     // existing node.
@@ -261,7 +267,11 @@ mod tests {
             let rm = &net.routing_matrix;
             for l in 0..rm.num_links() {
                 let carried = (0..rm.num_flows()).any(|f| rm.column(f)[l] != 0.0);
-                assert!(carried, "link {l} of {} carries nothing", net.topology.name());
+                assert!(
+                    carried,
+                    "link {l} of {} carries nothing",
+                    net.topology.name()
+                );
             }
         }
     }
@@ -312,9 +322,7 @@ mod tests {
         // Backbone sanity: average OD path a few hops long.
         for net in [abilene(), sprint_europe()] {
             let rm = &net.routing_matrix;
-            let lens: Vec<f64> = (0..rm.num_flows())
-                .map(|f| rm.path_len(f) as f64)
-                .collect();
+            let lens: Vec<f64> = (0..rm.num_flows()).map(|f| rm.path_len(f) as f64).collect();
             let mean = vector::mean(&lens);
             assert!(
                 (1.0..=5.0).contains(&mean),

@@ -46,7 +46,10 @@ impl fmt::Display for TopologyError {
         match self {
             TopologyError::DuplicatePop { name } => write!(f, "duplicate PoP name {name:?}"),
             TopologyError::UnknownPop { index, num_pops } => {
-                write!(f, "PoP index {index} out of range (topology has {num_pops})")
+                write!(
+                    f,
+                    "PoP index {index} out of range (topology has {num_pops})"
+                )
             }
             TopologyError::SelfEdge { pop } => write!(
                 f,
@@ -78,18 +81,27 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(TopologyError::DuplicatePop { name: "nycm".into() }
+        assert!(TopologyError::DuplicatePop {
+            name: "nycm".into()
+        }
+        .to_string()
+        .contains("nycm"));
+        assert!(TopologyError::UnknownPop {
+            index: 7,
+            num_pops: 3
+        }
+        .to_string()
+        .contains('7'));
+        assert!(TopologyError::SelfEdge { pop: 2 }
             .to_string()
-            .contains("nycm"));
-        assert!(TopologyError::UnknownPop { index: 7, num_pops: 3 }
-            .to_string()
-            .contains('7'));
-        assert!(TopologyError::SelfEdge { pop: 2 }.to_string().contains("intra-PoP"));
+            .contains("intra-PoP"));
         assert!(TopologyError::Disconnected { witness: (0, 5) }
             .to_string()
             .contains("no path"));
-        assert!(TopologyError::InvalidWeight { weight_milli: -1000 }
-            .to_string()
-            .contains("-1"));
+        assert!(TopologyError::InvalidWeight {
+            weight_milli: -1000
+        }
+        .to_string()
+        .contains("-1"));
     }
 }

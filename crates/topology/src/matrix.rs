@@ -284,7 +284,10 @@ mod tests {
         let (_, _, rm) = line3();
         for f in 0..rm.num_flows() {
             let t = rm.abar(f);
-            assert!((vector::sum(&t) - 1.0).abs() < 1e-12, "abar {f} not unit-sum");
+            assert!(
+                (vector::sum(&t) - 1.0).abs() < 1e-12,
+                "abar {f} not unit-sum"
+            );
         }
     }
 

@@ -88,10 +88,7 @@ impl Routes {
                 paths[origin * n + dest] = rev;
             }
         }
-        Ok(Routes {
-            num_pops: n,
-            paths,
-        })
+        Ok(Routes { num_pops: n, paths })
     }
 
     /// The link path from `od.0` to `od.1`.

@@ -7,7 +7,7 @@
 //! here model exactly that: a single-bin byte delta in one OD flow.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::dist;
 use crate::series::OdSeries;

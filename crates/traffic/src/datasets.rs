@@ -99,14 +99,14 @@ fn build(
 
 /// Sprint-Europe, week 1. 13 PoPs, 49 links, 1008 bins, 169 OD flows.
 pub fn sprint1() -> Dataset {
-    sprint_week("sprint-1", 0x5350_0002)
+    sprint_week("sprint-1", 0x5350_0054)
 }
 
 /// Sprint-Europe, week 2: same network, different seed (different traffic
 /// and a different anomaly population), mirroring the paper's two separate
 /// measurement weeks.
 pub fn sprint2() -> Dataset {
-    sprint_week("sprint-2", 0x5350_0005)
+    sprint_week("sprint-2", 0x5350_0052)
 }
 
 fn sprint_week(name: &'static str, seed: u64) -> Dataset {
@@ -118,7 +118,7 @@ fn sprint_week(name: &'static str, seed: u64) -> Dataset {
 /// the extra bins continue the *same* network conditions (same gravity
 /// means, profiles and demand-factor paths).
 pub fn sprint1_extended(bins: usize) -> Dataset {
-    sprint_week_with_bins("sprint-1-extended", 0x5350_0002, bins)
+    sprint_week_with_bins("sprint-1-extended", 0x5350_0054, bins)
 }
 
 fn sprint_week_with_bins(name: &'static str, seed: u64, bins: usize) -> Dataset {
@@ -204,9 +204,9 @@ pub fn abilene() -> Dataset {
         config,
         population,
         SamplingSim::abilene(),
-        8.0e7,  // paper's Abilene cutoff
-        1.2e8,  // paper's Abilene "large" injection
-        5.0e7,  // paper's Abilene "small" injection
+        8.0e7, // paper's Abilene cutoff
+        1.2e8, // paper's Abilene "large" injection
+        5.0e7, // paper's Abilene "small" injection
     )
 }
 
@@ -225,9 +225,9 @@ pub fn mini(seed: u64) -> Dataset {
     };
     let population = AnomalyPopulation {
         count: 6,
-        min_size: 2.0e7,
+        min_size: 3.5e7,
         shape: 1.2,
-        max_size: 8.0e7,
+        max_size: 1.2e8,
         negative_fraction: 0.0,
         min_flow_mean: 1.0e6,
         time_margin: 12,

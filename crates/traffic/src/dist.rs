@@ -4,7 +4,7 @@
 //! handful of distributions the generator needs are implemented here:
 //! normal (Box–Muller), lognormal, and Pareto.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Sample a standard normal via the Box–Muller transform.
 ///
@@ -47,8 +47,14 @@ pub fn log_normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
 /// # Panics
 /// Panics if `x_min` or `alpha` is non-positive or non-finite.
 pub fn pareto<R: Rng>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
-    assert!(x_min > 0.0 && x_min.is_finite(), "pareto: bad x_min {x_min}");
-    assert!(alpha > 0.0 && alpha.is_finite(), "pareto: bad alpha {alpha}");
+    assert!(
+        x_min > 0.0 && x_min.is_finite(),
+        "pareto: bad x_min {x_min}"
+    );
+    assert!(
+        alpha > 0.0 && alpha.is_finite(),
+        "pareto: bad alpha {alpha}"
+    );
     let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
     x_min / u.powf(1.0 / alpha)
 }

@@ -1,7 +1,7 @@
 //! The OD-flow traffic generator.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use netanom_linalg::Matrix;
 use netanom_topology::Network;
@@ -185,7 +185,9 @@ impl TrafficGenerator {
         let n_pops = network.topology.num_pops();
         let n_flows = network.routing_matrix.num_flows();
 
-        let means = cfg.gravity.mean_rates(n_pops, cfg.seed ^ 0x67617276 /* "grav" */);
+        let means = cfg
+            .gravity
+            .mean_rates(n_pops, cfg.seed ^ 0x67617276 /* "grav" */);
         debug_assert_eq!(means.len(), n_flows);
 
         // Per-flow profile parameters: pick a class, then draw the

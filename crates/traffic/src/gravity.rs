@@ -43,7 +43,10 @@ impl GravityModel {
             self.total_bytes_per_bin > 0.0,
             "total_bytes_per_bin must be positive"
         );
-        assert!(self.weight_sigma >= 0.0, "weight_sigma must be non-negative");
+        assert!(
+            self.weight_sigma >= 0.0,
+            "weight_sigma must be non-negative"
+        );
 
         let mut rng = StdRng::seed_from_u64(seed);
         let weights: Vec<f64> = (0..num_pops)

@@ -49,11 +49,18 @@ impl std::fmt::Display for CsvError {
         match self {
             CsvError::Io(e) => write!(f, "io error: {e}"),
             CsvError::Empty => write!(f, "csv has no data rows"),
-            CsvError::RaggedRow { line, got, expected } => {
+            CsvError::RaggedRow {
+                line,
+                got,
+                expected,
+            } => {
                 write!(f, "line {line}: {got} fields, expected {expected}")
             }
             CsvError::BadNumber { line, column, text } => {
-                write!(f, "line {line}, column {column}: {text:?} is not a finite number")
+                write!(
+                    f,
+                    "line {line}, column {column}: {text:?} is not a finite number"
+                )
             }
         }
     }
@@ -184,7 +191,11 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_values_and_names() {
-        let names = vec!["a-b".to_string(), "b-c".to_string(), "c (intra)".to_string()];
+        let names = vec![
+            "a-b".to_string(),
+            "b-c".to_string(),
+            "c (intra)".to_string(),
+        ];
         let csv = link_series_to_csv_string(&sample(), Some(&names));
         let (parsed, parsed_names) = link_series_from_csv_str(&csv).unwrap();
         assert_eq!(parsed_names, names);
@@ -201,7 +212,11 @@ mod tests {
     fn ragged_row_reported_with_line() {
         let err = link_series_from_csv_str("a,b\n1,2\n3\n").unwrap_err();
         match err {
-            CsvError::RaggedRow { line, got, expected } => {
+            CsvError::RaggedRow {
+                line,
+                got,
+                expected,
+            } => {
                 assert_eq!((line, got, expected), (3, 1, 2));
             }
             other => panic!("wrong error: {other}"),

@@ -109,10 +109,7 @@ impl OdSeries {
         );
         // Y = X Aᵀ  (bins × links).
         let at = rm.a().transpose();
-        let y = self
-            .data
-            .matmul(&at)
-            .expect("shape checked above");
+        let y = self.data.matmul(&at).expect("shape checked above");
         LinkSeries { data: y }
     }
 }

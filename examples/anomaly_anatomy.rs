@@ -74,13 +74,21 @@ fn main() {
         "\nat the anomaly bin: SPE = {:.3e} = {:.1}x the 99.9% threshold → {}",
         report_at.spe,
         report_at.spe / report_at.threshold,
-        if report_at.detected { "DETECTED" } else { "missed" },
+        if report_at.detected {
+            "DETECTED"
+        } else {
+            "missed"
+        },
     );
     if let Some(id) = report_at.identification {
         println!(
             "identified flow {} ({}), estimated {:+.3e} bytes (true {:+.3e})",
             id.flow,
-            if id.flow == event.flow { "correct" } else { "wrong" },
+            if id.flow == event.flow {
+                "correct"
+            } else {
+                "wrong"
+            },
             report_at.estimated_bytes.unwrap_or(0.0),
             event.delta_bytes,
         );

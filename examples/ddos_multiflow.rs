@@ -20,12 +20,8 @@ fn main() {
     let topo = &ds.network.topology;
     let n = topo.num_pops();
 
-    let diagnoser = Diagnoser::fit(
-        ds.links.matrix(),
-        rm,
-        DiagnoserConfig::default(),
-    )
-    .expect("week of data fits");
+    let diagnoser = Diagnoser::fit(ds.links.matrix(), rm, DiagnoserConfig::default())
+        .expect("week of data fits");
 
     // Stage the attack: three origins flood the Washington PoP. The
     // origins are chosen so their routes to the victim don't nest; when
@@ -53,7 +49,11 @@ fn main() {
         "detection: SPE = {:.3e} vs δ² = {:.3e}  →  {}",
         report.spe,
         report.threshold,
-        if report.detected { "ANOMALOUS" } else { "normal" }
+        if report.detected {
+            "ANOMALOUS"
+        } else {
+            "normal"
+        }
     );
 
     // Single-flow identification explains only part of the residual.
@@ -85,7 +85,11 @@ fn main() {
     let bytes = found.estimated_bytes(rm);
     for (&f, est) in found.flows.iter().zip(bytes) {
         let flow = rm.flow(f);
-        let marker = if attack_flows.contains(&f) { "✓ staged" } else { "  extra" };
+        let marker = if attack_flows.contains(&f) {
+            "✓ staged"
+        } else {
+            "  extra"
+        };
         println!(
             "  {:>4}->{:<4} estimated {:>10.3e} bytes  {marker}",
             topo.pop(flow.od.0).name,

@@ -32,16 +32,15 @@ fn main() {
 
     let flow_label = |f: usize| {
         let flow = rm.flow(f);
-        format!(
-            "{}->{}",
-            topo.pop(flow.od.0).name,
-            topo.pop(flow.od.1).name
-        )
+        format!("{}->{}", topo.pop(flow.od.0).name, topo.pop(flow.od.1).name)
     };
     let means = ds.od.flow_means();
 
     println!("most observable flows (lowest guaranteed-detection floor):");
-    println!("{:<10} {:>14} {:>10} {:>12}", "flow", "floor (bytes)", "‖C̃θ‖", "flow mean");
+    println!(
+        "{:<10} {:>14} {:>10} {:>12}",
+        "flow", "floor (bytes)", "‖C̃θ‖", "flow mean"
+    );
     for d in floors.iter().take(8) {
         println!(
             "{:<10} {:>14.3e} {:>10.3} {:>12.3e}",
@@ -65,10 +64,7 @@ fn main() {
 
     // The Section 5.4 claim: the floor rises with flow size because the
     // normal subspace aligns with high-variance (large) flows.
-    let floor_logs: Vec<f64> = floors
-        .iter()
-        .map(|d| d.min_detectable_bytes.ln())
-        .collect();
+    let floor_logs: Vec<f64> = floors.iter().map(|d| d.min_detectable_bytes.ln()).collect();
     let mean_logs: Vec<f64> = floors.iter().map(|d| means[d.flow].max(1.0).ln()).collect();
     let corr = netanom::linalg::stats::pearson(&mean_logs, &floor_logs).unwrap_or(0.0);
     println!(
@@ -84,7 +80,10 @@ fn main() {
     // though few flows have a guaranteed floor that low.
     let q = |p: f64| {
         netanom::linalg::stats::quantile(
-            &floors.iter().map(|d| d.min_detectable_bytes).collect::<Vec<_>>(),
+            &floors
+                .iter()
+                .map(|d| d.min_detectable_bytes)
+                .collect::<Vec<_>>(),
             p,
         )
         .expect("non-empty")

@@ -49,9 +49,7 @@ fn main() {
     let pick = (0..rm.num_flows())
         .filter(|&f| rm.path_len(f) >= 3)
         .find_map(|f| {
-            let theta_res = model0
-                .residual_direction(&rm.theta(f))
-                .expect("dims match");
+            let theta_res = model0.residual_direction(&rm.theta(f)).expect("dims match");
             let vis = vector::norm_sq(&theta_res) * rm.path_len(f) as f64;
             let rate = (0.40 * delta0 / vis).sqrt();
             // Candidate level-4-aligned windows, away from margins.
@@ -101,7 +99,10 @@ fn main() {
         if !overlaps {
             continue;
         }
-        let id = h.report.identification.expect("detected implies identified");
+        let id = h
+            .report
+            .identification
+            .expect("detected implies identified");
         let f = rm.flow(id.flow);
         println!(
             "level {} block {:>3} (bins {:>4}..{:<4}): flow {}->{} ({}), \
@@ -112,13 +113,21 @@ fn main() {
             h.bin_range.1,
             topo.pop(f.od.0).name,
             topo.pop(f.od.1).name,
-            if id.flow == flow { "the staged anomaly" } else { "other" },
+            if id.flow == flow {
+                "the staged anomaly"
+            } else {
+                "other"
+            },
             h.report.estimated_bytes.unwrap_or(0.0),
             h.report.spe / h.report.threshold,
         );
     }
     println!(
         "\nsingle-bin (level 0) detection inside the staged window: {}",
-        if fine_hit_in_range { "yes" } else { "no — invisible at 10-minute bins" }
+        if fine_hit_in_range {
+            "yes"
+        } else {
+            "no — invisible at 10-minute bins"
+        }
     );
 }

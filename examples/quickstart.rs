@@ -40,18 +40,17 @@ fn main() {
 
     let topo = &ds.network.topology;
     let rm = &ds.network.routing_matrix;
-    println!("{:<6} {:<10} {:>12}  ground truth", "bin", "OD flow", "est. bytes");
+    println!(
+        "{:<6} {:<10} {:>12}  ground truth",
+        "bin", "OD flow", "est. bytes"
+    );
     for report in diagnoser
         .diagnose_anomalies(ds.links.matrix())
         .expect("dimensions match")
     {
         let id = report.identification.expect("detected implies identified");
         let flow = rm.flow(id.flow);
-        let label = format!(
-            "{}->{}",
-            topo.pop(flow.od.0).name,
-            topo.pop(flow.od.1).name
-        );
+        let label = format!("{}->{}", topo.pop(flow.od.0).name, topo.pop(flow.od.1).name);
         let truth = ds
             .truth
             .iter()

@@ -104,8 +104,7 @@ fn quantification_is_linear_in_injection_size() {
     // quantifier is a linear functional of the residual.
     let ds = datasets::sprint1();
     let rm = &ds.network.routing_matrix;
-    let diagnoser =
-        Diagnoser::fit(ds.links.matrix(), rm, DiagnoserConfig::default()).unwrap();
+    let diagnoser = Diagnoser::fit(ds.links.matrix(), rm, DiagnoserConfig::default()).unwrap();
     let flow = 100;
     let base = ds.links.bin(500).to_vec();
     // Remove the baseline residual contribution by measuring at 1x and

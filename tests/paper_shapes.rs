@@ -15,7 +15,11 @@ use netanom::traffic::datasets;
 /// the variance.
 #[test]
 fn low_effective_dimensionality() {
-    for ds in [datasets::sprint1(), datasets::sprint2(), datasets::abilene()] {
+    for ds in [
+        datasets::sprint1(),
+        datasets::sprint2(),
+        datasets::abilene(),
+    ] {
         let pca = Pca::fit(ds.links.matrix(), Default::default()).unwrap();
         let d90 = pca.effective_dimension(0.90);
         assert!(d90 <= 5, "{}: 90% variance needs {d90} PCs", ds.name);
@@ -30,7 +34,11 @@ fn low_effective_dimensionality() {
 /// (temporal extraction + knee cutoff + strict false-alarm convention).
 #[test]
 fn table2_shape_fourier_validation() {
-    for ds in [datasets::sprint1(), datasets::sprint2(), datasets::abilene()] {
+    for ds in [
+        datasets::sprint1(),
+        datasets::sprint2(),
+        datasets::abilene(),
+    ] {
         let diagnoser = Diagnoser::fit(
             ds.links.matrix(),
             &ds.network.routing_matrix,
@@ -130,8 +138,7 @@ fn fig9_shape_size_vs_detectability() {
     let mut by_mean: Vec<(f64, f64)> = per_flow.iter().map(|&(f, r)| (means[f], r)).collect();
     by_mean.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     let n = by_mean.len();
-    let bottom_half: f64 =
-        by_mean[..n / 2].iter().map(|&(_, r)| r).sum::<f64>() / (n / 2) as f64;
+    let bottom_half: f64 = by_mean[..n / 2].iter().map(|&(_, r)| r).sum::<f64>() / (n / 2) as f64;
     let top_decile: f64 =
         by_mean[n - n / 10..].iter().map(|&(_, r)| r).sum::<f64>() / (n / 10) as f64;
     assert!(
@@ -199,11 +206,7 @@ fn fig6_knee_exists() {
         let extracted = extract_true_anomalies(&ds.od, TruthMethod::Fourier, 40);
         let sizes: Vec<f64> = extracted.iter().map(|e| e.size).collect();
         let idx = knee::knee_index(&sizes).expect("knee should exist");
-        assert!(
-            (3..=25).contains(&idx),
-            "{}: knee at rank {idx}",
-            ds.name
-        );
+        assert!((3..=25).contains(&idx), "{}: knee at rank {idx}", ds.name);
         let cutoff = sizes[idx - 1];
         // Within a factor of 3 of the paper's published cutoff.
         assert!(

@@ -1,0 +1,317 @@
+//! Offline API-subset stub of the `criterion` crate.
+//!
+//! Provides `Criterion`, benchmark groups, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurements are
+//! wall-clock medians over a configurable number of samples; besides the
+//! human-readable report on stdout, every result is appended as a JSON
+//! line to the baseline file so that successive PRs can diff
+//! performance. The file defaults to `target/criterion/baseline.jsonl`
+//! and can be redirected with `--save-baseline NAME` (written to
+//! `target/criterion/NAME.jsonl`) or the `CRITERION_BASELINE_FILE`
+//! environment variable.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    baseline_file: PathBuf,
+    results: Vec<BenchResult>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            baseline_file: default_baseline_file(None),
+            results: Vec::new(),
+            default_sample_size: 20,
+        }
+    }
+}
+
+fn default_baseline_file(save_baseline: Option<&str>) -> PathBuf {
+    if let Ok(f) = std::env::var("CRITERION_BASELINE_FILE") {
+        return PathBuf::from(f);
+    }
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(target)
+        .join("criterion")
+        .join(format!("{}.jsonl", save_baseline.unwrap_or("baseline")))
+}
+
+impl Criterion {
+    /// Build a driver from the process arguments (`cargo bench` passes
+    /// `--bench`; a bare string filters benchmark ids by substring;
+    /// `--save-baseline NAME` names the JSON baseline file).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1);
+        let mut save: Option<String> = None;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" => {}
+                "--save-baseline" => save = args.next(),
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        c.default_sample_size = n;
+                    }
+                }
+                other if other.starts_with("--") => {} // ignore unknown flags
+                other => c.filter = Some(other.to_string()),
+            }
+        }
+        c.baseline_file = default_baseline_file(save.as_deref());
+        c
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_bench(id.to_string(), sample_size, f);
+        self
+    }
+
+    fn run_bench<F>(&mut self, id: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size,
+            samples_ns: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        let mut ns = bencher.samples_ns;
+        if ns.is_empty() {
+            eprintln!("warning: bench {id} recorded no samples (missing b.iter call?)");
+            return;
+        }
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+        let median = ns[ns.len() / 2];
+        let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+        println!(
+            "bench {id:<44} median {:>12}  mean {:>12}  ({} samples x {} iters)",
+            format_ns(median),
+            format_ns(mean),
+            ns.len(),
+            bencher.iters_per_sample,
+        );
+        let result = BenchResult {
+            id,
+            median_ns: median,
+            mean_ns: mean,
+            samples: ns.len(),
+            iters_per_sample: bencher.iters_per_sample,
+        };
+        self.append_baseline(&result);
+        self.results.push(result);
+    }
+
+    fn append_baseline(&self, r: &BenchResult) {
+        if let Some(dir) = self.baseline_file.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let line = format!(
+            "{{\"id\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}\n",
+            r.id, r.median_ns, r.mean_ns, r.samples, r.iters_per_sample
+        );
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.baseline_file);
+        match file {
+            Ok(mut f) => {
+                let _ = f.write_all(line.as_bytes());
+            }
+            Err(e) => eprintln!(
+                "warning: cannot write baseline {}: {e}",
+                self.baseline_file.display()
+            ),
+        }
+    }
+
+    /// Print the closing summary (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        if !self.results.is_empty() {
+            println!(
+                "\n{} benchmarks; baseline appended to {}",
+                self.results.len(),
+                self.baseline_file.display()
+            );
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a closure under `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name);
+        let sample_size = self.sample_size;
+        self.criterion.run_bench(id, sample_size, f);
+        self
+    }
+
+    /// End the group (provided for API compatibility; a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, auto-calibrating the iteration count so each
+    /// sample is long enough to measure reliably.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: grow the batch until one batch takes >= 5 ms (or a
+        // single iteration already exceeds it).
+        let mut iters: u64 = 1;
+        let mut calibration_ns;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            calibration_ns = start.elapsed().as_nanos() as f64;
+            if calibration_ns >= 5e6 || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        // Budget: keep a single benchmark under ~3 s of measurement.
+        let per_sample_ns = calibration_ns.max(1.0);
+        let affordable = (3e9 / per_sample_ns).floor() as usize;
+        let samples = self.sample_size.min(affordable.max(3));
+        self.iters_per_sample = iters;
+        self.samples_ns.clear();
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt: Duration = start.elapsed();
+            self.samples_ns.push(dt.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            sample_size: 3,
+            samples_ns: Vec::new(),
+            iters_per_sample: 0,
+        };
+        b.iter(|| std::hint::black_box(2u64).wrapping_mul(3));
+        assert_eq!(b.samples_ns.len(), 3);
+        assert!(b.samples_ns.iter().all(|&ns| ns >= 0.0));
+        assert!(b.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("us"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,116 @@
+//! Offline API-subset stub of the `rayon` crate.
+//!
+//! Provides `join`, `scope`, and `current_num_threads` implemented on
+//! `std::thread::scope`. Unlike rayon proper there is no work-stealing
+//! pool — every `spawn` is an OS thread — so callers are expected to
+//! spawn a bounded number of coarse-grained tasks (one per hardware
+//! thread), which is exactly how the `netanom` kernels use it.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Number of hardware threads available to parallel kernels.
+///
+/// Honors `RAYON_NUM_THREADS` (like rayon proper); falls back to
+/// [`std::thread::available_parallelism`], then 1.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let b = s.spawn(oper_b);
+        let ra = oper_a();
+        (ra, b.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// A scope in which borrowed-data tasks can be spawned.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task that may borrow from outside the scope; it is joined
+    /// before [`scope`] returns.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || body(&Scope { inner }));
+    }
+}
+
+/// Create a scope for spawning borrowed-data tasks; returns after every
+/// spawned task has finished.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn scope_joins_all_tasks_and_allows_borrows() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        let counter = &counter;
+        super::scope(|s| {
+            for &x in &data {
+                s.spawn(move |_| {
+                    counter.fetch_add(x, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn scope_supports_nested_spawn() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn thread_count_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}
