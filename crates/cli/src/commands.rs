@@ -1,10 +1,12 @@
-//! The three subcommands.
+//! The subcommands.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs;
+use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
 
+use netanom_core::stream::{RefitStrategy, StreamConfig, StreamingEngine};
 use netanom_core::{Diagnoser, DiagnoserConfig};
 use netanom_topology::RoutingMatrix;
 use netanom_traffic::datasets::{self, Dataset};
@@ -180,21 +182,7 @@ pub fn diagnose(args: &[String]) -> Result<(), String> {
     let confidence = confidence_of(&flags)?;
     let train_bins = train_bins_of(&flags, links.num_bins())?;
 
-    let paths_file = require(&flags, "paths")?;
-    let paths_content =
-        fs::read_to_string(paths_file).map_err(|e| format!("reading {paths_file}: {e}"))?;
-    let paths = paths_csv::parse(&paths_content)?;
-    for (f, p) in paths.iter().enumerate() {
-        for &l in p {
-            if l >= links.num_links() {
-                return Err(format!(
-                    "flow {f} references link {l}, but links.csv has only {}",
-                    links.num_links()
-                ));
-            }
-        }
-    }
-    let rm = RoutingMatrix::from_paths(links.num_links(), &paths);
+    let rm = load_paths(require(&flags, "paths")?, links.num_links())?;
 
     let training = links
         .matrix()
@@ -249,6 +237,176 @@ pub fn diagnose(args: &[String]) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+fn load_paths(paths_file: &str, num_links: usize) -> Result<RoutingMatrix, String> {
+    let paths_content =
+        fs::read_to_string(paths_file).map_err(|e| format!("reading {paths_file}: {e}"))?;
+    let paths = paths_csv::parse(&paths_content)?;
+    for (f, p) in paths.iter().enumerate() {
+        for &l in p {
+            if l >= num_links {
+                return Err(format!(
+                    "flow {f} references link {l}, but the links CSV has only {num_links}"
+                ));
+            }
+        }
+    }
+    Ok(RoutingMatrix::from_paths(num_links, &paths))
+}
+
+/// `netanom stream --links FILE|- --train-bins N [--paths FILE]
+/// [--confidence C] [--window N] [--refit-every K]
+/// [--refit full|incremental] [--chunk B]`
+///
+/// Consume a link-measurement CSV (a file, or stdin with `--links -`) in
+/// chunks: train the model on the first `--train-bins` rows, then stream
+/// the rest through the [`StreamingEngine`], printing one CSV line per
+/// alarm *as the chunk containing it is processed* — the whole series is
+/// never materialized.
+///
+/// Without `--paths`, each link is treated as its own candidate flow, so
+/// the `flow` column degenerates to "most anomalous link".
+pub fn stream(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "links",
+            "paths",
+            "confidence",
+            "train-bins",
+            "window",
+            "refit-every",
+            "refit",
+            "chunk",
+        ],
+    )?;
+    let links_arg = require(&flags, "links")?;
+    let confidence = confidence_of(&flags)?;
+    let chunk: usize = match flags.get("chunk") {
+        None => 144,
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("--chunk must be a positive integer, got {s:?}"))?,
+    };
+    let strategy = match flags.get("refit").copied() {
+        None | Some("full") => RefitStrategy::FullSvd,
+        Some("incremental") => RefitStrategy::Incremental,
+        Some(other) => return Err(format!("--refit must be full|incremental, got {other:?}")),
+    };
+    let refit_every = match flags.get("refit-every") {
+        None => None,
+        Some(s) => Some(
+            s.parse::<usize>()
+                .ok()
+                .filter(|&k| k > 0)
+                .ok_or_else(|| format!("--refit-every must be a positive integer, got {s:?}"))?,
+        ),
+    };
+
+    let reader: Box<dyn BufRead> = if links_arg == "-" {
+        Box::new(BufReader::new(std::io::stdin()))
+    } else {
+        Box::new(BufReader::new(
+            fs::File::open(links_arg).map_err(|e| format!("opening {links_arg}: {e}"))?,
+        ))
+    };
+    let mut chunks = traffic_io::CsvChunks::new(reader, chunk)
+        .map_err(|e| format!("reading {links_arg}: {e}"))?;
+    let m = chunks.num_links();
+
+    let train_bins: usize = require(&flags, "train-bins")?
+        .parse()
+        .ok()
+        .filter(|&n| n >= 2)
+        .ok_or_else(|| "--train-bins must be an integer ≥ 2".to_string())?;
+    let window = match flags.get("window") {
+        None => train_bins,
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("--window must be a positive integer, got {s:?}"))?,
+    };
+
+    // Identification candidates: supplied routing, or one flow per link.
+    let rm = match flags.get("paths") {
+        Some(p) => load_paths(p, m)?,
+        None => {
+            let identity: Vec<Vec<usize>> = (0..m).map(|l| vec![l]).collect();
+            RoutingMatrix::from_paths(m, &identity)
+        }
+    };
+
+    // The training prefix; the boundary chunk's overflow stays buffered
+    // inside `chunks` and streams first.
+    let training = chunks
+        .take_rows(train_bins)
+        .map_err(|e| format!("reading {links_arg} training rows: {e}"))?;
+
+    // Without a refit cadence the engine never consumes the incremental
+    // statistics, so don't pay their O(m²)-per-arrival upkeep.
+    let strategy = if refit_every.is_none() && strategy == RefitStrategy::Incremental {
+        eprintln!("# note: --refit incremental without --refit-every never refits; disabling statistics upkeep");
+        RefitStrategy::FullSvd
+    } else {
+        strategy
+    };
+    let mut stream_cfg = StreamConfig::new(window).strategy(strategy);
+    stream_cfg.refit_every = refit_every;
+    let diag_cfg = DiagnoserConfig {
+        confidence,
+        ..DiagnoserConfig::default()
+    };
+    let mut engine = StreamingEngine::new(&training, &rm, diag_cfg, stream_cfg)
+        .map_err(|e| format!("fitting model: {e}"))?;
+
+    eprintln!(
+        "# trained on {train_bins} bins x {m} links; r = {}, delta^2({:.2}%) = {:.6e}, refit = {}",
+        engine.diagnoser().model().normal_dim(),
+        confidence * 100.0,
+        engine.diagnoser().detector().threshold().delta_sq,
+        match (refit_every, strategy) {
+            (None, _) => "never".to_string(),
+            (Some(k), RefitStrategy::FullSvd) => format!("every {k} (full)"),
+            (Some(k), RefitStrategy::Incremental) => format!("every {k} (incremental)"),
+        },
+    );
+    println!("bin,spe,threshold,flow,estimated_bytes,explained_fraction");
+
+    let start = std::time::Instant::now();
+    let mut alarms = 0usize;
+    let mut emit = |engine_reports: Vec<netanom_core::DiagnosisReport>| {
+        for rep in engine_reports.iter().filter(|r| r.detected) {
+            alarms += 1;
+            let id = rep.identification.expect("detected implies identified");
+            println!(
+                "{},{:.6e},{:.6e},{},{:.6e},{:.4}",
+                train_bins + rep.time,
+                rep.spe,
+                rep.threshold,
+                id.flow,
+                rep.estimated_bytes.unwrap_or(0.0),
+                id.explained_fraction(),
+            );
+        }
+    };
+    while let Some(block) = chunks
+        .next_chunk()
+        .map_err(|e| format!("reading {links_arg}: {e}"))?
+    {
+        emit(engine.process_batch(&block).map_err(|e| e.to_string())?);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let arrivals = engine.arrivals();
+    eprintln!(
+        "{alarms} alarms in {arrivals} streamed bins; {} refits; {:.0} arrivals/sec",
+        engine.refits(),
+        arrivals as f64 / elapsed.max(1e-9),
+    );
     Ok(())
 }
 
@@ -329,6 +487,77 @@ mod tests {
         assert!(report.starts_with("time,spe,threshold,flow"));
         // The mini dataset embeds anomalies; at least one should be found.
         assert!(report.lines().count() > 1, "no anomalies reported");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_runs_chunked_over_simulated_data() {
+        let dir = std::env::temp_dir().join("netanom-cli-stream");
+        let _ = fs::remove_dir_all(&dir);
+        simulate(&s(&[
+            "--dataset",
+            "mini",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let links = dir.join("links.csv");
+        let paths = dir.join("paths.csv");
+        // Full routing, incremental refits, chunk smaller than the
+        // refit cadence so refits land mid-stream.
+        stream(&s(&[
+            "--links",
+            links.to_str().unwrap(),
+            "--paths",
+            paths.to_str().unwrap(),
+            "--train-bins",
+            "216",
+            "--refit-every",
+            "24",
+            "--refit",
+            "incremental",
+            "--chunk",
+            "17",
+        ]))
+        .unwrap();
+        // Detection-only fallback: no --paths, full refits.
+        stream(&s(&[
+            "--links",
+            links.to_str().unwrap(),
+            "--train-bins",
+            "216",
+            "--refit-every",
+            "48",
+        ]))
+        .unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_validates_flags_and_input_length() {
+        let dir = std::env::temp_dir().join("netanom-cli-stream-bad");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let links = dir.join("links.csv");
+        fs::write(&links, "a,b\n1,2\n3,4\n5,6\n").unwrap();
+        let l = links.to_str().unwrap();
+
+        let err = stream(&s(&["--links", l, "--train-bins", "10"])).unwrap_err();
+        assert!(err.contains("training rows"), "{err}");
+        let err = stream(&s(&["--links", l])).unwrap_err();
+        assert!(err.contains("train-bins"), "{err}");
+        let err = stream(&s(&[
+            "--links",
+            l,
+            "--train-bins",
+            "2",
+            "--refit",
+            "sometimes",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("full|incremental"), "{err}");
+        let err = stream(&s(&["--links", l, "--train-bins", "2", "--chunk", "0"])).unwrap_err();
+        assert!(err.contains("--chunk"), "{err}");
         fs::remove_dir_all(&dir).ok();
     }
 

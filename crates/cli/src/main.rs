@@ -4,6 +4,8 @@
 //! netanom simulate --dataset sprint1 --out-dir data/
 //! netanom detect   --links data/links.csv [--confidence 0.999] [--train-bins N]
 //! netanom diagnose --links data/links.csv --paths data/paths.csv [--out report.csv]
+//! netanom stream   --links data/links.csv --train-bins 1008 [--paths data/paths.csv]
+//!                  [--refit-every 144] [--refit incremental] [--chunk 144]
 //! ```
 //!
 //! * `simulate` exports one of the canned paper datasets as CSV (link
@@ -14,6 +16,12 @@
 //! * `diagnose` adds identification and quantification, which require the
 //!   routing information (`paths.csv`: `flow,links` with `;`-separated
 //!   link indices per flow).
+//! * `stream` is the online path: it consumes the CSV (or stdin with
+//!   `--links -`) in chunks through the streaming engine — training on
+//!   the first `--train-bins` rows, printing alarms as they are
+//!   diagnosed, never materializing the series — with optional periodic
+//!   refits (`--refit incremental` maintains sufficient statistics and
+//!   refits with an `m × m` eigen-solve instead of a full-window SVD).
 
 mod commands;
 mod paths_csv;
@@ -24,7 +32,9 @@ fn usage() {
     eprintln!(
         "usage:\n  netanom simulate --dataset <sprint1|sprint2|abilene|mini> --out-dir DIR\n  \
          netanom detect   --links FILE [--confidence C] [--train-bins N]\n  \
-         netanom diagnose --links FILE --paths FILE [--confidence C] [--train-bins N] [--out FILE]"
+         netanom diagnose --links FILE --paths FILE [--confidence C] [--train-bins N] [--out FILE]\n  \
+         netanom stream   --links FILE|- --train-bins N [--paths FILE] [--confidence C]\n           \
+         [--window N] [--refit-every K] [--refit full|incremental] [--chunk B]"
     );
 }
 
@@ -38,6 +48,7 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate(rest),
         "detect" => commands::detect(rest),
         "diagnose" => commands::diagnose(rest),
+        "stream" => commands::stream(rest),
         "--help" | "-h" | "help" => {
             usage();
             return ExitCode::SUCCESS;

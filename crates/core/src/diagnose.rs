@@ -82,6 +82,33 @@ impl Diagnoser {
         })
     }
 
+    /// Swap in a freshly refitted model, rebuilding the detector and
+    /// identifier against it while reusing the quantification factors
+    /// `Āᵢᵀθᵢ`, which depend only on the routing matrix.
+    ///
+    /// This is the streaming refit entry point: a periodic model refresh
+    /// pays for the identifier's batched `θ̃ᵢ = C̃θᵢ` projection and one
+    /// threshold evaluation, nothing else. `rm` must be the routing
+    /// matrix the diagnoser was built with (checked by flow count).
+    pub fn refit_model(
+        &mut self,
+        model: SubspaceModel,
+        rm: &RoutingMatrix,
+        confidence: f64,
+    ) -> Result<()> {
+        if rm.num_flows() != self.quant_factor.len() {
+            return Err(crate::CoreError::DimensionMismatch {
+                expected: self.quant_factor.len(),
+                got: rm.num_flows(),
+            });
+        }
+        let identifier = Identifier::new(&model, rm)?;
+        let detector = Detector::new(model, confidence)?;
+        self.identifier = identifier;
+        self.detector = detector;
+        Ok(())
+    }
+
     /// The fitted subspace model.
     pub fn model(&self) -> &SubspaceModel {
         self.detector.model()

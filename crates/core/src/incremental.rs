@@ -124,6 +124,17 @@ impl IncrementalCovariance {
         Ok(())
     }
 
+    /// Slide the window by one measurement: remove `old`, add `new`
+    /// (`O(m²)`, the steady-state cost of a full ring buffer).
+    ///
+    /// Equivalent to `remove(old)` followed by `add(new)`; the same
+    /// caller obligations as [`IncrementalCovariance::remove`] apply to
+    /// `old`.
+    pub fn slide(&mut self, old: &[f64], new: &[f64]) -> Result<()> {
+        self.remove(old)?;
+        self.add(new)
+    }
+
     /// Current mean vector.
     ///
     /// Returns an error with zero measurements.
@@ -174,8 +185,8 @@ impl IncrementalCovariance {
             return Err(CoreError::DegenerateResidual { r: usize::MAX });
         }
         let cov = self.covariance()?;
-        let eig = SymmetricEigen::new(&cov)?;
-        let eigenvalues: Vec<f64> = eig.eigenvalues.iter().map(|&l| l.max(0.0)).collect();
+        let eig = SymmetricEigen::of_covariance(&cov)?;
+        let eigenvalues = &eig.eigenvalues;
         let r = match policy {
             SeparationPolicy::FixedCount(r) => r.min(self.dim),
             SeparationPolicy::VarianceFraction(f) => {
@@ -198,7 +209,7 @@ impl IncrementalCovariance {
             }
             SeparationPolicy::ThreeSigma { .. } => unreachable!("rejected above"),
         };
-        SubspaceModel::from_eigen(self.mean()?, &eig.eigenvectors, eigenvalues, r)
+        SubspaceModel::from_symmetric_eigen(self.mean()?, &eig, r)
     }
 }
 

@@ -18,10 +18,15 @@
 //! 3. **Quantification** ([`quantify`]) — convert the per-link anomalous
 //!    traffic back to flow bytes with the unit-sum routing weights `Āᵢ`.
 //!
-//! [`Diagnoser`] bundles the three steps; [`OnlineDiagnoser`] applies a
-//! frozen model to streaming measurements in `O(m·r)` per arrival
-//! (Section 7.1), with [`incremental`] providing O(m²) sliding-window
-//! statistics for cheap refits; [`multiflow`] implements the Section 7.2
+//! [`Diagnoser`] bundles the three steps. The online path is the
+//! [`stream`] module: [`StreamingEngine`] diagnoses each arrival against
+//! a frozen model in `O(m·r)` (Section 7.1) from a flat ring-buffer
+//! window, refitting periodically either with a full fit or from the
+//! [`incremental`] sufficient statistics (`O(m²)` per arrival plus one
+//! Jacobi eigen-solve per refit, independent of the window length);
+//! [`MultiwayEngine`] runs several measurement kinds (bytes, packets,
+//! entropy) in lockstep, and [`OnlineDiagnoser`] remains as a thin
+//! compatibility wrapper. [`multiflow`] implements the Section 7.2
 //! extension to anomalies spanning several OD flows; [`timescale`]
 //! implements the Section 7.3 multi-timescale extension; and
 //! [`detectability`] computes the Section 5.4 per-flow detectability
@@ -60,6 +65,7 @@ mod online;
 mod pca;
 pub mod qstat;
 mod separation;
+pub mod stream;
 mod subspace;
 pub mod timescale;
 
@@ -69,6 +75,9 @@ pub use identify::{Identification, Identifier};
 pub use online::OnlineDiagnoser;
 pub use pca::{Pca, PcaMethod};
 pub use separation::SeparationPolicy;
+pub use stream::{
+    MultiwayEngine, MultiwayReport, RefitStrategy, RingWindow, StreamConfig, StreamingEngine,
+};
 pub use subspace::{Detection, Detector, SubspaceModel};
 
 /// Result alias used throughout the crate.

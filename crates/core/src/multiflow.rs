@@ -79,11 +79,23 @@ pub fn estimate_intensities(
     flows: &[usize],
     y: &[f64],
 ) -> Result<MultiFlowAnomaly> {
+    let residual = model.residual(y)?;
+    estimate_from_residual(model, rm, flows, &residual)
+}
+
+/// [`estimate_intensities`] against an already-projected residual
+/// `ỹ = C̃(y − μ)` — the streaming/pursuit entry point, which avoids
+/// re-projecting the measurement on every candidate-set evaluation.
+pub fn estimate_from_residual(
+    model: &SubspaceModel,
+    rm: &RoutingMatrix,
+    flows: &[usize],
+    residual: &[f64],
+) -> Result<MultiFlowAnomaly> {
     if flows.is_empty() {
         return Err(CoreError::NoCandidates);
     }
-    let residual = model.residual(y)?;
-    let energy = vector::norm_sq(&residual);
+    let energy = vector::norm_sq(residual);
 
     // Θ̃ columns, projected in one batch.
     let theta_tilde = model.residual_directions(&theta_columns(rm, flows))?;
@@ -91,7 +103,7 @@ pub fn estimate_intensities(
     // Normal equations: (Θ̃ᵀΘ̃) f = Θ̃ᵀ ỹ.
     let gram = theta_tilde.gram();
     let rhs = theta_tilde
-        .matvec_t(&residual)
+        .matvec_t(residual)
         .expect("dims consistent by construction");
     let chol = Cholesky::new(&gram).map_err(|_| CoreError::DependentCandidates)?;
     let f_hat = chol.solve(&rhs).expect("rhs length matches gram dim");
@@ -100,7 +112,7 @@ pub fn estimate_intensities(
     let fitted = theta_tilde
         .matvec(&f_hat)
         .expect("dims consistent by construction");
-    let remaining = vector::norm_sq(&vector::sub(&residual, &fitted));
+    let remaining = vector::norm_sq(&vector::sub(residual, &fitted));
 
     Ok(MultiFlowAnomaly {
         flows: flows.to_vec(),
@@ -213,7 +225,7 @@ pub fn greedy_identify(
             break; // pursuit stalled on an already-selected flow
         }
         flows.push(id.flow);
-        let joint = estimate_intensities(model, rm, &flows, y);
+        let joint = estimate_from_residual(model, rm, &flows, &full_residual);
         let joint = match joint {
             Ok(j) => j,
             Err(CoreError::DependentCandidates) => {

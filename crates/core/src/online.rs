@@ -1,33 +1,36 @@
-//! Online (streaming) deployment of the subspace method.
+//! Online (streaming) deployment of the subspace method — compatibility
+//! surface.
 //!
 //! The paper envisions the method "as a first-level online monitoring
 //! tool" (Section 7.1): the SVD is computed occasionally (the subspace is
 //! stable week over week), and each arriving measurement vector is
-//! processed against the frozen model in `O(m·r)`. [`OnlineDiagnoser`]
-//! implements exactly that, plus an optional periodic refit from a sliding
-//! window of recent measurements.
+//! processed against the frozen model in `O(m·r)`.
+//!
+//! [`OnlineDiagnoser`] is the original API for that deployment. It is now
+//! a thin wrapper over [`StreamingEngine`] — the ring-buffered,
+//! sufficient-statistics streaming engine in [`crate::stream`] — run
+//! under [`RefitStrategy::FullSvd`], which preserves the historical
+//! semantics exactly (bitwise, including mid-block refit boundaries; see
+//! `tests/stream_parity.rs`). New code should use [`StreamingEngine`]
+//! directly: it exposes the cheap incremental refit strategy and
+//! multi-way streaming that this wrapper does not.
+//!
+//! [`RefitStrategy::FullSvd`]: crate::stream::RefitStrategy::FullSvd
 
 use netanom_linalg::Matrix;
 use netanom_topology::RoutingMatrix;
 
 use crate::diagnose::{Diagnoser, DiagnoserConfig, DiagnosisReport};
+use crate::stream::{StreamConfig, StreamingEngine};
 use crate::Result;
 
 /// Streaming diagnoser: frozen subspace model, per-arrival diagnosis,
 /// optional periodic refit.
+///
+/// Backed by a [`StreamingEngine`] with the full-fit refit strategy.
 #[derive(Debug, Clone)]
 pub struct OnlineDiagnoser {
-    diagnoser: Diagnoser,
-    rm: RoutingMatrix,
-    config: DiagnoserConfig,
-    /// Sliding window of recent measurements, used for refits.
-    window: Vec<Vec<f64>>,
-    /// Maximum number of measurements retained.
-    window_capacity: usize,
-    /// Refit the model after this many arrivals (`None` = never).
-    refit_every: Option<usize>,
-    arrivals_since_fit: usize,
-    arrivals_total: usize,
+    engine: StreamingEngine,
 }
 
 impl OnlineDiagnoser {
@@ -45,33 +48,31 @@ impl OnlineDiagnoser {
         window_capacity: usize,
         refit_every: Option<usize>,
     ) -> Result<Self> {
-        let diagnoser = Diagnoser::fit(training, rm, config)?;
-        let capacity = window_capacity.max(training.rows());
-        let mut window = Vec::with_capacity(capacity);
-        let start = training.rows().saturating_sub(capacity);
-        for t in start..training.rows() {
-            window.push(training.row(t).to_vec());
-        }
+        let mut stream = StreamConfig::new(window_capacity);
+        stream.refit_every = refit_every;
         Ok(OnlineDiagnoser {
-            diagnoser,
-            rm: rm.clone(),
-            config,
-            window,
-            window_capacity: capacity,
-            refit_every,
-            arrivals_since_fit: 0,
-            arrivals_total: 0,
+            engine: StreamingEngine::new(training, rm, config, stream)?,
         })
     }
 
     /// Total measurements processed so far.
     pub fn arrivals(&self) -> usize {
-        self.arrivals_total
+        self.engine.arrivals()
     }
 
     /// The current (frozen) diagnoser.
     pub fn diagnoser(&self) -> &Diagnoser {
-        &self.diagnoser
+        self.engine.diagnoser()
+    }
+
+    /// The backing streaming engine.
+    pub fn engine(&self) -> &StreamingEngine {
+        &self.engine
+    }
+
+    /// Unwrap into the backing streaming engine.
+    pub fn into_engine(self) -> StreamingEngine {
+        self.engine
     }
 
     /// Process one arriving measurement vector: diagnose it against the
@@ -79,77 +80,18 @@ impl OnlineDiagnoser {
     ///
     /// The report's `time` is the arrival counter (0-based).
     pub fn process(&mut self, y: &[f64]) -> Result<DiagnosisReport> {
-        let mut report = self.diagnoser.diagnose_vector(y)?;
-        report.time = self.arrivals_total;
-        self.arrivals_total += 1;
-        self.arrivals_since_fit += 1;
-
-        if self.window.len() == self.window_capacity {
-            self.window.remove(0);
-        }
-        self.window.push(y.to_vec());
-
-        if let Some(k) = self.refit_every {
-            if self.arrivals_since_fit >= k {
-                self.refit()?;
-            }
-        }
-        Ok(report)
+        self.engine.process(y)
     }
 
     /// Process a whole block of arrivals (rows of a `b × m` matrix) at
-    /// once.
-    ///
-    /// Equivalent to calling [`OnlineDiagnoser::process`] on every row in
-    /// order — including mid-block refits, which are honored by
-    /// diagnosing batch-wise only up to each refit boundary — but the
-    /// diagnosis between refits runs through the batched
-    /// [`Diagnoser::diagnose_series`] GEMM path. This is the intended
-    /// entry point for replaying backlogs or micro-batched collection
-    /// (e.g. one SNMP poll cycle per call).
+    /// once; see [`StreamingEngine::process_batch`].
     pub fn process_batch(&mut self, links: &Matrix) -> Result<Vec<DiagnosisReport>> {
-        let mut out = Vec::with_capacity(links.rows());
-        let mut next = 0;
-        while next < links.rows() {
-            let until_refit = match self.refit_every {
-                Some(k) => k.saturating_sub(self.arrivals_since_fit).max(1),
-                None => links.rows() - next,
-            };
-            let take = until_refit.min(links.rows() - next);
-            let block = links.row_block(next, take).expect("range checked");
-            let mut reports = self.diagnoser.diagnose_series(&block)?;
-            for rep in &mut reports {
-                rep.time = self.arrivals_total;
-                self.arrivals_total += 1;
-                self.arrivals_since_fit += 1;
-            }
-            out.append(&mut reports);
-            for t in next..next + take {
-                if self.window.len() == self.window_capacity {
-                    self.window.remove(0);
-                }
-                self.window.push(block.row(t - next).to_vec());
-            }
-            next += take;
-            if let Some(k) = self.refit_every {
-                if self.arrivals_since_fit >= k {
-                    self.refit()?;
-                }
-            }
-        }
-        Ok(out)
+        self.engine.process_batch(links)
     }
 
     /// Recompute the subspace model from the current window.
-    ///
-    /// Anomalous bins contaminate a refit slightly; the paper's
-    /// week-over-week stability argument is that the top components are
-    /// dominated by diurnal structure, so sparse spikes barely move them.
     pub fn refit(&mut self) -> Result<()> {
-        let training = Matrix::from_rows(&self.window);
-        self.diagnoser = Diagnoser::fit(&training, &self.rm, self.config)?;
-        self.arrivals_since_fit = 0;
-        Ok(())
+        self.engine.refit()
     }
 }
 
@@ -223,6 +165,7 @@ mod tests {
             online.process(fresh.row(t)).unwrap();
         }
         assert_eq!(online.arrivals(), 120);
+        assert_eq!(online.engine().refits(), 2);
         // After two refits the window has absorbed the fresh data; the
         // model must still behave (no alarm storm on clean traffic).
         let tail = training(rm.num_links(), 50, 777);
@@ -258,10 +201,14 @@ mod tests {
             );
         }
         assert_eq!(batch.arrivals(), seq.arrivals());
-        assert_eq!(batch.arrivals_since_fit, seq.arrivals_since_fit);
-        assert_eq!(batch.window.len(), seq.window.len());
-        for (a, b) in batch.window.iter().zip(&seq.window) {
-            assert_eq!(a, b);
+        assert_eq!(
+            batch.engine().arrivals_since_refit(),
+            seq.engine().arrivals_since_refit()
+        );
+        let (bw, sw) = (batch.engine().window(), seq.engine().window());
+        assert_eq!(bw.len(), sw.len());
+        for i in 0..bw.len() {
+            assert_eq!(bw.row(i), sw.row(i), "window row {i}");
         }
     }
 
@@ -275,7 +222,11 @@ mod tests {
         for t in 0..fresh.rows() {
             online.process(fresh.row(t)).unwrap();
         }
-        assert_eq!(online.window.len(), 100);
+        assert_eq!(online.engine().window().len(), 100);
+        // The retained rows are exactly the last 100 arrivals, in order.
+        for i in 0..100 {
+            assert_eq!(online.engine().window().row(i), fresh.row(150 + i));
+        }
     }
 
     #[test]
@@ -287,7 +238,7 @@ mod tests {
         let y = train.row(10).to_vec();
         online.process(&y).unwrap();
         online.refit().unwrap();
-        assert_eq!(online.arrivals_since_fit, 0);
+        assert_eq!(online.engine().arrivals_since_refit(), 0);
         assert_eq!(online.arrivals(), 1);
     }
 }

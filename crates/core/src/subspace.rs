@@ -75,6 +75,21 @@ impl SubspaceModel {
         })
     }
 
+    /// Build a model from a covariance eigendecomposition produced by
+    /// [`SymmetricEigen::of_covariance`] — the streaming refit entry
+    /// point, where the decomposition comes from incremental sufficient
+    /// statistics rather than a centered data matrix.
+    ///
+    /// [`SymmetricEigen::of_covariance`]:
+    /// netanom_linalg::decomposition::SymmetricEigen::of_covariance
+    pub fn from_symmetric_eigen(
+        mean: Vec<f64>,
+        eig: &netanom_linalg::decomposition::SymmetricEigen,
+        r: usize,
+    ) -> Result<Self> {
+        Self::from_eigen(mean, &eig.eigenvectors, eig.eigenvalues.clone(), r)
+    }
+
     /// Build a model from an existing PCA with an explicit normal
     /// dimension `r`.
     pub fn from_pca(pca: &Pca, r: usize) -> Result<Self> {

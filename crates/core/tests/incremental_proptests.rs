@@ -1,0 +1,112 @@
+//! Property tests pinning [`IncrementalCovariance`] add/remove against
+//! the direct two-pass covariance to 1e-9 relative accuracy, including
+//! full window-wrap cycles through a ring-buffered window.
+//!
+//! Entries are bounded (|y| ≤ 50) so the `(Σyyᵀ − n·μμᵀ)` cancellation
+//! stays far from the accumulator scale and 1e-9 relative is a sound
+//! contract; the production numerics note for large-offset data lives on
+//! [`IncrementalCovariance`] and in DESIGN.md.
+
+use netanom_core::incremental::IncrementalCovariance;
+use netanom_core::stream::RingWindow;
+use netanom_linalg::{vector, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a `rows × cols` matrix with entries in [-50, 50].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-50.0..50.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+}
+
+/// Strategy: (window length, dimension, number of slides) with enough
+/// slides to wrap the window at least twice.
+fn window_shape() -> impl Strategy<Value = (usize, usize, usize)> {
+    (3usize..24, 1usize..7).prop_flat_map(|(w, m)| (Just(w), Just(m), (2 * w + 1)..(3 * w + 1)))
+}
+
+/// Direct two-pass covariance of a `t × m` matrix.
+fn two_pass_covariance(y: &Matrix) -> Matrix {
+    let (centered, _) = y.mean_centered_columns();
+    centered.gram().scaled(1.0 / (y.rows() as f64 - 1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn from_matrix_matches_two_pass_to_1e9(
+        y in (4usize..40, 1usize..7).prop_flat_map(|(t, m)| matrix(t, m))
+    ) {
+        let inc = IncrementalCovariance::from_matrix(&y);
+        let direct = two_pass_covariance(&y);
+        let cov = inc.covariance().unwrap();
+        let tol = 1e-9 * direct.max_abs().max(1.0);
+        prop_assert!(
+            cov.approx_eq(&direct, tol),
+            "incremental covariance diverged beyond {tol:.2e}"
+        );
+        let (_, mean) = y.mean_centered_columns();
+        prop_assert!(vector::approx_eq(&inc.mean().unwrap(), &mean, 1e-9));
+    }
+
+    #[test]
+    fn sliding_add_remove_matches_two_pass_after_full_wraps(
+        (w, m, slides) in window_shape(),
+        seed_rows in (0usize..1, 0usize..1).prop_flat_map(|_| matrix(96, 6))
+    ) {
+        // Carve the stream out of one generated pool so every case sees
+        // varied data: first `w` rows seed the window, the next `slides`
+        // rows arrive one by one (wrapping the window ≥ 2 times).
+        let need = w + slides;
+        prop_assert!(need <= seed_rows.rows());
+        let stream: Vec<&[f64]> = (0..need).map(|t| &seed_rows.row(t)[..m]).collect();
+
+        let mut window = RingWindow::new(w, m);
+        let mut inc = IncrementalCovariance::new(m);
+        for row in stream.iter().take(w) {
+            window.push(row);
+            inc.add(row).unwrap();
+        }
+        for row in stream.iter().skip(w) {
+            let old = window.oldest().expect("window is full").to_vec();
+            inc.slide(&old, row).unwrap();
+            window.push(row);
+        }
+        prop_assert_eq!(inc.count(), w);
+
+        // The surviving window is exactly the last `w` stream rows.
+        let direct_rows: Vec<Vec<f64>> =
+            stream[slides..].iter().map(|r| r.to_vec()).collect();
+        let direct_matrix = Matrix::from_rows(&direct_rows);
+        for i in 0..w {
+            prop_assert_eq!(window.row(i), direct_matrix.row(i));
+        }
+
+        let direct = two_pass_covariance(&direct_matrix);
+        let cov = inc.covariance().unwrap();
+        let tol = 1e-9 * direct.max_abs().max(1.0);
+        prop_assert!(
+            cov.approx_eq(&direct, tol),
+            "wrapped-window covariance diverged beyond {tol:.2e} after {slides} slides"
+        );
+        let (_, mean) = direct_matrix.mean_centered_columns();
+        prop_assert!(vector::approx_eq(&inc.mean().unwrap(), &mean, 1e-9));
+    }
+
+    #[test]
+    fn add_remove_roundtrip_is_exact_on_count_and_tight_on_covariance(
+        y in (6usize..30, 1usize..6).prop_flat_map(|(t, m)| matrix(t, m)),
+        probe in proptest::collection::vec(-50.0..50.0f64, 1usize..6)
+    ) {
+        let m = y.cols().min(probe.len());
+        let y = Matrix::from_fn(y.rows(), m, |i, j| y[(i, j)]);
+        let probe = &probe[..m];
+        let mut inc = IncrementalCovariance::from_matrix(&y);
+        let before = inc.covariance().unwrap();
+        inc.add(probe).unwrap();
+        inc.remove(probe).unwrap();
+        prop_assert_eq!(inc.count(), y.rows());
+        let after = inc.covariance().unwrap();
+        prop_assert!(after.approx_eq(&before, 1e-9 * before.max_abs().max(1.0)));
+    }
+}

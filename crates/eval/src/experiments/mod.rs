@@ -38,8 +38,8 @@ pub struct ExperimentOutput {
 
 /// All experiment ids, in the paper's presentation order, followed by
 /// this repository's ablations (not figures of the paper, but the design
-/// choices DESIGN.md calls out).
-pub const EXPERIMENT_IDS: [&str; 15] = [
+/// choices DESIGN.md calls out) and the streaming-deployment scenario.
+pub const EXPERIMENT_IDS: [&str; 16] = [
     "table1",
     "fig1",
     "fig2",
@@ -55,6 +55,7 @@ pub const EXPERIMENT_IDS: [&str; 15] = [
     "fig10",
     "ablation_confidence",
     "ablation_separation",
+    "streaming",
 ];
 
 /// Run one experiment by id. Returns `None` for an unknown id.
@@ -75,6 +76,7 @@ pub fn run_by_id(id: &str, lab: &Lab, out_dir: &Path) -> Option<ExperimentOutput
         "fig10" => fig10::run(lab, out_dir),
         "ablation_confidence" => ablation::confidence(lab, out_dir),
         "ablation_separation" => ablation::separation(lab, out_dir),
+        "streaming" => crate::streaming::experiment(lab, out_dir),
         _ => return None,
     };
     Some(out)

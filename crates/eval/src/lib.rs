@@ -14,6 +14,9 @@
 //!   with a printable rendering and CSV files.
 //! * [`lab`] — the shared experiment context (the three canned datasets,
 //!   loaded once).
+//! * [`streaming`] — the streaming-deployment scenario: detection
+//!   latency and arrivals/sec of the streaming engine across refit
+//!   cadences and refit strategies.
 //!
 //! The `experiments` binary (`cargo run -p netanom-eval --release --bin
 //! experiments -- all`) runs everything and writes results under
@@ -27,3 +30,4 @@ pub mod injection;
 pub mod lab;
 pub mod metrics;
 pub mod report;
+pub mod streaming;

@@ -175,6 +175,26 @@ impl SymmetricEigen {
         })
     }
 
+    /// Decompose a covariance matrix for a model refit: run the Jacobi
+    /// sweep and clamp eigenvalues that cancellation drove slightly
+    /// negative back to zero.
+    ///
+    /// This is the refit entry point for streaming model maintenance:
+    /// covariances assembled from incremental sufficient statistics
+    /// (`(Σyyᵀ − n·μμᵀ)/(n−1)`) are symmetric by construction but only
+    /// positive semi-definite up to roundoff, so the smallest eigenvalues
+    /// can come out at `−ε`. A subspace model's residual variance must be
+    /// non-negative, hence the clamp.
+    pub fn of_covariance(cov: &Matrix) -> Result<Self> {
+        let mut eig = Self::new(cov)?;
+        for l in &mut eig.eigenvalues {
+            if *l < 0.0 {
+                *l = 0.0;
+            }
+        }
+        Ok(eig)
+    }
+
     /// Dimension of the decomposed matrix.
     pub fn dim(&self) -> usize {
         self.eigenvalues.len()

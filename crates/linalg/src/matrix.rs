@@ -581,6 +581,63 @@ impl Matrix {
         vector::norm_inf(&self.data)
     }
 
+    /// Borrow the contiguous flat storage of `nrows` rows starting at
+    /// `start_row` — a zero-copy row view for ring-buffer windows and
+    /// other consumers that only need the raw row-major span.
+    ///
+    /// Returns an error if the range exceeds the matrix.
+    pub fn row_span(&self, start_row: usize, nrows: usize) -> Result<&[f64]> {
+        if start_row + nrows > self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "row_span",
+                lhs: self.shape(),
+                rhs: (start_row + nrows, self.cols),
+            });
+        }
+        Ok(&self.data[start_row * self.cols..(start_row + nrows) * self.cols])
+    }
+
+    /// Assemble a matrix by concatenating flat row-major segments, each
+    /// holding a whole number of `cols`-wide rows.
+    ///
+    /// This is the materialization path for ring-buffer windows: a
+    /// wrapped window is exactly two contiguous segments ([newest-wrap]
+    /// after [oldest..end]), and gluing them costs two `memcpy`s instead
+    /// of one allocation per row.
+    ///
+    /// Returns an error if any segment length is not a multiple of
+    /// `cols`, or if `cols == 0` with non-empty segments.
+    pub fn from_segments(cols: usize, segments: &[&[f64]]) -> Result<Matrix> {
+        let total: usize = segments.iter().map(|s| s.len()).sum();
+        if cols == 0 {
+            return if total == 0 {
+                Ok(Matrix::zeros(0, 0))
+            } else {
+                Err(LinalgError::DimensionMismatch {
+                    op: "from_segments",
+                    lhs: (0, 0),
+                    rhs: (total, 1),
+                })
+            };
+        }
+        let mut data = Vec::with_capacity(total);
+        for s in segments {
+            if s.len() % cols != 0 {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "from_segments",
+                    lhs: (s.len() / cols, cols),
+                    rhs: (s.len(), 1),
+                });
+            }
+            data.extend_from_slice(s);
+        }
+        Ok(Matrix {
+            rows: total / cols,
+            cols,
+            data,
+        })
+    }
+
     /// Extract the contiguous block of `nrows` rows starting at `start_row`.
     ///
     /// Returns an error if the range exceeds the matrix.

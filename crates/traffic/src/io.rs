@@ -11,6 +11,7 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
+use std::io::BufRead;
 use std::path::Path;
 
 use netanom_linalg::Matrix;
@@ -42,6 +43,14 @@ pub enum CsvError {
         /// The offending text.
         text: String,
     },
+    /// The input ended before a requested number of rows was read
+    /// ([`CsvChunks::take_rows`]).
+    Truncated {
+        /// Data rows actually read.
+        got: usize,
+        /// Data rows requested.
+        need: usize,
+    },
 }
 
 impl std::fmt::Display for CsvError {
@@ -62,6 +71,9 @@ impl std::fmt::Display for CsvError {
                     "line {line}, column {column}: {text:?} is not a finite number"
                 )
             }
+            CsvError::Truncated { got, need } => {
+                write!(f, "input ended after {got} data rows (needed {need})")
+            }
         }
     }
 }
@@ -81,49 +93,226 @@ impl From<io::Error> for CsvError {
     }
 }
 
-/// Parse a link-measurement CSV: a header row of link names, then one
-/// row of byte counts per bin. Returns the series and the header names.
-pub fn link_series_from_csv_str(content: &str) -> Result<(LinkSeries, Vec<String>), CsvError> {
-    let mut lines = content.lines().enumerate();
-    let (_, header) = lines.next().ok_or(CsvError::Empty)?;
-    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
-    let m = names.len();
-
-    let mut rows: Vec<Vec<f64>> = Vec::new();
-    for (idx, line) in lines {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != m {
-            return Err(CsvError::RaggedRow {
-                line: idx + 1,
-                got: fields.len(),
-                expected: m,
+/// Parse one data line (1-based `line` number for error reporting) into
+/// `m` numeric fields appended onto `out`.
+fn parse_row_into(
+    line_text: &str,
+    line: usize,
+    m: usize,
+    out: &mut Vec<f64>,
+) -> Result<(), CsvError> {
+    let fields: Vec<&str> = line_text.split(',').collect();
+    if fields.len() != m {
+        return Err(CsvError::RaggedRow {
+            line,
+            got: fields.len(),
+            expected: m,
+        });
+    }
+    for (column, field) in fields.iter().enumerate() {
+        let trimmed = field.trim();
+        let v: f64 = trimmed.parse().map_err(|_| CsvError::BadNumber {
+            line,
+            column,
+            text: trimmed.to_string(),
+        })?;
+        if !v.is_finite() {
+            return Err(CsvError::BadNumber {
+                line,
+                column,
+                text: trimmed.to_string(),
             });
         }
-        let mut row = Vec::with_capacity(m);
-        for (column, field) in fields.iter().enumerate() {
-            let v: f64 = field.trim().parse().map_err(|_| CsvError::BadNumber {
-                line: idx + 1,
-                column,
-                text: field.trim().to_string(),
-            })?;
-            if !v.is_finite() {
-                return Err(CsvError::BadNumber {
-                    line: idx + 1,
-                    column,
-                    text: field.trim().to_string(),
-                });
-            }
-            row.push(v);
-        }
-        rows.push(row);
+        out.push(v);
     }
-    if rows.is_empty() {
+    Ok(())
+}
+
+/// Streaming CSV reader yielding row *blocks* (`≤ chunk_rows × m`
+/// matrices) instead of materializing the whole series — the ingestion
+/// front end for [`netanom_core::stream::StreamingEngine::process_batch`]
+/// when replaying large files or consuming a live pipe.
+///
+/// The header is read eagerly on construction; each
+/// [`CsvChunks::next_chunk`] (or iterator step) then parses at most
+/// `chunk_rows` data rows directly into one flat matrix buffer. Blank
+/// lines are skipped and error positions are reported with 1-based file
+/// line numbers, exactly like [`link_series_from_csv_str`].
+///
+/// [`netanom_core::stream::StreamingEngine::process_batch`]:
+/// https://docs.rs/netanom-core
+#[derive(Debug)]
+pub struct CsvChunks<R> {
+    reader: R,
+    names: Vec<String>,
+    chunk_rows: usize,
+    /// 1-based number of the last line read.
+    line: usize,
+    /// Set once EOF or an error has been delivered.
+    done: bool,
+    /// Leftover rows from a [`CsvChunks::take_rows`] boundary split,
+    /// yielded before any further reading.
+    pending: Option<Matrix>,
+}
+
+impl<R: BufRead> CsvChunks<R> {
+    /// Wrap a buffered reader, consuming the header line immediately.
+    ///
+    /// `chunk_rows` is the maximum rows per yielded block (≥ 1).
+    /// Returns [`CsvError::Empty`] if the input has no header line.
+    pub fn new(mut reader: R, chunk_rows: usize) -> Result<Self, CsvError> {
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(CsvError::Empty);
+        }
+        let names: Vec<String> = header
+            .trim_end_matches(['\n', '\r'])
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .collect();
+        Ok(CsvChunks {
+            reader,
+            names,
+            chunk_rows,
+            line: 1,
+            done: false,
+            pending: None,
+        })
+    }
+
+    /// The link names from the header row.
+    pub fn header(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of links `m` (header width).
+    pub fn num_links(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Parse the next block of up to `chunk_rows` measurements.
+    ///
+    /// Returns `Ok(None)` at end of input. After an error or the final
+    /// block, subsequent calls return `Ok(None)`.
+    pub fn next_chunk(&mut self) -> Result<Option<Matrix>, CsvError> {
+        if let Some(p) = self.pending.take() {
+            return Ok(Some(p));
+        }
+        if self.done {
+            return Ok(None);
+        }
+        let m = self.names.len();
+        let mut data: Vec<f64> = Vec::with_capacity(self.chunk_rows * m);
+        let mut rows = 0usize;
+        let mut buf = String::new();
+        while rows < self.chunk_rows {
+            buf.clear();
+            let read = match self.reader.read_line(&mut buf) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.done = true;
+                    return Err(e.into());
+                }
+            };
+            if read == 0 {
+                self.done = true;
+                break;
+            }
+            self.line += 1;
+            let text = buf.trim_end_matches(['\n', '\r']);
+            if text.trim().is_empty() {
+                continue;
+            }
+            if let Err(e) = parse_row_into(text, self.line, m, &mut data) {
+                self.done = true;
+                return Err(e);
+            }
+            rows += 1;
+        }
+        if rows == 0 {
+            return Ok(None);
+        }
+        Ok(Some(
+            Matrix::from_vec(rows, m, data).expect("sized to shape"),
+        ))
+    }
+
+    /// Read exactly `need` data rows as one `need × m` matrix —
+    /// accumulating whole chunks and splitting the boundary chunk, whose
+    /// overflow is buffered and yielded first by the next read. This is
+    /// the bootstrap-window reader: collect the training prefix, then
+    /// keep iterating the same `CsvChunks` for the streamed remainder
+    /// without losing or double-reading a row.
+    ///
+    /// Returns [`CsvError::Truncated`] if the input ends first.
+    pub fn take_rows(&mut self, need: usize) -> Result<Matrix, CsvError> {
+        let m = self.names.len();
+        let mut blocks: Vec<Matrix> = Vec::new();
+        let mut got = 0usize;
+        while got < need {
+            let Some(block) = self.next_chunk()? else {
+                return Err(CsvError::Truncated { got, need });
+            };
+            let take = (need - got).min(block.rows());
+            if take < block.rows() {
+                self.pending = Some(
+                    block
+                        .row_block(take, block.rows() - take)
+                        .expect("within block"),
+                );
+                blocks.push(block.row_block(0, take).expect("within block"));
+            } else {
+                blocks.push(block);
+            }
+            got += take;
+        }
+        let spans: Vec<&[f64]> = blocks
+            .iter()
+            .map(|b| b.row_span(0, b.rows()).expect("whole matrix"))
+            .collect();
+        Ok(Matrix::from_segments(m, &spans).expect("aligned blocks"))
+    }
+}
+
+impl<R: BufRead> Iterator for CsvChunks<R> {
+    type Item = Result<Matrix, CsvError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_chunk().transpose()
+    }
+}
+
+/// Open a link-measurement CSV as a stream of row blocks.
+pub fn link_series_chunks(
+    path: &Path,
+    chunk_rows: usize,
+) -> Result<CsvChunks<io::BufReader<fs::File>>, CsvError> {
+    let file = fs::File::open(path)?;
+    CsvChunks::new(io::BufReader::new(file), chunk_rows)
+}
+
+/// Parse a link-measurement CSV: a header row of link names, then one
+/// row of byte counts per bin. Returns the series and the header names.
+///
+/// One-shot form of [`CsvChunks`]; prefer the chunked reader for large
+/// files or live input.
+pub fn link_series_from_csv_str(content: &str) -> Result<(LinkSeries, Vec<String>), CsvError> {
+    let mut chunks = CsvChunks::new(content.as_bytes(), 4096)?;
+    let names = chunks.header().to_vec();
+    let mut blocks: Vec<Matrix> = Vec::new();
+    while let Some(block) = chunks.next_chunk()? {
+        blocks.push(block);
+    }
+    if blocks.is_empty() {
         return Err(CsvError::Empty);
     }
-    Ok((LinkSeries::new(Matrix::from_rows(&rows)), names))
+    let spans: Vec<&[f64]> = blocks
+        .iter()
+        .map(|b| b.row_span(0, b.rows()).expect("whole matrix"))
+        .collect();
+    let matrix = Matrix::from_segments(names.len(), &spans).expect("aligned blocks");
+    Ok((LinkSeries::new(matrix), names))
 }
 
 /// Read a link-measurement CSV from disk.
@@ -250,6 +439,125 @@ mod tests {
     fn blank_lines_skipped() {
         let (s, _) = link_series_from_csv_str("a,b\n1,2\n\n3,4\n").unwrap();
         assert_eq!(s.num_bins(), 2);
+    }
+
+    #[test]
+    fn chunked_reader_yields_row_blocks() {
+        let csv = "a,b\n1,2\n3,4\n\n5,6\n7,8\n9,10\n";
+        let mut chunks = CsvChunks::new(csv.as_bytes(), 2).unwrap();
+        assert_eq!(chunks.header(), ["a", "b"]);
+        assert_eq!(chunks.num_links(), 2);
+        let c1 = chunks.next_chunk().unwrap().unwrap();
+        assert_eq!(c1.shape(), (2, 2));
+        assert_eq!(c1.row(0), &[1.0, 2.0]);
+        // Blank line skipped without shortening the block.
+        let c2 = chunks.next_chunk().unwrap().unwrap();
+        assert_eq!(c2.shape(), (2, 2));
+        assert_eq!(c2.row(0), &[5.0, 6.0]);
+        let c3 = chunks.next_chunk().unwrap().unwrap();
+        assert_eq!(c3.shape(), (1, 2));
+        assert_eq!(c3.row(0), &[9.0, 10.0]);
+        assert!(chunks.next_chunk().unwrap().is_none());
+        assert!(chunks.next_chunk().unwrap().is_none()); // fused after EOF
+    }
+
+    #[test]
+    fn chunked_reader_matches_one_shot_parser() {
+        let names = vec!["x".to_string(), "y".to_string(), "z".to_string()];
+        let series = LinkSeries::new(Matrix::from_fn(37, 3, |i, j| (i * 3 + j) as f64 * 0.5));
+        let csv = link_series_to_csv_string(&series, Some(&names));
+        let (oneshot, oneshot_names) = link_series_from_csv_str(&csv).unwrap();
+
+        let mut chunks = CsvChunks::new(csv.as_bytes(), 8).unwrap();
+        assert_eq!(chunks.header(), &oneshot_names[..]);
+        let mut rows = 0usize;
+        while let Some(block) = chunks.next_chunk().unwrap() {
+            for r in 0..block.rows() {
+                assert_eq!(block.row(r), oneshot.matrix().row(rows + r));
+            }
+            rows += block.rows();
+        }
+        assert_eq!(rows, oneshot.num_bins());
+    }
+
+    #[test]
+    fn chunked_reader_reports_errors_with_file_lines_and_fuses() {
+        let csv = "a,b\n1,2\n3\n5,6\n";
+        let mut chunks = CsvChunks::new(csv.as_bytes(), 10).unwrap();
+        match chunks.next_chunk().unwrap_err() {
+            CsvError::RaggedRow {
+                line,
+                got,
+                expected,
+            } => assert_eq!((line, got, expected), (3, 1, 2)),
+            other => panic!("wrong error: {other}"),
+        }
+        // After an error the stream is terminated, not resumed mid-row.
+        assert!(chunks.next_chunk().unwrap().is_none());
+
+        let bad = CsvChunks::new("a,b\n1,nan\n".as_bytes(), 4)
+            .unwrap()
+            .next_chunk();
+        assert!(matches!(bad, Err(CsvError::BadNumber { line: 2, .. })));
+
+        assert!(matches!(
+            CsvChunks::new("".as_bytes(), 4).err(),
+            Some(CsvError::Empty)
+        ));
+        // Header-only input yields no chunks (the one-shot parser maps
+        // this to `Empty`).
+        let mut empty = CsvChunks::new("a,b\n".as_bytes(), 4).unwrap();
+        assert!(empty.next_chunk().unwrap().is_none());
+    }
+
+    #[test]
+    fn take_rows_splits_the_boundary_chunk_without_losing_rows() {
+        let csv = "a,b\n1,2\n3,4\n5,6\n7,8\n9,10\n";
+        let mut chunks = CsvChunks::new(csv.as_bytes(), 2).unwrap();
+        // 3 rows straddles a chunk boundary: 2 + half of the next.
+        let training = chunks.take_rows(3).unwrap();
+        assert_eq!(training.shape(), (3, 2));
+        assert_eq!(training.row(2), &[5.0, 6.0]);
+        // The boundary overflow streams first, then the remainder.
+        let next = chunks.next_chunk().unwrap().unwrap();
+        assert_eq!(next.row(0), &[7.0, 8.0]);
+        let last = chunks.next_chunk().unwrap().unwrap();
+        assert_eq!(last.row(0), &[9.0, 10.0]);
+        assert!(chunks.next_chunk().unwrap().is_none());
+
+        // Truncation is reported with counts.
+        let mut short = CsvChunks::new("a,b\n1,2\n".as_bytes(), 4).unwrap();
+        match short.take_rows(5).unwrap_err() {
+            CsvError::Truncated { got, need } => assert_eq!((got, need), (1, 5)),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn chunked_reader_iterator_interface() {
+        let csv = "a\n1\n2\n3\n";
+        let blocks: Vec<Matrix> = CsvChunks::new(csv.as_bytes(), 2)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].rows() + blocks[1].rows(), 3);
+    }
+
+    #[test]
+    fn chunked_file_reader_streams_from_disk() {
+        let dir = std::env::temp_dir().join("netanom-io-chunks");
+        let path = dir.join("links.csv");
+        link_series_to_csv(&sample(), None, &path).unwrap();
+        let mut chunks = link_series_chunks(&path, 1).unwrap();
+        assert_eq!(chunks.num_links(), 3);
+        let mut rows = 0;
+        while let Some(block) = chunks.next_chunk().unwrap() {
+            assert_eq!(block.cols(), 3);
+            rows += block.rows();
+        }
+        assert_eq!(rows, sample().num_bins());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
