@@ -23,6 +23,22 @@
 //!   "true" anomalies.
 //! * [`link_residual`] — per-link temporal filtering of the measurement
 //!   matrix for the Figure 10 comparison.
+//!
+//! # Example
+//!
+//! The EWMA forecaster with the paper's bidirectional spike estimator
+//! (footnote 4): a spike's size is recovered, and the bin after it is
+//! not marked as a second spike.
+//!
+//! ```
+//! use netanom_baselines::Ewma;
+//!
+//! let mut series = vec![100.0; 32];
+//! series[16] += 50.0; // a one-bin spike
+//! let sizes = Ewma::new(0.25).bidirectional_spike_sizes(&series);
+//! assert!(sizes[16] > 40.0);           // the spike is seen...
+//! assert!(sizes[17] < sizes[16] / 4.0); // ...and not echoed after
+//! ```
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

@@ -3,6 +3,16 @@
 //! The benches live in `benches/`; this library only provides cached
 //! dataset construction so every bench file measures computation, not
 //! dataset generation.
+//!
+//! # Example
+//!
+//! Fixtures are generated once per process and borrowed everywhere:
+//!
+//! ```
+//! let ds = netanom_bench::mini();
+//! assert!(ds.links.num_bins() >= 288);
+//! assert!(std::ptr::eq(ds, netanom_bench::mini())); // cached
+//! ```
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,6 +32,13 @@ pub fn sprint1() -> &'static Dataset {
 pub fn abilene() -> &'static Dataset {
     static DS: OnceLock<Dataset> = OnceLock::new();
     DS.get_or_init(datasets::abilene)
+}
+
+/// The small `mini` dataset (cheap to generate), once per process —
+/// the fixture for doctests and smoke benches.
+pub fn mini() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| datasets::mini(1))
 }
 
 /// A diagnoser fitted on Sprint-1 with the paper's default configuration,

@@ -6,9 +6,10 @@ use std::fs;
 use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
 
+use netanom_core::shard::ShardedEngine;
 use netanom_core::stream::{RefitStrategy, StreamConfig, StreamingEngine};
 use netanom_core::{Diagnoser, DiagnoserConfig};
-use netanom_topology::RoutingMatrix;
+use netanom_topology::{LinkPartition, RoutingMatrix};
 use netanom_traffic::datasets::{self, Dataset};
 use netanom_traffic::io as traffic_io;
 
@@ -256,6 +257,130 @@ fn load_paths(paths_file: &str, num_links: usize) -> Result<RoutingMatrix, Strin
     Ok(RoutingMatrix::from_paths(num_links, &paths))
 }
 
+/// Options shared by the online commands (`stream`, `shard`).
+struct OnlineOptions {
+    chunk: usize,
+    strategy: RefitStrategy,
+    refit_every: Option<usize>,
+    train_bins: usize,
+    window: usize,
+}
+
+/// Parse the chunk/refit/window/train-bins options the online commands
+/// share. `default_strategy` applies when `--refit` is absent; an
+/// incremental strategy without a refit cadence is downgraded to full
+/// refits (with a note), because statistics that are never consumed
+/// should not be paid for at `O(m²)` per arrival.
+fn online_options_of(
+    flags: &HashMap<&str, &str>,
+    default_strategy: RefitStrategy,
+) -> Result<OnlineOptions, String> {
+    let chunk: usize = match flags.get("chunk") {
+        None => 144,
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("--chunk must be a positive integer, got {s:?}"))?,
+    };
+    let strategy = match flags.get("refit").copied() {
+        None => default_strategy,
+        Some("full") => RefitStrategy::FullSvd,
+        Some("incremental") => RefitStrategy::Incremental,
+        Some(other) => return Err(format!("--refit must be full|incremental, got {other:?}")),
+    };
+    let refit_every = match flags.get("refit-every") {
+        None => None,
+        Some(s) => Some(
+            s.parse::<usize>()
+                .ok()
+                .filter(|&k| k > 0)
+                .ok_or_else(|| format!("--refit-every must be a positive integer, got {s:?}"))?,
+        ),
+    };
+    let strategy = if refit_every.is_none() && strategy == RefitStrategy::Incremental {
+        eprintln!(
+            "# note: incremental statistics without --refit-every are never consumed; \
+             using full refits"
+        );
+        RefitStrategy::FullSvd
+    } else {
+        strategy
+    };
+    let train_bins: usize = require(flags, "train-bins")?
+        .parse()
+        .ok()
+        .filter(|&n| n >= 2)
+        .ok_or_else(|| "--train-bins must be an integer ≥ 2".to_string())?;
+    let window = match flags.get("window") {
+        None => train_bins,
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("--window must be a positive integer, got {s:?}"))?,
+    };
+    Ok(OnlineOptions {
+        chunk,
+        strategy,
+        refit_every,
+        train_bins,
+        window,
+    })
+}
+
+/// Open `--links` as a buffered reader (`-` reads stdin).
+fn open_links_reader(links_arg: &str) -> Result<Box<dyn BufRead>, String> {
+    Ok(if links_arg == "-" {
+        Box::new(BufReader::new(std::io::stdin()))
+    } else {
+        Box::new(BufReader::new(
+            fs::File::open(links_arg).map_err(|e| format!("opening {links_arg}: {e}"))?,
+        ))
+    })
+}
+
+/// Identification candidates: supplied routing, or one flow per link
+/// (the `flow` column then degenerates to "most anomalous link").
+fn routing_of(flags: &HashMap<&str, &str>, num_links: usize) -> Result<RoutingMatrix, String> {
+    match flags.get("paths") {
+        Some(p) => load_paths(p, num_links),
+        None => {
+            let identity: Vec<Vec<usize>> = (0..num_links).map(|l| vec![l]).collect();
+            Ok(RoutingMatrix::from_paths(num_links, &identity))
+        }
+    }
+}
+
+/// Human-readable refit schedule for the online banners.
+fn refit_label(refit_every: Option<usize>, strategy: RefitStrategy) -> String {
+    match (refit_every, strategy) {
+        (None, _) => "never".to_string(),
+        (Some(k), RefitStrategy::FullSvd) => format!("every {k} (full)"),
+        (Some(k), RefitStrategy::Incremental) => format!("every {k} (incremental)"),
+    }
+}
+
+/// Print one alarm CSV line per detected report (bins offset by the
+/// training prefix length); returns the number printed.
+fn emit_alarms(reports: &[netanom_core::DiagnosisReport], train_bins: usize) -> usize {
+    let mut alarms = 0;
+    for rep in reports.iter().filter(|r| r.detected) {
+        alarms += 1;
+        let id = rep.identification.expect("detected implies identified");
+        println!(
+            "{},{:.6e},{:.6e},{},{:.6e},{:.4}",
+            train_bins + rep.time,
+            rep.spe,
+            rep.threshold,
+            id.flow,
+            rep.estimated_bytes.unwrap_or(0.0),
+            id.explained_fraction(),
+        );
+    }
+    alarms
+}
+
 /// `netanom stream --links FILE|- --train-bins N [--paths FILE]
 /// [--confidence C] [--window N] [--refit-every K]
 /// [--refit full|incremental] [--chunk B]`
@@ -284,79 +409,21 @@ pub fn stream(args: &[String]) -> Result<(), String> {
     )?;
     let links_arg = require(&flags, "links")?;
     let confidence = confidence_of(&flags)?;
-    let chunk: usize = match flags.get("chunk") {
-        None => 144,
-        Some(s) => s
-            .parse()
-            .ok()
-            .filter(|&n| n > 0)
-            .ok_or_else(|| format!("--chunk must be a positive integer, got {s:?}"))?,
-    };
-    let strategy = match flags.get("refit").copied() {
-        None | Some("full") => RefitStrategy::FullSvd,
-        Some("incremental") => RefitStrategy::Incremental,
-        Some(other) => return Err(format!("--refit must be full|incremental, got {other:?}")),
-    };
-    let refit_every = match flags.get("refit-every") {
-        None => None,
-        Some(s) => Some(
-            s.parse::<usize>()
-                .ok()
-                .filter(|&k| k > 0)
-                .ok_or_else(|| format!("--refit-every must be a positive integer, got {s:?}"))?,
-        ),
-    };
+    let opts = online_options_of(&flags, RefitStrategy::FullSvd)?;
 
-    let reader: Box<dyn BufRead> = if links_arg == "-" {
-        Box::new(BufReader::new(std::io::stdin()))
-    } else {
-        Box::new(BufReader::new(
-            fs::File::open(links_arg).map_err(|e| format!("opening {links_arg}: {e}"))?,
-        ))
-    };
-    let mut chunks = traffic_io::CsvChunks::new(reader, chunk)
+    let mut chunks = traffic_io::CsvChunks::new(open_links_reader(links_arg)?, opts.chunk)
         .map_err(|e| format!("reading {links_arg}: {e}"))?;
     let m = chunks.num_links();
-
-    let train_bins: usize = require(&flags, "train-bins")?
-        .parse()
-        .ok()
-        .filter(|&n| n >= 2)
-        .ok_or_else(|| "--train-bins must be an integer ≥ 2".to_string())?;
-    let window = match flags.get("window") {
-        None => train_bins,
-        Some(s) => s
-            .parse()
-            .ok()
-            .filter(|&n| n > 0)
-            .ok_or_else(|| format!("--window must be a positive integer, got {s:?}"))?,
-    };
-
-    // Identification candidates: supplied routing, or one flow per link.
-    let rm = match flags.get("paths") {
-        Some(p) => load_paths(p, m)?,
-        None => {
-            let identity: Vec<Vec<usize>> = (0..m).map(|l| vec![l]).collect();
-            RoutingMatrix::from_paths(m, &identity)
-        }
-    };
+    let rm = routing_of(&flags, m)?;
 
     // The training prefix; the boundary chunk's overflow stays buffered
     // inside `chunks` and streams first.
     let training = chunks
-        .take_rows(train_bins)
+        .take_rows(opts.train_bins)
         .map_err(|e| format!("reading {links_arg} training rows: {e}"))?;
 
-    // Without a refit cadence the engine never consumes the incremental
-    // statistics, so don't pay their O(m²)-per-arrival upkeep.
-    let strategy = if refit_every.is_none() && strategy == RefitStrategy::Incremental {
-        eprintln!("# note: --refit incremental without --refit-every never refits; disabling statistics upkeep");
-        RefitStrategy::FullSvd
-    } else {
-        strategy
-    };
-    let mut stream_cfg = StreamConfig::new(window).strategy(strategy);
-    stream_cfg.refit_every = refit_every;
+    let mut stream_cfg = StreamConfig::new(opts.window).strategy(opts.strategy);
+    stream_cfg.refit_every = opts.refit_every;
     let diag_cfg = DiagnoserConfig {
         confidence,
         ..DiagnoserConfig::default()
@@ -365,40 +432,23 @@ pub fn stream(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("fitting model: {e}"))?;
 
     eprintln!(
-        "# trained on {train_bins} bins x {m} links; r = {}, delta^2({:.2}%) = {:.6e}, refit = {}",
+        "# trained on {} bins x {m} links; r = {}, delta^2({:.2}%) = {:.6e}, refit = {}",
+        opts.train_bins,
         engine.diagnoser().model().normal_dim(),
         confidence * 100.0,
         engine.diagnoser().detector().threshold().delta_sq,
-        match (refit_every, strategy) {
-            (None, _) => "never".to_string(),
-            (Some(k), RefitStrategy::FullSvd) => format!("every {k} (full)"),
-            (Some(k), RefitStrategy::Incremental) => format!("every {k} (incremental)"),
-        },
+        refit_label(opts.refit_every, opts.strategy),
     );
     println!("bin,spe,threshold,flow,estimated_bytes,explained_fraction");
 
     let start = std::time::Instant::now();
     let mut alarms = 0usize;
-    let mut emit = |engine_reports: Vec<netanom_core::DiagnosisReport>| {
-        for rep in engine_reports.iter().filter(|r| r.detected) {
-            alarms += 1;
-            let id = rep.identification.expect("detected implies identified");
-            println!(
-                "{},{:.6e},{:.6e},{},{:.6e},{:.4}",
-                train_bins + rep.time,
-                rep.spe,
-                rep.threshold,
-                id.flow,
-                rep.estimated_bytes.unwrap_or(0.0),
-                id.explained_fraction(),
-            );
-        }
-    };
     while let Some(block) = chunks
         .next_chunk()
         .map_err(|e| format!("reading {links_arg}: {e}"))?
     {
-        emit(engine.process_batch(&block).map_err(|e| e.to_string())?);
+        let reports = engine.process_batch(&block).map_err(|e| e.to_string())?;
+        alarms += emit_alarms(&reports, opts.train_bins);
     }
     let elapsed = start.elapsed().as_secs_f64();
     let arrivals = engine.arrivals();
@@ -407,6 +457,163 @@ pub fn stream(args: &[String]) -> Result<(), String> {
         engine.refits(),
         arrivals as f64 / elapsed.max(1e-9),
     );
+    Ok(())
+}
+
+/// `netanom shard --links FILE|- --train-bins N --shards K
+/// [--paths FILE] [--confidence C] [--window N] [--refit-every K]
+/// [--refit full|incremental] [--chunk B]`
+///
+/// The sharded online path: the link set is partitioned round-robin
+/// into `--shards K` shards, the CSV is consumed in chunks and
+/// scattered into per-shard column-slice feeds
+/// (`traffic::io::ShardedChunks`), and each shard ingests its slice —
+/// windows, sufficient statistics, and SPE contributions — while the
+/// coordinator merges, detects, identifies, and (on the refit cadence)
+/// rebuilds the global model from the merged statistics. Detections are
+/// bitwise the ones `netanom stream` would print.
+///
+/// Defaults to `--refit incremental`: mergeable sufficient statistics
+/// are the point of the sharded deployment.
+pub fn shard(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "links",
+            "paths",
+            "confidence",
+            "train-bins",
+            "window",
+            "refit-every",
+            "refit",
+            "chunk",
+            "shards",
+        ],
+    )?;
+    let links_arg = require(&flags, "links")?;
+    let confidence = confidence_of(&flags)?;
+    let shards: usize = require(&flags, "shards")?
+        .parse()
+        .ok()
+        .filter(|&k| k > 0)
+        .ok_or_else(|| "--shards must be a positive integer".to_string())?;
+    let opts = online_options_of(&flags, RefitStrategy::Incremental)?;
+
+    let chunks = traffic_io::CsvChunks::new(open_links_reader(links_arg)?, opts.chunk)
+        .map_err(|e| format!("reading {links_arg}: {e}"))?;
+    let m = chunks.num_links();
+    if shards > m {
+        return Err(format!(
+            "--shards {shards} exceeds the {m} links in the CSV"
+        ));
+    }
+    let partition =
+        LinkPartition::round_robin(m, shards).map_err(|e| format!("partitioning: {e}"))?;
+    let mut feeds = traffic_io::ShardedChunks::new(chunks, &partition)
+        .map_err(|e| format!("sharding {links_arg}: {e}"))?;
+    let rm = routing_of(&flags, m)?;
+
+    let training = feeds
+        .take_rows(opts.train_bins)
+        .map_err(|e| format!("reading {links_arg} training rows: {e}"))?;
+
+    let mut stream_cfg = StreamConfig::new(opts.window).strategy(opts.strategy);
+    stream_cfg.refit_every = opts.refit_every;
+    let diag_cfg = DiagnoserConfig {
+        confidence,
+        ..DiagnoserConfig::default()
+    };
+    let mut engine = ShardedEngine::new(&training, &rm, diag_cfg, stream_cfg, &partition)
+        .map_err(|e| format!("fitting model: {e}"))?;
+
+    let sizes: Vec<String> = (0..engine.num_shards())
+        .map(|s| engine.shard_links(s).len().to_string())
+        .collect();
+    eprintln!(
+        "# trained on {} bins x {m} links; r = {}, delta^2({:.2}%) = {:.6e}; \
+         {shards} shards ({} links each), refit = {}",
+        opts.train_bins,
+        engine.diagnoser().model().normal_dim(),
+        confidence * 100.0,
+        engine.diagnoser().detector().threshold().delta_sq,
+        sizes.join("/"),
+        refit_label(opts.refit_every, opts.strategy),
+    );
+    println!("bin,spe,threshold,flow,estimated_bytes,explained_fraction");
+
+    let start = std::time::Instant::now();
+    let mut alarms = 0usize;
+    while let Some(slices) = feeds
+        .next_slices()
+        .map_err(|e| format!("reading {links_arg}: {e}"))?
+    {
+        let reports = engine
+            .process_batch_slices(&slices)
+            .map_err(|e| e.to_string())?;
+        alarms += emit_alarms(&reports, opts.train_bins);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let arrivals = engine.arrivals();
+    eprintln!(
+        "{alarms} alarms in {arrivals} streamed bins; {} merges+refits ({:.1} ms); {:.0} arrivals/sec",
+        engine.refits(),
+        engine.refit_seconds() * 1e3,
+        arrivals as f64 / elapsed.max(1e-9),
+    );
+    Ok(())
+}
+
+/// `netanom eval (--list | ID... ) [--out DIR]`
+///
+/// The experiment registry from `netanom-eval`: `--list` enumerates
+/// every table/figure/scenario id (including `streaming` and `sharded`);
+/// naming ids (or `all`) regenerates them under `--out`
+/// (default `target/paper`).
+pub fn eval(args: &[String]) -> Result<(), String> {
+    use netanom_eval::experiments::{self, EXPERIMENT_IDS};
+    use netanom_eval::lab::Lab;
+
+    let mut out_dir = PathBuf::from("target/paper");
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => {
+                for id in EXPERIMENT_IDS {
+                    println!("{id}");
+                }
+                return Ok(());
+            }
+            "--out" => {
+                out_dir = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--out requires a directory".to_string())?,
+                );
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        return Err("eval needs --list or at least one experiment id (or `all`)".to_string());
+    }
+    let ids = experiments::resolve_ids(&ids)?;
+    // The drivers assume a writable output directory; validate it here
+    // so a bad --out is a clean CLI error, not a driver panic.
+    fs::create_dir_all(&out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let probe = out_dir.join(".netanom-eval-writable");
+    fs::write(&probe, b"").map_err(|e| format!("writing to {}: {e}", out_dir.display()))?;
+    fs::remove_file(&probe).ok();
+    eprintln!("loading datasets and fitting models…");
+    let lab = Lab::load();
+    for id in &ids {
+        let output = experiments::run_by_id(id, &lab, &out_dir).expect("id validated above");
+        println!("=== {} ({}) ===", output.title, output.id);
+        println!("{}", output.rendered);
+        for f in &output.files {
+            eprintln!("  wrote {}", f.display());
+        }
+    }
     Ok(())
 }
 
@@ -531,6 +738,101 @@ mod tests {
         ]))
         .unwrap();
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_runs_chunked_over_simulated_data() {
+        let dir = std::env::temp_dir().join("netanom-cli-shard");
+        let _ = fs::remove_dir_all(&dir);
+        simulate(&s(&[
+            "--dataset",
+            "mini",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let links = dir.join("links.csv");
+        let paths = dir.join("paths.csv");
+        // Full routing, merged incremental refits landing mid-chunk.
+        shard(&s(&[
+            "--links",
+            links.to_str().unwrap(),
+            "--paths",
+            paths.to_str().unwrap(),
+            "--train-bins",
+            "216",
+            "--shards",
+            "3",
+            "--refit-every",
+            "24",
+            "--chunk",
+            "17",
+        ]))
+        .unwrap();
+        // Detection-only fallback with full refits.
+        shard(&s(&[
+            "--links",
+            links.to_str().unwrap(),
+            "--train-bins",
+            "216",
+            "--shards",
+            "2",
+            "--refit",
+            "full",
+            "--refit-every",
+            "48",
+        ]))
+        .unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_validates_flags() {
+        let dir = std::env::temp_dir().join("netanom-cli-shard-bad");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let links = dir.join("links.csv");
+        fs::write(&links, "a,b\n1,2\n3,4\n5,6\n").unwrap();
+        let l = links.to_str().unwrap();
+
+        let err = shard(&s(&["--links", l, "--train-bins", "2"])).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err = shard(&s(&["--links", l, "--train-bins", "2", "--shards", "0"])).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err = shard(&s(&["--links", l, "--train-bins", "2", "--shards", "5"])).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+        let err = shard(&s(&[
+            "--links",
+            l,
+            "--train-bins",
+            "2",
+            "--shards",
+            "2",
+            "--refit",
+            "sometimes",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("full|incremental"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eval_lists_ids_and_rejects_unknown_ones() {
+        // --list is cheap (no Lab construction).
+        eval(&s(&["--list"])).unwrap();
+        let err = eval(&s(&["fig99"])).unwrap_err();
+        assert!(err.contains("unknown experiment id"), "{err}");
+        assert!(
+            err.contains("sharded"),
+            "unknown-id error must list ids: {err}"
+        );
+        assert!(err.contains("streaming"), "{err}");
+        let err = eval(&s(&[])).unwrap_err();
+        assert!(err.contains("--list"), "{err}");
+        let err = eval(&s(&["--out"])).unwrap_err();
+        assert!(err.contains("--out"), "{err}");
+        let err = eval(&s(&["--bogus"])).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! `netanom` — diagnose network-wide traffic anomalies from the shell.
+//!
+//! This library backs the `netanom` binary; it exists as a library so
+//! the subcommand implementations ([`commands`]) and the `paths.csv`
+//! routing format ([`paths_csv`]) are testable and documented like every
+//! other crate in the workspace.
+//!
+//! ```text
+//! netanom simulate --dataset sprint1 --out-dir data/
+//! netanom detect   --links data/links.csv [--confidence 0.999] [--train-bins N]
+//! netanom diagnose --links data/links.csv --paths data/paths.csv [--out report.csv]
+//! netanom stream   --links data/links.csv --train-bins 1008 [--paths data/paths.csv]
+//!                  [--refit-every 144] [--refit incremental] [--chunk 144]
+//! netanom shard    --links data/links.csv --train-bins 1008 --shards 4
+//!                  [--paths data/paths.csv] [--refit-every 144] [--chunk 144]
+//! netanom eval     --list | <experiment-id>... [--out DIR]
+//! ```
+//!
+//! * `simulate` exports one of the canned paper datasets as CSV (link
+//!   measurements, flow paths, and exact ground truth) — both a demo and
+//!   a format reference for your own exports.
+//! * `detect` runs detection only: it needs nothing but link byte counts
+//!   (the SNMP-collectable input the paper emphasizes).
+//! * `diagnose` adds identification and quantification, which require
+//!   the routing information (`paths.csv`: `flow,links` with
+//!   `;`-separated link indices per flow).
+//! * `stream` is the online path: chunked ingestion through the
+//!   streaming engine with optional periodic refits.
+//! * `shard` is the sharded online path: the link set is partitioned
+//!   round-robin into `--shards K` shards, each ingesting its own column
+//!   slice, with sufficient statistics merged into the global model at
+//!   every refit — bitwise the same detections as `stream`.
+//! * `eval` lists or reruns the paper's tables/figures and the
+//!   deployment scenarios (the same registry as the `experiments`
+//!   binary).
+//!
+//! # The `paths.csv` format
+//!
+//! ```
+//! let paths = vec![vec![3], vec![0, 4, 7]];
+//! let csv = netanom_cli::paths_csv::serialize(&paths);
+//! assert!(csv.starts_with("flow,links\n"));
+//! assert_eq!(netanom_cli::paths_csv::parse(&csv).unwrap(), paths);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod commands;
+pub mod paths_csv;

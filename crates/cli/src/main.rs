@@ -1,32 +1,10 @@
-//! `netanom` — diagnose network-wide traffic anomalies from the shell.
-//!
-//! ```text
-//! netanom simulate --dataset sprint1 --out-dir data/
-//! netanom detect   --links data/links.csv [--confidence 0.999] [--train-bins N]
-//! netanom diagnose --links data/links.csv --paths data/paths.csv [--out report.csv]
-//! netanom stream   --links data/links.csv --train-bins 1008 [--paths data/paths.csv]
-//!                  [--refit-every 144] [--refit incremental] [--chunk 144]
-//! ```
-//!
-//! * `simulate` exports one of the canned paper datasets as CSV (link
-//!   measurements, flow paths, and exact ground truth) — both a demo and
-//!   a format reference for your own exports.
-//! * `detect` runs detection only: it needs nothing but link byte counts
-//!   (the SNMP-collectable input the paper emphasizes).
-//! * `diagnose` adds identification and quantification, which require the
-//!   routing information (`paths.csv`: `flow,links` with `;`-separated
-//!   link indices per flow).
-//! * `stream` is the online path: it consumes the CSV (or stdin with
-//!   `--links -`) in chunks through the streaming engine — training on
-//!   the first `--train-bins` rows, printing alarms as they are
-//!   diagnosed, never materializing the series — with optional periodic
-//!   refits (`--refit incremental` maintains sufficient statistics and
-//!   refits with an `m × m` eigen-solve instead of a full-window SVD).
-
-mod commands;
-mod paths_csv;
+//! The `netanom` binary: argument dispatch for the subcommands in
+//! `netanom_cli::commands`; see the library crate docs for the full
+//! usage reference.
 
 use std::process::ExitCode;
+
+use netanom_cli::commands;
 
 fn usage() {
     eprintln!(
@@ -34,7 +12,10 @@ fn usage() {
          netanom detect   --links FILE [--confidence C] [--train-bins N]\n  \
          netanom diagnose --links FILE --paths FILE [--confidence C] [--train-bins N] [--out FILE]\n  \
          netanom stream   --links FILE|- --train-bins N [--paths FILE] [--confidence C]\n           \
-         [--window N] [--refit-every K] [--refit full|incremental] [--chunk B]"
+         [--window N] [--refit-every K] [--refit full|incremental] [--chunk B]\n  \
+         netanom shard    --links FILE|- --train-bins N --shards K [--paths FILE] [--confidence C]\n           \
+         [--window N] [--refit-every K] [--refit full|incremental] [--chunk B]\n  \
+         netanom eval     --list | ID... [--out DIR]"
     );
 }
 
@@ -49,6 +30,8 @@ fn main() -> ExitCode {
         "detect" => commands::detect(rest),
         "diagnose" => commands::diagnose(rest),
         "stream" => commands::stream(rest),
+        "shard" => commands::shard(rest),
+        "eval" => commands::eval(rest),
         "--help" | "-h" | "help" => {
             usage();
             return ExitCode::SUCCESS;

@@ -43,6 +43,14 @@ pub enum CoreError {
     /// A candidate-flow set for multi-flow estimation was numerically
     /// dependent (e.g. two flows with identical residual footprints).
     DependentCandidates,
+    /// Sharded state could not be combined: inconsistent shard
+    /// measurement counts, link sets that do not partition the link
+    /// index space, or statistics that are not maintained under the
+    /// active refit strategy.
+    ShardMismatch {
+        /// Which merge invariant was violated.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -71,6 +79,9 @@ impl fmt::Display for CoreError {
                     f,
                     "candidate flows are linearly dependent in the residual subspace"
                 )
+            }
+            CoreError::ShardMismatch { reason } => {
+                write!(f, "shard state cannot be combined: {reason}")
             }
         }
     }

@@ -15,7 +15,7 @@
 //! window length.
 
 use netanom_linalg::decomposition::SymmetricEigen;
-use netanom_linalg::{vector, Matrix};
+use netanom_linalg::{vector, BlockPlacement, Matrix};
 
 use crate::separation::SeparationPolicy;
 use crate::subspace::SubspaceModel;
@@ -92,9 +92,10 @@ impl IncrementalCovariance {
             if yi == 0.0 {
                 continue;
             }
-            for j in i..self.dim {
-                self.cross[(i, j)] += yi * y[j];
-            }
+            // Entry (i, j) accumulates `+= yi * y[j]`; the axpy performs
+            // exactly that per element, so results are bitwise identical
+            // to the scalar loop while vectorizing cleanly.
+            vector::axpy(yi, &y[i..], &mut self.cross.row_mut(i)[i..]);
         }
         Ok(())
     }
@@ -117,9 +118,9 @@ impl IncrementalCovariance {
             if yi == 0.0 {
                 continue;
             }
-            for j in i..self.dim {
-                self.cross[(i, j)] -= yi * y[j];
-            }
+            // `a -= yi * y[j]` and `a += (-yi) * y[j]` are the same
+            // floating-point operation (sign flips are exact).
+            vector::axpy(-yi, &y[i..], &mut self.cross.row_mut(i)[i..]);
         }
         Ok(())
     }
@@ -210,6 +211,198 @@ impl IncrementalCovariance {
             SeparationPolicy::ThreeSigma { .. } => unreachable!("rejected above"),
         };
         SubspaceModel::from_symmetric_eigen(self.mean()?, &eig, r)
+    }
+
+    /// Merge per-shard statistics ([`CovarianceShard`]) covering disjoint
+    /// link sets back into one global accumulator.
+    ///
+    /// The shards must all have seen the same number of measurements and
+    /// their link sets must partition `0..dim`. Because every shard
+    /// maintains exactly the rows of the global upper-triangle
+    /// cross-product its links own — with the same per-entry operation
+    /// sequence a single global accumulator would have used — the merge
+    /// is pure placement ([`Matrix::assemble_blocks`]) and the result is
+    /// **bitwise identical** to the [`IncrementalCovariance`] a single
+    /// process would have maintained over the same arrival stream.
+    /// Sharding is therefore a pure scale transform, not an
+    /// approximation.
+    pub fn merge<'a, I: IntoIterator<Item = &'a CovarianceShard>>(shards: I) -> Result<Self> {
+        let shards: Vec<&CovarianceShard> = shards.into_iter().collect();
+        let Some(&first) = shards.first() else {
+            return Err(CoreError::ShardMismatch {
+                reason: "no shard statistics to merge",
+            });
+        };
+        let dim = first.dim;
+        let count = first.count;
+        let mut sum = vec![0.0; dim];
+        let mut owned = vec![false; dim];
+        for &shard in &shards {
+            if shard.dim != dim {
+                return Err(CoreError::ShardMismatch {
+                    reason: "shards disagree on the measurement dimension",
+                });
+            }
+            if shard.count != count {
+                return Err(CoreError::ShardMismatch {
+                    reason: "shards have seen different numbers of measurements",
+                });
+            }
+            for (k, &i) in shard.links.iter().enumerate() {
+                if owned[i] {
+                    return Err(CoreError::ShardMismatch {
+                        reason: "a link is owned by more than one shard",
+                    });
+                }
+                owned[i] = true;
+                sum[i] = shard.sum[k];
+            }
+        }
+        if !owned.iter().all(|&o| o) {
+            return Err(CoreError::ShardMismatch {
+                reason: "some link is owned by no shard",
+            });
+        }
+        let all_cols: Vec<usize> = (0..dim).collect();
+        let placements: Vec<BlockPlacement> = shards
+            .iter()
+            .map(|&shard| BlockPlacement {
+                rows: &shard.links,
+                cols: &all_cols,
+                block: &shard.cross,
+            })
+            .collect();
+        let cross = Matrix::assemble_blocks(dim, dim, &placements)?;
+        Ok(IncrementalCovariance {
+            dim,
+            count,
+            sum,
+            cross,
+        })
+    }
+}
+
+/// One shard's slice of the global sufficient statistics: the rows of
+/// `Σ y yᵀ` (upper triangle) belonging to the shard's links, plus the
+/// matching entries of `Σ y` and the shared measurement count.
+///
+/// Each arriving (or evicted) measurement is the **full** `m`-vector —
+/// statistics row `i` needs `y[j]` for every `j ≥ i` — but the per-shard
+/// *compute* is only the shard's share of the `O(m²)` upper triangle,
+/// which is the per-arrival hot cost the sharded engine splits across
+/// workers. (Bandwidth is `O(m)` doubles per arrival; the compute is
+/// `O(m²)` multiply-adds, so shipping the row is the cheap part.)
+///
+/// Accumulation order per entry is identical to
+/// [`IncrementalCovariance`]'s, so [`IncrementalCovariance::merge`]
+/// reassembles the global statistics bitwise.
+#[derive(Debug, Clone)]
+pub struct CovarianceShard {
+    /// Global measurement dimension `m`.
+    dim: usize,
+    /// Owned global link indices, strictly ascending.
+    links: Vec<usize>,
+    count: usize,
+    /// `sum[k] = Σ y[links[k]]`.
+    sum: Vec<f64>,
+    /// Row `k` holds `Σ y[i]·y[j]` for `i = links[k]`, `j ∈ i..dim`
+    /// (full `dim` width, zeros left of the diagonal).
+    cross: Matrix,
+}
+
+impl CovarianceShard {
+    /// Empty statistics for a shard owning `links` (strictly ascending
+    /// global indices into `0..dim`).
+    pub fn new(dim: usize, links: &[usize]) -> Result<Self> {
+        if links.is_empty() {
+            return Err(CoreError::ShardMismatch {
+                reason: "a shard must own at least one link",
+            });
+        }
+        for w in links.windows(2) {
+            if w[0] >= w[1] {
+                return Err(CoreError::ShardMismatch {
+                    reason: "shard links must be strictly ascending",
+                });
+            }
+        }
+        if *links.last().expect("non-empty") >= dim {
+            return Err(CoreError::ShardMismatch {
+                reason: "shard links exceed the measurement dimension",
+            });
+        }
+        Ok(CovarianceShard {
+            dim,
+            links: links.to_vec(),
+            count: 0,
+            sum: vec![0.0; links.len()],
+            cross: Matrix::zeros(links.len(), dim),
+        })
+    }
+
+    /// Number of accumulated measurements.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Global measurement dimension `m`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The owned global link indices.
+    pub fn links(&self) -> &[usize] {
+        &self.links
+    }
+
+    fn check(&self, y: &[f64]) -> Result<()> {
+        if y.len() != self.dim {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim,
+                got: y.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Add one full measurement vector, updating only the owned rows.
+    pub fn add(&mut self, y: &[f64]) -> Result<()> {
+        self.check(y)?;
+        self.count += 1;
+        for (k, &i) in self.links.iter().enumerate() {
+            let yi = y[i];
+            self.sum[k] += yi;
+            if yi == 0.0 {
+                continue;
+            }
+            vector::axpy(yi, &y[i..], &mut self.cross.row_mut(k)[i..]);
+        }
+        Ok(())
+    }
+
+    /// Remove a previously-added measurement. Same caller obligations as
+    /// [`IncrementalCovariance::remove`].
+    pub fn remove(&mut self, y: &[f64]) -> Result<()> {
+        self.check(y)?;
+        if self.count == 0 {
+            return Err(CoreError::TooFewSamples { got: 0, need: 1 });
+        }
+        self.count -= 1;
+        for (k, &i) in self.links.iter().enumerate() {
+            let yi = y[i];
+            self.sum[k] -= yi;
+            if yi == 0.0 {
+                continue;
+            }
+            vector::axpy(-yi, &y[i..], &mut self.cross.row_mut(k)[i..]);
+        }
+        Ok(())
+    }
+
+    /// Slide the window by one measurement: remove `old`, add `new`.
+    pub fn slide(&mut self, old: &[f64], new: &[f64]) -> Result<()> {
+        self.remove(old)?;
+        self.add(new)
     }
 }
 
@@ -313,6 +506,84 @@ mod tests {
         inc.add(&[1.0, 2.0, 3.0]).unwrap();
         assert!(inc.covariance().is_err()); // needs 2
         assert!(inc.add(&[1.0]).is_err()); // dim check
+    }
+
+    #[test]
+    fn sharded_statistics_merge_bitwise_to_global() {
+        let y = data(120, 7, 6);
+        // Uneven, non-contiguous ownership.
+        let groups: [&[usize]; 3] = [&[0, 3, 6], &[1, 2], &[4, 5]];
+        let mut shards: Vec<CovarianceShard> = groups
+            .iter()
+            .map(|g| CovarianceShard::new(7, g).unwrap())
+            .collect();
+        let mut global = IncrementalCovariance::new(7);
+        // Interleave adds and a sliding phase.
+        for t in 0..80 {
+            global.add(y.row(t)).unwrap();
+            for s in &mut shards {
+                s.add(y.row(t)).unwrap();
+            }
+        }
+        for t in 80..120 {
+            global.slide(y.row(t - 80), y.row(t)).unwrap();
+            for s in &mut shards {
+                s.slide(y.row(t - 80), y.row(t)).unwrap();
+            }
+        }
+        let merged = IncrementalCovariance::merge(&shards).unwrap();
+        assert_eq!(merged.count(), global.count());
+        assert!(
+            merged
+                .covariance()
+                .unwrap()
+                .approx_eq(&global.covariance().unwrap(), 0.0),
+            "merged covariance must be bitwise identical to the global accumulator"
+        );
+        assert_eq!(merged.mean().unwrap(), global.mean().unwrap());
+    }
+
+    #[test]
+    fn merge_rejects_inconsistent_shards() {
+        let mk = |links: &[usize]| CovarianceShard::new(4, links).unwrap();
+        // Empty input.
+        let none: Vec<CovarianceShard> = Vec::new();
+        assert!(matches!(
+            IncrementalCovariance::merge(&none),
+            Err(CoreError::ShardMismatch { .. })
+        ));
+        // Overlapping ownership.
+        assert!(IncrementalCovariance::merge(&[mk(&[0, 1]), mk(&[1, 2, 3])]).is_err());
+        // Missing links.
+        assert!(IncrementalCovariance::merge(&[mk(&[0, 1]), mk(&[2])]).is_err());
+        // Count mismatch.
+        let mut a = mk(&[0, 1]);
+        let b = mk(&[2, 3]);
+        a.add(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!(matches!(
+            IncrementalCovariance::merge(&[a, b]),
+            Err(CoreError::ShardMismatch { .. })
+        ));
+        // Dim mismatch.
+        let c = CovarianceShard::new(5, &[0, 1, 2, 3, 4]).unwrap();
+        assert!(IncrementalCovariance::merge(&[mk(&[0, 1, 2, 3]), c]).is_err());
+    }
+
+    #[test]
+    fn covariance_shard_validates_construction_and_rows() {
+        assert!(CovarianceShard::new(4, &[]).is_err());
+        assert!(CovarianceShard::new(4, &[1, 1]).is_err());
+        assert!(CovarianceShard::new(4, &[2, 1]).is_err());
+        assert!(CovarianceShard::new(4, &[0, 4]).is_err());
+        let mut s = CovarianceShard::new(4, &[0, 2]).unwrap();
+        assert_eq!(s.links(), &[0, 2]);
+        assert_eq!(s.dim(), 4);
+        assert!(s.add(&[1.0, 2.0]).is_err());
+        assert!(s.remove(&[1.0; 4]).is_err()); // nothing added yet
+        s.add(&[1.0; 4]).unwrap();
+        assert_eq!(s.count(), 1);
+        s.remove(&[1.0; 4]).unwrap();
+        assert_eq!(s.count(), 0);
     }
 
     #[test]

@@ -26,7 +26,11 @@
 //! Jacobi eigen-solve per refit, independent of the window length);
 //! [`MultiwayEngine`] runs several measurement kinds (bytes, packets,
 //! entropy) in lockstep, and [`OnlineDiagnoser`] remains as a thin
-//! compatibility wrapper. [`multiflow`] implements the Section 7.2
+//! compatibility wrapper. The [`shard`] module scales the same semantics
+//! across link partitions: [`ShardedEngine`] runs one ingestion worker
+//! per shard and merges mergeable sufficient statistics
+//! ([`incremental::CovarianceShard`]) back into the global covariance,
+//! bitwise. [`multiflow`] implements the Section 7.2
 //! extension to anomalies spanning several OD flows; [`timescale`]
 //! implements the Section 7.3 multi-timescale extension; and
 //! [`detectability`] computes the Section 5.4 per-flow detectability
@@ -65,6 +69,7 @@ mod online;
 mod pca;
 pub mod qstat;
 mod separation;
+pub mod shard;
 pub mod stream;
 mod subspace;
 pub mod timescale;
@@ -75,6 +80,7 @@ pub use identify::{Identification, Identifier};
 pub use online::OnlineDiagnoser;
 pub use pca::{Pca, PcaMethod};
 pub use separation::SeparationPolicy;
+pub use shard::ShardedEngine;
 pub use stream::{
     MultiwayEngine, MultiwayReport, RefitStrategy, RingWindow, StreamConfig, StreamingEngine,
 };

@@ -1,0 +1,854 @@
+//! Sharded network-wide diagnosis: mergeable sufficient statistics
+//! across link partitions.
+//!
+//! The paper's central claim is that a *network-wide* view separates
+//! anomalies per-link analysis misses — yet real measurement planes are
+//! distributed: each PoP's collector reports its own links, not the
+//! whole network. [`ShardedEngine`] reconciles the two. The link set is
+//! split into `K` shards by a [`LinkPartition`] (per-PoP, round-robin,
+//! or explicit), and each shard runs its own
+//! [`StreamingEngine`](crate::StreamingEngine)-style ingestion over its
+//! column slice:
+//!
+//! ```text
+//!        arrivals (full m-vector per bin, O(m) bandwidth)
+//!            │ scatter column slices
+//!   ┌────────┼─────────┬──────────────┐
+//!   ▼        ▼         ▼              ▼
+//! shard 0  shard 1   shard 2  …    shard K−1     each: slice window +
+//!   │        │         │              │          local statistics
+//!   └────────┴────┬────┴───────────── ┘          (sum, outer-product
+//!                 ▼                               rows, count)
+//!          coordinator: merge (bitwise) ──► global covariance
+//!                 │ Jacobi refit
+//!                 ▼
+//!          broadcast model slices back to shards
+//!                 │
+//!          shards: local SPE contributions ──► coordinator sums,
+//!          detects, identifies, quantifies
+//! ```
+//!
+//! Per arrival, each shard pays its share of the `O(m²)`
+//! sufficient-statistic upkeep and the `O(m·r)` subspace projection; the
+//! coordinator pays only `O(K·r)` to merge coefficient partials and a
+//! sum of `K` partial SPEs. The periodic refit merges the shard
+//! statistics into the global `m × m` covariance with
+//! [`IncrementalCovariance::merge`] /
+//! [`Matrix::assemble_blocks`](netanom_linalg::Matrix::assemble_blocks)
+//! (pure placement, **bitwise** identical to a single-process
+//! accumulator), solves the same Jacobi eigenproblem, and broadcasts the
+//! refreshed model's per-shard row slices back. Sharding is therefore a
+//! pure scale transform: refitted models are bitwise the single-process
+//! [`StreamingEngine`](crate::StreamingEngine)'s, merged SPEs agree
+//! within `1e-9` relative (partial sums reassociate), and detections
+//! and identifications match exactly on every pinned stream
+//! (`tests/shard_parity.rs`) — a decision could differ only for an SPE
+//! inside that `1e-9` sliver of the threshold.
+//!
+//! On one box the shards execute on the rayon scope splitter (one worker
+//! per shard when more than one hardware thread is available; the merge
+//! order is fixed by shard index, so results are bitwise independent of
+//! the thread count). The same shard/coordinator message pattern — slice
+//! feeds in, statistics rows and SPE partials out, model slices back —
+//! maps 1:1 onto a multi-process deployment where each PoP collector
+//! hosts its shard.
+//!
+//! # Example
+//!
+//! ```
+//! use netanom_core::shard::ShardedEngine;
+//! use netanom_core::{DiagnoserConfig, SeparationPolicy, StreamConfig};
+//! use netanom_linalg::Matrix;
+//! use netanom_topology::{builtin, LinkPartition};
+//!
+//! let net = builtin::line(3);
+//! let rm = &net.routing_matrix;
+//! let m = rm.num_links();
+//! let training = Matrix::from_fn(240, m, |t, l| {
+//!     let phase = t as f64 * std::f64::consts::TAU / 144.0;
+//!     2e6 + 2e5 * phase.sin() * ((l % 3) as f64 + 1.0)
+//!         + ((t * m + l) % 97) as f64
+//! });
+//! let config = DiagnoserConfig {
+//!     separation: SeparationPolicy::FixedCount(2),
+//!     ..DiagnoserConfig::default()
+//! };
+//! let partition = LinkPartition::round_robin(m, 3).unwrap();
+//! let mut engine =
+//!     ShardedEngine::new(&training, rm, config, StreamConfig::new(240), &partition).unwrap();
+//! assert_eq!(engine.num_shards(), 3);
+//! let report = engine.process(training.row(10)).unwrap();
+//! assert!(!report.detected); // training data is quiet
+//! ```
+
+use std::time::Instant;
+
+use netanom_linalg::{BlockPlacement, Matrix};
+use netanom_topology::{LinkPartition, RoutingMatrix};
+
+use crate::diagnose::{quantify, Diagnoser, DiagnoserConfig, DiagnosisReport};
+use crate::incremental::{CovarianceShard, IncrementalCovariance};
+use crate::separation::SeparationPolicy;
+use crate::stream::{RefitStrategy, RingWindow, StreamConfig};
+use crate::subspace::SubspaceModel;
+use crate::{CoreError, Result};
+
+/// One shard: a column slice of the measurement stream, its retained
+/// window, its rows of the global sufficient statistics, and its slice
+/// of the broadcast model.
+#[derive(Debug, Clone)]
+struct ShardWorker {
+    /// Owned global link indices, strictly ascending.
+    links: Vec<usize>,
+    /// Sliding window over the shard's column slice (`capacity × m_s`).
+    window: RingWindow,
+    /// Statistics rows; maintained only under
+    /// [`RefitStrategy::Incremental`].
+    stats: Option<CovarianceShard>,
+    /// Broadcast slice of the model mean (`m_s` entries).
+    mean: Vec<f64>,
+    /// Broadcast rows of the normal basis (`m_s × r`).
+    basis: Matrix,
+}
+
+/// Per-shard output of the first diagnosis phase over a block.
+struct ShardBatch {
+    /// Raw column slice of the block (`b × m_s`), reused for window
+    /// pushes.
+    raw: Matrix,
+    /// Mean-centered slice (`b × m_s`).
+    centered: Matrix,
+    /// Partial projection coefficients `Z_s · P_s` (`b × r`).
+    coeffs: Matrix,
+}
+
+/// Per-shard output of the second diagnosis phase.
+struct ShardOut {
+    /// Residual slice `Z_s − C·P_sᵀ` (`b × m_s`).
+    residual: Matrix,
+    /// Partial SPE `‖residual row‖²` per bin.
+    norms: Vec<f64>,
+}
+
+impl ShardWorker {
+    /// Phase one: slice the block's columns, center, and compute the
+    /// shard's partial projection coefficients against the broadcast
+    /// basis rows.
+    fn phase_a(&self, block: &Matrix) -> ShardBatch {
+        let m_s = self.links.len();
+        let raw = block.select_columns(&self.links);
+        let centered = Matrix::from_fn(raw.rows(), m_s, |t, k| raw[(t, k)] - self.mean[k]);
+        let coeffs = centered
+            .matmul(&self.basis)
+            .expect("basis rows match the shard width");
+        ShardBatch {
+            raw,
+            centered,
+            coeffs,
+        }
+    }
+
+    /// Phase two: residual slice and partial SPE against the merged
+    /// coefficients, then ingest the block (statistics rows over the
+    /// full arrival vectors, window over the column slice).
+    fn phase_b(
+        &mut self,
+        batch: &ShardBatch,
+        coeffs: &Matrix,
+        block: &Matrix,
+        evicted: &[Option<Vec<f64>>],
+    ) -> Result<ShardOut> {
+        let modeled = coeffs
+            .matmul_nt(&self.basis)
+            .expect("basis width matches the merged coefficients");
+        let residual = batch
+            .centered
+            .sub(&modeled)
+            .expect("shapes match by construction");
+        let norms = residual.row_norms_sq();
+        for t in 0..block.rows() {
+            if let Some(stats) = &mut self.stats {
+                match &evicted[t] {
+                    Some(old) => stats.slide(old, block.row(t))?,
+                    None => stats.add(block.row(t))?,
+                }
+            }
+            self.window.push(batch.raw.row(t));
+        }
+        Ok(ShardOut { residual, norms })
+    }
+}
+
+/// The sharded diagnosis engine: `K` shard workers over a link
+/// partition, coordinated into exactly the single-process semantics of
+/// [`StreamingEngine`](crate::StreamingEngine).
+///
+/// See the [module docs](self) for the architecture; the parity and
+/// scale contracts are:
+///
+/// * **Detections and identifications** equal the single-process
+///   engine's (pinned by `tests/shard_parity.rs` for every partition
+///   shape and `K ∈ {1, 2, 4, 8}`). Merged SPEs agree within `1e-9`
+///   relative — shard partial sums reassociate floating-point
+///   addition — so a decision could differ only for a bin whose
+///   single-process SPE sits inside that sliver of the threshold,
+///   which the parity suite shows does not happen on any pinned
+///   stream (the same caveat the batch API documents for
+///   [`Detector::detect_matrix`](crate::Detector::detect_matrix)).
+/// * Under [`RefitStrategy::Incremental`] the merged covariance is
+///   **bitwise identical** to the single-process
+///   [`IncrementalCovariance`], so refitted models match exactly; under
+///   [`RefitStrategy::FullSvd`] the reassembled window is bitwise the
+///   single-process window, so full refits match exactly too.
+/// * Results are bitwise independent of the worker thread count: shard
+///   partials are always merged in shard order.
+#[derive(Debug, Clone)]
+pub struct ShardedEngine {
+    diagnoser: Diagnoser,
+    rm: RoutingMatrix,
+    config: DiagnoserConfig,
+    shards: Vec<ShardWorker>,
+    strategy: RefitStrategy,
+    refit_every: Option<usize>,
+    arrivals_since_fit: usize,
+    arrivals_total: usize,
+    refits: usize,
+    refit_seconds: f64,
+}
+
+impl ShardedEngine {
+    /// Bootstrap from historical training data, exactly like
+    /// [`StreamingEngine::new`](crate::StreamingEngine::new), with the
+    /// link set split across `partition`'s shards.
+    ///
+    /// The global fit happens once at the coordinator; every shard is
+    /// seeded with its column slice of the trailing window and (under
+    /// [`RefitStrategy::Incremental`]) its rows of the sufficient
+    /// statistics over the same rows.
+    pub fn new(
+        training: &Matrix,
+        rm: &RoutingMatrix,
+        config: DiagnoserConfig,
+        stream: StreamConfig,
+        partition: &LinkPartition,
+    ) -> Result<Self> {
+        let m = rm.num_links();
+        if training.cols() != m {
+            return Err(CoreError::DimensionMismatch {
+                expected: m,
+                got: training.cols(),
+            });
+        }
+        if partition.num_links() != m {
+            return Err(CoreError::DimensionMismatch {
+                expected: m,
+                got: partition.num_links(),
+            });
+        }
+        let diagnoser = Diagnoser::fit(training, rm, config)?;
+        let capacity = stream.window_capacity.max(training.rows());
+        let start = training.rows().saturating_sub(capacity);
+        let mut shards = Vec::with_capacity(partition.num_shards());
+        for links in partition.groups() {
+            let mut window = RingWindow::new(capacity, links.len());
+            let mut slice = vec![0.0; links.len()];
+            for t in start..training.rows() {
+                let row = training.row(t);
+                for (k, &l) in links.iter().enumerate() {
+                    slice[k] = row[l];
+                }
+                window.push(&slice);
+            }
+            let stats = match stream.strategy {
+                RefitStrategy::Incremental => {
+                    let mut acc = CovarianceShard::new(m, links)?;
+                    for t in start..training.rows() {
+                        acc.add(training.row(t))?;
+                    }
+                    Some(acc)
+                }
+                RefitStrategy::FullSvd => None,
+            };
+            shards.push(ShardWorker {
+                links: links.clone(),
+                window,
+                stats,
+                mean: Vec::new(),
+                basis: Matrix::zeros(0, 0),
+            });
+        }
+        let mut engine = ShardedEngine {
+            diagnoser,
+            rm: rm.clone(),
+            config,
+            shards,
+            strategy: stream.strategy,
+            refit_every: stream.refit_every,
+            arrivals_since_fit: 0,
+            arrivals_total: 0,
+            refits: 0,
+            refit_seconds: 0.0,
+        };
+        engine.broadcast_model();
+        Ok(engine)
+    }
+
+    /// Number of shards `K`.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The ascending global link indices owned by shard `s`.
+    ///
+    /// # Panics
+    /// Panics if `s >= num_shards()`.
+    pub fn shard_links(&self, s: usize) -> &[usize] {
+        &self.shards[s].links
+    }
+
+    /// Total measurements processed so far.
+    pub fn arrivals(&self) -> usize {
+        self.arrivals_total
+    }
+
+    /// Arrivals since the most recent (re)fit.
+    pub fn arrivals_since_refit(&self) -> usize {
+        self.arrivals_since_fit
+    }
+
+    /// Number of refits performed so far.
+    pub fn refits(&self) -> usize {
+        self.refits
+    }
+
+    /// Wall-clock seconds spent in merge + refit + broadcast so far —
+    /// the coordination overhead a deployment pays for the global view.
+    pub fn refit_seconds(&self) -> f64 {
+        self.refit_seconds
+    }
+
+    /// The active refit strategy.
+    pub fn strategy(&self) -> RefitStrategy {
+        self.strategy
+    }
+
+    /// The coordinator's current (frozen) diagnoser.
+    pub fn diagnoser(&self) -> &Diagnoser {
+        &self.diagnoser
+    }
+
+    /// Process one arriving full measurement vector.
+    ///
+    /// Semantically identical to
+    /// [`StreamingEngine::process`](crate::StreamingEngine::process):
+    /// diagnose against the frozen model, slide every shard's window and
+    /// statistics, refit when due. Implemented as a one-row
+    /// [`ShardedEngine::process_batch`], so the per-arrival and batched
+    /// paths cannot drift apart.
+    pub fn process(&mut self, y: &[f64]) -> Result<DiagnosisReport> {
+        let m = self.rm.num_links();
+        if y.len() != m {
+            return Err(CoreError::DimensionMismatch {
+                expected: m,
+                got: y.len(),
+            });
+        }
+        let block = Matrix::from_vec(1, m, y.to_vec()).expect("sized to shape");
+        let mut reports = self.process_batch(&block)?;
+        Ok(reports.pop().expect("one report per row"))
+    }
+
+    /// Process a whole block of arrivals (rows of a `b × m` matrix),
+    /// honoring mid-block refit boundaries exactly like
+    /// [`StreamingEngine::process_batch`](crate::StreamingEngine::process_batch).
+    ///
+    /// Inputs are validated up front (width, finiteness) so no shard
+    /// ingests a row unless all will; an internal error mid-block (which
+    /// validated input cannot trigger) leaves the engine inconsistent
+    /// and should be treated as fatal.
+    pub fn process_batch(&mut self, links: &Matrix) -> Result<Vec<DiagnosisReport>> {
+        let m = self.rm.num_links();
+        if links.cols() != m {
+            return Err(CoreError::DimensionMismatch {
+                expected: m,
+                got: links.cols(),
+            });
+        }
+        for t in 0..links.rows() {
+            if let Some(link) = links.row(t).iter().position(|v| !v.is_finite()) {
+                return Err(CoreError::NonFiniteMeasurement { link });
+            }
+        }
+        let mut out = Vec::with_capacity(links.rows());
+        let mut next = 0;
+        while next < links.rows() {
+            let until_refit = match self.refit_every {
+                Some(k) => k.saturating_sub(self.arrivals_since_fit).max(1),
+                None => links.rows() - next,
+            };
+            let take = until_refit.min(links.rows() - next);
+            let block = links.row_block(next, take).expect("range checked");
+            let mut reports = self.run_block(&block)?;
+            for rep in &mut reports {
+                rep.time = self.arrivals_total;
+                self.arrivals_total += 1;
+                self.arrivals_since_fit += 1;
+            }
+            out.append(&mut reports);
+            next += take;
+            if let Some(k) = self.refit_every {
+                if self.arrivals_since_fit >= k {
+                    self.refit()?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Process a block delivered as per-shard column slices —
+    /// `slices[s]` is the `b × m_s` feed of shard `s`'s links, as a
+    /// per-PoP collector would ship it
+    /// (see `netanom_traffic::io::ShardedChunks`).
+    ///
+    /// The coordinator reassembles the full block (pure placement) and
+    /// runs [`ShardedEngine::process_batch`]; statistics rows need the
+    /// full arrival vectors, so the slices must cover every link.
+    pub fn process_batch_slices(&mut self, slices: &[Matrix]) -> Result<Vec<DiagnosisReport>> {
+        if slices.len() != self.shards.len() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.shards.len(),
+                got: slices.len(),
+            });
+        }
+        let bins = slices.first().map_or(0, Matrix::rows);
+        for (shard, slice) in self.shards.iter().zip(slices) {
+            if slice.rows() != bins {
+                return Err(CoreError::DimensionMismatch {
+                    expected: bins,
+                    got: slice.rows(),
+                });
+            }
+            if slice.cols() != shard.links.len() {
+                return Err(CoreError::DimensionMismatch {
+                    expected: shard.links.len(),
+                    got: slice.cols(),
+                });
+            }
+        }
+        let row_ids: Vec<usize> = (0..bins).collect();
+        let placements: Vec<BlockPlacement> = self
+            .shards
+            .iter()
+            .zip(slices)
+            .map(|(shard, slice)| BlockPlacement {
+                rows: &row_ids,
+                cols: &shard.links,
+                block: slice,
+            })
+            .collect();
+        let full = Matrix::assemble_blocks(bins, self.rm.num_links(), &placements)?;
+        self.process_batch(&full)
+    }
+
+    /// Whether to fan the shard phases out over scoped worker threads.
+    ///
+    /// Serial execution computes exactly the same values (partials are
+    /// always merged in shard order), so this is purely a wall-clock
+    /// decision: more than one shard, more than one hardware thread, and
+    /// enough rows to amortize the spawns.
+    fn parallel(&self, rows: usize) -> bool {
+        self.shards.len() > 1 && rows >= 4 && rayon::current_num_threads() > 1
+    }
+
+    /// Diagnose a refit-free block against the frozen model and ingest
+    /// it. Reports come back with `time == 0`; the caller stamps them.
+    fn run_block(&mut self, block: &Matrix) -> Result<Vec<DiagnosisReport>> {
+        let bins = block.rows();
+        let parallel = self.parallel(bins);
+
+        // Phase A: per-shard column slices, centering, and partial
+        // projection coefficients.
+        let mut batches: Vec<Option<ShardBatch>> = (0..self.shards.len()).map(|_| None).collect();
+        if parallel {
+            rayon::scope(|s| {
+                let mut pairs = self.shards.iter().zip(batches.iter_mut());
+                let first = pairs.next();
+                for (shard, slot) in pairs {
+                    s.spawn(move |_| *slot = Some(shard.phase_a(block)));
+                }
+                if let Some((shard, slot)) = first {
+                    *slot = Some(shard.phase_a(block));
+                }
+            });
+        } else {
+            for (shard, slot) in self.shards.iter().zip(batches.iter_mut()) {
+                *slot = Some(shard.phase_a(block));
+            }
+        }
+        let batches: Vec<ShardBatch> = batches
+            .into_iter()
+            .map(|b| b.expect("every shard ran phase A"))
+            .collect();
+
+        // Merge the coefficient partials in shard order (fixed order =
+        // thread-count-independent results).
+        let r = self.diagnoser.model().normal_dim();
+        let mut coeffs = Matrix::zeros(bins, r);
+        for batch in &batches {
+            coeffs = coeffs.add(&batch.coeffs).expect("all partials are b × r");
+        }
+
+        // Evicted full rows, assembled *before* any shard mutates its
+        // window. Only the incremental statistics consume them.
+        let evicted: Vec<Option<Vec<f64>>> = match self.strategy {
+            RefitStrategy::Incremental => self.collect_evicted(block),
+            RefitStrategy::FullSvd => vec![None; bins],
+        };
+
+        // Phase B: residual slices + SPE partials, then ingestion.
+        let mut outs: Vec<Option<Result<ShardOut>>> =
+            (0..self.shards.len()).map(|_| None).collect();
+        let coeffs_ref = &coeffs;
+        let evicted_ref = &evicted;
+        if parallel {
+            rayon::scope(|s| {
+                let mut triples = self
+                    .shards
+                    .iter_mut()
+                    .zip(batches.iter())
+                    .zip(outs.iter_mut());
+                let first = triples.next();
+                for ((shard, batch), slot) in triples {
+                    s.spawn(move |_| {
+                        *slot = Some(shard.phase_b(batch, coeffs_ref, block, evicted_ref));
+                    });
+                }
+                if let Some(((shard, batch), slot)) = first {
+                    *slot = Some(shard.phase_b(batch, coeffs_ref, block, evicted_ref));
+                }
+            });
+        } else {
+            for ((shard, batch), slot) in self
+                .shards
+                .iter_mut()
+                .zip(batches.iter())
+                .zip(outs.iter_mut())
+            {
+                *slot = Some(shard.phase_b(batch, coeffs_ref, block, evicted_ref));
+            }
+        }
+        let mut shard_outs = Vec::with_capacity(self.shards.len());
+        for out in outs {
+            shard_outs.push(out.expect("every shard ran phase B")?);
+        }
+
+        // Coordinator: sum SPE partials in shard order, detect, and
+        // identify/quantify the fired bins on the assembled residual.
+        let threshold = self.diagnoser.detector().threshold().delta_sq;
+        let m = self.rm.num_links();
+        let mut reports = Vec::with_capacity(bins);
+        for t in 0..bins {
+            let spe: f64 = shard_outs.iter().map(|o| o.norms[t]).sum();
+            if spe <= threshold {
+                reports.push(DiagnosisReport {
+                    time: 0,
+                    spe,
+                    threshold,
+                    detected: false,
+                    identification: None,
+                    estimated_bytes: None,
+                });
+                continue;
+            }
+            let mut residual = vec![0.0; m];
+            for (shard, out) in self.shards.iter().zip(&shard_outs) {
+                let row = out.residual.row(t);
+                for (k, &l) in shard.links.iter().enumerate() {
+                    residual[l] = row[k];
+                }
+            }
+            let id = self.diagnoser.identifier().identify(&residual)?;
+            let bytes = quantify(&id, &self.rm);
+            reports.push(DiagnosisReport {
+                time: 0,
+                spe,
+                threshold,
+                detected: true,
+                identification: Some(id),
+                estimated_bytes: Some(bytes),
+            });
+        }
+        Ok(reports)
+    }
+
+    /// The full rows evicted by each push of the block, in push order:
+    /// `None` while the window is still filling, else the oldest row of
+    /// the combined `[window, block]` sequence — assembled from the
+    /// shard windows for pre-block rows, borrowed from the block beyond.
+    fn collect_evicted(&self, block: &Matrix) -> Vec<Option<Vec<f64>>> {
+        let cap = self.shards[0].window.capacity();
+        let len = self.shards[0].window.len();
+        (0..block.rows())
+            .map(|t| {
+                if len + t < cap {
+                    None
+                } else {
+                    let idx = len + t - cap;
+                    Some(if idx < len {
+                        self.assemble_window_row(idx)
+                    } else {
+                        block.row(idx - len).to_vec()
+                    })
+                }
+            })
+            .collect()
+    }
+
+    /// Assemble the `i`-th retained row (arrival order) of the logical
+    /// global window from the shard windows' slices.
+    fn assemble_window_row(&self, i: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.rm.num_links()];
+        for shard in &self.shards {
+            let row = shard.window.row(i);
+            for (k, &l) in shard.links.iter().enumerate() {
+                out[l] = row[k];
+            }
+        }
+        out
+    }
+
+    /// Reassemble the logical global window (`len × m`, arrival order)
+    /// from the shard windows — pure placement, bitwise equal to the
+    /// single-process window.
+    fn assemble_window(&self) -> Result<Matrix> {
+        let len = self.shards[0].window.len();
+        let row_ids: Vec<usize> = (0..len).collect();
+        let slices: Vec<Matrix> = self.shards.iter().map(|s| s.window.to_matrix()).collect();
+        let placements: Vec<BlockPlacement> = self
+            .shards
+            .iter()
+            .zip(&slices)
+            .map(|(shard, slice)| BlockPlacement {
+                rows: &row_ids,
+                cols: &shard.links,
+                block: slice,
+            })
+            .collect();
+        Ok(Matrix::assemble_blocks(
+            len,
+            self.rm.num_links(),
+            &placements,
+        )?)
+    }
+
+    /// Merge the shard statistics into the global accumulator — bitwise
+    /// identical to the one a single-process
+    /// [`StreamingEngine`](crate::StreamingEngine) maintains over the
+    /// same stream.
+    ///
+    /// Errors with [`CoreError::ShardMismatch`] under
+    /// [`RefitStrategy::FullSvd`], which maintains no statistics.
+    pub fn merged_statistics(&self) -> Result<IncrementalCovariance> {
+        let mut parts = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            parts.push(shard.stats.as_ref().ok_or(CoreError::ShardMismatch {
+                reason: "statistics are only maintained under RefitStrategy::Incremental",
+            })?);
+        }
+        IncrementalCovariance::merge(parts)
+    }
+
+    /// Merge, refit, and broadcast: collect the shard state into a fresh
+    /// global model through the configured [`RefitStrategy`], rebuild
+    /// the coordinator's diagnoser, and hand every shard its new mean
+    /// and basis slices.
+    ///
+    /// Exactly mirrors [`StreamingEngine::refit`](crate::StreamingEngine::refit),
+    /// including the 3σ freeze of the normal dimension under incremental
+    /// refits. Wall-clock spent here accumulates into
+    /// [`ShardedEngine::refit_seconds`].
+    pub fn refit(&mut self) -> Result<()> {
+        let t0 = Instant::now();
+        let model = match self.strategy {
+            RefitStrategy::FullSvd => {
+                let window = self.assemble_window()?;
+                SubspaceModel::fit(&window, self.config.separation, self.config.pca_method)?
+            }
+            RefitStrategy::Incremental => {
+                let stats = self.merged_statistics()?;
+                let policy = match self.config.separation {
+                    SeparationPolicy::ThreeSigma { .. } => {
+                        SeparationPolicy::FixedCount(self.diagnoser.model().normal_dim())
+                    }
+                    other => other,
+                };
+                stats.to_model(policy)?
+            }
+        };
+        self.diagnoser
+            .refit_model(model, &self.rm, self.config.confidence)?;
+        self.broadcast_model();
+        self.arrivals_since_fit = 0;
+        self.refits += 1;
+        self.refit_seconds += t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    /// Hand every shard its slice of the coordinator's current model:
+    /// the mean entries and normal-basis rows of its links.
+    fn broadcast_model(&mut self) {
+        let model = self.diagnoser.model();
+        let mean = model.mean();
+        let basis = model.normal_basis();
+        for shard in &mut self.shards {
+            shard.mean = shard.links.iter().map(|&l| mean[l]).collect();
+            shard.basis = Matrix::from_fn(shard.links.len(), basis.cols(), |k, j| {
+                basis[(shard.links[k], j)]
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pca::PcaMethod;
+    use netanom_linalg::vector;
+    use netanom_topology::builtin;
+
+    fn training(m: usize, bins: usize, seed: usize) -> Matrix {
+        Matrix::from_fn(bins, m, |i, l| {
+            let phase = i as f64 * std::f64::consts::TAU / 144.0;
+            let smooth = 2e5 * phase.sin() * ((l % 3) as f64 + 1.0);
+            let noise = (((i * m + l + seed).wrapping_mul(2654435761)) % 8192) as f64 - 4096.0;
+            2e6 + smooth + noise
+        })
+    }
+
+    fn config() -> DiagnoserConfig {
+        DiagnoserConfig {
+            separation: SeparationPolicy::FixedCount(2),
+            pca_method: PcaMethod::Svd,
+            confidence: 0.999,
+        }
+    }
+
+    #[test]
+    fn construction_validates_dimensions() {
+        let net = builtin::line(3);
+        let rm = &net.routing_matrix;
+        let m = rm.num_links();
+        let train = training(m, 200, 0);
+        let bad = LinkPartition::round_robin(m + 1, 2).unwrap();
+        assert!(ShardedEngine::new(&train, rm, config(), StreamConfig::new(200), &bad).is_err());
+        let narrow = training(m - 1, 200, 0);
+        let good = LinkPartition::round_robin(m, 2).unwrap();
+        assert!(ShardedEngine::new(&narrow, rm, config(), StreamConfig::new(200), &good).is_err());
+    }
+
+    #[test]
+    fn detects_injected_anomaly_and_identifies_flow() {
+        let net = builtin::sprint_europe();
+        let rm = &net.routing_matrix;
+        let m = rm.num_links();
+        let train = training(m, 400, 0);
+        let partition = LinkPartition::per_pop(&net.topology);
+        let mut engine =
+            ShardedEngine::new(&train, rm, config(), StreamConfig::new(400), &partition).unwrap();
+        assert_eq!(engine.num_shards(), net.topology.num_pops());
+
+        let quiet = training(m, 1, 900).row(0).to_vec();
+        let rep = engine.process(&quiet).unwrap();
+        assert!(!rep.detected);
+
+        let flow = 20;
+        let mut y = quiet.clone();
+        vector::axpy(2e7, &rm.column(flow), &mut y);
+        let rep = engine.process(&y).unwrap();
+        assert!(rep.detected, "spe {} vs {}", rep.spe, rep.threshold);
+        assert_eq!(rep.identification.unwrap().flow, flow);
+        assert_eq!(engine.arrivals(), 2);
+    }
+
+    #[test]
+    fn batch_and_slices_paths_agree() {
+        let net = builtin::line(3);
+        let rm = &net.routing_matrix;
+        let m = rm.num_links();
+        let train = training(m, 300, 0);
+        let partition = LinkPartition::round_robin(m, 3).unwrap();
+        let mk = || {
+            ShardedEngine::new(
+                &train,
+                rm,
+                config(),
+                StreamConfig::new(300).refit_every(40),
+                &partition,
+            )
+            .unwrap()
+        };
+        let mut whole = mk();
+        let mut sliced = mk();
+        let fresh = training(m, 90, 300);
+        let a = whole.process_batch(&fresh).unwrap();
+        let slices: Vec<Matrix> = partition
+            .groups()
+            .iter()
+            .map(|g| fresh.select_columns(g))
+            .collect();
+        let b = sliced.process_batch_slices(&slices).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.time, y.time);
+            assert_eq!(x.spe, y.spe);
+            assert_eq!(x.detected, y.detected);
+        }
+        assert_eq!(whole.refits(), 2);
+        assert_eq!(sliced.refits(), 2);
+        assert!(whole.refit_seconds() > 0.0);
+    }
+
+    #[test]
+    fn slices_path_validates_shapes() {
+        let net = builtin::line(3);
+        let rm = &net.routing_matrix;
+        let m = rm.num_links();
+        let train = training(m, 200, 0);
+        let partition = LinkPartition::round_robin(m, 2).unwrap();
+        let mut engine =
+            ShardedEngine::new(&train, rm, config(), StreamConfig::new(200), &partition).unwrap();
+        assert!(engine.process_batch_slices(&[]).is_err());
+        let wrong_rows = vec![
+            Matrix::zeros(2, partition.group(0).len()),
+            Matrix::zeros(3, partition.group(1).len()),
+        ];
+        assert!(engine.process_batch_slices(&wrong_rows).is_err());
+        let wrong_cols = vec![
+            Matrix::zeros(2, partition.group(0).len() + 1),
+            Matrix::zeros(2, partition.group(1).len()),
+        ];
+        assert!(engine.process_batch_slices(&wrong_cols).is_err());
+        // Non-finite values are rejected before any ingestion.
+        let mut bad = Matrix::zeros(1, m);
+        bad[(0, 1)] = f64::NAN;
+        assert!(matches!(
+            engine.process_batch(&bad),
+            Err(CoreError::NonFiniteMeasurement { link: 1 })
+        ));
+        assert_eq!(engine.arrivals(), 0);
+    }
+
+    #[test]
+    fn merged_statistics_requires_incremental_strategy() {
+        let net = builtin::line(3);
+        let rm = &net.routing_matrix;
+        let train = training(rm.num_links(), 200, 0);
+        let partition = LinkPartition::round_robin(rm.num_links(), 2).unwrap();
+        let engine =
+            ShardedEngine::new(&train, rm, config(), StreamConfig::new(200), &partition).unwrap();
+        assert!(matches!(
+            engine.merged_statistics(),
+            Err(CoreError::ShardMismatch { .. })
+        ));
+    }
+}

@@ -7,7 +7,7 @@
 //! contract; the production numerics note for large-offset data lives on
 //! [`IncrementalCovariance`] and in DESIGN.md.
 
-use netanom_core::incremental::IncrementalCovariance;
+use netanom_core::incremental::{CovarianceShard, IncrementalCovariance};
 use netanom_core::stream::RingWindow;
 use netanom_linalg::{vector, Matrix};
 use proptest::prelude::*;
@@ -91,6 +91,75 @@ proptest! {
         );
         let (_, mean) = direct_matrix.mean_centered_columns();
         prop_assert!(vector::approx_eq(&inc.mean().unwrap(), &mean, 1e-9));
+    }
+
+    #[test]
+    fn k_way_merge_matches_two_pass_with_uneven_shards_and_wraps(
+        (w, m, slides) in window_shape(),
+        pool in (0usize..1, 0usize..1).prop_flat_map(|_| matrix(96, 6)),
+        cuts in proptest::collection::vec(0usize..6, 0..4)
+    ) {
+        let need = w + slides;
+        prop_assert!(need <= pool.rows());
+        let stream: Vec<&[f64]> = (0..need).map(|t| &pool.row(t)[..m]).collect();
+
+        // Uneven contiguous partition from random cut points (dedup'd,
+        // clamped into 1..m), K between 1 and m.
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| 1 + c % m).collect();
+        bounds.push(0);
+        bounds.push(m);
+        bounds.sort_unstable();
+        bounds.dedup();
+        let groups: Vec<Vec<usize>> = bounds
+            .windows(2)
+            .map(|p| (p[0]..p[1]).collect())
+            .collect();
+
+        let mut shards: Vec<CovarianceShard> = groups
+            .iter()
+            .map(|g| CovarianceShard::new(m, g).unwrap())
+            .collect();
+        let mut global = IncrementalCovariance::new(m);
+        let mut window = RingWindow::new(w, m);
+        for row in stream.iter().take(w) {
+            window.push(row);
+            global.add(row).unwrap();
+            for s in &mut shards {
+                s.add(row).unwrap();
+            }
+        }
+        for row in stream.iter().skip(w) {
+            let old = window.oldest().expect("window is full").to_vec();
+            global.slide(&old, row).unwrap();
+            for s in &mut shards {
+                s.slide(&old, row).unwrap();
+            }
+            window.push(row);
+        }
+
+        let merged = IncrementalCovariance::merge(&shards).unwrap();
+        prop_assert_eq!(merged.count(), w);
+
+        // Bitwise against the single global accumulator.
+        let gcov = global.covariance().unwrap();
+        let mcov = merged.covariance().unwrap();
+        prop_assert!(
+            mcov.approx_eq(&gcov, 0.0),
+            "merged covariance must be bitwise the global accumulator's"
+        );
+        prop_assert_eq!(merged.mean().unwrap(), global.mean().unwrap());
+
+        // 1e-9 relative against the direct two-pass covariance of the
+        // surviving window.
+        let surviving: Vec<Vec<f64>> = stream[slides..].iter().map(|r| r.to_vec()).collect();
+        let direct = two_pass_covariance(&Matrix::from_rows(&surviving));
+        let tol = 1e-9 * direct.max_abs().max(1.0);
+        prop_assert!(
+            mcov.approx_eq(&direct, tol),
+            "K={}-way merged covariance diverged beyond {tol:.2e} after {} slides",
+            shards.len(),
+            slides
+        );
     }
 
     #[test]

@@ -49,20 +49,14 @@ fn main() -> ExitCode {
             other => ids.push(other.to_string()),
         }
     }
-    if ids.is_empty() {
-        usage();
-        return ExitCode::FAILURE;
-    }
-    if ids.iter().any(|i| i == "all") {
-        ids = EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect();
-    }
-    for id in &ids {
-        if !EXPERIMENT_IDS.contains(&id.as_str()) {
-            eprintln!("unknown experiment id: {id}");
+    let ids = match experiments::resolve_ids(&ids) {
+        Ok(ids) => ids,
+        Err(e) => {
+            eprintln!("{e}");
             usage();
             return ExitCode::FAILURE;
         }
-    }
+    };
 
     eprintln!("loading datasets and fitting models…");
     let lab = Lab::load();

@@ -38,8 +38,9 @@ pub struct ExperimentOutput {
 
 /// All experiment ids, in the paper's presentation order, followed by
 /// this repository's ablations (not figures of the paper, but the design
-/// choices DESIGN.md calls out) and the streaming-deployment scenario.
-pub const EXPERIMENT_IDS: [&str; 16] = [
+/// choices DESIGN.md calls out) and the streaming- and
+/// sharded-deployment scenarios.
+pub const EXPERIMENT_IDS: [&str; 17] = [
     "table1",
     "fig1",
     "fig2",
@@ -56,7 +57,38 @@ pub const EXPERIMENT_IDS: [&str; 16] = [
     "ablation_confidence",
     "ablation_separation",
     "streaming",
+    "sharded",
 ];
+
+/// Expand and validate a user-supplied id list: `all` expands to the
+/// whole registry, and an unknown id errors with every available id
+/// listed — shared by the `experiments` binary and `netanom eval` so
+/// the two entry points cannot drift.
+pub fn resolve_ids(ids: &[String]) -> Result<Vec<&'static str>, String> {
+    if ids.is_empty() {
+        return Err(format!(
+            "no experiment ids given; available ids: {}",
+            EXPERIMENT_IDS.join(" ")
+        ));
+    }
+    if ids.iter().any(|i| i == "all") {
+        return Ok(EXPERIMENT_IDS.to_vec());
+    }
+    ids.iter()
+        .map(|id| {
+            EXPERIMENT_IDS
+                .iter()
+                .copied()
+                .find(|known| known == id)
+                .ok_or_else(|| {
+                    format!(
+                        "unknown experiment id {id:?}; available ids: {}",
+                        EXPERIMENT_IDS.join(" ")
+                    )
+                })
+        })
+        .collect()
+}
 
 /// Run one experiment by id. Returns `None` for an unknown id.
 pub fn run_by_id(id: &str, lab: &Lab, out_dir: &Path) -> Option<ExperimentOutput> {
@@ -77,6 +109,7 @@ pub fn run_by_id(id: &str, lab: &Lab, out_dir: &Path) -> Option<ExperimentOutput
         "ablation_confidence" => ablation::confidence(lab, out_dir),
         "ablation_separation" => ablation::separation(lab, out_dir),
         "streaming" => crate::streaming::experiment(lab, out_dir),
+        "sharded" => crate::sharded::experiment(lab, out_dir),
         _ => return None,
     };
     Some(out)
@@ -115,6 +148,15 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
 
         assert!(run_by_id("fig99", &lab, &dir).is_none());
+
+        // Shared id resolution: expansion, validation, helpful errors.
+        let all = resolve_ids(&["all".to_string()]).unwrap();
+        assert_eq!(all, EXPERIMENT_IDS.to_vec());
+        let some = resolve_ids(&["sharded".to_string(), "fig3".to_string()]).unwrap();
+        assert_eq!(some, vec!["sharded", "fig3"]);
+        let err = resolve_ids(&["fig99".to_string()]).unwrap_err();
+        assert!(err.contains("fig99") && err.contains("sharded"), "{err}");
+        assert!(resolve_ids(&[]).unwrap_err().contains("available ids"));
 
         // The cheap drivers (no injection sweeps) should render non-empty
         // output and write their CSVs.

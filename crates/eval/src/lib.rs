@@ -17,10 +17,34 @@
 //! * [`streaming`] — the streaming-deployment scenario: detection
 //!   latency and arrivals/sec of the streaming engine across refit
 //!   cadences and refit strategies.
+//! * [`sharded`] — the sharded-deployment scenario: merge overhead and
+//!   arrivals/sec of the link-partitioned engine across shard counts
+//!   `K ∈ {1, 2, 4, 8}` (experiment id `sharded`).
 //!
 //! The `experiments` binary (`cargo run -p netanom-eval --release --bin
 //! experiments -- all`) runs everything and writes results under
-//! `target/paper/`.
+//! `target/paper/`; `netanom eval --list` enumerates the same registry
+//! from the CLI.
+//!
+//! # Example
+//!
+//! Every experiment id dispatches through one registry, so drivers can
+//! be enumerated and rendered uniformly:
+//!
+//! ```
+//! use netanom_eval::{experiments::EXPERIMENT_IDS, report};
+//!
+//! assert!(EXPERIMENT_IDS.contains(&"streaming"));
+//! assert!(EXPERIMENT_IDS.contains(&"sharded"));
+//! let table = report::ascii_table(
+//!     &["id"],
+//!     &EXPERIMENT_IDS[..2]
+//!         .iter()
+//!         .map(|id| vec![id.to_string()])
+//!         .collect::<Vec<_>>(),
+//! );
+//! assert!(table.contains("table1"));
+//! ```
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,4 +54,5 @@ pub mod injection;
 pub mod lab;
 pub mod metrics;
 pub mod report;
+pub mod sharded;
 pub mod streaming;

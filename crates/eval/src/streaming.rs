@@ -90,23 +90,28 @@ pub struct CadenceMeasurement {
 /// `anomaly_every` bins, a spike of `anomaly_bytes` is added to a
 /// (cycling) OD flow for `anomaly_len` consecutive bins. Returns the
 /// contaminated tail and the `(onset, flow)` list.
-fn stage_anomalies(
+///
+/// Shared with the sharded-deployment scenario ([`crate::sharded`]) so
+/// both measure the same contaminated stream.
+pub(crate) fn stage_anomalies(
     tail: &Matrix,
     rm: &RoutingMatrix,
-    cfg: &ScenarioConfig,
+    anomaly_every: usize,
+    anomaly_len: usize,
+    anomaly_bytes: f64,
 ) -> (Matrix, Vec<(usize, usize)>) {
     let mut streamed = tail.clone();
     let mut onsets = Vec::new();
     let mut k = 0usize;
     loop {
-        let onset = (k + 1) * cfg.anomaly_every;
-        if onset + cfg.anomaly_len > streamed.rows() {
+        let onset = (k + 1) * anomaly_every;
+        if onset + anomaly_len > streamed.rows() {
             break;
         }
         let flow = (k * 7 + 3) % rm.num_flows();
-        for t in onset..onset + cfg.anomaly_len {
+        for t in onset..onset + anomaly_len {
             let mut row = streamed.row(t).to_vec();
-            vector::axpy(cfg.anomaly_bytes, &rm.column(flow), &mut row);
+            vector::axpy(anomaly_bytes, &rm.column(flow), &mut row);
             streamed.set_row(t, &row);
         }
         onsets.push((onset, flow));
@@ -135,7 +140,13 @@ pub fn run_scenario(
     let tail = links
         .row_block(cfg.train_bins, links.rows() - cfg.train_bins)
         .expect("length checked");
-    let (streamed, onsets) = stage_anomalies(&tail, rm, cfg);
+    let (streamed, onsets) = stage_anomalies(
+        &tail,
+        rm,
+        cfg.anomaly_every,
+        cfg.anomaly_len,
+        cfg.anomaly_bytes,
+    );
     let diag_config = DiagnoserConfig {
         confidence: cfg.confidence,
         ..DiagnoserConfig::default()

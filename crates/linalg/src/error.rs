@@ -42,6 +42,13 @@ pub enum LinalgError {
         /// Human-readable name of the operation that failed.
         op: &'static str,
     },
+    /// Two block placements targeted the same cell of an assembled
+    /// matrix (`Matrix::assemble_blocks`), which would silently drop one
+    /// of the values being merged.
+    DuplicateTarget {
+        /// Row/column position claimed twice.
+        at: (usize, usize),
+    },
     /// An argument was outside its mathematical domain
     /// (for example a probability outside `(0, 1)`).
     DomainError {
@@ -72,6 +79,9 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is not symmetric (worst at {},{})", at.0, at.1)
             }
             LinalgError::Singular { op } => write!(f, "singular system in {op}"),
+            LinalgError::DuplicateTarget { at } => {
+                write!(f, "block placements overlap at ({}, {})", at.0, at.1)
+            }
             LinalgError::DomainError { op, value } => {
                 write!(f, "argument {value} outside the domain of {op}")
             }

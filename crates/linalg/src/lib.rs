@@ -60,7 +60,7 @@ pub mod stats;
 pub mod vector;
 
 pub use error::LinalgError;
-pub use matrix::Matrix;
+pub use matrix::{BlockPlacement, Matrix};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

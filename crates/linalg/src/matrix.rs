@@ -638,6 +638,84 @@ impl Matrix {
         })
     }
 
+    /// Assemble a `rows × cols` matrix by scattering blocks into it:
+    /// entry `(a, b)` of a placement's `block` lands at
+    /// `(placement.rows[a], placement.cols[b])` of the result, and every
+    /// cell not covered by a placement is zero.
+    ///
+    /// This is the block-merge primitive of the sharded diagnosis layer:
+    /// a coordinator reassembles a global matrix from per-shard pieces
+    /// that each own an arbitrary (not necessarily contiguous) subset of
+    /// rows or columns — sufficient-statistic row blocks merging into the
+    /// global cross-product matrix, or per-shard window column slices
+    /// merging back into the full measurement window. Placement is pure
+    /// copying: no arithmetic is performed, so assembled values are
+    /// bitwise identical to their sources.
+    ///
+    /// Returns an error if a placement's block shape disagrees with its
+    /// index lists, an index is out of range, or two placements target
+    /// the same cell ([`LinalgError::DuplicateTarget`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use netanom_linalg::{BlockPlacement, Matrix};
+    ///
+    /// // Two column slices (links {0, 2} and {1}) reassemble a 2×3 row set.
+    /// let left = Matrix::from_rows(&[vec![1.0, 3.0], vec![4.0, 6.0]]);
+    /// let right = Matrix::from_rows(&[vec![2.0], vec![5.0]]);
+    /// let whole = Matrix::assemble_blocks(
+    ///     2,
+    ///     3,
+    ///     &[
+    ///         BlockPlacement { rows: &[0, 1], cols: &[0, 2], block: &left },
+    ///         BlockPlacement { rows: &[0, 1], cols: &[1], block: &right },
+    ///     ],
+    /// )
+    /// .unwrap();
+    /// assert_eq!(whole.row(0), &[1.0, 2.0, 3.0]);
+    /// assert_eq!(whole.row(1), &[4.0, 5.0, 6.0]);
+    /// ```
+    pub fn assemble_blocks(rows: usize, cols: usize, blocks: &[BlockPlacement]) -> Result<Matrix> {
+        let mut out = Matrix::zeros(rows, cols);
+        let mut written = vec![false; rows * cols];
+        for p in blocks {
+            if p.block.shape() != (p.rows.len(), p.cols.len()) {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "assemble_blocks",
+                    lhs: (p.rows.len(), p.cols.len()),
+                    rhs: p.block.shape(),
+                });
+            }
+            for (a, &i) in p.rows.iter().enumerate() {
+                if i >= rows {
+                    return Err(LinalgError::DimensionMismatch {
+                        op: "assemble_blocks",
+                        lhs: (rows, cols),
+                        rhs: (i + 1, cols),
+                    });
+                }
+                let brow = p.block.row(a);
+                for (b, &j) in p.cols.iter().enumerate() {
+                    if j >= cols {
+                        return Err(LinalgError::DimensionMismatch {
+                            op: "assemble_blocks",
+                            lhs: (rows, cols),
+                            rhs: (rows, j + 1),
+                        });
+                    }
+                    let flat = i * cols + j;
+                    if written[flat] {
+                        return Err(LinalgError::DuplicateTarget { at: (i, j) });
+                    }
+                    written[flat] = true;
+                    out.data[flat] = brow[b];
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Extract the contiguous block of `nrows` rows starting at `start_row`.
     ///
     /// Returns an error if the range exceeds the matrix.
@@ -686,6 +764,23 @@ impl Matrix {
         }
         Some(worst)
     }
+}
+
+/// One block of values to scatter into a matrix assembled by
+/// [`Matrix::assemble_blocks`]: entry `(a, b)` of `block` is copied to
+/// `(rows[a], cols[b])` of the assembled matrix.
+///
+/// The index lists need not be contiguous or sorted, which is what lets
+/// shard layers own arbitrary link subsets (round-robin, per-PoP) and
+/// still merge exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockPlacement<'a> {
+    /// Target row of each block row.
+    pub rows: &'a [usize],
+    /// Target column of each block column.
+    pub cols: &'a [usize],
+    /// The values to place.
+    pub block: &'a Matrix,
 }
 
 /// One row of the fused projection kernel with the basis width `R` known
@@ -1223,6 +1318,124 @@ mod tests {
         let none = Matrix::zeros(12, 0);
         let fast = y.centered_residual_norms_sq(&mean, &none).unwrap();
         assert_eq!(fast, y.row_norms_sq());
+    }
+
+    #[test]
+    fn assemble_blocks_scatters_rows_and_columns() {
+        let m = Matrix::from_fn(4, 5, |i, j| (i * 5 + j) as f64 + 1.0);
+        // Split by interleaved columns and reassemble.
+        let even: Vec<usize> = vec![0, 2, 4];
+        let odd: Vec<usize> = vec![1, 3];
+        let all_rows: Vec<usize> = (0..4).collect();
+        let back = Matrix::assemble_blocks(
+            4,
+            5,
+            &[
+                BlockPlacement {
+                    rows: &all_rows,
+                    cols: &even,
+                    block: &m.select_columns(&even),
+                },
+                BlockPlacement {
+                    rows: &all_rows,
+                    cols: &odd,
+                    block: &m.select_columns(&odd),
+                },
+            ],
+        )
+        .unwrap();
+        assert!(back.approx_eq(&m, 0.0), "reassembly must be bitwise");
+
+        // Scattered row placement; uncovered cells stay zero.
+        let rows = vec![3, 0];
+        let block = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0]]);
+        let cols = vec![1, 0];
+        let sparse = Matrix::assemble_blocks(
+            4,
+            2,
+            &[BlockPlacement {
+                rows: &rows,
+                cols: &cols,
+                block: &block,
+            }],
+        )
+        .unwrap();
+        assert_eq!(sparse.row(3), &[8.0, 7.0]);
+        assert_eq!(sparse.row(0), &[10.0, 9.0]);
+        assert_eq!(sparse.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn assemble_blocks_validates_shapes_ranges_and_overlap() {
+        let b = Matrix::zeros(2, 2);
+        // Block shape must match the index lists.
+        assert!(Matrix::assemble_blocks(
+            3,
+            3,
+            &[BlockPlacement {
+                rows: &[0],
+                cols: &[0, 1],
+                block: &b,
+            }],
+        )
+        .is_err());
+        // Out-of-range indices.
+        assert!(Matrix::assemble_blocks(
+            3,
+            3,
+            &[BlockPlacement {
+                rows: &[0, 3],
+                cols: &[0, 1],
+                block: &b,
+            }],
+        )
+        .is_err());
+        assert!(Matrix::assemble_blocks(
+            3,
+            3,
+            &[BlockPlacement {
+                rows: &[0, 1],
+                cols: &[0, 3],
+                block: &b,
+            }],
+        )
+        .is_err());
+        // Overlapping placements are rejected, including within a block.
+        let overlap = Matrix::assemble_blocks(
+            3,
+            3,
+            &[
+                BlockPlacement {
+                    rows: &[0, 1],
+                    cols: &[0, 1],
+                    block: &b,
+                },
+                BlockPlacement {
+                    rows: &[1, 2],
+                    cols: &[1, 2],
+                    block: &b,
+                },
+            ],
+        );
+        assert!(matches!(
+            overlap,
+            Err(LinalgError::DuplicateTarget { at: (1, 1) })
+        ));
+        assert!(matches!(
+            Matrix::assemble_blocks(
+                2,
+                2,
+                &[BlockPlacement {
+                    rows: &[0, 0],
+                    cols: &[0, 1],
+                    block: &b,
+                }],
+            ),
+            Err(LinalgError::DuplicateTarget { .. })
+        ));
+        // Empty placement list yields zeros.
+        let z = Matrix::assemble_blocks(2, 2, &[]).unwrap();
+        assert_eq!(z.frobenius_norm(), 0.0);
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub enum TopologyError {
     },
     /// The topology has no PoPs.
     EmptyTopology,
+    /// A proposed link partition did not split the link set into
+    /// disjoint, exhaustive, ascending shards.
+    InvalidPartition {
+        /// Which partition invariant was violated.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -69,6 +75,9 @@ impl fmt::Display for TopologyError {
                 witness.0, witness.1
             ),
             TopologyError::EmptyTopology => write!(f, "topology has no PoPs"),
+            TopologyError::InvalidPartition { reason } => {
+                write!(f, "invalid link partition: {reason}")
+            }
         }
     }
 }

@@ -19,6 +19,8 @@
 //!   direction) and `Āᵢ = Aᵢ/ΣAᵢ` (quantification weights).
 //! * [`builtin`] — the two topologies studied in the paper plus small
 //!   fixtures and a seeded random generator.
+//! * [`partition`] — [`LinkPartition`]: validated splits of the link set
+//!   (per-PoP, round-robin, explicit) for the sharded diagnosis layer.
 //!
 //! # Example
 //!
@@ -38,12 +40,14 @@ pub mod builtin;
 mod error;
 mod graph;
 mod matrix;
+pub mod partition;
 pub mod routing;
 
 pub use builtin::Network;
 pub use error::TopologyError;
 pub use graph::{Link, LinkId, Pop, PopId, Topology};
 pub use matrix::{Flow, FlowId, OdPair, RoutingMatrix};
+pub use partition::LinkPartition;
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, TopologyError>;

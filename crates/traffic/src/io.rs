@@ -15,6 +15,7 @@ use std::io::BufRead;
 use std::path::Path;
 
 use netanom_linalg::Matrix;
+use netanom_topology::LinkPartition;
 
 use crate::series::LinkSeries;
 
@@ -51,6 +52,14 @@ pub enum CsvError {
         /// Data rows requested.
         need: usize,
     },
+    /// A link partition did not cover the CSV's link columns
+    /// ([`ShardedChunks::new`]).
+    PartitionMismatch {
+        /// Links in the CSV header.
+        links: usize,
+        /// Links the partition covers.
+        partition: usize,
+    },
 }
 
 impl std::fmt::Display for CsvError {
@@ -73,6 +82,12 @@ impl std::fmt::Display for CsvError {
             }
             CsvError::Truncated { got, need } => {
                 write!(f, "input ended after {got} data rows (needed {need})")
+            }
+            CsvError::PartitionMismatch { links, partition } => {
+                write!(
+                    f,
+                    "link partition covers {partition} links but the csv has {links}"
+                )
             }
         }
     }
@@ -280,6 +295,76 @@ impl<R: BufRead> Iterator for CsvChunks<R> {
 
     fn next(&mut self) -> Option<Self::Item> {
         self.next_chunk().transpose()
+    }
+}
+
+/// Per-shard chunked feeds: a [`CsvChunks`] stream scattered into the
+/// column slices of a [`LinkPartition`], the shape a sharded diagnosis
+/// deployment consumes (each shard sees only its own links' byte
+/// counts — one feed per PoP collector).
+///
+/// [`ShardedChunks::take_rows`] still yields the *full-width* training
+/// prefix (the bootstrap fit is global); [`ShardedChunks::next_slices`]
+/// then yields one `≤ chunk × mₛ` matrix per shard in partition order,
+/// all cut from the same rows, for
+/// `netanom_core::shard::ShardedEngine::process_batch_slices`.
+#[derive(Debug)]
+pub struct ShardedChunks<R> {
+    inner: CsvChunks<R>,
+    groups: Vec<Vec<usize>>,
+}
+
+impl<R: BufRead> ShardedChunks<R> {
+    /// Wrap a chunked reader; the partition must cover exactly the
+    /// reader's header width.
+    pub fn new(inner: CsvChunks<R>, partition: &LinkPartition) -> Result<Self, CsvError> {
+        if partition.num_links() != inner.num_links() {
+            return Err(CsvError::PartitionMismatch {
+                links: inner.num_links(),
+                partition: partition.num_links(),
+            });
+        }
+        Ok(ShardedChunks {
+            inner,
+            groups: partition.groups().to_vec(),
+        })
+    }
+
+    /// The link names from the header row.
+    pub fn header(&self) -> &[String] {
+        self.inner.header()
+    }
+
+    /// Number of links `m` (header width).
+    pub fn num_links(&self) -> usize {
+        self.inner.num_links()
+    }
+
+    /// Number of shards `K`.
+    pub fn num_shards(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Read exactly `need` full-width rows (the global training prefix);
+    /// see [`CsvChunks::take_rows`].
+    pub fn take_rows(&mut self, need: usize) -> Result<Matrix, CsvError> {
+        self.inner.take_rows(need)
+    }
+
+    /// Parse the next block and scatter it into per-shard column slices
+    /// (one `rows × mₛ` matrix per shard, partition order).
+    ///
+    /// Returns `Ok(None)` at end of input.
+    pub fn next_slices(&mut self) -> Result<Option<Vec<Matrix>>, CsvError> {
+        let Some(block) = self.inner.next_chunk()? else {
+            return Ok(None);
+        };
+        Ok(Some(
+            self.groups
+                .iter()
+                .map(|g| block.select_columns(g))
+                .collect(),
+        ))
     }
 }
 
@@ -531,6 +616,44 @@ mod tests {
             CsvError::Truncated { got, need } => assert_eq!((got, need), (1, 5)),
             other => panic!("wrong error: {other}"),
         }
+    }
+
+    #[test]
+    fn sharded_chunks_scatter_column_slices_in_lockstep() {
+        let csv = "a,b,c,d,e\n0,1,2,3,4\n10,11,12,13,14\n20,21,22,23,24\n30,31,32,33,34\n";
+        let partition = LinkPartition::round_robin(5, 2).unwrap();
+        let chunks = CsvChunks::new(csv.as_bytes(), 3).unwrap();
+        let mut sharded = ShardedChunks::new(chunks, &partition).unwrap();
+        assert_eq!(sharded.num_links(), 5);
+        assert_eq!(sharded.num_shards(), 2);
+        assert_eq!(sharded.header()[0], "a");
+
+        // Training prefix stays full-width; the remainder streams as
+        // per-shard slices of the same rows.
+        let train = sharded.take_rows(1).unwrap();
+        assert_eq!(train.shape(), (1, 5));
+        let slices = sharded.next_slices().unwrap().unwrap();
+        assert_eq!(slices.len(), 2);
+        // Shard 0 owns links {0, 2, 4}; shard 1 owns {1, 3}.
+        assert_eq!(slices[0].row(0), &[10.0, 12.0, 14.0]);
+        assert_eq!(slices[1].row(0), &[11.0, 13.0]);
+        assert_eq!(slices[0].rows(), slices[1].rows());
+        let last = sharded.next_slices().unwrap().unwrap();
+        assert_eq!(last[0].rows(), 1);
+        assert!(sharded.next_slices().unwrap().is_none());
+    }
+
+    #[test]
+    fn sharded_chunks_validate_partition_width() {
+        let chunks = CsvChunks::new("a,b\n1,2\n".as_bytes(), 2).unwrap();
+        let wrong = LinkPartition::round_robin(3, 2).unwrap();
+        assert!(matches!(
+            ShardedChunks::new(chunks, &wrong),
+            Err(CsvError::PartitionMismatch {
+                links: 2,
+                partition: 3
+            })
+        ));
     }
 
     #[test]

@@ -48,8 +48,8 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`core`] | the subspace method: [`core::Pca`], [`core::SubspaceModel`], [`core::Diagnoser`], the [`core::stream`] ingestion engine (with [`core::OnlineDiagnoser`] as its compatibility wrapper), multi-flow extension, detectability bounds |
-//! | [`topology`] | PoP graphs, shortest-path routing, routing matrices; [`topology::builtin::abilene`] and friends |
+//! | [`core`] | the subspace method: [`core::Pca`], [`core::SubspaceModel`], [`core::Diagnoser`], the [`core::stream`] ingestion engine (with [`core::OnlineDiagnoser`] as its compatibility wrapper), the [`core::shard`] link-partitioned engine, multi-flow extension, detectability bounds |
+//! | [`topology`] | PoP graphs, shortest-path routing, routing matrices, link partitions ([`topology::LinkPartition`]); [`topology::builtin::abilene`] and friends |
 //! | [`traffic`] | synthetic OD-flow generation, packet-sampling simulation, anomaly injection, the canned paper datasets |
 //! | [`baselines`] | EWMA / Fourier / Holt-Winters / wavelet comparators and ground-truth extraction |
 //! | [`eval`] | metrics, injection sweeps, and drivers regenerating every table and figure of the paper |
