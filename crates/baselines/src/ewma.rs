@@ -79,6 +79,17 @@ impl Ewma {
         resid[1..].iter().map(|r| r * r).sum::<f64>() / (resid.len() - 1) as f64
     }
 
+    /// The streaming-stateful port of this forecaster, starting with no
+    /// history: the first [`EwmaStream::step`] returns its own input
+    /// (the `out[0] = series[0]` convention), and stepping a whole
+    /// series reproduces [`Ewma::forecasts`] bitwise.
+    pub fn stream(&self) -> EwmaStream {
+        EwmaStream {
+            alpha: self.alpha,
+            smoothed: None,
+        }
+    }
+
     /// Multi-grid search for α minimizing the one-step forecast MSE on a
     /// training series (the paper cites the multi-grid parameter search of
     /// Krishnamurthy et al. \[19\]).
@@ -104,6 +115,67 @@ impl Ewma {
             hi = (best.0 + step).min(0.99);
         }
         Ewma { alpha: best.0 }
+    }
+}
+
+/// Incremental EWMA state: the streaming port of [`Ewma`].
+///
+/// [`EwmaStream::step`] returns the one-step-ahead forecast of its
+/// argument *before* folding it into the smoothed level, so driving a
+/// series through `step` reproduces [`Ewma::forecasts`] **bitwise**
+/// (the update is the identical arithmetic expression) — pinned by the
+/// property tests, including restarts mid-series via
+/// [`EwmaStream::resume`].
+#[derive(Debug, Clone, Copy)]
+pub struct EwmaStream {
+    alpha: f64,
+    /// Smoothed level; `None` until the first observation.
+    smoothed: Option<f64>,
+}
+
+impl EwmaStream {
+    /// Create with no history; equivalent to `Ewma::new(alpha).stream()`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `[0, 1]` or not finite.
+    pub fn new(alpha: f64) -> Self {
+        Ewma::new(alpha).stream()
+    }
+
+    /// Create mid-series: replay `history` so subsequent steps continue
+    /// exactly where a single stream over `history ++ future` would be.
+    pub fn resume(alpha: f64, history: &[f64]) -> Self {
+        let mut s = Self::new(alpha);
+        for &z in history {
+            s.step(z);
+        }
+        s
+    }
+
+    /// The smoothing weight α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The forecast the next [`EwmaStream::step`] will return, or `None`
+    /// before any observation.
+    pub fn forecast_next(&self) -> Option<f64> {
+        self.smoothed
+    }
+
+    /// Overwrite the smoothed level — the state-import path (e.g. a
+    /// broadcast method state) restoring a mid-stream snapshot.
+    pub fn set_level(&mut self, level: f64) {
+        self.smoothed = Some(level);
+    }
+
+    /// Observe `z`: returns the forecast `ẑ` for it (the smoothed level
+    /// before `z`; `z` itself on the very first step), then updates the
+    /// level to `α·z + (1 − α)·ẑ_prev`.
+    pub fn step(&mut self, z: f64) -> f64 {
+        let prev = self.smoothed.unwrap_or(z);
+        self.smoothed = Some(self.alpha * z + (1.0 - self.alpha) * prev);
+        prev
     }
 }
 
@@ -222,5 +294,35 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn invalid_alpha_rejected() {
         Ewma::new(1.5);
+    }
+
+    #[test]
+    fn stream_steps_reproduce_batch_forecasts_bitwise() {
+        let e = Ewma::new(0.27);
+        let s: Vec<f64> = (0..200)
+            .map(|i| 1000.0 + ((i * 37) % 101) as f64 + (i as f64 * 0.11).sin() * 40.0)
+            .collect();
+        let batch = e.forecasts(&s);
+        let mut stream = e.stream();
+        assert_eq!(stream.forecast_next(), None);
+        for (t, &z) in s.iter().enumerate() {
+            assert_eq!(stream.step(z), batch[t], "bin {t}");
+        }
+    }
+
+    #[test]
+    fn stream_resume_continues_bitwise() {
+        let s: Vec<f64> = (0..120).map(|i| 50.0 + ((i * 13) % 17) as f64).collect();
+        let batch = Ewma::new(0.4).forecasts(&s);
+        let mut resumed = EwmaStream::resume(0.4, &s[..70]);
+        for (t, &z) in s.iter().enumerate().skip(70) {
+            assert_eq!(resumed.step(z), batch[t], "bin {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn stream_rejects_invalid_alpha() {
+        EwmaStream::new(f64::NAN);
     }
 }

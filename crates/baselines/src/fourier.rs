@@ -64,21 +64,25 @@ impl FourierModel {
         }
     }
 
+    /// Value of basis function `j` at (possibly fractional, possibly
+    /// beyond-the-window) time index `t`.
+    fn basis_value(periods: &[f64], t: f64, j: usize) -> f64 {
+        if j == 0 {
+            1.0
+        } else {
+            let p = periods[(j - 1) / 2];
+            let w = std::f64::consts::TAU / p * t;
+            if (j - 1).is_multiple_of(2) {
+                w.sin()
+            } else {
+                w.cos()
+            }
+        }
+    }
+
     fn basis_matrix(t: usize, periods: &[f64]) -> Matrix {
         let ncoef = 1 + 2 * periods.len();
-        Matrix::from_fn(t, ncoef, |i, j| {
-            if j == 0 {
-                1.0
-            } else {
-                let p = periods[(j - 1) / 2];
-                let w = std::f64::consts::TAU / p * i as f64;
-                if (j - 1) % 2 == 0 {
-                    w.sin()
-                } else {
-                    w.cos()
-                }
-            }
-        })
+        Matrix::from_fn(t, ncoef, |i, j| Self::basis_value(periods, i as f64, j))
     }
 
     /// The periods actually used (in bins).
@@ -112,6 +116,91 @@ impl FourierModel {
     /// Absolute anomaly sizes `|z_t − ẑ_t|`.
     pub fn spike_sizes(&self, series: &[f64]) -> Vec<f64> {
         self.residuals(series).iter().map(|r| r.abs()).collect()
+    }
+
+    /// Evaluate the fitted seasonal model at an arbitrary time index —
+    /// inside the fit window (`predict_at(i)` matches `fitted()[i]`) or
+    /// beyond it (trigonometric extrapolation), which is how the
+    /// streaming port scores arrivals after the training window.
+    pub fn predict_at(&self, t: f64) -> f64 {
+        let ncoef = self.coefficients.len();
+        let mut acc = 0.0;
+        for j in 0..ncoef {
+            acc += Self::basis_value(&self.periods, t, j) * self.coefficients[j];
+        }
+        acc
+    }
+
+    /// The streaming-stateful port: score arrivals one at a time against
+    /// this frozen model, starting at time index `t0` (use the fit
+    /// length to continue immediately after the training window).
+    pub fn stream(self, t0: usize) -> FourierStream {
+        FourierStream { model: self, t: t0 }
+    }
+
+    /// Reassemble a model from exported parts (periods + coefficients,
+    /// `coefficients.len() == 1 + 2 * periods.len()`), e.g. from a
+    /// serialized method state. The reassembled model predicts
+    /// ([`FourierModel::predict_at`]) but carries no fitted series
+    /// (`fit_len() == 0`).
+    ///
+    /// # Panics
+    /// Panics if the coefficient count does not match the periods.
+    pub fn from_coefficients(periods: Vec<f64>, coefficients: Vec<f64>) -> Self {
+        assert_eq!(
+            coefficients.len(),
+            1 + 2 * periods.len(),
+            "need one DC + a sin/cos pair per period"
+        );
+        FourierModel {
+            periods,
+            coefficients,
+            fitted: Vec::new(),
+        }
+    }
+
+    /// Number of bins the model was fit on.
+    pub fn fit_len(&self) -> usize {
+        self.fitted.len()
+    }
+}
+
+/// Incremental scorer over a frozen [`FourierModel`]: each
+/// [`FourierStream::step`] returns the residual `z_t − ẑ_t` against the
+/// model's extrapolated seasonal prediction and advances the time index.
+///
+/// Inside the fit window the predictions match the batch
+/// [`FourierModel::fitted`] values (pinned by the unit tests), so the
+/// stream is the exact incremental counterpart of
+/// [`FourierModel::residuals`].
+#[derive(Debug, Clone)]
+pub struct FourierStream {
+    model: FourierModel,
+    /// Time index of the next arrival.
+    t: usize,
+}
+
+impl FourierStream {
+    /// The frozen model being scored against.
+    pub fn model(&self) -> &FourierModel {
+        &self.model
+    }
+
+    /// Time index the next [`FourierStream::step`] scores at.
+    pub fn time(&self) -> usize {
+        self.t
+    }
+
+    /// The prediction the next step will subtract.
+    pub fn forecast_next(&self) -> f64 {
+        self.model.predict_at(self.t as f64)
+    }
+
+    /// Score one arrival: residual `z − ẑ_t`, then advance the clock.
+    pub fn step(&mut self, z: f64) -> f64 {
+        let r = z - self.model.predict_at(self.t as f64);
+        self.t += 1;
+        r
     }
 }
 
@@ -202,5 +291,60 @@ mod tests {
         let m = FourierModel::fit_paper_basis(&s);
         assert_eq!(m.fitted().len(), 300);
         assert_eq!(m.spike_sizes(&s).len(), 300);
+        assert_eq!(m.fit_len(), 300);
+    }
+
+    #[test]
+    fn predict_at_matches_fitted_inside_the_window() {
+        let t = 1008;
+        let s: Vec<f64> = (0..t)
+            .map(|i| 100.0 + 20.0 * (std::f64::consts::TAU / 144.0 * i as f64).sin())
+            .collect();
+        let m = FourierModel::fit_paper_basis(&s);
+        for (i, &f) in m.fitted().iter().enumerate() {
+            let p = m.predict_at(i as f64);
+            assert!(
+                (p - f).abs() <= 1e-12 * f.abs().max(1.0),
+                "bin {i}: {p} vs {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_extrapolates_the_seasonal_pattern() {
+        // Fit on one week; stream the next day of the same clean
+        // pattern: residuals stay tiny because the basis is periodic.
+        let gen = |i: usize| 50.0 + 10.0 * (std::f64::consts::TAU / 144.0 * i as f64).sin();
+        let s: Vec<f64> = (0..1008).map(gen).collect();
+        let m = FourierModel::fit_paper_basis(&s);
+        let mut stream = m.clone().stream(m.fit_len());
+        assert_eq!(stream.time(), 1008);
+        for i in 1008..1152 {
+            let r = stream.step(gen(i));
+            // The non-harmonic 720/432-bin periods extrapolate with some
+            // error, but a clean daily signal stays well-modeled.
+            assert!(r.abs() < 1.0, "bin {i}: residual {r}");
+        }
+        // A spike stands out by its full height.
+        let r = stream.step(gen(1152) + 300.0);
+        assert!(r > 299.0, "spike residual {r}");
+    }
+
+    #[test]
+    fn stream_inside_window_matches_batch_residuals() {
+        let s: Vec<f64> = (0..300)
+            .map(|i| 10.0 + (i as f64 * 0.2).cos() * 3.0 + ((i * 31) % 7) as f64)
+            .collect();
+        let m = FourierModel::fit_paper_basis(&s);
+        let batch = m.residuals(&s);
+        let mut stream = m.clone().stream(0);
+        for (t, &z) in s.iter().enumerate() {
+            let r = stream.step(z);
+            assert!(
+                (r - batch[t]).abs() <= 1e-12 * batch[t].abs().max(1.0),
+                "bin {t}: {r} vs {}",
+                batch[t]
+            );
+        }
     }
 }

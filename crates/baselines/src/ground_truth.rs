@@ -62,6 +62,14 @@ pub fn extract_true_anomalies(
             TruthMethod::Fourier => FourierModel::fit_paper_basis(&series).spike_sizes(&series),
         };
         for t in 1..bins.saturating_sub(1) {
+            // A non-finite size (a NaN-poisoned flow, e.g. a polling gap
+            // encoded as a sentinel) must never become a candidate: NaN
+            // comparisons are silently false, so without this guard a
+            // NaN bin would pass the local-maximum test whenever its
+            // neighbours are NaN too and then poison the size sort.
+            if !sizes[t].is_finite() {
+                continue;
+            }
             // Local maximum in the spike-size series.
             if sizes[t] <= sizes[t - 1] || sizes[t] < sizes[t + 1] {
                 continue;
@@ -158,5 +166,44 @@ mod tests {
         for w in out.windows(2) {
             assert!(w[0].size >= w[1].size);
         }
+    }
+
+    #[test]
+    fn nan_poisoned_flow_never_produces_candidates() {
+        // Flow 1 carries a NaN (e.g. a polling gap): the Fourier fit
+        // propagates it across the whole flow's size series. The clean
+        // flow's planted spike must still come out, and no NaN-sized
+        // anomaly may appear.
+        let bins = 432;
+        let mut m = Matrix::from_fn(bins, 2, |t, f| {
+            let base = if f == 0 { 1000.0 } else { 2000.0 };
+            base + 100.0 * (std::f64::consts::TAU * t as f64 / 144.0).sin()
+        });
+        m[(200, 0)] += 4000.0;
+        m[(300, 1)] = f64::NAN;
+        let od = OdSeries::new(m);
+        for method in [TruthMethod::Fourier, TruthMethod::Ewma] {
+            let out = extract_true_anomalies(&od, method, 10);
+            // No NaN-sized candidate may ever appear (it would poison
+            // the descending sort and the downstream knee search).
+            assert!(
+                out.iter().all(|a| a.size.is_finite()),
+                "{method:?}: non-finite size leaked: {out:?}"
+            );
+            assert!(
+                out.iter().any(|a| a.time == 200 && a.flow == 0),
+                "{method:?}: clean spike lost: {out:?}"
+            );
+        }
+        // The Fourier fit propagates the NaN across the whole poisoned
+        // flow, so flow 1 must contribute nothing at all there. (The
+        // bidirectional EWMA estimator legitimately salvages the
+        // direction unaffected by the gap, so it may still emit finite
+        // flow-1 candidates.)
+        let fourier = extract_true_anomalies(&od, TruthMethod::Fourier, 10);
+        assert!(
+            fourier.iter().all(|a| a.flow == 0),
+            "Fourier: poisoned flow leaked: {fourier:?}"
+        );
     }
 }

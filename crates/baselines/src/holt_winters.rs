@@ -36,52 +36,16 @@ impl HoltWinters {
     /// (classical initialization), so forecasts there equal the
     /// initialization values.
     ///
+    /// Implemented as the initialization plus a [`HoltWintersStream`]
+    /// stepped over the series, so the batch and streaming paths cannot
+    /// drift.
+    ///
     /// # Panics
     /// Panics if the series is shorter than two periods, or parameters
     /// are outside `[0, 1]`.
     pub fn forecasts(&self, series: &[f64]) -> Vec<f64> {
-        for (name, v) in [
-            ("alpha", self.alpha),
-            ("beta", self.beta),
-            ("gamma", self.gamma),
-        ] {
-            assert!(
-                (0.0..=1.0).contains(&v) && v.is_finite(),
-                "{name} {v} outside [0, 1]"
-            );
-        }
-        let m = self.period;
-        assert!(m >= 1, "period must be at least 1");
-        assert!(
-            series.len() >= 2 * m,
-            "need at least two seasons ({} bins), got {}",
-            2 * m,
-            series.len()
-        );
-
-        // Initialization from the first two seasons; seasonal indices are
-        // detrended so a pure linear ramp initializes them to zero.
-        let s1_mean = series[..m].iter().sum::<f64>() / m as f64;
-        let s2_mean = series[m..2 * m].iter().sum::<f64>() / m as f64;
-        let mut level = s1_mean;
-        let mut trend = (s2_mean - s1_mean) / m as f64;
-        let mid = (m as f64 - 1.0) / 2.0;
-        let mut seasonal: Vec<f64> = (0..m)
-            .map(|i| series[i] - (s1_mean + (i as f64 - mid) * trend))
-            .collect();
-
-        let mut out = Vec::with_capacity(series.len());
-        for (t, &z) in series.iter().enumerate() {
-            let s_idx = t % m;
-            let forecast = level + trend + seasonal[s_idx];
-            out.push(forecast);
-            // Update components with the observation.
-            let prev_level = level;
-            level = self.alpha * (z - seasonal[s_idx]) + (1.0 - self.alpha) * (level + trend);
-            trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend;
-            seasonal[s_idx] = self.gamma * (z - level) + (1.0 - self.gamma) * seasonal[s_idx];
-        }
-        out
+        let mut stream = HoltWintersStream::init(*self, series);
+        series.iter().map(|&z| stream.step(z)).collect()
     }
 
     /// Forecast residuals `z_t − ẑ_t`.
@@ -91,6 +55,168 @@ impl HoltWinters {
             .zip(series)
             .map(|(f, z)| z - f)
             .collect()
+    }
+
+    /// The streaming-stateful port: initialize from (and replay) a
+    /// training history, ready to [`HoltWintersStream::step`] fresh
+    /// arrivals. See [`HoltWintersStream::fit`].
+    pub fn stream(&self, history: &[f64]) -> HoltWintersStream {
+        HoltWintersStream::fit(*self, history)
+    }
+}
+
+/// Incremental Holt–Winters state: the streaming port of
+/// [`HoltWinters`].
+///
+/// The level/trend/seasonal components are initialized from a training
+/// history (which needs at least two seasons, exactly like the batch
+/// fit) and then advanced one observation at a time:
+/// [`HoltWintersStream::step`] returns the one-step-ahead forecast of
+/// its argument *before* folding it in. Because the update is the
+/// identical arithmetic expression, `fit(params, &series[..k])` followed
+/// by stepping `series[k..]` reproduces
+/// `params.forecasts(&series)[k..]` **bitwise** — the restart-mid-series
+/// contract the property tests pin.
+#[derive(Debug, Clone)]
+pub struct HoltWintersStream {
+    params: HoltWinters,
+    level: f64,
+    trend: f64,
+    seasonal: Vec<f64>,
+    /// Observations consumed so far (seasonal phase = `t % period`).
+    t: usize,
+}
+
+impl HoltWintersStream {
+    /// Initialize components from the first two seasons of `history`
+    /// *without* consuming any observation (the batch
+    /// [`HoltWinters::forecasts`] entry point).
+    ///
+    /// # Panics
+    /// Panics if the history is shorter than two periods, or parameters
+    /// are outside `[0, 1]`.
+    fn init(params: HoltWinters, history: &[f64]) -> Self {
+        for (name, v) in [
+            ("alpha", params.alpha),
+            ("beta", params.beta),
+            ("gamma", params.gamma),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&v) && v.is_finite(),
+                "{name} {v} outside [0, 1]"
+            );
+        }
+        let m = params.period;
+        assert!(m >= 1, "period must be at least 1");
+        assert!(
+            history.len() >= 2 * m,
+            "need at least two seasons ({} bins), got {}",
+            2 * m,
+            history.len()
+        );
+
+        // Initialization from the first two seasons; seasonal indices are
+        // detrended so a pure linear ramp initializes them to zero.
+        let s1_mean = history[..m].iter().sum::<f64>() / m as f64;
+        let s2_mean = history[m..2 * m].iter().sum::<f64>() / m as f64;
+        let level = s1_mean;
+        let trend = (s2_mean - s1_mean) / m as f64;
+        let mid = (m as f64 - 1.0) / 2.0;
+        let seasonal: Vec<f64> = (0..m)
+            .map(|i| history[i] - (s1_mean + (i as f64 - mid) * trend))
+            .collect();
+        HoltWintersStream {
+            params,
+            level,
+            trend,
+            seasonal,
+            t: 0,
+        }
+    }
+
+    /// Initialize from `history` and replay it, leaving the state ready
+    /// to forecast the first bin *after* the history.
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`HoltWinters::forecasts`].
+    pub fn fit(params: HoltWinters, history: &[f64]) -> Self {
+        Self::fit_collecting(params, history).0
+    }
+
+    /// [`HoltWintersStream::fit`] that also returns the one-step
+    /// forecasts produced while replaying the history — bitwise
+    /// [`HoltWinters::forecasts`] of the same series, without a second
+    /// pass. Calibration paths that need both the fitted stream and the
+    /// training residuals use this to pay one replay instead of two.
+    pub fn fit_collecting(params: HoltWinters, history: &[f64]) -> (Self, Vec<f64>) {
+        let mut s = Self::init(params, history);
+        let forecasts = history.iter().map(|&z| s.step(z)).collect();
+        (s, forecasts)
+    }
+
+    /// The parameters the stream runs with.
+    pub fn params(&self) -> HoltWinters {
+        self.params
+    }
+
+    /// The current components `(level, trend, seasonal)` — the
+    /// serializable snapshot of the stream.
+    pub fn components(&self) -> (f64, f64, &[f64]) {
+        (self.level, self.trend, &self.seasonal)
+    }
+
+    /// Reassemble a stream from snapshotted components (the counterpart
+    /// of [`HoltWintersStream::components`]): `observed` restores the
+    /// seasonal phase.
+    ///
+    /// # Panics
+    /// Panics if `seasonal.len() != params.period` or the period is 0.
+    pub fn from_components(
+        params: HoltWinters,
+        level: f64,
+        trend: f64,
+        seasonal: Vec<f64>,
+        observed: usize,
+    ) -> Self {
+        assert!(params.period >= 1, "period must be at least 1");
+        assert_eq!(
+            seasonal.len(),
+            params.period,
+            "seasonal table must match the period"
+        );
+        HoltWintersStream {
+            params,
+            level,
+            trend,
+            seasonal,
+            t: observed,
+        }
+    }
+
+    /// Observations consumed so far (including the replayed history).
+    pub fn observed(&self) -> usize {
+        self.t
+    }
+
+    /// The forecast the next [`HoltWintersStream::step`] will return.
+    pub fn forecast_next(&self) -> f64 {
+        self.level + self.trend + self.seasonal[self.t % self.params.period]
+    }
+
+    /// Observe `z`: returns its one-step-ahead forecast, then updates
+    /// the level, trend, and seasonal components.
+    pub fn step(&mut self, z: f64) -> f64 {
+        let s_idx = self.t % self.params.period;
+        let forecast = self.level + self.trend + self.seasonal[s_idx];
+        let prev_level = self.level;
+        self.level = self.params.alpha * (z - self.seasonal[s_idx])
+            + (1.0 - self.params.alpha) * (self.level + self.trend);
+        self.trend =
+            self.params.beta * (self.level - prev_level) + (1.0 - self.params.beta) * self.trend;
+        self.seasonal[s_idx] =
+            self.params.gamma * (z - self.level) + (1.0 - self.params.gamma) * self.seasonal[s_idx];
+        self.t += 1;
+        forecast
     }
 }
 
@@ -174,5 +300,31 @@ mod tests {
             period: 4,
         }
         .forecasts(&[0.0; 8]);
+    }
+
+    #[test]
+    fn stream_fit_then_step_reproduces_batch_bitwise() {
+        let hw = HoltWinters {
+            alpha: 0.3,
+            beta: 0.05,
+            gamma: 0.3,
+            period: 48,
+        };
+        let mut s = seasonal_series(400, 48);
+        s[250] += 700.0; // one spike so the states diverge if buggy
+        let batch = hw.forecasts(&s);
+        let k = 120; // restart point: past the two init seasons
+        let mut stream = hw.stream(&s[..k]);
+        assert_eq!(stream.observed(), k);
+        for (t, &z) in s.iter().enumerate().skip(k) {
+            assert_eq!(stream.forecast_next(), batch[t], "lookahead at bin {t}");
+            assert_eq!(stream.step(z), batch[t], "bin {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two seasons")]
+    fn stream_rejects_short_history() {
+        HoltWinters::daily().stream(&[1.0; 100]);
     }
 }

@@ -11,10 +11,17 @@
 /// *after* the "standout" set), found by maximum distance to the chord.
 ///
 /// Returns `None` for fewer than 3 points (no interior point to be a
-/// knee) or a flat curve.
+/// knee), a flat curve, or degenerate input: anomaly sizes are
+/// magnitudes, so any non-finite or negative entry means the curve is
+/// not a rank-size curve at all — a NaN would otherwise compare `false`
+/// everywhere and silently skew the chord search toward whatever points
+/// happened to be evaluated against it.
 pub fn knee_index(sizes_desc: &[f64]) -> Option<usize> {
     let n = sizes_desc.len();
     if n < 3 {
+        return None;
+    }
+    if sizes_desc.iter().any(|s| !s.is_finite() || *s < 0.0) {
         return None;
     }
     let x0 = 0.0;
@@ -91,6 +98,40 @@ mod tests {
         assert_eq!(knee_index(&[]), None);
         assert_eq!(knee_index(&[1.0]), None);
         assert_eq!(knee_index(&[2.0, 1.0]), None);
+        assert_eq!(knee_cutoff(&[]), None);
+    }
+
+    #[test]
+    fn non_finite_sizes_yield_no_knee() {
+        // A NaN anywhere (ends or interior) poisons the chord search.
+        let mut sizes = vec![100.0, 90.0, 80.0, 70.0, 60.0];
+        sizes.extend(std::iter::repeat_n(10.0, 30));
+        assert!(knee_index(&sizes).is_some(), "clean curve has a knee");
+        for poison in [0usize, 3, sizes.len() - 1] {
+            let mut bad = sizes.clone();
+            bad[poison] = f64::NAN;
+            assert_eq!(knee_index(&bad), None, "NaN at rank {poison}");
+            assert_eq!(knee_cutoff(&bad), None);
+        }
+        let mut inf = sizes.clone();
+        inf[0] = f64::INFINITY;
+        assert_eq!(knee_index(&inf), None);
+    }
+
+    #[test]
+    fn negative_sizes_yield_no_knee() {
+        let mut sizes = vec![100.0, 90.0, 80.0];
+        sizes.extend(std::iter::repeat_n(10.0, 20));
+        sizes.push(-5.0);
+        assert_eq!(knee_index(&sizes), None);
+    }
+
+    #[test]
+    fn all_equal_input_has_no_knee() {
+        assert_eq!(knee_index(&[7.5; 40]), None);
+        assert_eq!(knee_cutoff(&[7.5; 40]), None);
+        // Zero is an allowed (non-negative) size; all-zero is flat.
+        assert_eq!(knee_index(&[0.0; 10]), None);
     }
 
     #[test]

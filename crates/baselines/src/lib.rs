@@ -23,6 +23,12 @@
 //!   "true" anomalies.
 //! * [`link_residual`] — per-link temporal filtering of the measurement
 //!   matrix for the Figure 10 comparison.
+//! * [`methods`] — every temporal comparator as a pluggable
+//!   [`DetectionBackend`](netanom_core::DetectionBackend) (streaming
+//!   `step` ports per link, residual-energy scoring), plus the
+//!   [`MethodBackend`](methods::MethodBackend) enum and by-name
+//!   registry uniting them with the subspace reference implementation
+//!   behind the same engines.
 //!
 //! # Example
 //!
@@ -49,10 +55,11 @@ pub mod ground_truth;
 mod holt_winters;
 pub mod knee;
 pub mod link_residual;
+pub mod methods;
 mod wavelet;
 
-pub use ewma::Ewma;
-pub use fourier::FourierModel;
+pub use ewma::{Ewma, EwmaStream};
+pub use fourier::{FourierModel, FourierStream};
 pub use ground_truth::{extract_true_anomalies, ExtractedAnomaly, TruthMethod};
-pub use holt_winters::HoltWinters;
-pub use wavelet::HaarWavelet;
+pub use holt_winters::{HoltWinters, HoltWintersStream};
+pub use wavelet::{HaarStream, HaarWavelet};

@@ -1,0 +1,1134 @@
+//! The temporal comparators as pluggable detection backends, plus the
+//! by-name method registry.
+//!
+//! This module closes the loop the paper's Section 6/Figure 10
+//! comparison opens: the per-link temporal filters — EWMA, Holt–Winters,
+//! the eight-period Fourier model, and the Haar wavelet — implement
+//! [`DetectionBackend`] (and [`ShardableBackend`]), so every method runs
+//! through the *same* streaming and sharded engines as the subspace
+//! method. [`MethodBackend`] unites the subspace reference
+//! implementation and the temporal family behind one concrete type, and
+//! [`MethodName`] is the registry the CLI's `--method` flag resolves
+//! against.
+//!
+//! # Scoring semantics of the temporal backends
+//!
+//! Each link carries its own streaming forecaster (the incremental
+//! `step` ports in this crate). The per-bin score is the squared norm of
+//! the per-link one-step residual vector, `‖z_t − ẑ_t‖²` — exactly the
+//! residual-energy series Figure 10 plots (for the subspace method the
+//! same quantity is the SPE). The detection threshold is calibrated at
+//! fit/refit time as the empirical `confidence`-quantile of the training
+//! window's residual energies, mirroring the subspace method's
+//! `1 − α` false-alarm contract without assuming the Q-statistic's
+//! Gaussian residual model (which per-link temporal residuals do not
+//! satisfy).
+//!
+//! # Example
+//!
+//! Every registered method streams through the same engine:
+//!
+//! ```
+//! use netanom_baselines::methods::MethodName;
+//! use netanom_core::{DiagnoserConfig, RefitStrategy, StreamConfig, StreamingEngine};
+//! use netanom_linalg::Matrix;
+//! use netanom_topology::builtin;
+//!
+//! let net = builtin::line(3);
+//! let rm = &net.routing_matrix;
+//! let m = rm.num_links();
+//! let gen = |t: usize, l: usize| {
+//!     2e6 + 2e5 * (t as f64 * std::f64::consts::TAU / 144.0).sin() * (l + 1) as f64
+//!         + ((t * m + l) % 101) as f64
+//! };
+//! let training = Matrix::from_fn(288, m, &gen);
+//! // The next bin continues the diurnal pattern — with a large volume
+//! // anomaly injected along flow 0's path.
+//! let mut next: Vec<f64> = (0..m).map(|l| gen(288, l)).collect();
+//! for (l, a) in rm.column(0).iter().enumerate() {
+//!     next[l] += 5e7 * a;
+//! }
+//! for name in MethodName::ALL {
+//!     let backend = name
+//!         .fit(&training, rm, DiagnoserConfig::default(), RefitStrategy::FullSvd)
+//!         .unwrap();
+//!     let mut engine =
+//!         StreamingEngine::with_backend(backend, &training, StreamConfig::new(288)).unwrap();
+//!     let report = engine.process(&next).unwrap();
+//!     assert!(report.detected, "{name}: a 50 MB spike must fire");
+//! }
+//! ```
+
+use netanom_core::method::{
+    assemble_shard_windows, DetectionBackend, MethodState, ShardCtx, ShardScores, ShardableBackend,
+    SubspaceBackend,
+};
+use netanom_core::{
+    CoreError, DiagnoserConfig, DiagnosisReport, RefitStrategy, Result, RingWindow,
+};
+use netanom_linalg::Matrix;
+use netanom_topology::{LinkPartition, RoutingMatrix};
+
+use crate::ewma::{Ewma, EwmaStream};
+use crate::fourier::{FourierModel, FourierStream};
+use crate::holt_winters::{HoltWinters, HoltWintersStream};
+
+/// Default Holt–Winters season length: one day of 10-minute bins
+/// (clamped to half the training length when the window is shorter).
+pub const DEFAULT_HW_PERIOD: usize = 144;
+/// Default Haar decomposition depth (`2^5` bins ≈ 5.3 h at 10-minute
+/// bins).
+pub const DEFAULT_WAVELET_LEVELS: usize = 5;
+
+/// Which temporal method a [`TemporalBackend`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemporalKind {
+    /// Per-link EWMA with grid-searched α (re-searched at every refit).
+    Ewma,
+    /// Per-link additive Holt–Winters with the given season length
+    /// (clamped to half the training length at fit time).
+    HoltWinters {
+        /// Requested season length in bins.
+        period: usize,
+    },
+    /// Per-link eight-period Fourier model (periods longer than twice
+    /// the training window are dropped, as in the batch fit).
+    Fourier,
+    /// Per-link Haar pyramid: the prediction for a bin is the previous
+    /// completed `2^levels`-block's approximation value.
+    Wavelet {
+        /// Decomposition depth.
+        levels: usize,
+    },
+}
+
+impl TemporalKind {
+    fn name(&self) -> &'static str {
+        match self {
+            TemporalKind::Ewma => "ewma",
+            TemporalKind::HoltWinters { .. } => "holt-winters",
+            TemporalKind::Fourier => "fourier",
+            TemporalKind::Wavelet { .. } => "wavelet",
+        }
+    }
+}
+
+/// Causal Haar predictor: holds the previous completed block's
+/// approximation value; residual = arrival − held value.
+#[derive(Debug, Clone)]
+struct HaarPredictor {
+    levels: usize,
+    held: f64,
+    buf: Vec<f64>,
+}
+
+impl HaarPredictor {
+    fn new(levels: usize, initial: f64) -> Self {
+        HaarPredictor {
+            levels,
+            held: initial,
+            buf: Vec::with_capacity(1usize << levels),
+        }
+    }
+
+    fn block_len(&self) -> usize {
+        1usize << self.levels
+    }
+
+    /// Reduce a full block to its approximation value with the same
+    /// pairwise-averaging tree the batch pyramid uses.
+    fn pyramid_value(block: &[f64]) -> f64 {
+        let mut cur = block.to_vec();
+        while cur.len() > 1 {
+            let mut next = Vec::with_capacity(cur.len().div_ceil(2));
+            let mut i = 0;
+            while i + 1 < cur.len() {
+                next.push(0.5 * (cur[i] + cur[i + 1]));
+                i += 2;
+            }
+            if i < cur.len() {
+                next.push(cur[i]);
+            }
+            cur = next;
+        }
+        cur[0]
+    }
+
+    fn observe(&mut self, z: f64) {
+        self.buf.push(z);
+        if self.buf.len() == self.block_len() {
+            self.held = Self::pyramid_value(&self.buf);
+            self.buf.clear();
+        }
+    }
+}
+
+/// One link's streaming forecaster state.
+#[derive(Debug, Clone)]
+enum LinkState {
+    Ewma(EwmaStream),
+    Hw(HoltWintersStream),
+    Fourier(FourierStream),
+    Haar(HaarPredictor),
+}
+
+impl LinkState {
+    /// One-step-ahead forecast for the next arrival `z` (only a fresh
+    /// EWMA state needs `z` itself, for the `out[0] = z` convention).
+    fn forecast(&self, z: f64) -> f64 {
+        match self {
+            LinkState::Ewma(s) => s.forecast_next().unwrap_or(z),
+            LinkState::Hw(s) => s.forecast_next(),
+            LinkState::Fourier(s) => s.forecast_next(),
+            LinkState::Haar(s) => s.held,
+        }
+    }
+
+    fn advance(&mut self, z: f64) {
+        match self {
+            LinkState::Ewma(s) => {
+                s.step(z);
+            }
+            LinkState::Hw(s) => {
+                s.step(z);
+            }
+            LinkState::Fourier(s) => {
+                s.step(z);
+            }
+            LinkState::Haar(s) => s.observe(z),
+        }
+    }
+}
+
+/// Empirical `confidence`-quantile of a residual-energy sample — the
+/// temporal backends' detection threshold.
+fn energy_threshold(energies: &[f64], confidence: f64) -> Result<f64> {
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(CoreError::InvalidConfidence { value: confidence });
+    }
+    let mut v: Vec<f64> = energies.iter().copied().filter(|e| e.is_finite()).collect();
+    if v.is_empty() {
+        return Err(CoreError::TooFewSamples { got: 0, need: 1 });
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("filtered finite"));
+    let n = v.len();
+    let idx = ((confidence * n as f64).ceil() as usize).clamp(1, n) - 1;
+    Ok(v[idx])
+}
+
+/// A per-link temporal filter as a [`DetectionBackend`]: EWMA,
+/// Holt–Winters, Fourier, or Haar wavelet across every link, scored by
+/// per-bin residual energy against a training-calibrated threshold.
+///
+/// See the [module docs](self) for the scoring semantics. Refits
+/// ([`DetectionBackend::refit`]) re-run the full calibration — parameter
+/// search, forecaster replay, threshold quantile — on the engine's
+/// retained window, which keeps the streaming and sharded deployments
+/// bitwise aligned (both calibrate on the identical window matrix).
+#[derive(Debug, Clone)]
+pub struct TemporalBackend {
+    kind: TemporalKind,
+    confidence: f64,
+    threshold: f64,
+    links: Vec<LinkState>,
+}
+
+impl TemporalBackend {
+    /// Fit on a `t × m` training matrix: per-link parameter search +
+    /// forecaster replay, threshold at the `confidence` quantile of the
+    /// training residual energies.
+    pub fn fit(kind: TemporalKind, training: &Matrix, confidence: f64) -> Result<Self> {
+        let (links, threshold) = Self::calibrate(kind, training, confidence)?;
+        Ok(TemporalBackend {
+            kind,
+            confidence,
+            threshold,
+            links,
+        })
+    }
+
+    /// The temporal method this backend runs.
+    pub fn kind(&self) -> TemporalKind {
+        self.kind
+    }
+
+    /// The confidence level the threshold is calibrated at.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// Calibrate per-link forecasters and the energy threshold on a
+    /// training matrix.
+    fn calibrate(
+        kind: TemporalKind,
+        training: &Matrix,
+        confidence: f64,
+    ) -> Result<(Vec<LinkState>, f64)> {
+        let bins = training.rows();
+        let m = training.cols();
+        if bins < 2 {
+            return Err(CoreError::TooFewSamples { got: bins, need: 2 });
+        }
+        for t in 0..bins {
+            if let Some(link) = training.row(t).iter().position(|v| !v.is_finite()) {
+                return Err(CoreError::NonFiniteMeasurement { link });
+            }
+        }
+        let mut energies = vec![0.0; bins];
+        let mut links = Vec::with_capacity(m);
+        let warmup;
+        match kind {
+            TemporalKind::Ewma => {
+                // The first bin's forecast is the observation itself.
+                warmup = 1;
+                for l in 0..m {
+                    let col = training.col(l);
+                    let alpha = Ewma::grid_search(&col).alpha;
+                    let mut stream = EwmaStream::new(alpha);
+                    for (t, &z) in col.iter().enumerate() {
+                        let r = z - stream.step(z);
+                        energies[t] += r * r;
+                    }
+                    links.push(LinkState::Ewma(stream));
+                }
+            }
+            TemporalKind::HoltWinters { period } => {
+                // Clamp the season so two full seasons fit the window.
+                let period_eff = period.clamp(1, bins / 2);
+                warmup = 2 * period_eff;
+                let params = HoltWinters {
+                    period: period_eff,
+                    ..HoltWinters::daily()
+                };
+                for l in 0..m {
+                    let col = training.col(l);
+                    // One replay yields both the fitted stream and the
+                    // calibration forecasts (bitwise the batch
+                    // `forecasts` of the same column).
+                    let (stream, forecasts) = HoltWintersStream::fit_collecting(params, &col);
+                    debug_assert_eq!(stream.observed(), bins);
+                    for (t, (z, f)) in col.iter().zip(forecasts).enumerate() {
+                        let r = z - f;
+                        energies[t] += r * r;
+                    }
+                    links.push(LinkState::Hw(stream));
+                }
+            }
+            TemporalKind::Fourier => {
+                warmup = 0;
+                // Mirror FourierModel::fit's period-dropping rule to
+                // turn its panic into a clean error.
+                let usable = crate::fourier::PAPER_PERIODS_BINS
+                    .iter()
+                    .filter(|&&p| p > 0.0 && p <= 2.0 * bins as f64)
+                    .count();
+                let ncoef = 1 + 2 * usable;
+                if bins < ncoef {
+                    return Err(CoreError::TooFewSamples {
+                        got: bins,
+                        need: ncoef,
+                    });
+                }
+                for l in 0..m {
+                    let col = training.col(l);
+                    let model = FourierModel::fit_paper_basis(&col);
+                    for (t, r) in model.residuals(&col).into_iter().enumerate() {
+                        energies[t] += r * r;
+                    }
+                    links.push(LinkState::Fourier(model.stream(bins)));
+                }
+            }
+            TemporalKind::Wavelet { levels } => {
+                if levels == 0 {
+                    return Err(CoreError::TooFewSamples { got: 0, need: 1 });
+                }
+                warmup = 0;
+                for l in 0..m {
+                    let col = training.col(l);
+                    let mut pred = HaarPredictor::new(levels, col[0]);
+                    for (t, &z) in col.iter().enumerate() {
+                        let r = z - pred.held;
+                        energies[t] += r * r;
+                        pred.observe(z);
+                    }
+                    links.push(LinkState::Haar(pred));
+                }
+            }
+        }
+        let usable = if warmup < energies.len() {
+            &energies[warmup..]
+        } else {
+            &energies[..]
+        };
+        let threshold = energy_threshold(usable, confidence)?;
+        Ok((links, threshold))
+    }
+
+    fn check_vector(&self, y: &[f64]) -> Result<()> {
+        if y.len() != self.links.len() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.links.len(),
+                got: y.len(),
+            });
+        }
+        if let Some(link) = y.iter().position(|v| !v.is_finite()) {
+            return Err(CoreError::NonFiniteMeasurement { link });
+        }
+        Ok(())
+    }
+
+    /// Residual energy of `y` against the given per-link states (shared
+    /// by the streaming and sharded scoring paths; summation is in link
+    /// order).
+    fn energy_of(states: &[LinkState], y: &[f64]) -> f64 {
+        let mut e = 0.0;
+        for (state, &z) in states.iter().zip(y) {
+            let r = z - state.forecast(z);
+            e += r * r;
+        }
+        e
+    }
+
+    fn report(&self, score: f64) -> DiagnosisReport {
+        DiagnosisReport {
+            time: 0,
+            spe: score,
+            threshold: self.threshold,
+            detected: score > self.threshold,
+            identification: None,
+            estimated_bytes: None,
+        }
+    }
+}
+
+impl DetectionBackend for TemporalBackend {
+    fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    fn dim(&self) -> usize {
+        self.links.len()
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn score_vector(&self, y: &[f64]) -> Result<DiagnosisReport> {
+        self.check_vector(y)?;
+        Ok(self.report(Self::energy_of(&self.links, y)))
+    }
+
+    fn score_matrix(&self, links: &Matrix) -> Result<Vec<DiagnosisReport>> {
+        if links.cols() != self.links.len() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.links.len(),
+                got: links.cols(),
+            });
+        }
+        // Step a *clone* of the per-link states through the block: the
+        // score of row t must see the state after rows < t, exactly as
+        // the sequential process path would, without mutating self.
+        let mut sim = self.links.clone();
+        let mut out = Vec::with_capacity(links.rows());
+        for t in 0..links.rows() {
+            let row = links.row(t);
+            self.check_vector(row)?;
+            let mut e = 0.0;
+            for (state, &z) in sim.iter_mut().zip(row) {
+                let r = z - state.forecast(z);
+                e += r * r;
+                state.advance(z);
+            }
+            out.push(self.report(e));
+        }
+        Ok(out)
+    }
+
+    fn observe(&mut self, _evicted: Option<&[f64]>, y: &[f64]) -> Result<()> {
+        self.check_vector(y)?;
+        for (state, &z) in self.links.iter_mut().zip(y) {
+            state.advance(z);
+        }
+        Ok(())
+    }
+
+    fn refit(&mut self, window: &RingWindow) -> Result<()> {
+        let training = window.to_matrix();
+        let (links, threshold) = Self::calibrate(self.kind, &training, self.confidence)?;
+        self.links = links;
+        self.threshold = threshold;
+        Ok(())
+    }
+
+    fn export_state(&self) -> MethodState {
+        let m = self.links.len();
+        let mut scalars = vec![self.threshold, self.confidence];
+        let mut vectors: Vec<Vec<f64>> = Vec::new();
+        let mut matrices: Vec<Matrix> = Vec::new();
+        match self.kind {
+            TemporalKind::Ewma => {
+                let mut alphas = Vec::with_capacity(m);
+                let mut smoothed = Vec::with_capacity(m);
+                for s in &self.links {
+                    let LinkState::Ewma(e) = s else {
+                        unreachable!()
+                    };
+                    alphas.push(e.alpha());
+                    // NaN encodes "no observation yet".
+                    smoothed.push(e.forecast_next().unwrap_or(f64::NAN));
+                }
+                vectors.push(alphas);
+                vectors.push(smoothed);
+            }
+            TemporalKind::HoltWinters { .. } => {
+                let mut period = 0usize;
+                let mut t_obs = 0usize;
+                let mut levels = Vec::with_capacity(m);
+                let mut trends = Vec::with_capacity(m);
+                let mut seasonal_rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+                for s in &self.links {
+                    let LinkState::Hw(h) = s else { unreachable!() };
+                    period = h.params().period;
+                    t_obs = h.observed();
+                    let (lv, tr, se) = h.components();
+                    levels.push(lv);
+                    trends.push(tr);
+                    seasonal_rows.push(se.to_vec());
+                }
+                scalars.push(period as f64);
+                scalars.push(t_obs as f64);
+                vectors.push(levels);
+                vectors.push(trends);
+                matrices.push(Matrix::from_fn(m, period, |i, j| seasonal_rows[i][j]));
+            }
+            TemporalKind::Fourier => {
+                let mut t_next = 0usize;
+                let mut periods: Vec<f64> = Vec::new();
+                let mut coeff_rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+                for s in &self.links {
+                    let LinkState::Fourier(f) = s else {
+                        unreachable!()
+                    };
+                    t_next = f.time();
+                    periods = f.model().periods().to_vec();
+                    coeff_rows.push(f.model().coefficients().to_vec());
+                }
+                scalars.push(t_next as f64);
+                vectors.push(periods);
+                let ncoef = coeff_rows.first().map_or(0, Vec::len);
+                matrices.push(Matrix::from_fn(m, ncoef, |i, j| coeff_rows[i][j]));
+            }
+            TemporalKind::Wavelet { levels } => {
+                scalars.push(levels as f64);
+                let mut held = Vec::with_capacity(m);
+                let mut buf_rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+                for s in &self.links {
+                    let LinkState::Haar(h) = s else {
+                        unreachable!()
+                    };
+                    held.push(h.held);
+                    buf_rows.push(h.buf.clone());
+                }
+                vectors.push(held);
+                let pending = buf_rows.first().map_or(0, Vec::len);
+                matrices.push(Matrix::from_fn(m, pending, |i, j| buf_rows[i][j]));
+            }
+        }
+        MethodState {
+            method: self.kind.name().to_string(),
+            scalars,
+            vectors,
+            matrices,
+        }
+    }
+
+    fn import_state(&mut self, state: &MethodState) -> Result<()> {
+        state.expect_method(self.kind.name())?;
+        let m = self.links.len();
+        let bad = |reason: &'static str| CoreError::InvalidState { reason };
+        let [threshold, confidence, rest @ ..] = &state.scalars[..] else {
+            return Err(bad(
+                "temporal state needs [threshold, confidence, ...] scalars",
+            ));
+        };
+        let mut links = Vec::with_capacity(m);
+        match self.kind {
+            TemporalKind::Ewma => {
+                let [alphas, smoothed] = &state.vectors[..] else {
+                    return Err(bad("ewma state needs [alphas, smoothed] vectors"));
+                };
+                if alphas.len() != m || smoothed.len() != m {
+                    return Err(bad("ewma state has the wrong link count"));
+                }
+                for l in 0..m {
+                    if !(0.0..=1.0).contains(&alphas[l]) {
+                        return Err(bad("ewma state carries an alpha outside [0, 1]"));
+                    }
+                    let mut s = EwmaStream::new(alphas[l]);
+                    if smoothed[l].is_finite() {
+                        s.set_level(smoothed[l]);
+                    }
+                    links.push(LinkState::Ewma(s));
+                }
+            }
+            TemporalKind::HoltWinters { .. } => {
+                let [period, t_obs] = rest else {
+                    return Err(bad("holt-winters state needs [period, observed] scalars"));
+                };
+                let ([levels, trends], [seasonal]) = (&state.vectors[..], &state.matrices[..])
+                else {
+                    return Err(bad(
+                        "holt-winters state needs [levels, trends] vectors and [seasonal]",
+                    ));
+                };
+                let period = *period as usize;
+                if levels.len() != m || trends.len() != m || seasonal.rows() != m {
+                    return Err(bad("holt-winters state has the wrong link count"));
+                }
+                if period == 0 || seasonal.cols() != period {
+                    return Err(bad("holt-winters state has an inconsistent period"));
+                }
+                let params = HoltWinters {
+                    period,
+                    ..HoltWinters::daily()
+                };
+                for l in 0..m {
+                    links.push(LinkState::Hw(HoltWintersStream::from_components(
+                        params,
+                        levels[l],
+                        trends[l],
+                        seasonal.row(l).to_vec(),
+                        *t_obs as usize,
+                    )));
+                }
+            }
+            TemporalKind::Fourier => {
+                let [t_next] = rest else {
+                    return Err(bad("fourier state needs a [time] scalar"));
+                };
+                let ([periods], [coeffs]) = (&state.vectors[..], &state.matrices[..]) else {
+                    return Err(bad("fourier state needs [periods] and [coefficients]"));
+                };
+                if coeffs.rows() != m {
+                    return Err(bad("fourier state has the wrong link count"));
+                }
+                if coeffs.cols() != 1 + 2 * periods.len() {
+                    return Err(bad("fourier state coefficients do not match its periods"));
+                }
+                for l in 0..m {
+                    let model =
+                        FourierModel::from_coefficients(periods.clone(), coeffs.row(l).to_vec());
+                    links.push(LinkState::Fourier(model.stream(*t_next as usize)));
+                }
+            }
+            TemporalKind::Wavelet { levels } => {
+                let [state_levels] = rest else {
+                    return Err(bad("wavelet state needs a [levels] scalar"));
+                };
+                // A state exported at a different decomposition depth
+                // would import cleanly but complete blocks on the wrong
+                // cadence, silently diverging from the exporter.
+                if *state_levels as usize != levels {
+                    return Err(bad("wavelet state has a different decomposition depth"));
+                }
+                let ([held], [buf]) = (&state.vectors[..], &state.matrices[..]) else {
+                    return Err(bad("wavelet state needs [held] and [buffer]"));
+                };
+                if held.len() != m || buf.rows() != m {
+                    return Err(bad("wavelet state has the wrong link count"));
+                }
+                if buf.cols() >= (1usize << levels) {
+                    return Err(bad("wavelet state buffer exceeds a block"));
+                }
+                for (l, &h) in held.iter().enumerate() {
+                    let mut p = HaarPredictor::new(levels, h);
+                    p.buf.extend_from_slice(buf.row(l));
+                    links.push(LinkState::Haar(p));
+                }
+            }
+        }
+        self.links = links;
+        self.threshold = *threshold;
+        self.confidence = *confidence;
+        Ok(())
+    }
+}
+
+/// One shard's slice of a temporal backend: the per-link forecaster
+/// states of its links, in shard-local order.
+#[derive(Debug, Clone)]
+pub struct TemporalShard {
+    states: Vec<LinkState>,
+}
+
+impl ShardableBackend for TemporalBackend {
+    type Shard = TemporalShard;
+    /// Phase A only cuts the raw column slice; all scoring state is
+    /// per-link, so nothing needs the cross-shard merge.
+    type Partial = Matrix;
+    type Merged = ();
+
+    fn make_shards(
+        &self,
+        partition: &LinkPartition,
+        _training: &Matrix,
+    ) -> Result<Vec<Self::Shard>> {
+        Ok(partition
+            .groups()
+            .iter()
+            .map(|links| TemporalShard {
+                states: links.iter().map(|&l| self.links[l].clone()).collect(),
+            })
+            .collect())
+    }
+
+    fn needs_evicted(&self) -> bool {
+        false
+    }
+
+    fn wants_residual(&self) -> bool {
+        false
+    }
+
+    fn shard_phase_a(&self, _shard: &Self::Shard, links: &[usize], block: &Matrix) -> Matrix {
+        block.select_columns(links)
+    }
+
+    fn partial_raw<'a>(&self, partial: &'a Matrix) -> &'a Matrix {
+        partial
+    }
+
+    fn merge_partials(&self, _bins: usize, _partials: &[&Matrix]) {}
+
+    fn shard_phase_b(
+        &self,
+        shard: &mut Self::Shard,
+        _links: &[usize],
+        partial: &Matrix,
+        _merged: &(),
+        _block: &Matrix,
+        _evicted: &[Option<Vec<f64>>],
+    ) -> Result<ShardScores> {
+        let mut scores = Vec::with_capacity(partial.rows());
+        for t in 0..partial.rows() {
+            let row = partial.row(t);
+            let mut e = 0.0;
+            for (state, &z) in shard.states.iter_mut().zip(row) {
+                let r = z - state.forecast(z);
+                e += r * r;
+                state.advance(z);
+            }
+            scores.push(e);
+        }
+        Ok(ShardScores {
+            scores,
+            residual: None,
+        })
+    }
+
+    fn finalize(&self, score: f64, _residual: Option<&[f64]>) -> Result<DiagnosisReport> {
+        Ok(self.report(score))
+    }
+
+    fn refit_shards(&mut self, shards: &mut [Self::Shard], ctx: &[ShardCtx<'_>]) -> Result<()> {
+        // Reassemble the global window (bitwise the single-process
+        // window), recalibrate globally, then scatter the fresh per-link
+        // states back to the shards — so the sharded refit is bitwise
+        // the streaming refit.
+        let window = assemble_shard_windows(self.dim(), ctx)?;
+        let (links, threshold) = Self::calibrate(self.kind, &window, self.confidence)?;
+        self.links = links;
+        self.threshold = threshold;
+        for (shard, c) in shards.iter_mut().zip(ctx) {
+            shard.states = c.links.iter().map(|&l| self.links[l].clone()).collect();
+        }
+        Ok(())
+    }
+}
+
+/// Registry of every runnable detection method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodName {
+    /// The paper's network-wide subspace/Q-statistic method.
+    Subspace,
+    /// Per-link EWMA residual energy.
+    Ewma,
+    /// Per-link additive Holt–Winters residual energy.
+    HoltWinters,
+    /// Per-link eight-period Fourier residual energy.
+    Fourier,
+    /// Per-link Haar-pyramid residual energy.
+    Wavelet,
+}
+
+/// The method names accepted by [`MethodName::parse`] (and the CLI's
+/// `--method`), in registry order.
+pub const METHOD_NAMES: [&str; 5] = ["subspace", "ewma", "holt-winters", "fourier", "wavelet"];
+
+impl MethodName {
+    /// Every registered method, in registry order.
+    pub const ALL: [MethodName; 5] = [
+        MethodName::Subspace,
+        MethodName::Ewma,
+        MethodName::HoltWinters,
+        MethodName::Fourier,
+        MethodName::Wavelet,
+    ];
+
+    /// The stable name (`"subspace"`, `"ewma"`, …).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MethodName::Subspace => "subspace",
+            MethodName::Ewma => "ewma",
+            MethodName::HoltWinters => "holt-winters",
+            MethodName::Fourier => "fourier",
+            MethodName::Wavelet => "wavelet",
+        }
+    }
+
+    /// Resolve a user-supplied name; the error lists the valid set.
+    pub fn parse(name: &str) -> std::result::Result<Self, String> {
+        Self::ALL
+            .into_iter()
+            .find(|m| m.as_str() == name)
+            .ok_or_else(|| {
+                format!(
+                    "unknown method {name:?}; available methods: {}",
+                    METHOD_NAMES.join(" ")
+                )
+            })
+    }
+
+    /// Fit this method on a training matrix, ready to drive through the
+    /// streaming or sharded engines.
+    ///
+    /// The routing matrix and refit `strategy` are consumed by the
+    /// subspace method (identification needs routing); the temporal
+    /// methods ignore them and calibrate from `config.confidence` alone.
+    pub fn fit(
+        self,
+        training: &Matrix,
+        rm: &RoutingMatrix,
+        config: DiagnoserConfig,
+        strategy: RefitStrategy,
+    ) -> Result<MethodBackend> {
+        Ok(match self {
+            MethodName::Subspace => {
+                MethodBackend::Subspace(SubspaceBackend::fit(training, rm, config, strategy)?)
+            }
+            MethodName::Ewma => MethodBackend::Temporal(TemporalBackend::fit(
+                TemporalKind::Ewma,
+                training,
+                config.confidence,
+            )?),
+            MethodName::HoltWinters => MethodBackend::Temporal(TemporalBackend::fit(
+                TemporalKind::HoltWinters {
+                    period: DEFAULT_HW_PERIOD,
+                },
+                training,
+                config.confidence,
+            )?),
+            MethodName::Fourier => MethodBackend::Temporal(TemporalBackend::fit(
+                TemporalKind::Fourier,
+                training,
+                config.confidence,
+            )?),
+            MethodName::Wavelet => MethodBackend::Temporal(TemporalBackend::fit(
+                TemporalKind::Wavelet {
+                    levels: DEFAULT_WAVELET_LEVELS,
+                },
+                training,
+                config.confidence,
+            )?),
+        })
+    }
+
+    /// Like [`MethodName::fit`], but for a backend that will drive a
+    /// sharded engine: the subspace method skips its global streaming
+    /// statistics (per-shard statistics replace them — see
+    /// [`SubspaceBackend::fit_sharded`]); the temporal methods are
+    /// unchanged.
+    pub fn fit_sharded(
+        self,
+        training: &Matrix,
+        rm: &RoutingMatrix,
+        config: DiagnoserConfig,
+        strategy: RefitStrategy,
+    ) -> Result<MethodBackend> {
+        match self {
+            MethodName::Subspace => Ok(MethodBackend::Subspace(SubspaceBackend::fit_sharded(
+                training, rm, config, strategy,
+            )?)),
+            other => other.fit(training, rm, config, strategy),
+        }
+    }
+}
+
+impl std::fmt::Display for MethodName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Any registered detection method behind one concrete type — what the
+/// CLI and the eval scenarios instantiate the engines with
+/// (`StreamingEngine<MethodBackend>`, `ShardedEngine<MethodBackend>`).
+// The subspace variant is much larger than the temporal one, but a
+// process holds a handful of backends (one per engine), never bulk
+// collections — boxing would tax every score call for nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum MethodBackend {
+    /// The subspace reference implementation.
+    Subspace(SubspaceBackend),
+    /// One of the per-link temporal comparators.
+    Temporal(TemporalBackend),
+}
+
+impl MethodBackend {
+    /// The subspace backend, if that is the selected method (the CLI
+    /// uses this to reach identification-specific reporting).
+    pub fn as_subspace(&self) -> Option<&SubspaceBackend> {
+        match self {
+            MethodBackend::Subspace(b) => Some(b),
+            MethodBackend::Temporal(_) => None,
+        }
+    }
+}
+
+impl DetectionBackend for MethodBackend {
+    fn name(&self) -> &'static str {
+        match self {
+            MethodBackend::Subspace(b) => b.name(),
+            MethodBackend::Temporal(b) => b.name(),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        match self {
+            MethodBackend::Subspace(b) => b.dim(),
+            MethodBackend::Temporal(b) => b.dim(),
+        }
+    }
+
+    fn threshold(&self) -> f64 {
+        match self {
+            MethodBackend::Subspace(b) => b.threshold(),
+            MethodBackend::Temporal(b) => b.threshold(),
+        }
+    }
+
+    fn score_vector(&self, y: &[f64]) -> Result<DiagnosisReport> {
+        match self {
+            MethodBackend::Subspace(b) => b.score_vector(y),
+            MethodBackend::Temporal(b) => b.score_vector(y),
+        }
+    }
+
+    fn score_matrix(&self, links: &Matrix) -> Result<Vec<DiagnosisReport>> {
+        match self {
+            MethodBackend::Subspace(b) => b.score_matrix(links),
+            MethodBackend::Temporal(b) => b.score_matrix(links),
+        }
+    }
+
+    fn observe(&mut self, evicted: Option<&[f64]>, y: &[f64]) -> Result<()> {
+        match self {
+            MethodBackend::Subspace(b) => b.observe(evicted, y),
+            MethodBackend::Temporal(b) => b.observe(evicted, y),
+        }
+    }
+
+    fn refit(&mut self, window: &RingWindow) -> Result<()> {
+        match self {
+            MethodBackend::Subspace(b) => b.refit(window),
+            MethodBackend::Temporal(b) => b.refit(window),
+        }
+    }
+
+    fn export_state(&self) -> MethodState {
+        match self {
+            MethodBackend::Subspace(b) => b.export_state(),
+            MethodBackend::Temporal(b) => b.export_state(),
+        }
+    }
+
+    fn import_state(&mut self, state: &MethodState) -> Result<()> {
+        match self {
+            MethodBackend::Subspace(b) => b.import_state(state),
+            MethodBackend::Temporal(b) => b.import_state(state),
+        }
+    }
+}
+
+/// Per-shard state of a [`MethodBackend`].
+#[derive(Debug, Clone)]
+pub enum MethodShard {
+    /// Subspace shard state.
+    Subspace(<SubspaceBackend as ShardableBackend>::Shard),
+    /// Temporal shard state.
+    Temporal(TemporalShard),
+}
+
+/// Phase-A partial of a [`MethodBackend`].
+#[derive(Debug)]
+pub enum MethodPartial {
+    /// Subspace partial (raw/centered/coefficients).
+    Subspace(<SubspaceBackend as ShardableBackend>::Partial),
+    /// Temporal partial (raw slice).
+    Temporal(Matrix),
+}
+
+/// Merged cross-shard context of a [`MethodBackend`].
+#[derive(Debug)]
+pub enum MethodMerged {
+    /// Merged subspace projection coefficients.
+    Subspace(Matrix),
+    /// Temporal methods need no cross-shard context.
+    Temporal,
+}
+
+/// Internal invariant: the engine never mixes states across backends.
+const MIXED: &str = "sharded state belongs to a different method (engine invariant)";
+
+impl ShardableBackend for MethodBackend {
+    type Shard = MethodShard;
+    type Partial = MethodPartial;
+    type Merged = MethodMerged;
+
+    fn make_shards(
+        &self,
+        partition: &LinkPartition,
+        training: &Matrix,
+    ) -> Result<Vec<Self::Shard>> {
+        Ok(match self {
+            MethodBackend::Subspace(b) => b
+                .make_shards(partition, training)?
+                .into_iter()
+                .map(MethodShard::Subspace)
+                .collect(),
+            MethodBackend::Temporal(b) => b
+                .make_shards(partition, training)?
+                .into_iter()
+                .map(MethodShard::Temporal)
+                .collect(),
+        })
+    }
+
+    fn needs_evicted(&self) -> bool {
+        match self {
+            MethodBackend::Subspace(b) => b.needs_evicted(),
+            MethodBackend::Temporal(b) => b.needs_evicted(),
+        }
+    }
+
+    fn wants_residual(&self) -> bool {
+        match self {
+            MethodBackend::Subspace(b) => b.wants_residual(),
+            MethodBackend::Temporal(b) => b.wants_residual(),
+        }
+    }
+
+    fn shard_phase_a(&self, shard: &Self::Shard, links: &[usize], block: &Matrix) -> MethodPartial {
+        match (self, shard) {
+            (MethodBackend::Subspace(b), MethodShard::Subspace(s)) => {
+                MethodPartial::Subspace(b.shard_phase_a(s, links, block))
+            }
+            (MethodBackend::Temporal(b), MethodShard::Temporal(s)) => {
+                MethodPartial::Temporal(b.shard_phase_a(s, links, block))
+            }
+            _ => unreachable!("{MIXED}"),
+        }
+    }
+
+    fn partial_raw<'a>(&self, partial: &'a MethodPartial) -> &'a Matrix {
+        match (self, partial) {
+            (MethodBackend::Subspace(b), MethodPartial::Subspace(p)) => b.partial_raw(p),
+            (MethodBackend::Temporal(b), MethodPartial::Temporal(p)) => b.partial_raw(p),
+            _ => unreachable!("{MIXED}"),
+        }
+    }
+
+    fn merge_partials(&self, bins: usize, partials: &[&MethodPartial]) -> MethodMerged {
+        match self {
+            MethodBackend::Subspace(b) => {
+                let inner: Vec<_> = partials
+                    .iter()
+                    .map(|p| match p {
+                        MethodPartial::Subspace(p) => p,
+                        MethodPartial::Temporal(_) => unreachable!("{MIXED}"),
+                    })
+                    .collect();
+                MethodMerged::Subspace(b.merge_partials(bins, &inner))
+            }
+            MethodBackend::Temporal(_) => MethodMerged::Temporal,
+        }
+    }
+
+    fn shard_phase_b(
+        &self,
+        shard: &mut Self::Shard,
+        links: &[usize],
+        partial: &MethodPartial,
+        merged: &MethodMerged,
+        block: &Matrix,
+        evicted: &[Option<Vec<f64>>],
+    ) -> Result<ShardScores> {
+        match (self, shard, partial, merged) {
+            (
+                MethodBackend::Subspace(b),
+                MethodShard::Subspace(s),
+                MethodPartial::Subspace(p),
+                MethodMerged::Subspace(m),
+            ) => b.shard_phase_b(s, links, p, m, block, evicted),
+            (
+                MethodBackend::Temporal(b),
+                MethodShard::Temporal(s),
+                MethodPartial::Temporal(p),
+                MethodMerged::Temporal,
+            ) => b.shard_phase_b(s, links, p, &(), block, evicted),
+            _ => unreachable!("{MIXED}"),
+        }
+    }
+
+    fn finalize(&self, score: f64, residual: Option<&[f64]>) -> Result<DiagnosisReport> {
+        match self {
+            MethodBackend::Subspace(b) => b.finalize(score, residual),
+            MethodBackend::Temporal(b) => b.finalize(score, residual),
+        }
+    }
+
+    fn refit_shards(&mut self, shards: &mut [Self::Shard], ctx: &[ShardCtx<'_>]) -> Result<()> {
+        match self {
+            MethodBackend::Subspace(b) => {
+                let mut inner: Vec<_> = shards
+                    .iter()
+                    .map(|s| match s {
+                        MethodShard::Subspace(s) => s.clone(),
+                        MethodShard::Temporal(_) => unreachable!("{MIXED}"),
+                    })
+                    .collect();
+                b.refit_shards(&mut inner, ctx)?;
+                for (slot, fresh) in shards.iter_mut().zip(inner) {
+                    *slot = MethodShard::Subspace(fresh);
+                }
+                Ok(())
+            }
+            MethodBackend::Temporal(b) => {
+                let mut inner: Vec<_> = shards
+                    .iter()
+                    .map(|s| match s {
+                        MethodShard::Temporal(s) => s.clone(),
+                        MethodShard::Subspace(_) => unreachable!("{MIXED}"),
+                    })
+                    .collect();
+                b.refit_shards(&mut inner, ctx)?;
+                for (slot, fresh) in shards.iter_mut().zip(inner) {
+                    *slot = MethodShard::Temporal(fresh);
+                }
+                Ok(())
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Parity of the pluggable-method layer:
+//!
+//! * the `MethodBackend::Subspace` route through the generic engines is
+//!   **bitwise** the plain subspace engines (the enum adds dispatch,
+//!   never arithmetic);
+//! * every temporal backend's batched scoring equals its sequential
+//!   scoring, across refit boundaries;
+//! * every temporal backend's sharded deployment matches its streaming
+//!   deployment (bitwise for `K = 1`, decisions + `1e-9` scores beyond,
+//!   thresholds bitwise after refits — both sides recalibrate on the
+//!   identical reassembled window);
+//! * exported method state reproduces the exporter's scoring when
+//!   imported into a backend fitted on different data.
+
+use netanom_baselines::methods::{MethodName, TemporalBackend, TemporalKind};
+use netanom_core::method::DetectionBackend;
+use netanom_core::shard::ShardedEngine;
+use netanom_core::stream::{RefitStrategy, StreamConfig, StreamingEngine};
+use netanom_core::{DiagnoserConfig, PcaMethod, SeparationPolicy};
+use netanom_linalg::{vector, Matrix};
+use netanom_topology::{builtin, LinkPartition, Network};
+
+fn training(m: usize, bins: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(bins, m, |i, l| {
+        let phase = i as f64 * std::f64::consts::TAU / 144.0;
+        let smooth = 2e5 * phase.sin() * ((l % 3) as f64 + 1.0);
+        let noise = (((i * m + l + seed).wrapping_mul(2654435761)) % 8192) as f64 - 4096.0;
+        2e6 + smooth + noise
+    })
+}
+
+fn config() -> DiagnoserConfig {
+    DiagnoserConfig {
+        separation: SeparationPolicy::FixedCount(2),
+        pca_method: PcaMethod::Svd,
+        confidence: 0.999,
+    }
+}
+
+/// Arrivals continuing the training pattern, with large anomalies staged
+/// on a few flows.
+fn staged_stream(net: &Network, t0: usize, bins: usize) -> Matrix {
+    let rm = &net.routing_matrix;
+    let m = rm.num_links();
+    let mut stream = Matrix::from_fn(bins, m, |i, l| {
+        let t = t0 + i;
+        let phase = t as f64 * std::f64::consts::TAU / 144.0;
+        let smooth = 2e5 * phase.sin() * ((l % 3) as f64 + 1.0);
+        let noise = (((t * m + l).wrapping_mul(2654435761)) % 8192) as f64 - 4096.0;
+        2e6 + smooth + noise
+    });
+    let mut k = 0usize;
+    let mut t = 15;
+    while t < bins {
+        let flow = (k * 7 + 2) % rm.num_flows();
+        let mut row = stream.row(t).to_vec();
+        vector::axpy(4e7, &rm.column(flow), &mut row);
+        stream.set_row(t, &row);
+        k += 1;
+        t += 22;
+    }
+    stream
+}
+
+fn temporal_kinds() -> Vec<TemporalKind> {
+    vec![
+        TemporalKind::Ewma,
+        TemporalKind::HoltWinters { period: 48 },
+        TemporalKind::Fourier,
+        TemporalKind::Wavelet { levels: 4 },
+    ]
+}
+
+#[test]
+fn method_enum_subspace_is_bitwise_to_plain_engines() {
+    let net = builtin::line(3);
+    let rm = &net.routing_matrix;
+    let m = rm.num_links();
+    let train = training(m, 250, 0);
+    let stream_cfg = StreamConfig::new(250)
+        .refit_every(40)
+        .strategy(RefitStrategy::Incremental);
+    let arrivals = staged_stream(&net, 250, 100);
+
+    // Streaming: plain vs enum-wrapped, batched entry point.
+    let mut plain = StreamingEngine::new(&train, rm, config(), stream_cfg).unwrap();
+    let backend = MethodName::Subspace
+        .fit(&train, rm, config(), RefitStrategy::Incremental)
+        .unwrap();
+    let mut wrapped = StreamingEngine::with_backend(backend, &train, stream_cfg).unwrap();
+    let a = plain.process_batch(&arrivals).unwrap();
+    let b = wrapped.process_batch(&arrivals).unwrap();
+    assert_eq!(a, b, "streaming enum route must be bitwise");
+    assert!(a.iter().any(|r| r.detected), "staged anomalies fire");
+
+    // Sharded: plain vs enum-wrapped.
+    let partition = LinkPartition::round_robin(m, 3).unwrap();
+    let mut plain = ShardedEngine::new(&train, rm, config(), stream_cfg, &partition).unwrap();
+    let backend = MethodName::Subspace
+        .fit(&train, rm, config(), RefitStrategy::Incremental)
+        .unwrap();
+    let mut wrapped = ShardedEngine::with_backend(backend, &train, stream_cfg, &partition).unwrap();
+    let a = plain.process_batch(&arrivals).unwrap();
+    let b = wrapped.process_batch(&arrivals).unwrap();
+    assert_eq!(a, b, "sharded enum route must be bitwise");
+}
+
+#[test]
+fn temporal_batched_scoring_equals_sequential_across_refits() {
+    let net = builtin::line(3);
+    let m = net.routing_matrix.num_links();
+    let train = training(m, 240, 0);
+    let arrivals = staged_stream(&net, 240, 110);
+
+    for kind in temporal_kinds() {
+        let stream_cfg = StreamConfig::new(240).refit_every(45);
+        let mk = || {
+            let backend = TemporalBackend::fit(kind, &train, 0.999).unwrap();
+            StreamingEngine::with_backend(backend, &train, stream_cfg).unwrap()
+        };
+        let mut seq = mk();
+        let mut bat = mk();
+        let seq_reports: Vec<_> = (0..arrivals.rows())
+            .map(|t| seq.process(arrivals.row(t)).unwrap())
+            .collect();
+        let bat_reports = bat.process_batch(&arrivals).unwrap();
+        assert_eq!(
+            seq_reports, bat_reports,
+            "{kind:?}: batched scoring must equal sequential bitwise"
+        );
+        assert_eq!(seq.refits(), bat.refits());
+        assert!(seq.refits() >= 2, "{kind:?}: stream must cross refits");
+        assert!(
+            seq_reports.iter().any(|r| r.detected),
+            "{kind:?}: staged 40 MB anomalies must fire"
+        );
+    }
+}
+
+#[test]
+fn temporal_sharded_k1_is_bitwise_streaming() {
+    let net = builtin::line(3);
+    let m = net.routing_matrix.num_links();
+    let train = training(m, 240, 0);
+    let arrivals = staged_stream(&net, 240, 100);
+    let partition = LinkPartition::round_robin(m, 1).unwrap();
+
+    for kind in temporal_kinds() {
+        let stream_cfg = StreamConfig::new(240).refit_every(40);
+        let backend = TemporalBackend::fit(kind, &train, 0.999).unwrap();
+        let mut streaming =
+            StreamingEngine::with_backend(backend.clone(), &train, stream_cfg).unwrap();
+        let mut sharded =
+            ShardedEngine::with_backend(backend, &train, stream_cfg, &partition).unwrap();
+        let a = streaming.process_batch(&arrivals).unwrap();
+        let b = sharded.process_batch(&arrivals).unwrap();
+        // One shard owning every link in order: identical summation
+        // order, so even the scores are bitwise.
+        assert_eq!(a, b, "{kind:?}: K=1 sharding must be bitwise");
+    }
+}
+
+#[test]
+fn temporal_sharded_matches_streaming_decisions() {
+    let net = builtin::sprint_europe();
+    let m = net.routing_matrix.num_links();
+    let train = training(m, 200, 0);
+    let arrivals = staged_stream(&net, 200, 90);
+
+    for kind in [TemporalKind::Ewma, TemporalKind::Wavelet { levels: 4 }] {
+        for k in [2usize, 4] {
+            let partition = LinkPartition::round_robin(m, k).unwrap();
+            let stream_cfg = StreamConfig::new(200).refit_every(35);
+            let backend = TemporalBackend::fit(kind, &train, 0.999).unwrap();
+            let mut streaming =
+                StreamingEngine::with_backend(backend.clone(), &train, stream_cfg).unwrap();
+            let mut sharded =
+                ShardedEngine::with_backend(backend, &train, stream_cfg, &partition).unwrap();
+            let a = streaming.process_batch(&arrivals).unwrap();
+            let b = sharded.process_batch(&arrivals).unwrap();
+            assert_eq!(a.len(), b.len());
+            let mut fired = 0usize;
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.time, y.time);
+                assert_eq!(
+                    x.detected, y.detected,
+                    "{kind:?} k={k}: decision diverged at bin {}",
+                    x.time
+                );
+                assert_eq!(
+                    x.threshold, y.threshold,
+                    "{kind:?} k={k}: thresholds must be bitwise (same window calibration)"
+                );
+                let rel = (x.spe - y.spe).abs() / x.spe.max(1.0);
+                assert!(rel <= 1e-9, "{kind:?} k={k}: score rel {rel:.2e}");
+                fired += usize::from(x.detected);
+            }
+            assert!(fired >= 2, "{kind:?} k={k}: staged anomalies must fire");
+            assert_eq!(streaming.refits(), sharded.refits());
+            assert!(streaming.refits() >= 2);
+        }
+    }
+}
+
+#[test]
+fn every_method_state_roundtrips_scoring() {
+    let net = builtin::line(3);
+    let rm = &net.routing_matrix;
+    let m = rm.num_links();
+    let train = training(m, 240, 0);
+    let other_train = training(m, 240, 7777);
+    let probe = staged_stream(&net, 240, 25);
+
+    for name in MethodName::ALL {
+        let exporter = name
+            .fit(&train, rm, config(), RefitStrategy::FullSvd)
+            .unwrap();
+        let state = exporter.export_state();
+        assert_eq!(state.method, name.as_str());
+        let bytes = state.to_bytes();
+        let decoded = netanom_core::MethodState::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, state);
+
+        let mut importer = name
+            .fit(&other_train, rm, config(), RefitStrategy::FullSvd)
+            .unwrap();
+        importer.import_state(&decoded).unwrap();
+        assert_eq!(
+            importer.threshold(),
+            exporter.threshold(),
+            "{name}: threshold must survive the roundtrip bitwise"
+        );
+        for t in 0..probe.rows() {
+            let a = exporter.score_vector(probe.row(t)).unwrap();
+            let b = importer.score_vector(probe.row(t)).unwrap();
+            assert_eq!(a, b, "{name}: scoring diverged after import at bin {t}");
+        }
+
+        // Cross-method state is rejected.
+        let mut wrong = decoded.clone();
+        wrong.method = if name == MethodName::Ewma {
+            "fourier".to_string()
+        } else {
+            "ewma".to_string()
+        };
+        assert!(importer.import_state(&wrong).is_err(), "{name}");
+    }
+}
+
+#[test]
+fn wavelet_state_with_different_depth_is_rejected() {
+    let net = builtin::line(3);
+    let m = net.routing_matrix.num_links();
+    let train = training(m, 200, 0);
+    let exporter =
+        TemporalBackend::fit(TemporalKind::Wavelet { levels: 4 }, &train, 0.999).unwrap();
+    let state = exporter.export_state();
+    let mut importer =
+        TemporalBackend::fit(TemporalKind::Wavelet { levels: 5 }, &train, 0.999).unwrap();
+    // Same method name, different decomposition depth: importing would
+    // silently complete blocks on the wrong cadence, so it must error.
+    assert!(
+        importer.import_state(&state).is_err(),
+        "depth-4 state must not import into a depth-5 backend"
+    );
+}
+
+#[test]
+fn unknown_method_parse_lists_the_valid_set() {
+    let err = MethodName::parse("kalman").unwrap_err();
+    for known in netanom_baselines::methods::METHOD_NAMES {
+        assert!(err.contains(known), "error must list {known}: {err}");
+    }
+    assert_eq!(MethodName::parse("wavelet"), Ok(MethodName::Wavelet));
+    assert_eq!(MethodName::parse("subspace"), Ok(MethodName::Subspace));
+}
+
+#[test]
+fn multiway_engine_runs_any_backend() {
+    // The multiway consensus engine is generic too: bytes + packets in
+    // lockstep under the EWMA backend.
+    use netanom_core::MultiwayEngine;
+    let net = builtin::line(3);
+    let m = net.routing_matrix.num_links();
+    let bytes_train = training(m, 200, 0);
+    let pkts_train = bytes_train.scaled(1.0 / 1500.0);
+    let mk = |train: &Matrix| {
+        let backend = TemporalBackend::fit(TemporalKind::Ewma, train, 0.999).unwrap();
+        StreamingEngine::with_backend(backend, train, StreamConfig::new(200)).unwrap()
+    };
+    let mut multi = MultiwayEngine::new(vec![
+        ("bytes".to_string(), mk(&bytes_train)),
+        ("packets".to_string(), mk(&pkts_train)),
+    ])
+    .unwrap();
+    let fresh = staged_stream(&net, 200, 40);
+    let mut consensus = 0usize;
+    for t in 0..fresh.rows() {
+        let row = fresh.row(t).to_vec();
+        let pkts = vector::scaled(&row, 1.0 / 1500.0);
+        let rep = multi.process(&[&row, &pkts]).unwrap();
+        consensus += usize::from(rep.consensus(2));
+    }
+    assert!(consensus >= 1, "staged anomalies reach 2-way consensus");
+}

@@ -1,6 +1,6 @@
 //! Property-based tests of the temporal baselines.
 
-use netanom_baselines::{Ewma, FourierModel, HaarWavelet, HoltWinters};
+use netanom_baselines::{Ewma, EwmaStream, FourierModel, HaarWavelet, HoltWinters};
 use proptest::prelude::*;
 
 fn series(len: usize, seed: u64, level: f64, amp: f64) -> Vec<f64> {
@@ -119,5 +119,102 @@ proptest! {
         let tail = &resid[15 * period..];
         let rms = (tail.iter().map(|r| r * r).sum::<f64>() / tail.len() as f64).sqrt();
         prop_assert!(rms < 5.0, "rms {rms} after burn-in (alpha={alpha}, gamma={gamma})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The streaming EWMA state, stepped over a whole series, reproduces
+    /// the batch forecasts within 1e-12 (in fact bitwise: the update is
+    /// the identical expression).
+    #[test]
+    fn ewma_stream_matches_batch_forecasts(
+        alpha in 0.0..=1.0f64,
+        seed in 0u64..300,
+        len in 2usize..250,
+    ) {
+        let s = series(len, seed, 1000.0, 60.0);
+        let batch = Ewma::new(alpha).forecasts(&s);
+        let mut stream = Ewma::new(alpha).stream();
+        for (t, &z) in s.iter().enumerate() {
+            let f = stream.step(z);
+            prop_assert!(
+                (f - batch[t]).abs() <= 1e-12 * batch[t].abs().max(1.0),
+                "bin {t}: stream {f} vs batch {}", batch[t]
+            );
+            prop_assert_eq!(f, batch[t], "bin {}: not bitwise", t);
+        }
+    }
+
+    /// Restart-mid-series: resuming a fresh EWMA stream from the prefix
+    /// continues bitwise where the batch forecasts are.
+    #[test]
+    fn ewma_stream_restart_mid_series_is_bitwise(
+        alpha in 0.05..0.95f64,
+        seed in 0u64..300,
+        len in 10usize..250,
+        cut_ppm in 0usize..1_000_000,
+    ) {
+        let s = series(len, seed, 800.0, 40.0);
+        let cut = 1 + cut_ppm * (len - 2) / 1_000_000; // 1..len-1
+        let batch = Ewma::new(alpha).forecasts(&s);
+        let mut resumed = EwmaStream::resume(alpha, &s[..cut]);
+        for (t, &z) in s.iter().enumerate().skip(cut) {
+            prop_assert_eq!(resumed.step(z), batch[t], "bin {} after restart at {}", t, cut);
+        }
+    }
+
+    /// The streaming Holt-Winters state, initialized from a training
+    /// prefix, continues the batch forecasts within 1e-12 (bitwise, in
+    /// fact) — including restarts at arbitrary points past the two
+    /// initialization seasons.
+    #[test]
+    fn holt_winters_stream_restart_mid_series_matches_batch(
+        alpha in 0.05..0.6f64,
+        beta in 0.0..0.2f64,
+        gamma in 0.05..0.5f64,
+        seed in 0u64..200,
+        cut_ppm in 0usize..1_000_000,
+    ) {
+        let period = 24;
+        let len = 10 * period;
+        let s = series(len, seed, 1200.0, 80.0);
+        let hw = HoltWinters { alpha, beta, gamma, period };
+        let batch = hw.forecasts(&s);
+        // Restart anywhere in [2*period, len-1].
+        let cut = 2 * period + cut_ppm * (len - 1 - 2 * period) / 1_000_000;
+        let mut stream = hw.stream(&s[..cut]);
+        prop_assert_eq!(stream.observed(), cut);
+        for (t, &z) in s.iter().enumerate().skip(cut) {
+            let f = stream.step(z);
+            prop_assert!(
+                (f - batch[t]).abs() <= 1e-12 * batch[t].abs().max(1.0),
+                "bin {t}: stream {f} vs batch {}", batch[t]
+            );
+            prop_assert_eq!(f, batch[t], "bin {}: not bitwise after restart at {}", t, cut);
+        }
+    }
+
+    /// The streaming Haar filter's emitted blocks (plus flush) equal the
+    /// batch residuals bitwise for arbitrary lengths and depths.
+    #[test]
+    fn haar_stream_matches_batch_residuals(
+        levels in 1usize..6,
+        seed in 0u64..200,
+        len in 1usize..300,
+    ) {
+        let s = series(len, seed, 500.0, 30.0);
+        let w = HaarWavelet::new(levels);
+        let batch = w.residuals(&s);
+        let mut stream = w.stream();
+        let mut streamed = Vec::new();
+        for &z in &s {
+            if let Some(block) = stream.push(z) {
+                streamed.extend(block);
+            }
+        }
+        streamed.extend(stream.flush());
+        prop_assert_eq!(streamed, batch);
     }
 }

@@ -6,6 +6,8 @@ use std::fs;
 use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
 
+use netanom_baselines::methods::{MethodBackend, MethodName, METHOD_NAMES};
+use netanom_core::method::DetectionBackend;
 use netanom_core::shard::ShardedEngine;
 use netanom_core::stream::{RefitStrategy, StreamConfig, StreamingEngine};
 use netanom_core::{Diagnoser, DiagnoserConfig};
@@ -45,6 +47,23 @@ fn require<'a>(flags: &HashMap<&str, &'a str>, name: &str) -> Result<&'a str, St
         .get(name)
         .copied()
         .ok_or_else(|| format!("--{name} is required"))
+}
+
+/// Resolve `--method` (default: the paper's subspace method); unknown
+/// names error with the valid set, mirroring `netanom eval`'s
+/// unknown-id errors.
+fn method_of(flags: &HashMap<&str, &str>) -> Result<MethodName, String> {
+    match flags.get("method") {
+        None => Ok(MethodName::Subspace),
+        Some(name) => MethodName::parse(name),
+    }
+}
+
+/// `netanom --list-methods`: one registered detection method per line.
+pub fn list_methods() {
+    for name in METHOD_NAMES {
+        println!("{name}");
+    }
 }
 
 fn confidence_of(flags: &HashMap<&str, &str>) -> Result<f64, String> {
@@ -175,13 +194,31 @@ fn train_bins_of(flags: &HashMap<&str, &str>, total: usize) -> Result<usize, Str
     }
 }
 
-/// `netanom diagnose --links FILE --paths FILE [--confidence C]
-/// [--train-bins N] [--out FILE]`
+/// `netanom diagnose --links FILE --paths FILE [--method NAME]
+/// [--confidence C] [--train-bins N] [--out FILE]`
+///
+/// Offline diagnosis of a whole series. The default subspace method
+/// scores every bin (including the training prefix) and identifies and
+/// quantifies each detection; any other method (`--method`, see
+/// `netanom --list-methods`) trains on the prefix and scores the bins
+/// after it in sequence — temporal forecasters have no meaningful score
+/// for bins they trained on — with `-` in the identification columns.
 pub fn diagnose(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["links", "paths", "confidence", "train-bins", "out"])?;
+    let flags = parse_flags(
+        args,
+        &[
+            "links",
+            "paths",
+            "confidence",
+            "train-bins",
+            "out",
+            "method",
+        ],
+    )?;
     let (links, _names) = load_links(require(&flags, "links")?)?;
     let confidence = confidence_of(&flags)?;
     let train_bins = train_bins_of(&flags, links.num_bins())?;
+    let method = method_of(&flags)?;
 
     let rm = load_paths(require(&flags, "paths")?, links.num_links())?;
 
@@ -189,53 +226,91 @@ pub fn diagnose(args: &[String]) -> Result<(), String> {
         .matrix()
         .row_block(0, train_bins)
         .map_err(|e| e.to_string())?;
-    let diagnoser = Diagnoser::fit(
-        &training,
-        &rm,
-        DiagnoserConfig {
-            confidence,
-            ..DiagnoserConfig::default()
-        },
-    )
-    .map_err(|e| format!("fitting model: {e}"))?;
+    let diag_cfg = DiagnoserConfig {
+        confidence,
+        ..DiagnoserConfig::default()
+    };
 
-    let reports = diagnoser
-        .diagnose_series(links.matrix())
-        .map_err(|e| e.to_string())?;
+    // (reports with their absolute bin index, scored bin count, model label)
+    let (stamped, scored_bins, model_label) = if method == MethodName::Subspace {
+        let diagnoser =
+            Diagnoser::fit(&training, &rm, diag_cfg).map_err(|e| format!("fitting model: {e}"))?;
+        let reports = diagnoser
+            .diagnose_series(links.matrix())
+            .map_err(|e| e.to_string())?;
+        let label = format!("r = {}", diagnoser.model().normal_dim());
+        let n = reports.len();
+        (
+            reports.into_iter().map(|r| (r.time, r)).collect::<Vec<_>>(),
+            n,
+            label,
+        )
+    } else {
+        // Temporal forecasters only score the bins *after* their
+        // training prefix; without a prefix split there is nothing to
+        // score, so a full-series default would silently emit an empty
+        // report.
+        if train_bins >= links.num_bins() {
+            return Err(format!(
+                "--method {method} scores the bins after the training prefix; \
+                 pass --train-bins smaller than the {} bins in the series",
+                links.num_bins()
+            ));
+        }
+        let backend = method
+            .fit(&training, &rm, diag_cfg, RefitStrategy::FullSvd)
+            .map_err(|e| format!("fitting {method} model: {e}"))?;
+        let tail = links
+            .matrix()
+            .row_block(train_bins, links.num_bins() - train_bins)
+            .map_err(|e| e.to_string())?;
+        let reports = backend.score_matrix(&tail).map_err(|e| e.to_string())?;
+        let label = format!("method = {method}");
+        let n = reports.len();
+        (
+            reports
+                .into_iter()
+                .enumerate()
+                .map(|(t, r)| (train_bins + t, r))
+                .collect(),
+            n,
+            label,
+        )
+    };
 
     let mut csv = String::from("time,spe,threshold,flow,estimated_bytes,explained_fraction\n");
     let mut alarms = 0usize;
-    for rep in reports.iter().filter(|r| r.detected) {
+    for (time, rep) in stamped.iter().filter(|(_, r)| r.detected) {
         alarms += 1;
-        let id = rep.identification.expect("detected implies identified");
-        let _ = writeln!(
-            csv,
-            "{},{:.6e},{:.6e},{},{:.6e},{:.4}",
-            rep.time,
-            rep.spe,
-            rep.threshold,
-            id.flow,
-            rep.estimated_bytes.unwrap_or(0.0),
-            id.explained_fraction(),
-        );
+        match rep.identification {
+            Some(id) => {
+                let _ = writeln!(
+                    csv,
+                    "{},{:.6e},{:.6e},{},{:.6e},{:.4}",
+                    time,
+                    rep.spe,
+                    rep.threshold,
+                    id.flow,
+                    rep.estimated_bytes.unwrap_or(0.0),
+                    id.explained_fraction(),
+                );
+            }
+            None => {
+                let _ = writeln!(csv, "{},{:.6e},{:.6e},-,-,-", time, rep.spe, rep.threshold);
+            }
+        }
     }
 
     match flags.get("out") {
         Some(out) => {
             fs::write(out, &csv).map_err(|e| format!("writing {out}: {e}"))?;
             eprintln!(
-                "{alarms} anomalies in {} bins (r = {}); report written to {out}",
-                reports.len(),
-                diagnoser.model().normal_dim()
+                "{alarms} anomalies in {scored_bins} bins ({model_label}); report written to {out}"
             );
         }
         None => {
             print!("{csv}");
-            eprintln!(
-                "{alarms} anomalies in {} bins (r = {})",
-                reports.len(),
-                diagnoser.model().normal_dim()
-            );
+            eprintln!("{alarms} anomalies in {scored_bins} bins ({model_label})");
         }
     }
     Ok(())
@@ -363,36 +438,76 @@ fn refit_label(refit_every: Option<usize>, strategy: RefitStrategy) -> String {
 
 /// Print one alarm CSV line per detected report (bins offset by the
 /// training prefix length); returns the number printed.
+///
+/// Detection-only methods (the temporal backends) carry no
+/// identification — their flow/bytes/fraction columns print `-`.
 fn emit_alarms(reports: &[netanom_core::DiagnosisReport], train_bins: usize) -> usize {
     let mut alarms = 0;
     for rep in reports.iter().filter(|r| r.detected) {
         alarms += 1;
-        let id = rep.identification.expect("detected implies identified");
-        println!(
-            "{},{:.6e},{:.6e},{},{:.6e},{:.4}",
-            train_bins + rep.time,
-            rep.spe,
-            rep.threshold,
-            id.flow,
-            rep.estimated_bytes.unwrap_or(0.0),
-            id.explained_fraction(),
-        );
+        match rep.identification {
+            Some(id) => println!(
+                "{},{:.6e},{:.6e},{},{:.6e},{:.4}",
+                train_bins + rep.time,
+                rep.spe,
+                rep.threshold,
+                id.flow,
+                rep.estimated_bytes.unwrap_or(0.0),
+                id.explained_fraction(),
+            ),
+            None => println!(
+                "{},{:.6e},{:.6e},-,-,-",
+                train_bins + rep.time,
+                rep.spe,
+                rep.threshold,
+            ),
+        }
     }
     alarms
 }
 
-/// `netanom stream --links FILE|- --train-bins N [--paths FILE]
-/// [--confidence C] [--window N] [--refit-every K]
+/// The `# trained …` banner of the online commands: the subspace method
+/// reports its normal dimension and Q-statistic threshold; every other
+/// method reports its calibrated residual-energy threshold.
+fn online_banner(
+    backend: &MethodBackend,
+    train_bins: usize,
+    m: usize,
+    confidence: f64,
+    suffix: &str,
+) {
+    match backend.as_subspace() {
+        Some(b) => eprintln!(
+            "# trained on {train_bins} bins x {m} links; method = subspace, r = {}, \
+             delta^2({:.2}%) = {:.6e}{suffix}",
+            b.diagnoser().model().normal_dim(),
+            confidence * 100.0,
+            b.diagnoser().detector().threshold().delta_sq,
+        ),
+        None => eprintln!(
+            "# trained on {train_bins} bins x {m} links; method = {}, \
+             energy threshold({:.2}%) = {:.6e}{suffix}",
+            backend.name(),
+            confidence * 100.0,
+            backend.threshold(),
+        ),
+    }
+}
+
+/// `netanom stream --links FILE|- --train-bins N [--method NAME]
+/// [--paths FILE] [--confidence C] [--window N] [--refit-every K]
 /// [--refit full|incremental] [--chunk B]`
 ///
 /// Consume a link-measurement CSV (a file, or stdin with `--links -`) in
-/// chunks: train the model on the first `--train-bins` rows, then stream
-/// the rest through the [`StreamingEngine`], printing one CSV line per
-/// alarm *as the chunk containing it is processed* — the whole series is
-/// never materialized.
+/// chunks: train the selected method (default: subspace; see
+/// `netanom --list-methods`) on the first `--train-bins` rows, then
+/// stream the rest through the [`StreamingEngine`], printing one CSV
+/// line per alarm *as the chunk containing it is processed* — the whole
+/// series is never materialized.
 ///
 /// Without `--paths`, each link is treated as its own candidate flow, so
-/// the `flow` column degenerates to "most anomalous link".
+/// the `flow` column degenerates to "most anomalous link". The temporal
+/// methods detect but do not identify; their flow columns print `-`.
 pub fn stream(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
@@ -405,10 +520,12 @@ pub fn stream(args: &[String]) -> Result<(), String> {
             "refit-every",
             "refit",
             "chunk",
+            "method",
         ],
     )?;
     let links_arg = require(&flags, "links")?;
     let confidence = confidence_of(&flags)?;
+    let method = method_of(&flags)?;
     let opts = online_options_of(&flags, RefitStrategy::FullSvd)?;
 
     let mut chunks = traffic_io::CsvChunks::new(open_links_reader(links_arg)?, opts.chunk)
@@ -428,16 +545,18 @@ pub fn stream(args: &[String]) -> Result<(), String> {
         confidence,
         ..DiagnoserConfig::default()
     };
-    let mut engine = StreamingEngine::new(&training, &rm, diag_cfg, stream_cfg)
+    let backend = method
+        .fit(&training, &rm, diag_cfg, opts.strategy)
+        .map_err(|e| format!("fitting {method} model: {e}"))?;
+    let mut engine = StreamingEngine::with_backend(backend, &training, stream_cfg)
         .map_err(|e| format!("fitting model: {e}"))?;
 
-    eprintln!(
-        "# trained on {} bins x {m} links; r = {}, delta^2({:.2}%) = {:.6e}, refit = {}",
+    online_banner(
+        engine.backend(),
         opts.train_bins,
-        engine.diagnoser().model().normal_dim(),
-        confidence * 100.0,
-        engine.diagnoser().detector().threshold().delta_sq,
-        refit_label(opts.refit_every, opts.strategy),
+        m,
+        confidence,
+        &format!(", refit = {}", refit_label(opts.refit_every, opts.strategy)),
     );
     println!("bin,spe,threshold,flow,estimated_bytes,explained_fraction");
 
@@ -461,17 +580,18 @@ pub fn stream(args: &[String]) -> Result<(), String> {
 }
 
 /// `netanom shard --links FILE|- --train-bins N --shards K
-/// [--paths FILE] [--confidence C] [--window N] [--refit-every K]
-/// [--refit full|incremental] [--chunk B]`
+/// [--method NAME] [--paths FILE] [--confidence C] [--window N]
+/// [--refit-every K] [--refit full|incremental] [--chunk B]`
 ///
 /// The sharded online path: the link set is partitioned round-robin
 /// into `--shards K` shards, the CSV is consumed in chunks and
 /// scattered into per-shard column-slice feeds
 /// (`traffic::io::ShardedChunks`), and each shard ingests its slice —
-/// windows, sufficient statistics, and SPE contributions — while the
-/// coordinator merges, detects, identifies, and (on the refit cadence)
-/// rebuilds the global model from the merged statistics. Detections are
-/// bitwise the ones `netanom stream` would print.
+/// windows, per-shard method state, and score contributions — while the
+/// coordinator merges, detects, identifies (subspace), and (on the
+/// refit cadence) rebuilds the global model from the merged shard
+/// state. Detections are bitwise the ones `netanom stream` would print
+/// for the subspace method, and decision-identical for every method.
 ///
 /// Defaults to `--refit incremental`: mergeable sufficient statistics
 /// are the point of the sharded deployment.
@@ -488,10 +608,12 @@ pub fn shard(args: &[String]) -> Result<(), String> {
             "refit",
             "chunk",
             "shards",
+            "method",
         ],
     )?;
     let links_arg = require(&flags, "links")?;
     let confidence = confidence_of(&flags)?;
+    let method = method_of(&flags)?;
     let shards: usize = require(&flags, "shards")?
         .parse()
         .ok()
@@ -523,21 +645,25 @@ pub fn shard(args: &[String]) -> Result<(), String> {
         confidence,
         ..DiagnoserConfig::default()
     };
-    let mut engine = ShardedEngine::new(&training, &rm, diag_cfg, stream_cfg, &partition)
+    let backend = method
+        .fit_sharded(&training, &rm, diag_cfg, opts.strategy)
+        .map_err(|e| format!("fitting {method} model: {e}"))?;
+    let mut engine = ShardedEngine::with_backend(backend, &training, stream_cfg, &partition)
         .map_err(|e| format!("fitting model: {e}"))?;
 
     let sizes: Vec<String> = (0..engine.num_shards())
         .map(|s| engine.shard_links(s).len().to_string())
         .collect();
-    eprintln!(
-        "# trained on {} bins x {m} links; r = {}, delta^2({:.2}%) = {:.6e}; \
-         {shards} shards ({} links each), refit = {}",
+    online_banner(
+        engine.backend(),
         opts.train_bins,
-        engine.diagnoser().model().normal_dim(),
-        confidence * 100.0,
-        engine.diagnoser().detector().threshold().delta_sq,
-        sizes.join("/"),
-        refit_label(opts.refit_every, opts.strategy),
+        m,
+        confidence,
+        &format!(
+            "; {shards} shards ({} links each), refit = {}",
+            sizes.join("/"),
+            refit_label(opts.refit_every, opts.strategy),
+        ),
     );
     println!("bin,spe,threshold,flow,estimated_bytes,explained_fraction");
 
@@ -813,6 +939,122 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("full|incremental"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_and_shard_run_every_method_over_simulated_data() {
+        let dir = std::env::temp_dir().join("netanom-cli-methods");
+        let _ = fs::remove_dir_all(&dir);
+        simulate(&s(&[
+            "--dataset",
+            "mini",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let links = dir.join("links.csv");
+        let l = links.to_str().unwrap();
+        for method in METHOD_NAMES {
+            stream(&s(&[
+                "--links",
+                l,
+                "--train-bins",
+                "216",
+                "--method",
+                method,
+                "--refit-every",
+                "36",
+                "--chunk",
+                "17",
+            ]))
+            .unwrap_or_else(|e| panic!("stream --method {method}: {e}"));
+            shard(&s(&[
+                "--links",
+                l,
+                "--train-bins",
+                "216",
+                "--shards",
+                "3",
+                "--method",
+                method,
+                "--refit-every",
+                "36",
+            ]))
+            .unwrap_or_else(|e| panic!("shard --method {method}: {e}"));
+        }
+        // Offline diagnosis with a temporal method writes `-` id columns.
+        let out = dir.join("ewma-report.csv");
+        diagnose(&s(&[
+            "--links",
+            l,
+            "--paths",
+            dir.join("paths.csv").to_str().unwrap(),
+            "--train-bins",
+            "216",
+            "--method",
+            "ewma",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let report = fs::read_to_string(&out).unwrap();
+        assert!(report.starts_with("time,spe,threshold,flow"));
+        for line in report.lines().skip(1) {
+            assert!(line.ends_with(",-,-,-"), "temporal line: {line}");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn diagnose_with_temporal_method_requires_a_training_split() {
+        let dir = std::env::temp_dir().join("netanom-cli-temporal-split");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let links = dir.join("links.csv");
+        fs::write(&links, "a,b\n1,2\n3,4\n5,6\n7,8\n").unwrap();
+        fs::write(dir.join("paths.csv"), "flow,links\n0,0\n1,1\n").unwrap();
+        // Without --train-bins the prefix would swallow the whole
+        // series, leaving nothing for a temporal forecaster to score —
+        // that must be a clear error, not an empty report.
+        let err = diagnose(&s(&[
+            "--links",
+            links.to_str().unwrap(),
+            "--paths",
+            dir.join("paths.csv").to_str().unwrap(),
+            "--method",
+            "ewma",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--train-bins"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_method_errors_with_the_valid_set() {
+        let dir = std::env::temp_dir().join("netanom-cli-badmethod");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let links = dir.join("links.csv");
+        fs::write(&links, "a,b\n1,2\n3,4\n5,6\n").unwrap();
+        let l = links.to_str().unwrap();
+        for cmd in [stream, diagnose] as [fn(&[String]) -> Result<(), String>; 2] {
+            let err = cmd(&s(&[
+                "--links",
+                l,
+                "--paths",
+                l, // unused before method validation
+                "--train-bins",
+                "2",
+                "--method",
+                "kalman",
+            ]))
+            .unwrap_err();
+            assert!(err.contains("kalman"), "{err}");
+            for known in METHOD_NAMES {
+                assert!(err.contains(known), "error must list {known}: {err}");
+            }
+        }
         fs::remove_dir_all(&dir).ok();
     }
 

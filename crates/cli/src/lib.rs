@@ -8,12 +8,13 @@
 //! ```text
 //! netanom simulate --dataset sprint1 --out-dir data/
 //! netanom detect   --links data/links.csv [--confidence 0.999] [--train-bins N]
-//! netanom diagnose --links data/links.csv --paths data/paths.csv [--out report.csv]
-//! netanom stream   --links data/links.csv --train-bins 1008 [--paths data/paths.csv]
-//!                  [--refit-every 144] [--refit incremental] [--chunk 144]
-//! netanom shard    --links data/links.csv --train-bins 1008 --shards 4
+//! netanom diagnose --links data/links.csv --paths data/paths.csv [--method ewma] [--out report.csv]
+//! netanom stream   --links data/links.csv --train-bins 1008 [--method wavelet]
+//!                  [--paths data/paths.csv] [--refit-every 144] [--refit incremental] [--chunk 144]
+//! netanom shard    --links data/links.csv --train-bins 1008 --shards 4 [--method subspace]
 //!                  [--paths data/paths.csv] [--refit-every 144] [--chunk 144]
 //! netanom eval     --list | <experiment-id>... [--out DIR]
+//! netanom --list-methods
 //! ```
 //!
 //! * `simulate` exports one of the canned paper datasets as CSV (link
@@ -28,8 +29,13 @@
 //!   streaming engine with optional periodic refits.
 //! * `shard` is the sharded online path: the link set is partitioned
 //!   round-robin into `--shards K` shards, each ingesting its own column
-//!   slice, with sufficient statistics merged into the global model at
+//!   slice, with per-shard method state merged into the global model at
 //!   every refit — bitwise the same detections as `stream`.
+//! * `diagnose`, `stream`, and `shard` accept `--method NAME` to run
+//!   any registered detection backend — the subspace method (default)
+//!   or one of the per-link temporal comparators — through the same
+//!   machinery; `netanom --list-methods` enumerates them, and an
+//!   unknown name errors with the valid set.
 //! * `eval` lists or reruns the paper's tables/figures and the
 //!   deployment scenarios (the same registry as the `experiments`
 //!   binary).

@@ -10,12 +10,14 @@ fn usage() {
     eprintln!(
         "usage:\n  netanom simulate --dataset <sprint1|sprint2|abilene|mini> --out-dir DIR\n  \
          netanom detect   --links FILE [--confidence C] [--train-bins N]\n  \
-         netanom diagnose --links FILE --paths FILE [--confidence C] [--train-bins N] [--out FILE]\n  \
-         netanom stream   --links FILE|- --train-bins N [--paths FILE] [--confidence C]\n           \
-         [--window N] [--refit-every K] [--refit full|incremental] [--chunk B]\n  \
-         netanom shard    --links FILE|- --train-bins N --shards K [--paths FILE] [--confidence C]\n           \
-         [--window N] [--refit-every K] [--refit full|incremental] [--chunk B]\n  \
-         netanom eval     --list | ID... [--out DIR]"
+         netanom diagnose --links FILE --paths FILE [--method NAME] [--confidence C]\n           \
+         [--train-bins N] [--out FILE]\n  \
+         netanom stream   --links FILE|- --train-bins N [--method NAME] [--paths FILE]\n           \
+         [--confidence C] [--window N] [--refit-every K] [--refit full|incremental] [--chunk B]\n  \
+         netanom shard    --links FILE|- --train-bins N --shards K [--method NAME] [--paths FILE]\n           \
+         [--confidence C] [--window N] [--refit-every K] [--refit full|incremental] [--chunk B]\n  \
+         netanom eval     --list | ID... [--out DIR]\n  \
+         netanom --list-methods"
     );
 }
 
@@ -32,6 +34,10 @@ fn main() -> ExitCode {
         "stream" => commands::stream(rest),
         "shard" => commands::shard(rest),
         "eval" => commands::eval(rest),
+        "--list-methods" => {
+            commands::list_methods();
+            return ExitCode::SUCCESS;
+        }
         "--help" | "-h" | "help" => {
             usage();
             return ExitCode::SUCCESS;

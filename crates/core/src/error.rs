@@ -51,6 +51,12 @@ pub enum CoreError {
         /// Which merge invariant was violated.
         reason: &'static str,
     },
+    /// A serialized [`MethodState`](crate::method::MethodState) could not
+    /// be decoded or did not match the backend it was imported into.
+    InvalidState {
+        /// Which decoding or compatibility invariant was violated.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -82,6 +88,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::ShardMismatch { reason } => {
                 write!(f, "shard state cannot be combined: {reason}")
+            }
+            CoreError::InvalidState { reason } => {
+                write!(f, "method state is invalid: {reason}")
             }
         }
     }

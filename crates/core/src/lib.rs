@@ -26,11 +26,17 @@
 //! Jacobi eigen-solve per refit, independent of the window length);
 //! [`MultiwayEngine`] runs several measurement kinds (bytes, packets,
 //! entropy) in lockstep, and [`OnlineDiagnoser`] remains as a thin
-//! compatibility wrapper. The [`shard`] module scales the same semantics
+//! compatibility wrapper. The detection method itself is a pluggable
+//! backend ([`method`]): every engine is generic over a
+//! [`DetectionBackend`] (default: the [`SubspaceBackend`] reference
+//! implementation, bitwise the historical behavior), so the temporal
+//! comparators in `netanom-baselines` stream and shard through the
+//! identical machinery. The [`shard`] module scales the same semantics
 //! across link partitions: [`ShardedEngine`] runs one ingestion worker
-//! per shard and merges mergeable sufficient statistics
-//! ([`incremental::CovarianceShard`]) back into the global covariance,
-//! bitwise. [`multiflow`] implements the Section 7.2
+//! per shard and merges mergeable per-shard state — sufficient
+//! statistics ([`incremental::CovarianceShard`]) for the subspace
+//! backend — back into the global model, bitwise. [`multiflow`]
+//! implements the Section 7.2
 //! extension to anomalies spanning several OD flows; [`timescale`]
 //! implements the Section 7.3 multi-timescale extension; and
 //! [`detectability`] computes the Section 5.4 per-flow detectability
@@ -64,6 +70,7 @@ mod diagnose;
 mod error;
 mod identify;
 pub mod incremental;
+pub mod method;
 pub mod multiflow;
 mod online;
 mod pca;
@@ -77,6 +84,9 @@ pub mod timescale;
 pub use diagnose::{quantify, Diagnoser, DiagnoserConfig, DiagnosisReport};
 pub use error::CoreError;
 pub use identify::{Identification, Identifier};
+pub use method::{
+    DetectionBackend, MethodState, ShardCtx, ShardScores, ShardableBackend, SubspaceBackend,
+};
 pub use online::OnlineDiagnoser;
 pub use pca::{Pca, PcaMethod};
 pub use separation::SeparationPolicy;

@@ -1,0 +1,883 @@
+//! Pluggable detection backends: the method layer of the engines.
+//!
+//! The paper's central claim is comparative — the network-wide subspace
+//! method separates anomalies that per-link *temporal* filters (EWMA,
+//! Fourier, wavelets; Section 6, Figure 10) cannot. Comparing methods
+//! honestly requires running every one of them through the same
+//! ingestion, sharding, and evaluation machinery. This module makes the
+//! detection method a first-class, swappable component:
+//!
+//! * [`DetectionBackend`] is the contract every method implements:
+//!   per-arrival [`score_vector`](DetectionBackend::score_vector) and
+//!   state-advancing [`observe`](DetectionBackend::observe), batched
+//!   [`score_matrix`](DetectionBackend::score_matrix) (the GEMM path
+//!   where the method allows), a cadenced
+//!   [`refit`](DetectionBackend::refit) from the engine's retained
+//!   window, and a serializable [`MethodState`] for shard broadcast and
+//!   checkpointing.
+//! * [`ShardableBackend`] extends the contract to link-partitioned
+//!   execution: per-shard phase A/B computations whose partials the
+//!   coordinator merges **in shard order** (so results are independent
+//!   of the worker thread count), plus a merge-refit-broadcast hook.
+//! * [`SubspaceBackend`] is the reference implementation: the
+//!   subspace/Q-statistic pipeline, producing bitwise the reports the
+//!   pre-refactor engines produced (pinned by `tests/stream_parity.rs`
+//!   and `tests/shard_parity.rs`).
+//!
+//! The temporal comparators (EWMA, Holt–Winters, Fourier, Haar wavelet)
+//! implement these traits in `netanom-baselines` (`methods` module),
+//! which also hosts the `MethodBackend` enum and the by-name registry
+//! the CLI's `--method` flag resolves against.
+//!
+//! # Engine contract
+//!
+//! [`StreamingEngine`](crate::StreamingEngine) drives a backend as:
+//! `score` the arrival against the frozen model, then `observe` it
+//! (advance streaming state as the window slides), then `refit` when the
+//! cadence is due. Scoring therefore always sees the state *before* the
+//! arrival — exactly one-step-ahead forecasting for the temporal
+//! methods, and the frozen-model diagnosis of Section 7.1 for the
+//! subspace method.
+
+use std::fmt;
+
+use netanom_linalg::{BlockPlacement, Matrix};
+use netanom_topology::{LinkPartition, RoutingMatrix};
+
+use crate::diagnose::{quantify, Diagnoser, DiagnoserConfig, DiagnosisReport};
+use crate::incremental::{CovarianceShard, IncrementalCovariance};
+use crate::separation::SeparationPolicy;
+use crate::stream::{RefitStrategy, RingWindow};
+use crate::subspace::SubspaceModel;
+use crate::{CoreError, Result};
+
+/// A detection method runnable through the streaming and sharded
+/// engines.
+///
+/// Implementations are fitted at construction (each backend has its own
+/// constructor taking whatever the method needs — routing for the
+/// subspace method, smoothing weights for EWMA, …); the trait covers
+/// only what the engines drive. See the [module docs](self) for the
+/// score → observe → refit contract.
+pub trait DetectionBackend: fmt::Debug {
+    /// Stable method name (`"subspace"`, `"ewma"`, …) — the identifier
+    /// the CLI registry and [`MethodState`] use.
+    fn name(&self) -> &'static str;
+
+    /// Measurement-vector width `m` the backend was fitted for.
+    fn dim(&self) -> usize;
+
+    /// The detection threshold currently in force (the subspace
+    /// Q-statistic `δ²_α`, or a temporal method's calibrated
+    /// residual-energy cutoff).
+    fn threshold(&self) -> f64;
+
+    /// Score the next arrival against the frozen model without
+    /// advancing any state. The report's `time` is 0; the engine stamps
+    /// it.
+    fn score_vector(&self, y: &[f64]) -> Result<DiagnosisReport>;
+
+    /// Score a whole block of consecutive arrivals (rows of a `b × m`
+    /// matrix) without advancing state — equivalent to scoring each row
+    /// in order, but free to batch (the subspace backend rides the
+    /// fused GEMM detection kernel).
+    fn score_matrix(&self, links: &Matrix) -> Result<Vec<DiagnosisReport>>;
+
+    /// Advance the per-arrival streaming state: the engine's window just
+    /// slid by one row (`evicted` is the row that fell out, `None` while
+    /// the window is still filling).
+    fn observe(&mut self, evicted: Option<&[f64]>, y: &[f64]) -> Result<()>;
+
+    /// Cadenced refit from the engine's retained window: rebuild the
+    /// model (and threshold) the scoring methods are frozen against.
+    fn refit(&mut self, window: &RingWindow) -> Result<()>;
+
+    /// Export the frozen model as a serializable [`MethodState`] — the
+    /// unit a sharded deployment broadcasts and a checkpoint stores.
+    fn export_state(&self) -> MethodState;
+
+    /// Restore the frozen model from an exported state. Streaming
+    /// statistics (window, forecast states) are *not* part of the state;
+    /// only the scoring model is. Errors with
+    /// [`CoreError::InvalidState`] on a method or dimension mismatch.
+    fn import_state(&mut self, state: &MethodState) -> Result<()>;
+}
+
+/// Serializable model state: what a coordinator broadcasts to shards and
+/// what a checkpoint stores. Deliberately schema-light — a method name
+/// plus scalar/vector/matrix payloads — so backends with very different
+/// models share one wire format.
+///
+/// [`MethodState::to_bytes`] / [`MethodState::from_bytes`] give a
+/// self-contained little-endian binary encoding (no external
+/// serialization crates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodState {
+    /// The owning backend's [`DetectionBackend::name`].
+    pub method: String,
+    /// Scalar payload (model hyperparameters, thresholds, counters).
+    pub scalars: Vec<f64>,
+    /// Vector payload (means, spectra, per-link parameters).
+    pub vectors: Vec<Vec<f64>>,
+    /// Matrix payload (bases, per-link seasonal tables).
+    pub matrices: Vec<Matrix>,
+}
+
+/// Magic prefix of the binary encoding (`"NAMS"` = netanom method
+/// state).
+const STATE_MAGIC: [u8; 4] = *b"NAMS";
+/// Encoding version.
+const STATE_VERSION: u32 = 1;
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    push_u32(out, vs.len() as u32);
+    for v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Byte cursor for decoding; every read is bounds-checked.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(CoreError::InvalidState {
+                reason: "truncated state buffer",
+            });
+        };
+        let out = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>> {
+        let n = self.u32()? as usize;
+        let b = self.take(n.checked_mul(8).ok_or(CoreError::InvalidState {
+            reason: "length overflow",
+        })?)?;
+        Ok(b.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+}
+
+impl MethodState {
+    /// Encode as a self-contained little-endian byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&STATE_MAGIC);
+        push_u32(&mut out, STATE_VERSION);
+        push_u32(&mut out, self.method.len() as u32);
+        out.extend_from_slice(self.method.as_bytes());
+        push_f64s(&mut out, &self.scalars);
+        push_u32(&mut out, self.vectors.len() as u32);
+        for v in &self.vectors {
+            push_f64s(&mut out, v);
+        }
+        push_u32(&mut out, self.matrices.len() as u32);
+        for m in &self.matrices {
+            push_u32(&mut out, m.rows() as u32);
+            push_u32(&mut out, m.cols() as u32);
+            for r in 0..m.rows() {
+                for v in m.row(r) {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode a buffer produced by [`MethodState::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut c = Cursor { bytes, at: 0 };
+        if c.take(4)? != STATE_MAGIC {
+            return Err(CoreError::InvalidState {
+                reason: "bad magic prefix",
+            });
+        }
+        if c.u32()? != STATE_VERSION {
+            return Err(CoreError::InvalidState {
+                reason: "unsupported state version",
+            });
+        }
+        let name_len = c.u32()? as usize;
+        let method = std::str::from_utf8(c.take(name_len)?)
+            .map_err(|_| CoreError::InvalidState {
+                reason: "method name is not utf-8",
+            })?
+            .to_string();
+        let scalars = c.f64s()?;
+        let nv = c.u32()? as usize;
+        let mut vectors = Vec::with_capacity(nv.min(1024));
+        for _ in 0..nv {
+            vectors.push(c.f64s()?);
+        }
+        let nm = c.u32()? as usize;
+        let mut matrices = Vec::with_capacity(nm.min(1024));
+        for _ in 0..nm {
+            let rows = c.u32()? as usize;
+            let cols = c.u32()? as usize;
+            let n = rows.checked_mul(cols).ok_or(CoreError::InvalidState {
+                reason: "matrix shape overflow",
+            })?;
+            let b = c.take(n.checked_mul(8).ok_or(CoreError::InvalidState {
+                reason: "matrix length overflow",
+            })?)?;
+            let data: Vec<f64> = b
+                .chunks_exact(8)
+                .map(|ch| f64::from_le_bytes(ch.try_into().expect("8 bytes")))
+                .collect();
+            matrices.push(Matrix::from_vec(rows, cols, data).map_err(|_| {
+                CoreError::InvalidState {
+                    reason: "matrix data does not match its shape",
+                }
+            })?);
+        }
+        if c.at != bytes.len() {
+            return Err(CoreError::InvalidState {
+                reason: "trailing bytes after state",
+            });
+        }
+        Ok(MethodState {
+            method,
+            scalars,
+            vectors,
+            matrices,
+        })
+    }
+
+    /// Check the state targets the given method.
+    pub fn expect_method(&self, name: &str) -> Result<()> {
+        if self.method != name {
+            return Err(CoreError::InvalidState {
+                reason: "state belongs to a different method",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-bin output of one shard's phase B: its partial score
+/// contributions and (for methods that identify) its residual slice.
+#[derive(Debug)]
+pub struct ShardScores {
+    /// One partial score per bin of the block, summed across shards *in
+    /// shard order* by the coordinator.
+    pub scores: Vec<f64>,
+    /// Residual column slice (`b × m_s`) for the coordinator to
+    /// assemble when a bin fires, or `None` for methods that do not
+    /// identify.
+    pub residual: Option<Matrix>,
+}
+
+/// Read-only view of one shard's engine-owned state, handed to
+/// [`ShardableBackend::refit_shards`].
+#[derive(Debug)]
+pub struct ShardCtx<'a> {
+    /// Ascending global link indices the shard owns.
+    pub links: &'a [usize],
+    /// The shard's retained column-slice window.
+    pub window: &'a RingWindow,
+}
+
+/// A backend that can run partitioned across link shards (the
+/// [`ShardedEngine`](crate::ShardedEngine) architecture: per-shard
+/// phase A, coordinator merge in shard order, per-shard phase B,
+/// coordinator finalize; merge-refit-broadcast on the refit cadence).
+///
+/// `Sync` is required because shard phases fan out over scoped worker
+/// threads sharing `&self`.
+pub trait ShardableBackend: DetectionBackend + Sync + Sized {
+    /// Per-shard worker state (model slices, shard statistics, per-link
+    /// forecast states).
+    type Shard: fmt::Debug + Clone + Send + Sync;
+    /// Per-block partial a shard computes before the cross-shard merge.
+    type Partial: Send + Sync;
+    /// Merged cross-shard context phase B consumes (the subspace
+    /// method's global projection coefficients; `()` for per-link
+    /// methods).
+    type Merged: Sync;
+
+    /// Build the per-shard states after the coordinator fit; `training`
+    /// is the matrix the backend was fitted on.
+    fn make_shards(&self, partition: &LinkPartition, training: &Matrix)
+        -> Result<Vec<Self::Shard>>;
+
+    /// Whether phase B consumes the full evicted rows (backends
+    /// maintaining sliding sufficient statistics).
+    fn needs_evicted(&self) -> bool;
+
+    /// Whether [`ShardableBackend::finalize`] wants the assembled
+    /// residual for bins whose score exceeds the threshold.
+    fn wants_residual(&self) -> bool;
+
+    /// Phase A: per-shard computation over the raw column slice of the
+    /// block, before any cross-shard information is available.
+    fn shard_phase_a(&self, shard: &Self::Shard, links: &[usize], block: &Matrix) -> Self::Partial;
+
+    /// The raw column slice (`b × m_s`) phase A cut from the block; the
+    /// engine pushes its rows into the shard's window.
+    fn partial_raw<'a>(&self, partial: &'a Self::Partial) -> &'a Matrix;
+
+    /// Merge the phase-A partials **in shard order** into the context
+    /// phase B needs.
+    fn merge_partials(&self, bins: usize, partials: &[&Self::Partial]) -> Self::Merged;
+
+    /// Phase B: per-bin partial scores (and residual slice), advancing
+    /// shard-local streaming state over the block. `evicted[t]` is the
+    /// full row the `t`-th push evicts (only populated when
+    /// [`ShardableBackend::needs_evicted`]).
+    fn shard_phase_b(
+        &self,
+        shard: &mut Self::Shard,
+        links: &[usize],
+        partial: &Self::Partial,
+        merged: &Self::Merged,
+        block: &Matrix,
+        evicted: &[Option<Vec<f64>>],
+    ) -> Result<ShardScores>;
+
+    /// Turn one bin's summed score (and, when above threshold and
+    /// [`ShardableBackend::wants_residual`], its assembled residual)
+    /// into a report. The engine stamps `time`.
+    fn finalize(&self, score: f64, residual: Option<&[f64]>) -> Result<DiagnosisReport>;
+
+    /// Merge-refit-broadcast: collect the shard state/windows into a
+    /// fresh global model, refreeze the coordinator's scoring state, and
+    /// hand every shard its new model slice.
+    fn refit_shards(&mut self, shards: &mut [Self::Shard], ctx: &[ShardCtx<'_>]) -> Result<()>;
+}
+
+/// Assemble the logical global window (`len × m`, arrival order) from
+/// per-shard column-slice windows — pure placement, bitwise equal to the
+/// single-process window. Shared by backends whose sharded refit needs
+/// the full window.
+pub fn assemble_shard_windows(m: usize, ctx: &[ShardCtx<'_>]) -> Result<Matrix> {
+    let len = ctx.first().map_or(0, |c| c.window.len());
+    let row_ids: Vec<usize> = (0..len).collect();
+    let slices: Vec<Matrix> = ctx.iter().map(|c| c.window.to_matrix()).collect();
+    let placements: Vec<BlockPlacement> = ctx
+        .iter()
+        .zip(&slices)
+        .map(|(c, slice)| BlockPlacement {
+            rows: &row_ids,
+            cols: c.links,
+            block: slice,
+        })
+        .collect();
+    Ok(Matrix::assemble_blocks(len, m, &placements)?)
+}
+
+/// The subspace/Q-statistic pipeline as a [`DetectionBackend`] — the
+/// reference implementation, bitwise identical to the pre-refactor
+/// engines' behavior.
+///
+/// Owns the three-step [`Diagnoser`], the routing matrix, and (under
+/// [`RefitStrategy::Incremental`]) the sliding sufficient statistics the
+/// engine's `observe` calls maintain.
+#[derive(Debug, Clone)]
+pub struct SubspaceBackend {
+    diagnoser: Diagnoser,
+    rm: RoutingMatrix,
+    config: DiagnoserConfig,
+    strategy: RefitStrategy,
+    /// Sufficient statistics over exactly the engine's window rows;
+    /// maintained only under [`RefitStrategy::Incremental`].
+    stats: Option<IncrementalCovariance>,
+}
+
+impl SubspaceBackend {
+    /// Fit on a `t × m` training matrix: full subspace fit plus (under
+    /// the incremental strategy) sufficient statistics over the same
+    /// rows.
+    pub fn fit(
+        training: &Matrix,
+        rm: &RoutingMatrix,
+        config: DiagnoserConfig,
+        strategy: RefitStrategy,
+    ) -> Result<Self> {
+        let diagnoser = Diagnoser::fit(training, rm, config)?;
+        let stats = match strategy {
+            RefitStrategy::Incremental => {
+                let mut acc = IncrementalCovariance::new(training.cols());
+                for t in 0..training.rows() {
+                    acc.add(training.row(t))?;
+                }
+                Some(acc)
+            }
+            RefitStrategy::FullSvd => None,
+        };
+        Ok(SubspaceBackend {
+            diagnoser,
+            rm: rm.clone(),
+            config,
+            strategy,
+            stats,
+        })
+    }
+
+    /// Like [`SubspaceBackend::fit`], but for a backend that will drive
+    /// a [`ShardedEngine`](crate::ShardedEngine): the global streaming
+    /// statistics are skipped, because a sharded deployment maintains
+    /// its statistics in the per-shard [`CovarianceShard`] rows
+    /// ([`ShardableBackend::make_shards`]) — the global accumulator
+    /// would be write-only dead state paying `O(t·m²)` at bootstrap.
+    ///
+    /// A backend built this way must not be used with a
+    /// [`StreamingEngine`](crate::StreamingEngine) under
+    /// [`RefitStrategy::Incremental`] (its streaming
+    /// [`refit`](DetectionBackend::refit) needs the statistics this
+    /// constructor omits); the sharded refit path never touches them.
+    pub fn fit_sharded(
+        training: &Matrix,
+        rm: &RoutingMatrix,
+        config: DiagnoserConfig,
+        strategy: RefitStrategy,
+    ) -> Result<Self> {
+        let diagnoser = Diagnoser::fit(training, rm, config)?;
+        Ok(SubspaceBackend {
+            diagnoser,
+            rm: rm.clone(),
+            config,
+            strategy,
+            stats: None,
+        })
+    }
+
+    /// The current (frozen) three-step diagnoser.
+    pub fn diagnoser(&self) -> &Diagnoser {
+        &self.diagnoser
+    }
+
+    /// The routing matrix identification runs against.
+    pub fn routing(&self) -> &RoutingMatrix {
+        &self.rm
+    }
+
+    /// The active refit strategy.
+    pub fn strategy(&self) -> RefitStrategy {
+        self.strategy
+    }
+
+    /// The diagnoser configuration the backend refits with.
+    pub fn config(&self) -> DiagnoserConfig {
+        self.config
+    }
+
+    /// The refit policy: under 3σ separation, incremental refits freeze
+    /// the normal dimension chosen by the last full fit (sufficient
+    /// statistics carry no temporal projections).
+    fn incremental_policy(&self) -> SeparationPolicy {
+        match self.config.separation {
+            SeparationPolicy::ThreeSigma { .. } => {
+                SeparationPolicy::FixedCount(self.diagnoser.model().normal_dim())
+            }
+            other => other,
+        }
+    }
+}
+
+impl DetectionBackend for SubspaceBackend {
+    fn name(&self) -> &'static str {
+        "subspace"
+    }
+
+    fn dim(&self) -> usize {
+        self.diagnoser.model().dim()
+    }
+
+    fn threshold(&self) -> f64 {
+        self.diagnoser.detector().threshold().delta_sq
+    }
+
+    fn score_vector(&self, y: &[f64]) -> Result<DiagnosisReport> {
+        self.diagnoser.diagnose_vector(y)
+    }
+
+    fn score_matrix(&self, links: &Matrix) -> Result<Vec<DiagnosisReport>> {
+        self.diagnoser.diagnose_series(links)
+    }
+
+    fn observe(&mut self, evicted: Option<&[f64]>, y: &[f64]) -> Result<()> {
+        if let Some(stats) = &mut self.stats {
+            match evicted {
+                Some(old) => stats.slide(old, y)?,
+                None => stats.add(y)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn refit(&mut self, window: &RingWindow) -> Result<()> {
+        let model = match self.strategy {
+            RefitStrategy::FullSvd => {
+                let training = window.to_matrix();
+                SubspaceModel::fit(&training, self.config.separation, self.config.pca_method)?
+            }
+            RefitStrategy::Incremental => {
+                let stats = self
+                    .stats
+                    .as_ref()
+                    .expect("incremental strategy maintains stats");
+                stats.to_model(self.incremental_policy())?
+            }
+        };
+        self.diagnoser
+            .refit_model(model, &self.rm, self.config.confidence)
+    }
+
+    fn export_state(&self) -> MethodState {
+        let model = self.diagnoser.model();
+        MethodState {
+            method: "subspace".to_string(),
+            scalars: vec![model.normal_dim() as f64, self.config.confidence],
+            vectors: vec![model.mean().to_vec(), model.eigenvalues().to_vec()],
+            matrices: vec![model.normal_basis().clone()],
+        }
+    }
+
+    fn import_state(&mut self, state: &MethodState) -> Result<()> {
+        state.expect_method("subspace")?;
+        let [r, confidence] = state.scalars[..] else {
+            return Err(CoreError::InvalidState {
+                reason: "subspace state needs [r, confidence] scalars",
+            });
+        };
+        let [mean, eigenvalues] = &state.vectors[..] else {
+            return Err(CoreError::InvalidState {
+                reason: "subspace state needs [mean, eigenvalues] vectors",
+            });
+        };
+        let [basis] = &state.matrices[..] else {
+            return Err(CoreError::InvalidState {
+                reason: "subspace state needs [basis] matrix",
+            });
+        };
+        if mean.len() != self.dim() {
+            return Err(CoreError::InvalidState {
+                reason: "subspace state has the wrong link count",
+            });
+        }
+        let model =
+            SubspaceModel::from_parts(mean.clone(), basis.clone(), eigenvalues.clone(), r as usize)
+                .map_err(|_| CoreError::InvalidState {
+                    reason: "subspace state does not assemble into a model",
+                })?;
+        self.diagnoser.refit_model(model, &self.rm, confidence)
+    }
+}
+
+/// One shard's slice of the subspace state: its rows of the global
+/// sufficient statistics and its broadcast slice of the frozen model.
+#[derive(Debug, Clone)]
+pub struct SubspaceShard {
+    /// Statistics rows; maintained only under
+    /// [`RefitStrategy::Incremental`].
+    pub(crate) stats: Option<CovarianceShard>,
+    /// Broadcast slice of the model mean (`m_s` entries).
+    mean: Vec<f64>,
+    /// Broadcast rows of the normal basis (`m_s × r`).
+    basis: Matrix,
+}
+
+/// Phase-A output of one subspace shard.
+#[derive(Debug)]
+pub struct SubspacePartial {
+    /// Raw column slice of the block (`b × m_s`).
+    raw: Matrix,
+    /// Mean-centered slice (`b × m_s`).
+    centered: Matrix,
+    /// Partial projection coefficients `Z_s · P_s` (`b × r`).
+    coeffs: Matrix,
+}
+
+impl ShardableBackend for SubspaceBackend {
+    type Shard = SubspaceShard;
+    type Partial = SubspacePartial;
+    type Merged = Matrix;
+
+    fn make_shards(
+        &self,
+        partition: &LinkPartition,
+        training: &Matrix,
+    ) -> Result<Vec<Self::Shard>> {
+        let m = self.dim();
+        let model = self.diagnoser.model();
+        let mean = model.mean();
+        let basis = model.normal_basis();
+        let mut shards = Vec::with_capacity(partition.num_shards());
+        for links in partition.groups() {
+            let stats = match self.strategy {
+                RefitStrategy::Incremental => {
+                    let mut acc = CovarianceShard::new(m, links)?;
+                    for t in 0..training.rows() {
+                        acc.add(training.row(t))?;
+                    }
+                    Some(acc)
+                }
+                RefitStrategy::FullSvd => None,
+            };
+            shards.push(SubspaceShard {
+                stats,
+                mean: links.iter().map(|&l| mean[l]).collect(),
+                basis: Matrix::from_fn(links.len(), basis.cols(), |k, j| basis[(links[k], j)]),
+            });
+        }
+        Ok(shards)
+    }
+
+    fn needs_evicted(&self) -> bool {
+        self.strategy == RefitStrategy::Incremental
+    }
+
+    fn wants_residual(&self) -> bool {
+        true
+    }
+
+    fn shard_phase_a(&self, shard: &Self::Shard, links: &[usize], block: &Matrix) -> Self::Partial {
+        let m_s = links.len();
+        let raw = block.select_columns(links);
+        let centered = Matrix::from_fn(raw.rows(), m_s, |t, k| raw[(t, k)] - shard.mean[k]);
+        let coeffs = centered
+            .matmul(&shard.basis)
+            .expect("basis rows match the shard width");
+        SubspacePartial {
+            raw,
+            centered,
+            coeffs,
+        }
+    }
+
+    fn partial_raw<'a>(&self, partial: &'a Self::Partial) -> &'a Matrix {
+        &partial.raw
+    }
+
+    fn merge_partials(&self, bins: usize, partials: &[&Self::Partial]) -> Self::Merged {
+        let r = self.diagnoser.model().normal_dim();
+        let mut coeffs = Matrix::zeros(bins, r);
+        for partial in partials {
+            coeffs = coeffs
+                .add(&partial.coeffs)
+                .expect("all partials are bins × r");
+        }
+        coeffs
+    }
+
+    fn shard_phase_b(
+        &self,
+        shard: &mut Self::Shard,
+        _links: &[usize],
+        partial: &Self::Partial,
+        merged: &Self::Merged,
+        block: &Matrix,
+        evicted: &[Option<Vec<f64>>],
+    ) -> Result<ShardScores> {
+        let modeled = merged
+            .matmul_nt(&shard.basis)
+            .expect("basis width matches the merged coefficients");
+        let residual = partial
+            .centered
+            .sub(&modeled)
+            .expect("shapes match by construction");
+        let norms = residual.row_norms_sq();
+        for t in 0..block.rows() {
+            if let Some(stats) = &mut shard.stats {
+                match &evicted[t] {
+                    Some(old) => stats.slide(old, block.row(t))?,
+                    None => stats.add(block.row(t))?,
+                }
+            }
+        }
+        Ok(ShardScores {
+            scores: norms,
+            residual: Some(residual),
+        })
+    }
+
+    fn finalize(&self, score: f64, residual: Option<&[f64]>) -> Result<DiagnosisReport> {
+        let threshold = self.threshold();
+        if score <= threshold {
+            return Ok(DiagnosisReport {
+                time: 0,
+                spe: score,
+                threshold,
+                detected: false,
+                identification: None,
+                estimated_bytes: None,
+            });
+        }
+        let residual = residual.expect("wants_residual provides the assembled residual");
+        let id = self.diagnoser.identifier().identify(residual)?;
+        let bytes = quantify(&id, &self.rm);
+        Ok(DiagnosisReport {
+            time: 0,
+            spe: score,
+            threshold,
+            detected: true,
+            identification: Some(id),
+            estimated_bytes: Some(bytes),
+        })
+    }
+
+    fn refit_shards(&mut self, shards: &mut [Self::Shard], ctx: &[ShardCtx<'_>]) -> Result<()> {
+        let model = match self.strategy {
+            RefitStrategy::FullSvd => {
+                let window = assemble_shard_windows(self.dim(), ctx)?;
+                SubspaceModel::fit(&window, self.config.separation, self.config.pca_method)?
+            }
+            RefitStrategy::Incremental => {
+                let mut parts = Vec::with_capacity(shards.len());
+                for shard in shards.iter() {
+                    parts.push(shard.stats.as_ref().ok_or(CoreError::ShardMismatch {
+                        reason: "statistics are only maintained under RefitStrategy::Incremental",
+                    })?);
+                }
+                let stats = IncrementalCovariance::merge(parts)?;
+                stats.to_model(self.incremental_policy())?
+            }
+        };
+        self.diagnoser
+            .refit_model(model, &self.rm, self.config.confidence)?;
+        // Broadcast the refreshed model's slices back to the shards.
+        let model = self.diagnoser.model();
+        let mean = model.mean();
+        let basis = model.normal_basis();
+        for (shard, c) in shards.iter_mut().zip(ctx) {
+            shard.mean = c.links.iter().map(|&l| mean[l]).collect();
+            shard.basis =
+                Matrix::from_fn(c.links.len(), basis.cols(), |k, j| basis[(c.links[k], j)]);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pca::PcaMethod;
+    use netanom_topology::builtin;
+
+    fn training(m: usize, bins: usize, seed: usize) -> Matrix {
+        Matrix::from_fn(bins, m, |i, l| {
+            let phase = i as f64 * std::f64::consts::TAU / 144.0;
+            let smooth = 2e5 * phase.sin() * ((l % 3) as f64 + 1.0);
+            let noise = (((i * m + l + seed).wrapping_mul(2654435761)) % 8192) as f64 - 4096.0;
+            2e6 + smooth + noise
+        })
+    }
+
+    fn config() -> DiagnoserConfig {
+        DiagnoserConfig {
+            separation: SeparationPolicy::FixedCount(2),
+            pca_method: PcaMethod::Svd,
+            confidence: 0.999,
+        }
+    }
+
+    #[test]
+    fn state_roundtrips_through_bytes() {
+        let state = MethodState {
+            method: "subspace".to_string(),
+            scalars: vec![2.0, 0.999],
+            vectors: vec![vec![1.0, -2.5], vec![]],
+            matrices: vec![Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64)],
+        };
+        let bytes = state.to_bytes();
+        let back = MethodState::from_bytes(&bytes).unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn state_decoding_rejects_corruption() {
+        let state = MethodState {
+            method: "x".to_string(),
+            scalars: vec![1.0],
+            vectors: vec![],
+            matrices: vec![],
+        };
+        let bytes = state.to_bytes();
+        // Truncation at every prefix length fails cleanly.
+        for cut in 0..bytes.len() {
+            assert!(
+                MethodState::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut} accepted"
+            );
+        }
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(MethodState::from_bytes(&bad).is_err());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(MethodState::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn subspace_backend_scores_like_the_diagnoser() {
+        let net = builtin::ring(5);
+        let rm = &net.routing_matrix;
+        let train = training(rm.num_links(), 300, 0);
+        let backend = SubspaceBackend::fit(&train, rm, config(), RefitStrategy::FullSvd).unwrap();
+        let diag = Diagnoser::fit(&train, rm, config()).unwrap();
+        let fresh = training(rm.num_links(), 40, 300);
+        for t in 0..fresh.rows() {
+            let a = backend.score_vector(fresh.row(t)).unwrap();
+            let b = diag.diagnose_vector(fresh.row(t)).unwrap();
+            assert_eq!(a, b);
+        }
+        let batch = backend.score_matrix(&fresh).unwrap();
+        let direct = diag.diagnose_series(&fresh).unwrap();
+        assert_eq!(batch, direct);
+        assert_eq!(backend.name(), "subspace");
+        assert_eq!(backend.dim(), rm.num_links());
+        assert!(backend.threshold() > 0.0);
+    }
+
+    #[test]
+    fn subspace_state_export_import_preserves_scoring() {
+        let net = builtin::line(3);
+        let rm = &net.routing_matrix;
+        let train = training(rm.num_links(), 250, 0);
+        let backend = SubspaceBackend::fit(&train, rm, config(), RefitStrategy::FullSvd).unwrap();
+        let state = backend.export_state();
+        assert_eq!(state.method, "subspace");
+
+        // Import into a backend fitted on *different* data: scoring must
+        // become bitwise identical to the exporter.
+        let other_train = training(rm.num_links(), 250, 99);
+        let mut other =
+            SubspaceBackend::fit(&other_train, rm, config(), RefitStrategy::FullSvd).unwrap();
+        let restored = MethodState::from_bytes(&state.to_bytes()).unwrap();
+        other.import_state(&restored).unwrap();
+        assert_eq!(other.threshold(), backend.threshold());
+        let fresh = training(rm.num_links(), 30, 500);
+        for t in 0..fresh.rows() {
+            let a = backend.score_vector(fresh.row(t)).unwrap();
+            let b = other.score_vector(fresh.row(t)).unwrap();
+            assert_eq!(a, b, "bin {t}");
+        }
+
+        // A state for another method is rejected.
+        let mut wrong = state.clone();
+        wrong.method = "ewma".to_string();
+        assert!(matches!(
+            other.import_state(&wrong),
+            Err(CoreError::InvalidState { .. })
+        ));
+    }
+}

@@ -21,19 +21,23 @@ use netanom_linalg::Matrix;
 use netanom_topology::RoutingMatrix;
 
 use crate::diagnose::{Diagnoser, DiagnoserConfig, DiagnosisReport};
+use crate::method::{DetectionBackend, SubspaceBackend};
 use crate::stream::{StreamConfig, StreamingEngine};
 use crate::Result;
 
-/// Streaming diagnoser: frozen subspace model, per-arrival diagnosis,
-/// optional periodic refit.
+/// Streaming diagnoser: frozen model, per-arrival diagnosis, optional
+/// periodic refit.
 ///
-/// Backed by a [`StreamingEngine`] with the full-fit refit strategy.
+/// Backed by a [`StreamingEngine`]; generic over the
+/// [`DetectionBackend`] like the engine itself (default: the subspace
+/// method with the full-fit refit strategy, which preserves the
+/// historical semantics exactly).
 #[derive(Debug, Clone)]
-pub struct OnlineDiagnoser {
-    engine: StreamingEngine,
+pub struct OnlineDiagnoser<B: DetectionBackend = SubspaceBackend> {
+    engine: StreamingEngine<B>,
 }
 
-impl OnlineDiagnoser {
+impl OnlineDiagnoser<SubspaceBackend> {
     /// Bootstrap from historical training data (e.g. last week's
     /// measurements).
     ///
@@ -55,23 +59,30 @@ impl OnlineDiagnoser {
         })
     }
 
+    /// The current (frozen) diagnoser.
+    pub fn diagnoser(&self) -> &Diagnoser {
+        self.engine.diagnoser()
+    }
+}
+
+impl<B: DetectionBackend> OnlineDiagnoser<B> {
+    /// Wrap an already-assembled streaming engine (any backend).
+    pub fn from_engine(engine: StreamingEngine<B>) -> Self {
+        OnlineDiagnoser { engine }
+    }
+
     /// Total measurements processed so far.
     pub fn arrivals(&self) -> usize {
         self.engine.arrivals()
     }
 
-    /// The current (frozen) diagnoser.
-    pub fn diagnoser(&self) -> &Diagnoser {
-        self.engine.diagnoser()
-    }
-
     /// The backing streaming engine.
-    pub fn engine(&self) -> &StreamingEngine {
+    pub fn engine(&self) -> &StreamingEngine<B> {
         &self.engine
     }
 
     /// Unwrap into the backing streaming engine.
-    pub fn into_engine(self) -> StreamingEngine {
+    pub fn into_engine(self) -> StreamingEngine<B> {
         self.engine
     }
 
@@ -89,7 +100,7 @@ impl OnlineDiagnoser {
         self.engine.process_batch(links)
     }
 
-    /// Recompute the subspace model from the current window.
+    /// Refreeze the model from the current window.
     pub fn refit(&mut self) -> Result<()> {
         self.engine.refit()
     }

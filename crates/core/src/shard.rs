@@ -1,5 +1,5 @@
-//! Sharded network-wide diagnosis: mergeable sufficient statistics
-//! across link partitions.
+//! Sharded network-wide diagnosis: mergeable state across link
+//! partitions, generic over the detection method.
 //!
 //! The paper's central claim is that a *network-wide* view separates
 //! anomalies per-link analysis misses — yet real measurement planes are
@@ -16,42 +16,44 @@
 //!   ┌────────┼─────────┬──────────────┐
 //!   ▼        ▼         ▼              ▼
 //! shard 0  shard 1   shard 2  …    shard K−1     each: slice window +
-//!   │        │         │              │          local statistics
-//!   └────────┴────┬────┴───────────── ┘          (sum, outer-product
-//!                 ▼                               rows, count)
-//!          coordinator: merge (bitwise) ──► global covariance
-//!                 │ Jacobi refit
+//!   │        │         │              │          backend shard state
+//!   └────────┴────┬────┴───────────── ┘          (statistics rows,
+//!                 ▼                               model slices, …)
+//!          coordinator: merge partials in shard order
+//!                 │ refit on cadence ([`ShardableBackend::refit_shards`])
 //!                 ▼
 //!          broadcast model slices back to shards
 //!                 │
-//!          shards: local SPE contributions ──► coordinator sums,
-//!          detects, identifies, quantifies
+//!          shards: partial scores ──► coordinator sums,
+//!          detects, finalizes ([`ShardableBackend::finalize`])
 //! ```
 //!
-//! Per arrival, each shard pays its share of the `O(m²)`
-//! sufficient-statistic upkeep and the `O(m·r)` subspace projection; the
-//! coordinator pays only `O(K·r)` to merge coefficient partials and a
-//! sum of `K` partial SPEs. The periodic refit merges the shard
-//! statistics into the global `m × m` covariance with
-//! [`IncrementalCovariance::merge`] /
-//! [`Matrix::assemble_blocks`](netanom_linalg::Matrix::assemble_blocks)
-//! (pure placement, **bitwise** identical to a single-process
-//! accumulator), solves the same Jacobi eigenproblem, and broadcasts the
-//! refreshed model's per-shard row slices back. Sharding is therefore a
-//! pure scale transform: refitted models are bitwise the single-process
-//! [`StreamingEngine`](crate::StreamingEngine)'s, merged SPEs agree
-//! within `1e-9` relative (partial sums reassociate), and detections
-//! and identifications match exactly on every pinned stream
-//! (`tests/shard_parity.rs`) — a decision could differ only for an SPE
-//! inside that `1e-9` sliver of the threshold.
+//! The engine is generic over a [`ShardableBackend`] (default: the
+//! paper's [`SubspaceBackend`]). The backend defines what a shard
+//! computes (phase A), what the coordinator merges (in shard order —
+//! results are bitwise independent of the worker thread count), what a
+//! shard finalizes after the merge (phase B), and how the periodic
+//! refit collects shard state into a fresh global model. For the
+//! subspace backend this reproduces the pre-refactor engine exactly:
+//! per arrival each shard pays its share of the `O(m²)`
+//! sufficient-statistic upkeep and the `O(m·r)` projection, the merge
+//! is `O(K·r)` per bin, and the refit merges
+//! [`CovarianceShard`](crate::incremental::CovarianceShard) rows into
+//! the global covariance **bitwise** — refitted models match the
+//! single-process engine exactly, merged SPEs agree within `1e-9`
+//! relative, and detections and identifications match exactly on every
+//! pinned stream (`tests/shard_parity.rs`). The temporal comparators in
+//! `netanom-baselines::methods` shard trivially (per-link state), so
+//! the same engine runs every method.
 //!
 //! On one box the shards execute on the rayon scope splitter (one worker
 //! per shard when more than one hardware thread is available; the merge
 //! order is fixed by shard index, so results are bitwise independent of
 //! the thread count). The same shard/coordinator message pattern — slice
-//! feeds in, statistics rows and SPE partials out, model slices back —
-//! maps 1:1 onto a multi-process deployment where each PoP collector
-//! hosts its shard.
+//! feeds in, partials out, model slices back — maps 1:1 onto a
+//! multi-process deployment where each PoP collector hosts its shard,
+//! with [`MethodState`](crate::method::MethodState) as the broadcast
+//! wire format.
 //!
 //! # Example
 //!
@@ -86,105 +88,20 @@ use std::time::Instant;
 use netanom_linalg::{BlockPlacement, Matrix};
 use netanom_topology::{LinkPartition, RoutingMatrix};
 
-use crate::diagnose::{quantify, Diagnoser, DiagnoserConfig, DiagnosisReport};
-use crate::incremental::{CovarianceShard, IncrementalCovariance};
-use crate::separation::SeparationPolicy;
+use crate::diagnose::{Diagnoser, DiagnoserConfig, DiagnosisReport};
+use crate::incremental::IncrementalCovariance;
+use crate::method::{ShardCtx, ShardScores, ShardableBackend, SubspaceBackend};
 use crate::stream::{RefitStrategy, RingWindow, StreamConfig};
-use crate::subspace::SubspaceModel;
 use crate::{CoreError, Result};
-
-/// One shard: a column slice of the measurement stream, its retained
-/// window, its rows of the global sufficient statistics, and its slice
-/// of the broadcast model.
-#[derive(Debug, Clone)]
-struct ShardWorker {
-    /// Owned global link indices, strictly ascending.
-    links: Vec<usize>,
-    /// Sliding window over the shard's column slice (`capacity × m_s`).
-    window: RingWindow,
-    /// Statistics rows; maintained only under
-    /// [`RefitStrategy::Incremental`].
-    stats: Option<CovarianceShard>,
-    /// Broadcast slice of the model mean (`m_s` entries).
-    mean: Vec<f64>,
-    /// Broadcast rows of the normal basis (`m_s × r`).
-    basis: Matrix,
-}
-
-/// Per-shard output of the first diagnosis phase over a block.
-struct ShardBatch {
-    /// Raw column slice of the block (`b × m_s`), reused for window
-    /// pushes.
-    raw: Matrix,
-    /// Mean-centered slice (`b × m_s`).
-    centered: Matrix,
-    /// Partial projection coefficients `Z_s · P_s` (`b × r`).
-    coeffs: Matrix,
-}
-
-/// Per-shard output of the second diagnosis phase.
-struct ShardOut {
-    /// Residual slice `Z_s − C·P_sᵀ` (`b × m_s`).
-    residual: Matrix,
-    /// Partial SPE `‖residual row‖²` per bin.
-    norms: Vec<f64>,
-}
-
-impl ShardWorker {
-    /// Phase one: slice the block's columns, center, and compute the
-    /// shard's partial projection coefficients against the broadcast
-    /// basis rows.
-    fn phase_a(&self, block: &Matrix) -> ShardBatch {
-        let m_s = self.links.len();
-        let raw = block.select_columns(&self.links);
-        let centered = Matrix::from_fn(raw.rows(), m_s, |t, k| raw[(t, k)] - self.mean[k]);
-        let coeffs = centered
-            .matmul(&self.basis)
-            .expect("basis rows match the shard width");
-        ShardBatch {
-            raw,
-            centered,
-            coeffs,
-        }
-    }
-
-    /// Phase two: residual slice and partial SPE against the merged
-    /// coefficients, then ingest the block (statistics rows over the
-    /// full arrival vectors, window over the column slice).
-    fn phase_b(
-        &mut self,
-        batch: &ShardBatch,
-        coeffs: &Matrix,
-        block: &Matrix,
-        evicted: &[Option<Vec<f64>>],
-    ) -> Result<ShardOut> {
-        let modeled = coeffs
-            .matmul_nt(&self.basis)
-            .expect("basis width matches the merged coefficients");
-        let residual = batch
-            .centered
-            .sub(&modeled)
-            .expect("shapes match by construction");
-        let norms = residual.row_norms_sq();
-        for t in 0..block.rows() {
-            if let Some(stats) = &mut self.stats {
-                match &evicted[t] {
-                    Some(old) => stats.slide(old, block.row(t))?,
-                    None => stats.add(block.row(t))?,
-                }
-            }
-            self.window.push(batch.raw.row(t));
-        }
-        Ok(ShardOut { residual, norms })
-    }
-}
 
 /// The sharded diagnosis engine: `K` shard workers over a link
 /// partition, coordinated into exactly the single-process semantics of
-/// [`StreamingEngine`](crate::StreamingEngine).
+/// [`StreamingEngine`](crate::StreamingEngine) — generic over the
+/// [`ShardableBackend`] doing the scoring (default:
+/// [`SubspaceBackend`]).
 ///
 /// See the [module docs](self) for the architecture; the parity and
-/// scale contracts are:
+/// scale contracts for the subspace backend are:
 ///
 /// * **Detections and identifications** equal the single-process
 ///   engine's (pinned by `tests/shard_parity.rs` for every partition
@@ -197,18 +114,21 @@ impl ShardWorker {
 ///   [`Detector::detect_matrix`](crate::Detector::detect_matrix)).
 /// * Under [`RefitStrategy::Incremental`] the merged covariance is
 ///   **bitwise identical** to the single-process
-///   [`IncrementalCovariance`], so refitted models match exactly; under
-///   [`RefitStrategy::FullSvd`] the reassembled window is bitwise the
-///   single-process window, so full refits match exactly too.
+///   [`StreamingEngine`](crate::StreamingEngine)'s, so refitted models
+///   match exactly; under [`RefitStrategy::FullSvd`] the reassembled
+///   window is bitwise the single-process window, so full refits match
+///   exactly too.
 /// * Results are bitwise independent of the worker thread count: shard
 ///   partials are always merged in shard order.
 #[derive(Debug, Clone)]
-pub struct ShardedEngine {
-    diagnoser: Diagnoser,
-    rm: RoutingMatrix,
-    config: DiagnoserConfig,
-    shards: Vec<ShardWorker>,
-    strategy: RefitStrategy,
+pub struct ShardedEngine<B: ShardableBackend = SubspaceBackend> {
+    backend: B,
+    /// Ascending global link indices per shard.
+    links: Vec<Vec<usize>>,
+    /// Sliding window over each shard's column slice (`capacity × m_s`).
+    windows: Vec<RingWindow>,
+    /// Backend-specific per-shard state.
+    states: Vec<B::Shard>,
     refit_every: Option<usize>,
     arrivals_since_fit: usize,
     arrivals_total: usize,
@@ -216,10 +136,10 @@ pub struct ShardedEngine {
     refit_seconds: f64,
 }
 
-impl ShardedEngine {
-    /// Bootstrap from historical training data, exactly like
-    /// [`StreamingEngine::new`](crate::StreamingEngine::new), with the
-    /// link set split across `partition`'s shards.
+impl ShardedEngine<SubspaceBackend> {
+    /// Bootstrap the subspace engine from historical training data,
+    /// exactly like [`StreamingEngine::new`](crate::StreamingEngine::new),
+    /// with the link set split across `partition`'s shards.
     ///
     /// The global fit happens once at the coordinator; every shard is
     /// seeded with its column slice of the trailing window and (under
@@ -232,7 +152,59 @@ impl ShardedEngine {
         stream: StreamConfig,
         partition: &LinkPartition,
     ) -> Result<Self> {
-        let m = rm.num_links();
+        if training.cols() != rm.num_links() {
+            return Err(CoreError::DimensionMismatch {
+                expected: rm.num_links(),
+                got: training.cols(),
+            });
+        }
+        // fit_sharded: shard statistics live in the per-shard states,
+        // so the backend's global streaming accumulator is skipped.
+        let backend = SubspaceBackend::fit_sharded(training, rm, config, stream.strategy)?;
+        Self::with_backend(backend, training, stream, partition)
+    }
+
+    /// The coordinator's current (frozen) diagnoser.
+    pub fn diagnoser(&self) -> &Diagnoser {
+        self.backend.diagnoser()
+    }
+
+    /// The active refit strategy.
+    pub fn strategy(&self) -> RefitStrategy {
+        self.backend.strategy()
+    }
+
+    /// Merge the shard statistics into the global accumulator — bitwise
+    /// identical to the one a single-process
+    /// [`StreamingEngine`](crate::StreamingEngine) maintains over the
+    /// same stream.
+    ///
+    /// Errors with [`CoreError::ShardMismatch`] under
+    /// [`RefitStrategy::FullSvd`], which maintains no statistics.
+    pub fn merged_statistics(&self) -> Result<IncrementalCovariance> {
+        let mut parts = Vec::with_capacity(self.states.len());
+        for state in &self.states {
+            parts.push(state.stats.as_ref().ok_or(CoreError::ShardMismatch {
+                reason: "statistics are only maintained under RefitStrategy::Incremental",
+            })?);
+        }
+        IncrementalCovariance::merge(parts)
+    }
+}
+
+impl<B: ShardableBackend> ShardedEngine<B> {
+    /// Assemble a sharded engine around an already-fitted backend;
+    /// `training` must be the matrix the backend was fitted on. Every
+    /// shard is seeded with its column slice of the trailing window and
+    /// whatever per-shard state the backend's
+    /// [`ShardableBackend::make_shards`] builds.
+    pub fn with_backend(
+        backend: B,
+        training: &Matrix,
+        stream: StreamConfig,
+        partition: &LinkPartition,
+    ) -> Result<Self> {
+        let m = backend.dim();
         if training.cols() != m {
             return Err(CoreError::DimensionMismatch {
                 expected: m,
@@ -245,57 +217,40 @@ impl ShardedEngine {
                 got: partition.num_links(),
             });
         }
-        let diagnoser = Diagnoser::fit(training, rm, config)?;
+        let states = backend.make_shards(partition, training)?;
         let capacity = stream.window_capacity.max(training.rows());
         let start = training.rows().saturating_sub(capacity);
-        let mut shards = Vec::with_capacity(partition.num_shards());
-        for links in partition.groups() {
-            let mut window = RingWindow::new(capacity, links.len());
-            let mut slice = vec![0.0; links.len()];
+        let mut links = Vec::with_capacity(partition.num_shards());
+        let mut windows = Vec::with_capacity(partition.num_shards());
+        for group in partition.groups() {
+            let mut window = RingWindow::new(capacity, group.len());
+            let mut slice = vec![0.0; group.len()];
             for t in start..training.rows() {
                 let row = training.row(t);
-                for (k, &l) in links.iter().enumerate() {
+                for (k, &l) in group.iter().enumerate() {
                     slice[k] = row[l];
                 }
                 window.push(&slice);
             }
-            let stats = match stream.strategy {
-                RefitStrategy::Incremental => {
-                    let mut acc = CovarianceShard::new(m, links)?;
-                    for t in start..training.rows() {
-                        acc.add(training.row(t))?;
-                    }
-                    Some(acc)
-                }
-                RefitStrategy::FullSvd => None,
-            };
-            shards.push(ShardWorker {
-                links: links.clone(),
-                window,
-                stats,
-                mean: Vec::new(),
-                basis: Matrix::zeros(0, 0),
-            });
+            links.push(group.clone());
+            windows.push(window);
         }
-        let mut engine = ShardedEngine {
-            diagnoser,
-            rm: rm.clone(),
-            config,
-            shards,
-            strategy: stream.strategy,
+        Ok(ShardedEngine {
+            backend,
+            links,
+            windows,
+            states,
             refit_every: stream.refit_every,
             arrivals_since_fit: 0,
             arrivals_total: 0,
             refits: 0,
             refit_seconds: 0.0,
-        };
-        engine.broadcast_model();
-        Ok(engine)
+        })
     }
 
     /// Number of shards `K`.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.states.len()
     }
 
     /// The ascending global link indices owned by shard `s`.
@@ -303,7 +258,7 @@ impl ShardedEngine {
     /// # Panics
     /// Panics if `s >= num_shards()`.
     pub fn shard_links(&self, s: usize) -> &[usize] {
-        &self.shards[s].links
+        &self.links[s]
     }
 
     /// Total measurements processed so far.
@@ -327,26 +282,21 @@ impl ShardedEngine {
         self.refit_seconds
     }
 
-    /// The active refit strategy.
-    pub fn strategy(&self) -> RefitStrategy {
-        self.strategy
-    }
-
-    /// The coordinator's current (frozen) diagnoser.
-    pub fn diagnoser(&self) -> &Diagnoser {
-        &self.diagnoser
+    /// The coordinator's detection backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// Process one arriving full measurement vector.
     ///
     /// Semantically identical to
     /// [`StreamingEngine::process`](crate::StreamingEngine::process):
-    /// diagnose against the frozen model, slide every shard's window and
-    /// statistics, refit when due. Implemented as a one-row
+    /// score against the frozen model, slide every shard's window and
+    /// state, refit when due. Implemented as a one-row
     /// [`ShardedEngine::process_batch`], so the per-arrival and batched
     /// paths cannot drift apart.
     pub fn process(&mut self, y: &[f64]) -> Result<DiagnosisReport> {
-        let m = self.rm.num_links();
+        let m = self.backend.dim();
         if y.len() != m {
             return Err(CoreError::DimensionMismatch {
                 expected: m,
@@ -367,7 +317,7 @@ impl ShardedEngine {
     /// validated input cannot trigger) leaves the engine inconsistent
     /// and should be treated as fatal.
     pub fn process_batch(&mut self, links: &Matrix) -> Result<Vec<DiagnosisReport>> {
-        let m = self.rm.num_links();
+        let m = self.backend.dim();
         if links.cols() != m {
             return Err(CoreError::DimensionMismatch {
                 expected: m,
@@ -411,42 +361,43 @@ impl ShardedEngine {
     /// (see `netanom_traffic::io::ShardedChunks`).
     ///
     /// The coordinator reassembles the full block (pure placement) and
-    /// runs [`ShardedEngine::process_batch`]; statistics rows need the
-    /// full arrival vectors, so the slices must cover every link.
+    /// runs [`ShardedEngine::process_batch`]; backends that maintain
+    /// statistics over full arrival vectors need the slices to cover
+    /// every link.
     pub fn process_batch_slices(&mut self, slices: &[Matrix]) -> Result<Vec<DiagnosisReport>> {
-        if slices.len() != self.shards.len() {
+        if slices.len() != self.states.len() {
             return Err(CoreError::DimensionMismatch {
-                expected: self.shards.len(),
+                expected: self.states.len(),
                 got: slices.len(),
             });
         }
         let bins = slices.first().map_or(0, Matrix::rows);
-        for (shard, slice) in self.shards.iter().zip(slices) {
+        for (links, slice) in self.links.iter().zip(slices) {
             if slice.rows() != bins {
                 return Err(CoreError::DimensionMismatch {
                     expected: bins,
                     got: slice.rows(),
                 });
             }
-            if slice.cols() != shard.links.len() {
+            if slice.cols() != links.len() {
                 return Err(CoreError::DimensionMismatch {
-                    expected: shard.links.len(),
+                    expected: links.len(),
                     got: slice.cols(),
                 });
             }
         }
         let row_ids: Vec<usize> = (0..bins).collect();
         let placements: Vec<BlockPlacement> = self
-            .shards
+            .links
             .iter()
             .zip(slices)
-            .map(|(shard, slice)| BlockPlacement {
+            .map(|(links, slice)| BlockPlacement {
                 rows: &row_ids,
-                cols: &shard.links,
+                cols: links,
                 block: slice,
             })
             .collect();
-        let full = Matrix::assemble_blocks(bins, self.rm.num_links(), &placements)?;
+        let full = Matrix::assemble_blocks(bins, self.backend.dim(), &placements)?;
         self.process_batch(&full)
     }
 
@@ -457,126 +408,157 @@ impl ShardedEngine {
     /// decision: more than one shard, more than one hardware thread, and
     /// enough rows to amortize the spawns.
     fn parallel(&self, rows: usize) -> bool {
-        self.shards.len() > 1 && rows >= 4 && rayon::current_num_threads() > 1
+        self.states.len() > 1 && rows >= 4 && rayon::current_num_threads() > 1
     }
 
-    /// Diagnose a refit-free block against the frozen model and ingest
-    /// it. Reports come back with `time == 0`; the caller stamps them.
+    /// Score a refit-free block against the frozen model and ingest it.
+    /// Reports come back with `time == 0`; the caller stamps them.
     fn run_block(&mut self, block: &Matrix) -> Result<Vec<DiagnosisReport>> {
         let bins = block.rows();
         let parallel = self.parallel(bins);
+        let backend = &self.backend;
 
-        // Phase A: per-shard column slices, centering, and partial
-        // projection coefficients.
-        let mut batches: Vec<Option<ShardBatch>> = (0..self.shards.len()).map(|_| None).collect();
-        if parallel {
-            rayon::scope(|s| {
-                let mut pairs = self.shards.iter().zip(batches.iter_mut());
-                let first = pairs.next();
-                for (shard, slot) in pairs {
-                    s.spawn(move |_| *slot = Some(shard.phase_a(block)));
-                }
-                if let Some((shard, slot)) = first {
-                    *slot = Some(shard.phase_a(block));
-                }
-            });
-        } else {
-            for (shard, slot) in self.shards.iter().zip(batches.iter_mut()) {
-                *slot = Some(shard.phase_a(block));
-            }
-        }
-        let batches: Vec<ShardBatch> = batches
-            .into_iter()
-            .map(|b| b.expect("every shard ran phase A"))
-            .collect();
-
-        // Merge the coefficient partials in shard order (fixed order =
-        // thread-count-independent results).
-        let r = self.diagnoser.model().normal_dim();
-        let mut coeffs = Matrix::zeros(bins, r);
-        for batch in &batches {
-            coeffs = coeffs.add(&batch.coeffs).expect("all partials are b × r");
-        }
-
-        // Evicted full rows, assembled *before* any shard mutates its
-        // window. Only the incremental statistics consume them.
-        let evicted: Vec<Option<Vec<f64>>> = match self.strategy {
-            RefitStrategy::Incremental => self.collect_evicted(block),
-            RefitStrategy::FullSvd => vec![None; bins],
-        };
-
-        // Phase B: residual slices + SPE partials, then ingestion.
-        let mut outs: Vec<Option<Result<ShardOut>>> =
-            (0..self.shards.len()).map(|_| None).collect();
-        let coeffs_ref = &coeffs;
-        let evicted_ref = &evicted;
+        // Phase A: per-shard computation over the raw column slices.
+        let mut partials: Vec<Option<B::Partial>> = (0..self.states.len()).map(|_| None).collect();
         if parallel {
             rayon::scope(|s| {
                 let mut triples = self
-                    .shards
-                    .iter_mut()
-                    .zip(batches.iter())
-                    .zip(outs.iter_mut());
+                    .states
+                    .iter()
+                    .zip(self.links.iter())
+                    .zip(partials.iter_mut());
                 let first = triples.next();
-                for ((shard, batch), slot) in triples {
-                    s.spawn(move |_| {
-                        *slot = Some(shard.phase_b(batch, coeffs_ref, block, evicted_ref));
-                    });
+                for ((state, links), slot) in triples {
+                    s.spawn(move |_| *slot = Some(backend.shard_phase_a(state, links, block)));
                 }
-                if let Some(((shard, batch), slot)) = first {
-                    *slot = Some(shard.phase_b(batch, coeffs_ref, block, evicted_ref));
+                if let Some(((state, links), slot)) = first {
+                    *slot = Some(backend.shard_phase_a(state, links, block));
                 }
             });
         } else {
-            for ((shard, batch), slot) in self
-                .shards
-                .iter_mut()
-                .zip(batches.iter())
-                .zip(outs.iter_mut())
+            for ((state, links), slot) in self
+                .states
+                .iter()
+                .zip(self.links.iter())
+                .zip(partials.iter_mut())
             {
-                *slot = Some(shard.phase_b(batch, coeffs_ref, block, evicted_ref));
+                *slot = Some(backend.shard_phase_a(state, links, block));
             }
         }
-        let mut shard_outs = Vec::with_capacity(self.shards.len());
+        let partials: Vec<B::Partial> = partials
+            .into_iter()
+            .map(|p| p.expect("every shard ran phase A"))
+            .collect();
+
+        // Merge the phase-A partials in shard order (fixed order =
+        // thread-count-independent results).
+        let partial_refs: Vec<&B::Partial> = partials.iter().collect();
+        let merged = backend.merge_partials(bins, &partial_refs);
+
+        // Evicted full rows, assembled *before* any shard mutates its
+        // window. Only backends with sliding statistics consume them.
+        let evicted: Vec<Option<Vec<f64>>> = if backend.needs_evicted() {
+            self.collect_evicted(block)
+        } else {
+            vec![None; bins]
+        };
+
+        // Phase B: partial scores (+ residual slices), advancing
+        // shard-local state.
+        let mut outs: Vec<Option<Result<ShardScores>>> =
+            (0..self.states.len()).map(|_| None).collect();
+        let merged_ref = &merged;
+        let evicted_ref = &evicted;
+        if parallel {
+            rayon::scope(|s| {
+                let mut quads = self
+                    .states
+                    .iter_mut()
+                    .zip(self.links.iter())
+                    .zip(partials.iter())
+                    .zip(outs.iter_mut());
+                let first = quads.next();
+                for (((state, links), partial), slot) in quads {
+                    s.spawn(move |_| {
+                        *slot = Some(backend.shard_phase_b(
+                            state,
+                            links,
+                            partial,
+                            merged_ref,
+                            block,
+                            evicted_ref,
+                        ));
+                    });
+                }
+                if let Some((((state, links), partial), slot)) = first {
+                    *slot = Some(backend.shard_phase_b(
+                        state,
+                        links,
+                        partial,
+                        merged_ref,
+                        block,
+                        evicted_ref,
+                    ));
+                }
+            });
+        } else {
+            for (((state, links), partial), slot) in self
+                .states
+                .iter_mut()
+                .zip(self.links.iter())
+                .zip(partials.iter())
+                .zip(outs.iter_mut())
+            {
+                *slot = Some(backend.shard_phase_b(
+                    state,
+                    links,
+                    partial,
+                    merged_ref,
+                    block,
+                    evicted_ref,
+                ));
+            }
+        }
+        let mut shard_outs = Vec::with_capacity(self.states.len());
         for out in outs {
             shard_outs.push(out.expect("every shard ran phase B")?);
         }
 
-        // Coordinator: sum SPE partials in shard order, detect, and
-        // identify/quantify the fired bins on the assembled residual.
-        let threshold = self.diagnoser.detector().threshold().delta_sq;
-        let m = self.rm.num_links();
+        // Slide every shard window by the block's raw slice rows.
+        for (window, partial) in self.windows.iter_mut().zip(&partials) {
+            let raw = backend.partial_raw(partial);
+            for t in 0..bins {
+                window.push(raw.row(t));
+            }
+        }
+
+        // Coordinator: sum score partials in shard order, detect, and
+        // finalize the fired bins on the assembled residual.
+        let threshold = backend.threshold();
+        let wants_residual = backend.wants_residual();
+        let m = backend.dim();
         let mut reports = Vec::with_capacity(bins);
         for t in 0..bins {
-            let spe: f64 = shard_outs.iter().map(|o| o.norms[t]).sum();
-            if spe <= threshold {
-                reports.push(DiagnosisReport {
-                    time: 0,
-                    spe,
-                    threshold,
-                    detected: false,
-                    identification: None,
-                    estimated_bytes: None,
-                });
-                continue;
-            }
-            let mut residual = vec![0.0; m];
-            for (shard, out) in self.shards.iter().zip(&shard_outs) {
-                let row = out.residual.row(t);
-                for (k, &l) in shard.links.iter().enumerate() {
-                    residual[l] = row[k];
+            let score: f64 = shard_outs.iter().map(|o| o.scores[t]).sum();
+            let assembled: Vec<f64>;
+            let residual = if wants_residual && score > threshold {
+                let mut buf = vec![0.0; m];
+                for (links, out) in self.links.iter().zip(&shard_outs) {
+                    let slice = out
+                        .residual
+                        .as_ref()
+                        .expect("wants_residual backends return residual slices");
+                    let row = slice.row(t);
+                    for (k, &l) in links.iter().enumerate() {
+                        buf[l] = row[k];
+                    }
                 }
-            }
-            let id = self.diagnoser.identifier().identify(&residual)?;
-            let bytes = quantify(&id, &self.rm);
-            reports.push(DiagnosisReport {
-                time: 0,
-                spe,
-                threshold,
-                detected: true,
-                identification: Some(id),
-                estimated_bytes: Some(bytes),
-            });
+                assembled = buf;
+                Some(&assembled[..])
+            } else {
+                None
+            };
+            reports.push(backend.finalize(score, residual)?);
         }
         Ok(reports)
     }
@@ -586,8 +568,8 @@ impl ShardedEngine {
     /// the combined `[window, block]` sequence — assembled from the
     /// shard windows for pre-block rows, borrowed from the block beyond.
     fn collect_evicted(&self, block: &Matrix) -> Vec<Option<Vec<f64>>> {
-        let cap = self.shards[0].window.capacity();
-        let len = self.shards[0].window.len();
+        let cap = self.windows[0].capacity();
+        let len = self.windows[0].len();
         (0..block.rows())
             .map(|t| {
                 if len + t < cap {
@@ -607,105 +589,39 @@ impl ShardedEngine {
     /// Assemble the `i`-th retained row (arrival order) of the logical
     /// global window from the shard windows' slices.
     fn assemble_window_row(&self, i: usize) -> Vec<f64> {
-        let mut out = vec![0.0; self.rm.num_links()];
-        for shard in &self.shards {
-            let row = shard.window.row(i);
-            for (k, &l) in shard.links.iter().enumerate() {
+        let mut out = vec![0.0; self.backend.dim()];
+        for (links, window) in self.links.iter().zip(&self.windows) {
+            let row = window.row(i);
+            for (k, &l) in links.iter().enumerate() {
                 out[l] = row[k];
             }
         }
         out
     }
 
-    /// Reassemble the logical global window (`len × m`, arrival order)
-    /// from the shard windows — pure placement, bitwise equal to the
-    /// single-process window.
-    fn assemble_window(&self) -> Result<Matrix> {
-        let len = self.shards[0].window.len();
-        let row_ids: Vec<usize> = (0..len).collect();
-        let slices: Vec<Matrix> = self.shards.iter().map(|s| s.window.to_matrix()).collect();
-        let placements: Vec<BlockPlacement> = self
-            .shards
-            .iter()
-            .zip(&slices)
-            .map(|(shard, slice)| BlockPlacement {
-                rows: &row_ids,
-                cols: &shard.links,
-                block: slice,
-            })
-            .collect();
-        Ok(Matrix::assemble_blocks(
-            len,
-            self.rm.num_links(),
-            &placements,
-        )?)
-    }
-
-    /// Merge the shard statistics into the global accumulator — bitwise
-    /// identical to the one a single-process
-    /// [`StreamingEngine`](crate::StreamingEngine) maintains over the
-    /// same stream.
-    ///
-    /// Errors with [`CoreError::ShardMismatch`] under
-    /// [`RefitStrategy::FullSvd`], which maintains no statistics.
-    pub fn merged_statistics(&self) -> Result<IncrementalCovariance> {
-        let mut parts = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
-            parts.push(shard.stats.as_ref().ok_or(CoreError::ShardMismatch {
-                reason: "statistics are only maintained under RefitStrategy::Incremental",
-            })?);
-        }
-        IncrementalCovariance::merge(parts)
-    }
-
     /// Merge, refit, and broadcast: collect the shard state into a fresh
-    /// global model through the configured [`RefitStrategy`], rebuild
-    /// the coordinator's diagnoser, and hand every shard its new mean
-    /// and basis slices.
+    /// global model through the backend's
+    /// [`ShardableBackend::refit_shards`], and hand every shard its new
+    /// model slice.
     ///
-    /// Exactly mirrors [`StreamingEngine::refit`](crate::StreamingEngine::refit),
+    /// For the subspace backend this exactly mirrors
+    /// [`StreamingEngine::refit`](crate::StreamingEngine::refit),
     /// including the 3σ freeze of the normal dimension under incremental
     /// refits. Wall-clock spent here accumulates into
     /// [`ShardedEngine::refit_seconds`].
     pub fn refit(&mut self) -> Result<()> {
         let t0 = Instant::now();
-        let model = match self.strategy {
-            RefitStrategy::FullSvd => {
-                let window = self.assemble_window()?;
-                SubspaceModel::fit(&window, self.config.separation, self.config.pca_method)?
-            }
-            RefitStrategy::Incremental => {
-                let stats = self.merged_statistics()?;
-                let policy = match self.config.separation {
-                    SeparationPolicy::ThreeSigma { .. } => {
-                        SeparationPolicy::FixedCount(self.diagnoser.model().normal_dim())
-                    }
-                    other => other,
-                };
-                stats.to_model(policy)?
-            }
-        };
-        self.diagnoser
-            .refit_model(model, &self.rm, self.config.confidence)?;
-        self.broadcast_model();
+        let ctx: Vec<ShardCtx<'_>> = self
+            .links
+            .iter()
+            .zip(&self.windows)
+            .map(|(links, window)| ShardCtx { links, window })
+            .collect();
+        self.backend.refit_shards(&mut self.states, &ctx)?;
         self.arrivals_since_fit = 0;
         self.refits += 1;
         self.refit_seconds += t0.elapsed().as_secs_f64();
         Ok(())
-    }
-
-    /// Hand every shard its slice of the coordinator's current model:
-    /// the mean entries and normal-basis rows of its links.
-    fn broadcast_model(&mut self) {
-        let model = self.diagnoser.model();
-        let mean = model.mean();
-        let basis = model.normal_basis();
-        for shard in &mut self.shards {
-            shard.mean = shard.links.iter().map(|&l| mean[l]).collect();
-            shard.basis = Matrix::from_fn(shard.links.len(), basis.cols(), |k, j| {
-                basis[(shard.links[k], j)]
-            });
-        }
     }
 }
 
@@ -713,6 +629,7 @@ impl ShardedEngine {
 mod tests {
     use super::*;
     use crate::pca::PcaMethod;
+    use crate::separation::SeparationPolicy;
     use netanom_linalg::vector;
     use netanom_topology::builtin;
 
@@ -850,5 +767,26 @@ mod tests {
             engine.merged_statistics(),
             Err(CoreError::ShardMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn generic_construction_matches_sugar_bitwise() {
+        let net = builtin::line(3);
+        let rm = &net.routing_matrix;
+        let m = rm.num_links();
+        let train = training(m, 250, 0);
+        let partition = LinkPartition::round_robin(m, 3).unwrap();
+        let stream_cfg = StreamConfig::new(250)
+            .refit_every(40)
+            .strategy(RefitStrategy::Incremental);
+        let mut sugar = ShardedEngine::new(&train, rm, config(), stream_cfg, &partition).unwrap();
+        let backend =
+            SubspaceBackend::fit(&train, rm, config(), RefitStrategy::Incremental).unwrap();
+        let mut generic =
+            ShardedEngine::with_backend(backend, &train, stream_cfg, &partition).unwrap();
+        let fresh = training(m, 90, 250);
+        let a = sugar.process_batch(&fresh).unwrap();
+        let b = generic.process_batch(&fresh).unwrap();
+        assert_eq!(a, b);
     }
 }

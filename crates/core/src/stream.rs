@@ -9,14 +9,20 @@
 //! * the retained history lives in a [`RingWindow`] — one contiguous
 //!   `capacity × m` allocation with `O(1)` eviction, no per-row boxing,
 //!   no `remove(0)` shifting;
+//! * the detection method itself is a pluggable [`DetectionBackend`]:
+//!   the engine is generic over it (default: the paper's
+//!   [`SubspaceBackend`]), so the temporal comparators stream through
+//!   the same machinery;
 //! * periodic refits can run through [`RefitStrategy::Incremental`]:
-//!   sufficient statistics ([`IncrementalCovariance`]) are maintained at
-//!   `O(m²)` per arrival and a refit is one `m × m` Jacobi eigen-solve,
-//!   independent of the window length — versus the full-window SVD of
-//!   [`RefitStrategy::FullSvd`];
+//!   sufficient statistics
+//!   ([`IncrementalCovariance`](crate::incremental::IncrementalCovariance))
+//!   are maintained at `O(m²)` per arrival and a refit is one `m × m`
+//!   Jacobi eigen-solve, independent of the window length — versus the
+//!   full-window SVD of [`RefitStrategy::FullSvd`];
 //! * backlogs and micro-batched collection go through
-//!   [`StreamingEngine::process_batch`], which rides the batched
-//!   [`Diagnoser::diagnose_series`] GEMM path between refit boundaries;
+//!   [`StreamingEngine::process_batch`], which rides the backend's
+//!   batched scoring path (a GEMM for the subspace method) between
+//!   refit boundaries;
 //! * several measurement kinds (bytes, packets, flow-entropy, …) stream
 //!   through one [`MultiwayEngine`] that keeps the per-way engines in
 //!   lockstep.
@@ -31,9 +37,8 @@ use netanom_linalg::Matrix;
 use netanom_topology::RoutingMatrix;
 
 use crate::diagnose::{Diagnoser, DiagnoserConfig, DiagnosisReport};
-use crate::incremental::IncrementalCovariance;
+use crate::method::{DetectionBackend, SubspaceBackend};
 use crate::multiflow::{self, MultiFlowAnomaly};
-use crate::separation::SeparationPolicy;
 use crate::{CoreError, Result};
 
 /// How [`StreamingEngine`] recomputes its model when a refit is due.
@@ -51,7 +56,8 @@ pub enum RefitStrategy {
     ///
     /// The 3σ separation rule needs temporal projections that sufficient
     /// statistics cannot provide, so under
-    /// [`SeparationPolicy::ThreeSigma`] incremental refits freeze the
+    /// [`SeparationPolicy::ThreeSigma`](crate::SeparationPolicy::ThreeSigma)
+    /// incremental refits freeze the
     /// normal dimension `r` chosen by the most recent full fit (the
     /// paper's stability argument: the subspace barely moves week over
     /// week). Other policies are re-evaluated on the fresh spectrum.
@@ -216,64 +222,112 @@ impl RingWindow {
     }
 }
 
-/// The streaming diagnoser: ring-buffered window, per-arrival or batched
-/// diagnosis against the frozen model, periodic refits through either a
-/// full fit or incremental sufficient statistics.
+/// The streaming engine: ring-buffered window, per-arrival or batched
+/// scoring against a frozen model, periodic refits — generic over the
+/// [`DetectionBackend`] that does the scoring.
 ///
-/// This engine subsumes the original `OnlineDiagnoser` (which is now a
-/// thin compatibility wrapper around it) and is the intended entry point
-/// for every online deployment.
+/// The default backend is the paper's [`SubspaceBackend`], for which
+/// this engine reproduces the original `OnlineDiagnoser` bitwise (that
+/// type is now a thin compatibility wrapper around it); any other
+/// backend — the temporal comparators in `netanom-baselines::methods` —
+/// rides the identical ingestion machinery, which is what makes the
+/// paper's method comparison honest.
+///
+/// The engine drives the backend as *score → observe → refit-if-due*:
+/// every arrival is scored against the state before it, then folded into
+/// the streaming state, and the model is refrozen on the configured
+/// cadence.
 #[derive(Debug, Clone)]
-pub struct StreamingEngine {
-    diagnoser: Diagnoser,
-    rm: RoutingMatrix,
-    config: DiagnoserConfig,
+pub struct StreamingEngine<B: DetectionBackend = SubspaceBackend> {
+    backend: B,
     window: RingWindow,
-    /// Sufficient statistics over exactly the window rows; maintained
-    /// only under [`RefitStrategy::Incremental`].
-    stats: Option<IncrementalCovariance>,
-    strategy: RefitStrategy,
     refit_every: Option<usize>,
     arrivals_since_fit: usize,
     arrivals_total: usize,
     refits: usize,
 }
 
-impl StreamingEngine {
-    /// Bootstrap from historical training data (e.g. last week's
-    /// measurements): full fit, window seeded with the most recent
-    /// `window_capacity` training rows (clamped up to the training
-    /// length).
+impl StreamingEngine<SubspaceBackend> {
+    /// Bootstrap the subspace engine from historical training data (e.g.
+    /// last week's measurements): full fit, window seeded with the most
+    /// recent `window_capacity` training rows (clamped up to the
+    /// training length).
     pub fn new(
         training: &Matrix,
         rm: &RoutingMatrix,
         config: DiagnoserConfig,
         stream: StreamConfig,
     ) -> Result<Self> {
-        let diagnoser = Diagnoser::fit(training, rm, config)?;
+        let backend = SubspaceBackend::fit(training, rm, config, stream.strategy)?;
+        Self::with_backend(backend, training, stream)
+    }
+
+    /// The active refit strategy.
+    pub fn strategy(&self) -> RefitStrategy {
+        self.backend.strategy()
+    }
+
+    /// The current (frozen) diagnoser.
+    pub fn diagnoser(&self) -> &Diagnoser {
+        self.backend.diagnoser()
+    }
+
+    /// Diagnose a measurement for a *multi-flow* anomaly against the
+    /// frozen model, without advancing the stream: greedy matching
+    /// pursuit ([`multiflow::greedy_identify`]) over at most `max_flows`
+    /// flows, keeping a flow only if it explains at least `min_gain` of
+    /// the residual energy.
+    ///
+    /// Returns `Ok(None)` when the detection step does not fire — the
+    /// paper does not attempt identification on undetected bins.
+    pub fn diagnose_multiflow(
+        &self,
+        y: &[f64],
+        max_flows: usize,
+        min_gain: f64,
+    ) -> Result<Option<MultiFlowAnomaly>> {
+        let diagnoser = self.backend.diagnoser();
+        let report = diagnoser.diagnose_vector(y)?;
+        if !report.detected {
+            return Ok(None);
+        }
+        multiflow::greedy_identify(
+            diagnoser.model(),
+            self.backend.routing(),
+            diagnoser.identifier(),
+            y,
+            max_flows,
+            min_gain,
+        )
+        .map(Some)
+    }
+}
+
+impl<B: DetectionBackend> StreamingEngine<B> {
+    /// Assemble an engine around an already-fitted backend, seeding the
+    /// window with the most recent `window_capacity` training rows
+    /// (clamped up to the training length, so a refit never sees fewer
+    /// rows than the bootstrap fit). `training` must be the matrix the
+    /// backend was fitted on.
+    ///
+    /// `stream.strategy` is consumed by backend constructors that honor
+    /// it (the subspace backend); it has no engine-level effect here.
+    pub fn with_backend(backend: B, training: &Matrix, stream: StreamConfig) -> Result<Self> {
+        if training.cols() != backend.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: backend.dim(),
+                got: training.cols(),
+            });
+        }
         let capacity = stream.window_capacity.max(training.rows());
         let mut window = RingWindow::new(capacity, training.cols());
         let start = training.rows().saturating_sub(capacity);
         for t in start..training.rows() {
             window.push(training.row(t));
         }
-        let stats = match stream.strategy {
-            RefitStrategy::Incremental => {
-                let mut acc = IncrementalCovariance::new(training.cols());
-                for i in 0..window.len() {
-                    acc.add(window.row(i))?;
-                }
-                Some(acc)
-            }
-            RefitStrategy::FullSvd => None,
-        };
         Ok(StreamingEngine {
-            diagnoser,
-            rm: rm.clone(),
-            config,
+            backend,
             window,
-            stats,
-            strategy: stream.strategy,
             refit_every: stream.refit_every,
             arrivals_since_fit: 0,
             arrivals_total: 0,
@@ -296,14 +350,9 @@ impl StreamingEngine {
         self.refits
     }
 
-    /// The active refit strategy.
-    pub fn strategy(&self) -> RefitStrategy {
-        self.strategy
-    }
-
-    /// The current (frozen) diagnoser.
-    pub fn diagnoser(&self) -> &Diagnoser {
-        &self.diagnoser
+    /// The detection backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// The retained measurement window.
@@ -311,25 +360,20 @@ impl StreamingEngine {
         &self.window
     }
 
-    /// Slide the window and, under the incremental strategy, the
-    /// sufficient statistics, by one arrival.
+    /// Slide the window and the backend's streaming state by one
+    /// arrival.
     fn ingest_row(&mut self, y: &[f64]) -> Result<()> {
-        if let Some(stats) = &mut self.stats {
-            match self.window.oldest() {
-                Some(old) => stats.slide(old, y)?,
-                None => stats.add(y)?,
-            }
-        }
+        self.backend.observe(self.window.oldest(), y)?;
         self.window.push(y);
         Ok(())
     }
 
-    /// Process one arriving measurement vector: diagnose it against the
+    /// Process one arriving measurement vector: score it against the
     /// frozen model, slide the window, and refit if due.
     ///
     /// The report's `time` is the arrival counter (0-based).
     pub fn process(&mut self, y: &[f64]) -> Result<DiagnosisReport> {
-        let mut report = self.diagnoser.diagnose_vector(y)?;
+        let mut report = self.backend.score_vector(y)?;
         report.time = self.arrivals_total;
         self.arrivals_total += 1;
         self.arrivals_since_fit += 1;
@@ -347,11 +391,11 @@ impl StreamingEngine {
     ///
     /// Equivalent to calling [`StreamingEngine::process`] on every row in
     /// order — including mid-block refits, which are honored by
-    /// diagnosing batch-wise only up to each refit boundary — but the
-    /// diagnosis between refits runs through the batched
-    /// [`Diagnoser::diagnose_series`] GEMM path. This is the intended
-    /// entry point for replaying backlogs or micro-batched collection
-    /// (e.g. one SNMP poll cycle per call).
+    /// scoring batch-wise only up to each refit boundary — but the
+    /// scoring between refits runs through the backend's batched
+    /// [`DetectionBackend::score_matrix`] path (a GEMM for the subspace
+    /// method). This is the intended entry point for replaying backlogs
+    /// or micro-batched collection (e.g. one SNMP poll cycle per call).
     pub fn process_batch(&mut self, links: &Matrix) -> Result<Vec<DiagnosisReport>> {
         let mut out = Vec::with_capacity(links.rows());
         let mut next = 0;
@@ -362,7 +406,7 @@ impl StreamingEngine {
             };
             let take = until_refit.min(links.rows() - next);
             let block = links.row_block(next, take).expect("range checked");
-            let mut reports = self.diagnoser.diagnose_series(&block)?;
+            let mut reports = self.backend.score_matrix(&block)?;
             for rep in &mut reports {
                 rep.time = self.arrivals_total;
                 self.arrivals_total += 1;
@@ -382,72 +426,18 @@ impl StreamingEngine {
         Ok(out)
     }
 
-    /// Recompute the subspace model from the current window through the
-    /// configured [`RefitStrategy`], reusing the diagnoser's
-    /// routing-derived quantification factors
-    /// ([`Diagnoser::refit_model`]).
+    /// Refreeze the backend's model from the current window
+    /// ([`DetectionBackend::refit`] — for the subspace backend, the
+    /// configured [`RefitStrategy`]).
     ///
     /// Anomalous bins contaminate a refit slightly; the paper's
     /// week-over-week stability argument is that the top components are
     /// dominated by diurnal structure, so sparse spikes barely move them.
     pub fn refit(&mut self) -> Result<()> {
-        let model = match self.strategy {
-            RefitStrategy::FullSvd => {
-                let training = self.window.to_matrix();
-                crate::subspace::SubspaceModel::fit(
-                    &training,
-                    self.config.separation,
-                    self.config.pca_method,
-                )?
-            }
-            RefitStrategy::Incremental => {
-                let stats = self
-                    .stats
-                    .as_ref()
-                    .expect("incremental strategy maintains stats");
-                let policy = match self.config.separation {
-                    SeparationPolicy::ThreeSigma { .. } => {
-                        SeparationPolicy::FixedCount(self.diagnoser.model().normal_dim())
-                    }
-                    other => other,
-                };
-                stats.to_model(policy)?
-            }
-        };
-        self.diagnoser
-            .refit_model(model, &self.rm, self.config.confidence)?;
+        self.backend.refit(&self.window)?;
         self.arrivals_since_fit = 0;
         self.refits += 1;
         Ok(())
-    }
-
-    /// Diagnose a measurement for a *multi-flow* anomaly against the
-    /// frozen model, without advancing the stream: greedy matching
-    /// pursuit ([`multiflow::greedy_identify`]) over at most `max_flows`
-    /// flows, keeping a flow only if it explains at least `min_gain` of
-    /// the residual energy.
-    ///
-    /// Returns `Ok(None)` when the detection step does not fire — the
-    /// paper does not attempt identification on undetected bins.
-    pub fn diagnose_multiflow(
-        &self,
-        y: &[f64],
-        max_flows: usize,
-        min_gain: f64,
-    ) -> Result<Option<MultiFlowAnomaly>> {
-        let report = self.diagnoser.diagnose_vector(y)?;
-        if !report.detected {
-            return Ok(None);
-        }
-        multiflow::greedy_identify(
-            self.diagnoser.model(),
-            &self.rm,
-            self.diagnoser.identifier(),
-            y,
-            max_flows,
-            min_gain,
-        )
-        .map(Some)
     }
 }
 
@@ -484,14 +474,14 @@ impl MultiwayReport {
 /// distributional anomalies (scans, worms) surface in entropy; running
 /// the ways against one clock gives a per-bin consensus report.
 #[derive(Debug, Clone)]
-pub struct MultiwayEngine {
+pub struct MultiwayEngine<B: DetectionBackend = SubspaceBackend> {
     names: Vec<String>,
-    engines: Vec<StreamingEngine>,
+    engines: Vec<StreamingEngine<B>>,
 }
 
-impl MultiwayEngine {
+impl<B: DetectionBackend> MultiwayEngine<B> {
     /// Assemble from named per-way engines (at least one).
-    pub fn new(ways: Vec<(String, StreamingEngine)>) -> Result<Self> {
+    pub fn new(ways: Vec<(String, StreamingEngine<B>)>) -> Result<Self> {
         if ways.is_empty() {
             return Err(CoreError::NoCandidates);
         }
@@ -513,7 +503,7 @@ impl MultiwayEngine {
     ///
     /// # Panics
     /// Panics if `i >= num_ways()`.
-    pub fn way(&self, i: usize) -> &StreamingEngine {
+    pub fn way(&self, i: usize) -> &StreamingEngine<B> {
         &self.engines[i]
     }
 
@@ -609,6 +599,7 @@ impl MultiwayEngine {
 mod tests {
     use super::*;
     use crate::pca::PcaMethod;
+    use crate::separation::SeparationPolicy;
     use netanom_linalg::vector;
     use netanom_topology::builtin;
 
@@ -847,7 +838,7 @@ mod tests {
         let train = training(rm.num_links(), 200, 0);
         let engine = StreamingEngine::new(&train, rm, config(), StreamConfig::new(200)).unwrap();
         let mut multi = MultiwayEngine::new(vec![("bytes".to_string(), engine)]).unwrap();
-        assert!(MultiwayEngine::new(vec![]).is_err());
+        assert!(MultiwayEngine::<SubspaceBackend>::new(vec![]).is_err());
         assert!(multi.process(&[]).is_err());
         let short = [1.0, 2.0];
         assert!(multi.process(&[&short[..]]).is_err());

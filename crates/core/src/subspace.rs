@@ -90,6 +90,39 @@ impl SubspaceModel {
         Self::from_eigen(mean, &eig.eigenvectors, eig.eigenvalues.clone(), r)
     }
 
+    /// Reassemble a model from its exported parts: the mean, the `m × r`
+    /// normal basis (already column-selected), the full spectrum, and
+    /// `r`. Used by [`crate::method::MethodState`] import, where the full
+    /// eigenvector matrix is not available.
+    pub(crate) fn from_parts(
+        mean: Vec<f64>,
+        p: Matrix,
+        eigenvalues: Vec<f64>,
+        r: usize,
+    ) -> Result<Self> {
+        let m = mean.len();
+        if p.rows() != m || p.cols() != r || eigenvalues.len() != m {
+            return Err(CoreError::DimensionMismatch {
+                expected: m,
+                got: p.rows(),
+            });
+        }
+        if r >= m {
+            return Err(CoreError::DegenerateResidual { r });
+        }
+        let resid_var: f64 = eigenvalues[r..].iter().sum();
+        let scale = eigenvalues.first().copied().unwrap_or(0.0).max(1.0);
+        if resid_var <= scale * 1e-15 {
+            return Err(CoreError::DegenerateResidual { r });
+        }
+        Ok(SubspaceModel {
+            mean,
+            p,
+            eigenvalues,
+            r,
+        })
+    }
+
     /// Build a model from an existing PCA with an explicit normal
     /// dimension `r`.
     pub fn from_pca(pca: &Pca, r: usize) -> Result<Self> {

@@ -15,6 +15,7 @@
 //! * the merged covariance matches the two-pass covariance of the
 //!   retained window within `1e-9` relative.
 
+use netanom_core::method::SubspaceBackend;
 use netanom_core::shard::ShardedEngine;
 use netanom_core::stream::{RefitStrategy, StreamConfig, StreamingEngine};
 use netanom_core::{DiagnoserConfig, PcaMethod, SeparationPolicy};
@@ -183,6 +184,39 @@ fn parallel_fanout_is_bitwise_serial() {
         );
     }
     assert!(serial.iter().any(|r| r.detected), "staged anomalies fire");
+}
+
+/// The backend-generic construction path (`SubspaceBackend::fit` +
+/// `ShardedEngine::with_backend`) must be bitwise identical to the
+/// `ShardedEngine::new` sugar across refit boundaries — and therefore,
+/// transitively, to the single-process engine the other tests pin
+/// against.
+#[test]
+fn generic_backend_sharded_engine_is_bitwise_to_sugar() {
+    let net = builtin::sprint_europe();
+    let rm = &net.routing_matrix;
+    let m = rm.num_links();
+    let train = training(m, 300, 0);
+    let partition = LinkPartition::round_robin(m, 4).unwrap();
+    let stream = staged_stream(&net, 120, 300);
+
+    for strategy in [RefitStrategy::FullSvd, RefitStrategy::Incremental] {
+        let stream_cfg = StreamConfig::new(300).refit_every(48).strategy(strategy);
+        let mut sugar = ShardedEngine::new(&train, rm, config(), stream_cfg, &partition).unwrap();
+        let backend = SubspaceBackend::fit(&train, rm, config(), strategy).unwrap();
+        let mut generic =
+            ShardedEngine::with_backend(backend, &train, stream_cfg, &partition).unwrap();
+
+        let a = sugar.process_batch(&stream).unwrap();
+        let b = generic.process_batch(&stream).unwrap();
+        assert_eq!(a, b, "{strategy:?}");
+        assert_eq!(sugar.refits(), generic.refits());
+        assert!(
+            sugar.refits() >= 2,
+            "{strategy:?}: stream must cross refits"
+        );
+        assert!(a.iter().any(|r| r.detected), "staged anomalies fire");
+    }
 }
 
 /// The merged covariance must match both the single-process accumulator

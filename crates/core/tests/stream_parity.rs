@@ -11,6 +11,7 @@
 //! eviction), kept here so the engine is checked against the historical
 //! semantics rather than against itself.
 
+use netanom_core::method::SubspaceBackend;
 use netanom_core::stream::{RefitStrategy, StreamConfig, StreamingEngine};
 use netanom_core::{Diagnoser, DiagnoserConfig, DiagnosisReport, PcaMethod, SeparationPolicy};
 use netanom_linalg::{vector, Matrix};
@@ -244,6 +245,49 @@ fn parity_holds_under_the_paper_default_config() {
     }
     // Capacity was clamped up to the training length, as the seed did.
     assert_eq!(engine.window().capacity(), 220);
+}
+
+/// The backend-generic construction path (`SubspaceBackend::fit` +
+/// `StreamingEngine::with_backend`) must be bitwise identical to the
+/// `StreamingEngine::new` sugar — and therefore, transitively, to the
+/// sequential seed — across refit boundaries, for both refit strategies.
+#[test]
+fn generic_backend_engine_is_bitwise_to_sugar() {
+    let net = builtin::ring(5);
+    let rm = &net.routing_matrix;
+    let train = training(rm.num_links(), 300, 0);
+    let fresh = arrivals_with_anomalies(rm, 130, 300);
+
+    for strategy in [RefitStrategy::FullSvd, RefitStrategy::Incremental] {
+        let stream_cfg = StreamConfig::new(300).refit_every(50).strategy(strategy);
+        let mut sugar = StreamingEngine::new(&train, rm, fixed_config(), stream_cfg).unwrap();
+        let backend = SubspaceBackend::fit(&train, rm, fixed_config(), strategy).unwrap();
+        let mut generic = StreamingEngine::with_backend(backend, &train, stream_cfg).unwrap();
+
+        // Both entry points, like for like (the per-vector and fused
+        // batch SPE kernels differ in the last bits by design, so the
+        // comparison must not mix them).
+        let head = 40;
+        let a: Vec<_> = (0..head)
+            .map(|t| sugar.process(fresh.row(t)).unwrap())
+            .collect();
+        let b: Vec<_> = (0..head)
+            .map(|t| generic.process(fresh.row(t)).unwrap())
+            .collect();
+        assert_eq!(a, b, "{strategy:?}: per-arrival path");
+        let tail = fresh
+            .row_block(head, fresh.rows() - head)
+            .expect("within range");
+        let a = sugar.process_batch(&tail).unwrap();
+        let b = generic.process_batch(&tail).unwrap();
+        assert_eq!(a, b, "{strategy:?}: batched path");
+        assert_eq!(sugar.refits(), generic.refits());
+        assert_eq!(
+            sugar.diagnoser().detector().threshold().delta_sq,
+            generic.diagnoser().detector().threshold().delta_sq,
+            "{strategy:?}: post-refit thresholds must be bitwise equal"
+        );
+    }
 }
 
 #[test]

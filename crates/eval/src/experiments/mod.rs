@@ -38,9 +38,9 @@ pub struct ExperimentOutput {
 
 /// All experiment ids, in the paper's presentation order, followed by
 /// this repository's ablations (not figures of the paper, but the design
-/// choices DESIGN.md calls out) and the streaming- and
-/// sharded-deployment scenarios.
-pub const EXPERIMENT_IDS: [&str; 17] = [
+/// choices DESIGN.md calls out) and the deployment scenarios: streaming,
+/// sharded, and the pluggable-methods head-to-head.
+pub const EXPERIMENT_IDS: [&str; 18] = [
     "table1",
     "fig1",
     "fig2",
@@ -58,6 +58,7 @@ pub const EXPERIMENT_IDS: [&str; 17] = [
     "ablation_separation",
     "streaming",
     "sharded",
+    "methods",
 ];
 
 /// Expand and validate a user-supplied id list: `all` expands to the
@@ -110,6 +111,7 @@ pub fn run_by_id(id: &str, lab: &Lab, out_dir: &Path) -> Option<ExperimentOutput
         "ablation_separation" => ablation::separation(lab, out_dir),
         "streaming" => crate::streaming::experiment(lab, out_dir),
         "sharded" => crate::sharded::experiment(lab, out_dir),
+        "methods" => crate::methods::experiment(lab, out_dir),
         _ => return None,
     };
     Some(out)

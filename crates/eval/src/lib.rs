@@ -20,6 +20,12 @@
 //! * [`sharded`] — the sharded-deployment scenario: merge overhead and
 //!   arrivals/sec of the link-partitioned engine across shard counts
 //!   `K ∈ {1, 2, 4, 8}` (experiment id `sharded`).
+//! * [`methods`] — the pluggable-backends head-to-head: every
+//!   registered detection method (subspace + the per-link temporal
+//!   comparators) through the same streaming engine over the same
+//!   contaminated stream, reporting detection quality vs. the staged
+//!   ground truth and arrivals/sec per backend (experiment id
+//!   `methods`).
 //!
 //! The `experiments` binary (`cargo run -p netanom-eval --release --bin
 //! experiments -- all`) runs everything and writes results under
@@ -52,6 +58,7 @@
 pub mod experiments;
 pub mod injection;
 pub mod lab;
+pub mod methods;
 pub mod metrics;
 pub mod report;
 pub mod sharded;

@@ -146,7 +146,9 @@ fn parse_row_into(
 /// Streaming CSV reader yielding row *blocks* (`≤ chunk_rows × m`
 /// matrices) instead of materializing the whole series — the ingestion
 /// front end for [`netanom_core::stream::StreamingEngine::process_batch`]
-/// when replaying large files or consuming a live pipe.
+/// when replaying large files or consuming a live pipe. The feed is
+/// method-agnostic: the same chunks drive whichever detection backend
+/// the engine was instantiated with (`netanom stream --method …`).
 ///
 /// The header is read eagerly on construction; each
 /// [`CsvChunks::next_chunk`] (or iterator step) then parses at most
@@ -301,7 +303,9 @@ impl<R: BufRead> Iterator for CsvChunks<R> {
 /// Per-shard chunked feeds: a [`CsvChunks`] stream scattered into the
 /// column slices of a [`LinkPartition`], the shape a sharded diagnosis
 /// deployment consumes (each shard sees only its own links' byte
-/// counts — one feed per PoP collector).
+/// counts — one feed per PoP collector). Like [`CsvChunks`], the feed
+/// is method-agnostic — every detection backend's sharded engine
+/// consumes the same slices.
 ///
 /// [`ShardedChunks::take_rows`] still yields the *full-width* training
 /// prefix (the bootstrap fit is global); [`ShardedChunks::next_slices`]
