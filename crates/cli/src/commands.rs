@@ -362,7 +362,26 @@ fn online_options_of(
         None => default_strategy,
         Some("full") => RefitStrategy::FullSvd,
         Some("incremental") => RefitStrategy::Incremental,
-        Some(other) => return Err(format!("--refit must be full|incremental, got {other:?}")),
+        Some("truncated") => RefitStrategy::truncated(),
+        Some(other) => {
+            return Err(format!(
+                "--refit must be full|incremental|truncated, got {other:?}"
+            ))
+        }
+    };
+    let strategy = match (flags.get("refit-k"), strategy) {
+        (None, s) => s,
+        (Some(v), RefitStrategy::Truncated { tol, .. }) => {
+            let k: usize = v
+                .parse()
+                .ok()
+                .filter(|&k| k > 0)
+                .ok_or_else(|| format!("--refit-k must be a positive integer, got {v:?}"))?;
+            RefitStrategy::Truncated { k, tol }
+        }
+        (Some(_), _) => {
+            return Err("--refit-k only applies with --refit truncated".to_string());
+        }
     };
     let refit_every = match flags.get("refit-every") {
         None => None,
@@ -373,10 +392,15 @@ fn online_options_of(
                 .ok_or_else(|| format!("--refit-every must be a positive integer, got {s:?}"))?,
         ),
     };
-    let strategy = if refit_every.is_none() && strategy == RefitStrategy::Incremental {
+    let strategy = if refit_every.is_none() && strategy.maintains_statistics() {
+        let requested = match strategy {
+            RefitStrategy::Incremental => "incremental",
+            RefitStrategy::Truncated { .. } => "truncated",
+            RefitStrategy::FullSvd => unreachable!("maintains no statistics"),
+        };
         eprintln!(
-            "# note: incremental statistics without --refit-every are never consumed; \
-             using full refits"
+            "# note: --refit {requested} maintains statistics that are never consumed \
+             without --refit-every; using full refits"
         );
         RefitStrategy::FullSvd
     } else {
@@ -433,6 +457,9 @@ fn refit_label(refit_every: Option<usize>, strategy: RefitStrategy) -> String {
         (None, _) => "never".to_string(),
         (Some(k), RefitStrategy::FullSvd) => format!("every {k} (full)"),
         (Some(k), RefitStrategy::Incremental) => format!("every {k} (incremental)"),
+        (Some(k), RefitStrategy::Truncated { k: top, .. }) => {
+            format!("every {k} (truncated top-{top})")
+        }
     }
 }
 
@@ -496,7 +523,7 @@ fn online_banner(
 
 /// `netanom stream --links FILE|- --train-bins N [--method NAME]
 /// [--paths FILE] [--confidence C] [--window N] [--refit-every K]
-/// [--refit full|incremental] [--chunk B]`
+/// [--refit full|incremental|truncated] [--refit-k K] [--chunk B]`
 ///
 /// Consume a link-measurement CSV (a file, or stdin with `--links -`) in
 /// chunks: train the selected method (default: subspace; see
@@ -519,6 +546,7 @@ pub fn stream(args: &[String]) -> Result<(), String> {
             "window",
             "refit-every",
             "refit",
+            "refit-k",
             "chunk",
             "method",
         ],
@@ -581,7 +609,8 @@ pub fn stream(args: &[String]) -> Result<(), String> {
 
 /// `netanom shard --links FILE|- --train-bins N --shards K
 /// [--method NAME] [--paths FILE] [--confidence C] [--window N]
-/// [--refit-every K] [--refit full|incremental] [--chunk B]`
+/// [--refit-every K] [--refit full|incremental|truncated] [--refit-k K]
+/// [--chunk B]`
 ///
 /// The sharded online path: the link set is partitioned round-robin
 /// into `--shards K` shards, the CSV is consumed in chunks and
@@ -606,6 +635,7 @@ pub fn shard(args: &[String]) -> Result<(), String> {
             "window",
             "refit-every",
             "refit",
+            "refit-k",
             "chunk",
             "shards",
             "method",
@@ -909,6 +939,67 @@ mod tests {
             "48",
         ]))
         .unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_and_shard_run_truncated_refits() {
+        let dir = std::env::temp_dir().join("netanom-cli-truncated");
+        let _ = fs::remove_dir_all(&dir);
+        simulate(&s(&[
+            "--dataset",
+            "mini",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let links = dir.join("links.csv");
+        let l = links.to_str().unwrap();
+        stream(&s(&[
+            "--links",
+            l,
+            "--paths",
+            dir.join("paths.csv").to_str().unwrap(),
+            "--train-bins",
+            "216",
+            "--refit-every",
+            "24",
+            "--refit",
+            "truncated",
+            "--refit-k",
+            "6",
+            "--chunk",
+            "17",
+        ]))
+        .unwrap();
+        shard(&s(&[
+            "--links",
+            l,
+            "--train-bins",
+            "216",
+            "--shards",
+            "3",
+            "--refit-every",
+            "24",
+            "--refit",
+            "truncated",
+        ]))
+        .unwrap();
+        // --refit-k outside the truncated strategy is a clean error.
+        let err = stream(&s(&["--links", l, "--train-bins", "216", "--refit-k", "6"])).unwrap_err();
+        assert!(err.contains("--refit truncated"), "{err}");
+        let err = stream(&s(&[
+            "--links",
+            l,
+            "--train-bins",
+            "216",
+            "--refit",
+            "truncated",
+            "--refit-k",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--refit-k"), "{err}");
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -38,6 +38,14 @@ pub enum CoreError {
         /// Index of the first offending link.
         link: usize,
     },
+    /// A truncated refit computed too few eigenpairs for the separation
+    /// policy: the variance-fraction target lies beyond the computed
+    /// block, so honoring it would require more eigenpairs than
+    /// `RefitStrategy::Truncated`'s `k` provides. Raise `k`.
+    TruncatedBlockTooSmall {
+        /// Eigenpairs that were computed.
+        k: usize,
+    },
     /// Identification was asked to choose among zero candidate anomalies.
     NoCandidates,
     /// A candidate-flow set for multi-flow estimation was numerically
@@ -68,6 +76,13 @@ impl fmt::Display for CoreError {
             }
             CoreError::TooFewSamples { got, need } => {
                 write!(f, "need at least {need} timesteps, got {got}")
+            }
+            CoreError::TruncatedBlockTooSmall { k } => {
+                write!(
+                    f,
+                    "the separation policy needs more than the {k} computed eigenpairs; \
+                     raise the truncated refit's k"
+                )
             }
             CoreError::InvalidConfidence { value } => {
                 write!(f, "confidence level {value} outside (0, 1)")

@@ -14,7 +14,7 @@
 //! per arrival plus one small eigen-solve per refit, independent of the
 //! window length.
 
-use netanom_linalg::decomposition::SymmetricEigen;
+use netanom_linalg::decomposition::{self, SymmetricEigen, TruncatedEigen};
 use netanom_linalg::{vector, BlockPlacement, Matrix};
 
 use crate::separation::SeparationPolicy;
@@ -211,6 +211,82 @@ impl IncrementalCovariance {
             SeparationPolicy::ThreeSigma { .. } => unreachable!("rejected above"),
         };
         SubspaceModel::from_symmetric_eigen(self.mean()?, &eig, r)
+    }
+
+    /// Rebuild a [`SubspaceModel`] from the current window with a
+    /// **truncated** eigensolve: only the top `k` eigenpairs of the
+    /// covariance are computed
+    /// ([`TruncatedEigen::of_covariance`]), `O(m²·k)` per sweep instead
+    /// of the full Jacobi `O(m³)` of [`IncrementalCovariance::to_model`]
+    /// — the refit route for thousand-link topologies.
+    ///
+    /// The Q-statistic threshold stays exact: the covariance's power
+    /// traces ([`power_traces`]) supply the residual moments without the
+    /// tail spectrum. `k` is raised to the policy's normal dimension
+    /// when smaller, and under [`SeparationPolicy::VarianceFraction`]
+    /// the dimension search is confined to the computed block (`r ≤ k`);
+    /// the 3σ policy is rejected exactly like
+    /// [`IncrementalCovariance::to_model`].
+    ///
+    /// [`TruncatedEigen::of_covariance`]:
+    /// netanom_linalg::decomposition::TruncatedEigen::of_covariance
+    /// [`power_traces`]: netanom_linalg::decomposition::power_traces
+    pub fn to_model_truncated(
+        &self,
+        policy: SeparationPolicy,
+        k: usize,
+        tol: f64,
+    ) -> Result<SubspaceModel> {
+        if let SeparationPolicy::ThreeSigma { .. } = policy {
+            return Err(CoreError::DegenerateResidual { r: usize::MAX });
+        }
+        let cov = self.covariance()?;
+        let k_eff = match policy {
+            SeparationPolicy::FixedCount(r) => k.max(r.min(self.dim.saturating_sub(1))),
+            _ => k,
+        }
+        .clamp(1, self.dim);
+        let eig = TruncatedEigen::of_covariance(&cov, k_eff, tol)?;
+        let traces = decomposition::power_traces(&cov)?;
+        let r = match policy {
+            SeparationPolicy::FixedCount(r) => r.min(self.dim),
+            SeparationPolicy::VarianceFraction(f) => {
+                let total = traces.0.max(0.0);
+                if total <= 0.0 {
+                    0
+                } else {
+                    let target = f.clamp(0.0, 1.0) * total;
+                    let mut acc = 0.0;
+                    let mut r = None;
+                    for (i, &l) in eig.eigenvalues.iter().enumerate() {
+                        acc += l;
+                        if acc >= target {
+                            r = Some(i + 1);
+                            break;
+                        }
+                    }
+                    match r {
+                        Some(r) => r,
+                        // The variance target lies beyond the computed
+                        // block: silently shrinking the subspace would
+                        // diverge from `to_model`'s choice, so refuse —
+                        // the caller must raise `k` (or the block
+                        // already spans the whole space and the policy
+                        // is degenerate either way).
+                        None if eig.len() < self.dim => {
+                            return Err(CoreError::TruncatedBlockTooSmall { k: eig.len() });
+                        }
+                        None => eig.len(),
+                    }
+                }
+            }
+            SeparationPolicy::ThreeSigma { .. } => unreachable!("rejected above"),
+        };
+        if r >= self.dim {
+            // Same degenerate-separation semantics as `to_model`.
+            return Err(CoreError::DegenerateResidual { r });
+        }
+        SubspaceModel::from_truncated(self.mean()?, &eig, r, traces)
     }
 
     /// Merge per-shard statistics ([`CovarianceShard`]) covering disjoint

@@ -411,15 +411,14 @@ impl SubspaceBackend {
         strategy: RefitStrategy,
     ) -> Result<Self> {
         let diagnoser = Diagnoser::fit(training, rm, config)?;
-        let stats = match strategy {
-            RefitStrategy::Incremental => {
-                let mut acc = IncrementalCovariance::new(training.cols());
-                for t in 0..training.rows() {
-                    acc.add(training.row(t))?;
-                }
-                Some(acc)
+        let stats = if strategy.maintains_statistics() {
+            let mut acc = IncrementalCovariance::new(training.cols());
+            for t in 0..training.rows() {
+                acc.add(training.row(t))?;
             }
-            RefitStrategy::FullSvd => None,
+            Some(acc)
+        } else {
+            None
         };
         Ok(SubspaceBackend {
             diagnoser,
@@ -535,6 +534,13 @@ impl DetectionBackend for SubspaceBackend {
                     .expect("incremental strategy maintains stats");
                 stats.to_model(self.incremental_policy())?
             }
+            RefitStrategy::Truncated { k, tol } => {
+                let stats = self
+                    .stats
+                    .as_ref()
+                    .expect("truncated strategy maintains stats");
+                stats.to_model_truncated(self.incremental_policy(), k, tol)?
+            }
         };
         self.diagnoser
             .refit_model(model, &self.rm, self.config.confidence)
@@ -542,9 +548,17 @@ impl DetectionBackend for SubspaceBackend {
 
     fn export_state(&self) -> MethodState {
         let model = self.diagnoser.model();
+        // Truncated-refit models append their exact residual moments:
+        // the importer cannot recompute them from the (truncated)
+        // spectrum, and the moments are what keep the threshold
+        // identical across the wire.
+        let mut scalars = vec![model.normal_dim() as f64, self.config.confidence];
+        if let Some((phi1, phi2, phi3)) = model.residual_moments() {
+            scalars.extend([phi1, phi2, phi3]);
+        }
         MethodState {
             method: "subspace".to_string(),
-            scalars: vec![model.normal_dim() as f64, self.config.confidence],
+            scalars,
             vectors: vec![model.mean().to_vec(), model.eigenvalues().to_vec()],
             matrices: vec![model.normal_basis().clone()],
         }
@@ -552,10 +566,15 @@ impl DetectionBackend for SubspaceBackend {
 
     fn import_state(&mut self, state: &MethodState) -> Result<()> {
         state.expect_method("subspace")?;
-        let [r, confidence] = state.scalars[..] else {
-            return Err(CoreError::InvalidState {
-                reason: "subspace state needs [r, confidence] scalars",
-            });
+        let (r, confidence, moments) = match state.scalars[..] {
+            [r, confidence] => (r, confidence, None),
+            [r, confidence, phi1, phi2, phi3] => (r, confidence, Some((phi1, phi2, phi3))),
+            _ => {
+                return Err(CoreError::InvalidState {
+                    reason: "subspace state needs [r, confidence] or \
+                             [r, confidence, phi1, phi2, phi3] scalars",
+                })
+            }
         };
         let [mean, eigenvalues] = &state.vectors[..] else {
             return Err(CoreError::InvalidState {
@@ -572,11 +591,24 @@ impl DetectionBackend for SubspaceBackend {
                 reason: "subspace state has the wrong link count",
             });
         }
-        let model =
-            SubspaceModel::from_parts(mean.clone(), basis.clone(), eigenvalues.clone(), r as usize)
-                .map_err(|_| CoreError::InvalidState {
-                    reason: "subspace state does not assemble into a model",
-                })?;
+        let model = match moments {
+            None => SubspaceModel::from_parts(
+                mean.clone(),
+                basis.clone(),
+                eigenvalues.clone(),
+                r as usize,
+            ),
+            Some(moments) => SubspaceModel::from_parts_truncated(
+                mean.clone(),
+                basis.clone(),
+                eigenvalues.clone(),
+                r as usize,
+                moments,
+            ),
+        }
+        .map_err(|_| CoreError::InvalidState {
+            reason: "subspace state does not assemble into a model",
+        })?;
         self.diagnoser.refit_model(model, &self.rm, confidence)
     }
 }
@@ -621,15 +653,14 @@ impl ShardableBackend for SubspaceBackend {
         let basis = model.normal_basis();
         let mut shards = Vec::with_capacity(partition.num_shards());
         for links in partition.groups() {
-            let stats = match self.strategy {
-                RefitStrategy::Incremental => {
-                    let mut acc = CovarianceShard::new(m, links)?;
-                    for t in 0..training.rows() {
-                        acc.add(training.row(t))?;
-                    }
-                    Some(acc)
+            let stats = if self.strategy.maintains_statistics() {
+                let mut acc = CovarianceShard::new(m, links)?;
+                for t in 0..training.rows() {
+                    acc.add(training.row(t))?;
                 }
-                RefitStrategy::FullSvd => None,
+                Some(acc)
+            } else {
+                None
             };
             shards.push(SubspaceShard {
                 stats,
@@ -641,7 +672,7 @@ impl ShardableBackend for SubspaceBackend {
     }
 
     fn needs_evicted(&self) -> bool {
-        self.strategy == RefitStrategy::Incremental
+        self.strategy.maintains_statistics()
     }
 
     fn wants_residual(&self) -> bool {
@@ -739,15 +770,22 @@ impl ShardableBackend for SubspaceBackend {
                 let window = assemble_shard_windows(self.dim(), ctx)?;
                 SubspaceModel::fit(&window, self.config.separation, self.config.pca_method)?
             }
-            RefitStrategy::Incremental => {
+            RefitStrategy::Incremental | RefitStrategy::Truncated { .. } => {
                 let mut parts = Vec::with_capacity(shards.len());
                 for shard in shards.iter() {
                     parts.push(shard.stats.as_ref().ok_or(CoreError::ShardMismatch {
-                        reason: "statistics are only maintained under RefitStrategy::Incremental",
+                        reason: "statistics are only maintained under the incremental \
+                                 and truncated refit strategies",
                     })?);
                 }
                 let stats = IncrementalCovariance::merge(parts)?;
-                stats.to_model(self.incremental_policy())?
+                match self.strategy {
+                    RefitStrategy::Incremental => stats.to_model(self.incremental_policy())?,
+                    RefitStrategy::Truncated { k, tol } => {
+                        stats.to_model_truncated(self.incremental_policy(), k, tol)?
+                    }
+                    RefitStrategy::FullSvd => unreachable!("outer match excludes FullSvd"),
+                }
             }
         };
         self.diagnoser

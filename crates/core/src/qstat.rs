@@ -47,9 +47,6 @@ pub struct QStatistic {
 /// residual is identically zero under the model and no finite threshold
 /// separates normal from anomalous.
 pub fn q_threshold(eigenvalues: &[f64], r: usize, confidence: f64) -> Result<QStatistic> {
-    if !(confidence > 0.0 && confidence < 1.0) {
-        return Err(CoreError::InvalidConfidence { value: confidence });
-    }
     if r >= eigenvalues.len() {
         return Err(CoreError::DegenerateResidual { r });
     }
@@ -58,8 +55,38 @@ pub fn q_threshold(eigenvalues: &[f64], r: usize, confidence: f64) -> Result<QSt
     let phi2: f64 = residual.iter().map(|l| l * l).sum();
     let phi3: f64 = residual.iter().map(|l| l * l * l).sum();
     let scale = eigenvalues.first().copied().unwrap_or(0.0).max(1.0);
-    if phi1 <= scale * 1e-15 {
-        return Err(CoreError::DegenerateResidual { r });
+    q_threshold_from_moments(phi1, phi2, phi3, scale, confidence).map_err(|e| match e {
+        // Re-anchor the degenerate report on the split the caller chose.
+        CoreError::DegenerateResidual { .. } => CoreError::DegenerateResidual { r },
+        other => other,
+    })
+}
+
+/// Compute the Q-statistic threshold directly from the residual power
+/// sums `φ₁ = Σλⱼ`, `φ₂ = Σλⱼ²`, `φ₃ = Σλⱼ³` (over the residual axes
+/// only).
+///
+/// This is the entry point for truncated refits: the engines compute
+/// the moments *exactly* from matrix traces (`tr Σ`, `‖Σ‖²_F`, `tr Σ³`
+/// minus the leading eigenvalues' contributions — see
+/// [`power_traces`](netanom_linalg::decomposition::power_traces))
+/// without ever materializing the residual spectrum, so the threshold
+/// agrees with a full eigendecomposition's to roundoff. `scale` is the
+/// magnitude the degeneracy test is relative to (the largest
+/// eigenvalue, or `1.0` when unknown).
+pub fn q_threshold_from_moments(
+    phi1: f64,
+    phi2: f64,
+    phi3: f64,
+    scale: f64,
+    confidence: f64,
+) -> Result<QStatistic> {
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(CoreError::InvalidConfidence { value: confidence });
+    }
+    if !(phi1.is_finite() && phi2.is_finite() && phi3.is_finite()) || phi1 <= scale.max(1.0) * 1e-15
+    {
+        return Err(CoreError::DegenerateResidual { r: usize::MAX });
     }
 
     let c_alpha = stats::inverse_normal_cdf(confidence)?;

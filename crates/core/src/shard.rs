@@ -185,7 +185,8 @@ impl ShardedEngine<SubspaceBackend> {
         let mut parts = Vec::with_capacity(self.states.len());
         for state in &self.states {
             parts.push(state.stats.as_ref().ok_or(CoreError::ShardMismatch {
-                reason: "statistics are only maintained under RefitStrategy::Incremental",
+                reason: "statistics are only maintained under the incremental \
+                         and truncated refit strategies",
             })?);
         }
         IncrementalCovariance::merge(parts)

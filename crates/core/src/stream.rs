@@ -41,8 +41,18 @@ use crate::method::{DetectionBackend, SubspaceBackend};
 use crate::multiflow::{self, MultiFlowAnomaly};
 use crate::{CoreError, Result};
 
+/// Default number of top eigenpairs computed by
+/// [`RefitStrategy::truncated`] — comfortably above the normal
+/// dimension the 3σ rule picks on backbone data (`r ≈ 4`), so the
+/// frozen `r` always fits inside the computed block.
+pub const DEFAULT_TRUNCATED_K: usize = 8;
+
+/// Default Rayleigh-quotient residual tolerance of
+/// [`RefitStrategy::truncated`], relative to the largest eigenvalue.
+pub const DEFAULT_TRUNCATED_TOL: f64 = 1e-10;
+
 /// How [`StreamingEngine`] recomputes its model when a refit is due.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum RefitStrategy {
     /// Materialize the window and rerun the full fit (PCA via the
     /// configured [`crate::PcaMethod`], subspace separation, threshold).
@@ -68,6 +78,48 @@ pub enum RefitStrategy {
     /// will never refit should pick [`RefitStrategy::FullSvd`], which
     /// maintains nothing.
     Incremental,
+    /// Like [`RefitStrategy::Incremental`], but the refit solves only
+    /// for the top `k` eigenpairs of the covariance — blocked subspace
+    /// iteration with deflation
+    /// ([`TruncatedEigen`](netanom_linalg::decomposition::TruncatedEigen)),
+    /// `O(m²·k)` per sweep instead of full-Jacobi `O(m³)` — which is
+    /// what makes refits affordable on thousand-link topologies.
+    ///
+    /// The Q-statistic threshold stays **exact**: the residual moments
+    /// come from the covariance's power traces minus the computed
+    /// eigenvalues' contributions, so detections match the
+    /// [`RefitStrategy::Incremental`] route up to the solver tolerance
+    /// (pinned by `tests/refit_parity.rs`). The same 3σ freeze of the
+    /// normal dimension applies, and `k` is raised to the frozen `r`
+    /// when necessary; statistics upkeep is identical to the
+    /// incremental strategy.
+    Truncated {
+        /// Number of top eigenpairs to compute (raised to the model's
+        /// normal dimension when smaller).
+        k: usize,
+        /// Relative Rayleigh-quotient residual tolerance of the
+        /// iteration (see
+        /// [`TruncatedEigen::top_k`](netanom_linalg::decomposition::TruncatedEigen::top_k)).
+        tol: f64,
+    },
+}
+
+impl RefitStrategy {
+    /// The truncated strategy with the default block size and tolerance
+    /// ([`DEFAULT_TRUNCATED_K`], [`DEFAULT_TRUNCATED_TOL`]) — what the
+    /// CLI's `--refit truncated` selects.
+    pub fn truncated() -> Self {
+        RefitStrategy::Truncated {
+            k: DEFAULT_TRUNCATED_K,
+            tol: DEFAULT_TRUNCATED_TOL,
+        }
+    }
+
+    /// `true` for the strategies that maintain sliding sufficient
+    /// statistics on every arrival (incremental and truncated refits).
+    pub fn maintains_statistics(&self) -> bool {
+        !matches!(self, RefitStrategy::FullSvd)
+    }
 }
 
 /// Configuration of the streaming layer (the model itself is configured

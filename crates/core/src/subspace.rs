@@ -20,9 +20,16 @@ pub struct SubspaceModel {
     mean: Vec<f64>,
     /// Normal basis: `m × r`, orthonormal columns.
     p: Matrix,
-    /// Full spectrum (covariance scale), decreasing.
+    /// Captured spectrum (covariance scale), decreasing. Full `m`
+    /// entries for dense fits; only the leading `k` computed entries for
+    /// truncated refits (see [`SubspaceModel::from_truncated`]).
     eigenvalues: Vec<f64>,
     r: usize,
+    /// Exact residual power sums `(φ₁, φ₂, φ₃)` over axes `r..m`,
+    /// carried when the model was built without the full spectrum
+    /// (truncated refits). When present, [`SubspaceModel::q_threshold`]
+    /// uses them instead of summing `eigenvalues[r..]`.
+    residual_moments: Option<(f64, f64, f64)>,
 }
 
 impl SubspaceModel {
@@ -72,6 +79,7 @@ impl SubspaceModel {
             p: components.select_columns(&indices),
             eigenvalues,
             r,
+            residual_moments: None,
         })
     }
 
@@ -120,6 +128,7 @@ impl SubspaceModel {
             p,
             eigenvalues,
             r,
+            residual_moments: None,
         })
     }
 
@@ -143,7 +152,113 @@ impl SubspaceModel {
             p,
             eigenvalues: pca.eigenvalues().to_vec(),
             r,
+            residual_moments: None,
         })
+    }
+
+    /// Build a model from a *truncated* covariance eigendecomposition
+    /// ([`TruncatedEigen`]) plus the covariance's exact power traces
+    /// `(tr Σ, tr Σ², tr Σ³)` — the large-`m` refit entry point, where
+    /// only the top `k` eigenpairs are ever computed.
+    ///
+    /// The residual moments the Q-statistic threshold needs are formed
+    /// exactly as the traces minus the leading eigenvalues'
+    /// contributions, so the threshold matches a full
+    /// eigendecomposition's to roundoff — truncation changes the refit
+    /// *cost*, not its detection semantics. Requires `r ≤ k < m`; the
+    /// stored spectrum is the `k` computed entries
+    /// (see [`SubspaceModel::eigenvalues`]).
+    ///
+    /// [`TruncatedEigen`]: netanom_linalg::decomposition::TruncatedEigen
+    pub fn from_truncated(
+        mean: Vec<f64>,
+        eig: &netanom_linalg::decomposition::TruncatedEigen,
+        r: usize,
+        traces: (f64, f64, f64),
+    ) -> Result<Self> {
+        let m = mean.len();
+        let k = eig.len();
+        if eig.eigenvectors.shape() != (m, k) {
+            return Err(CoreError::DimensionMismatch {
+                expected: m,
+                got: eig.eigenvectors.rows(),
+            });
+        }
+        if r > k {
+            return Err(CoreError::DimensionMismatch {
+                expected: r,
+                got: k,
+            });
+        }
+        let (t1, t2, t3) = traces;
+        let head = &eig.eigenvalues[..r];
+        // Clamp against cancellation: the head sums approach the traces
+        // when the residual variance is (numerically) zero.
+        let phi1 = (t1 - head.iter().sum::<f64>()).max(0.0);
+        let phi2 = (t2 - head.iter().map(|l| l * l).sum::<f64>()).max(0.0);
+        let phi3 = (t3 - head.iter().map(|l| l * l * l).sum::<f64>()).max(0.0);
+        let indices: Vec<usize> = (0..r).collect();
+        Self::finish_truncated(
+            mean,
+            eig.eigenvectors.select_columns(&indices),
+            eig.eigenvalues.clone(),
+            r,
+            (phi1, phi2, phi3),
+        )
+    }
+
+    /// Reassemble a truncated-refit model from its exported parts (the
+    /// [`crate::method::MethodState`] import path): mean, `m × r` basis,
+    /// the `k ≥ r` computed eigenvalues, and the already-derived
+    /// residual moments `(φ₁, φ₂, φ₃)`.
+    pub(crate) fn from_parts_truncated(
+        mean: Vec<f64>,
+        p: Matrix,
+        eigenvalues: Vec<f64>,
+        r: usize,
+        moments: (f64, f64, f64),
+    ) -> Result<Self> {
+        let m = mean.len();
+        if p.rows() != m || p.cols() != r || eigenvalues.len() < r {
+            return Err(CoreError::DimensionMismatch {
+                expected: m,
+                got: p.rows(),
+            });
+        }
+        Self::finish_truncated(mean, p, eigenvalues, r, moments)
+    }
+
+    /// Shared tail of the truncated constructors: validate the residual
+    /// moments and degeneracy the same way the dense constructors do.
+    fn finish_truncated(
+        mean: Vec<f64>,
+        p: Matrix,
+        eigenvalues: Vec<f64>,
+        r: usize,
+        (phi1, phi2, phi3): (f64, f64, f64),
+    ) -> Result<Self> {
+        let m = mean.len();
+        if r >= m {
+            return Err(CoreError::DegenerateResidual { r });
+        }
+        let scale = eigenvalues.first().copied().unwrap_or(0.0).max(1.0);
+        if !(phi1.is_finite() && phi2.is_finite() && phi3.is_finite()) || phi1 <= scale * 1e-15 {
+            return Err(CoreError::DegenerateResidual { r });
+        }
+        Ok(SubspaceModel {
+            mean,
+            p,
+            eigenvalues,
+            r,
+            residual_moments: Some((phi1, phi2, phi3)),
+        })
+    }
+
+    /// The exact residual power sums `(φ₁, φ₂, φ₃)` carried by a
+    /// truncated-refit model, or `None` for models holding the full
+    /// spectrum (where the moments are recomputed from it on demand).
+    pub fn residual_moments(&self) -> Option<(f64, f64, f64)> {
+        self.residual_moments
     }
 
     /// Number of links `m`.
@@ -166,7 +281,9 @@ impl SubspaceModel {
         &self.p
     }
 
-    /// The full eigenvalue spectrum (covariance scale).
+    /// The captured eigenvalue spectrum (covariance scale), decreasing:
+    /// all `m` values for dense fits, the leading `k` computed values
+    /// for truncated refits ([`SubspaceModel::from_truncated`]).
     pub fn eigenvalues(&self) -> &[f64] {
         &self.eigenvalues
     }
@@ -326,8 +443,19 @@ impl SubspaceModel {
     }
 
     /// The Q-statistic threshold `δ²_α` at the given confidence level.
+    ///
+    /// Models built by a truncated refit carry their residual moments
+    /// exactly ([`SubspaceModel::residual_moments`]) and evaluate the
+    /// threshold from them; dense models sum the stored residual
+    /// spectrum. Both routes compute the same Jackson–Mudholkar formula.
     pub fn q_threshold(&self, confidence: f64) -> Result<QStatistic> {
-        q_threshold(&self.eigenvalues, self.r, confidence)
+        match self.residual_moments {
+            Some((phi1, phi2, phi3)) => {
+                let scale = self.eigenvalues.first().copied().unwrap_or(0.0).max(1.0);
+                crate::qstat::q_threshold_from_moments(phi1, phi2, phi3, scale, confidence)
+            }
+            None => q_threshold(&self.eigenvalues, self.r, confidence),
+        }
     }
 }
 

@@ -179,3 +179,72 @@ proptest! {
         prop_assert!(after.approx_eq(&before, 1e-9 * before.max_abs().max(1.0)));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The truncated refit route must reproduce the dense (full-Jacobi)
+    /// refit from the same statistics: matching top eigenvalues and a
+    /// matching Q-statistic threshold — the moments route is exact, not
+    /// an approximation — on arbitrary window matrices.
+    #[test]
+    fn truncated_model_matches_dense_model(
+        y in (12usize..40, 4usize..9).prop_flat_map(|(t, m)| matrix(t, m)),
+        r in 1usize..3,
+    ) {
+        let inc = IncrementalCovariance::from_matrix(&y);
+        let policy = netanom_core::SeparationPolicy::FixedCount(r);
+        let dense = inc.to_model(policy);
+        let truncated = inc.to_model_truncated(policy, r + 2, 1e-12);
+        // Both routes must agree on fit-ability (degenerate residuals
+        // are rejected identically).
+        prop_assert_eq!(dense.is_ok(), truncated.is_ok());
+        if let (Ok(dense), Ok(truncated)) = (dense, truncated) {
+            let scale = dense.eigenvalues()[0].max(1.0);
+            for (i, (a, b)) in dense
+                .eigenvalues()
+                .iter()
+                .zip(truncated.eigenvalues())
+                .enumerate()
+            {
+                prop_assert!(
+                    (a - b).abs() <= 1e-9 * scale,
+                    "eigenvalue {} differs: {} vs {}", i, a, b
+                );
+            }
+            prop_assert_eq!(dense.normal_dim(), truncated.normal_dim());
+            let qa = dense.q_threshold(0.999);
+            let qb = truncated.q_threshold(0.999);
+            prop_assert_eq!(qa.is_ok(), qb.is_ok());
+            if let (Ok(qa), Ok(qb)) = (qa, qb) {
+                prop_assert!(
+                    (qa.delta_sq - qb.delta_sq).abs() <= 1e-8 * qa.delta_sq.abs().max(1.0),
+                    "threshold differs: {} vs {}", qa.delta_sq, qb.delta_sq
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_variance_fraction_beyond_block_errors() {
+    // A variance target the computed block cannot reach must refuse
+    // (raise k) rather than silently shrink the subspace away from
+    // `to_model`'s choice.
+    let data = Matrix::from_fn(40, 10, |i, j| {
+        ((i * 10 + j).wrapping_mul(2654435761) % 997) as f64
+    });
+    let inc = IncrementalCovariance::from_matrix(&data);
+    let policy = netanom_core::SeparationPolicy::VarianceFraction(0.999_999);
+    let err = inc.to_model_truncated(policy, 2, 1e-10).unwrap_err();
+    assert!(matches!(
+        err,
+        netanom_core::CoreError::TruncatedBlockTooSmall { k: 2 }
+    ));
+    // With a reachable target and a block spanning enough of the
+    // spectrum, it succeeds and matches the dense route's choice.
+    let policy = netanom_core::SeparationPolicy::VarianceFraction(0.9);
+    let dense = inc.to_model(policy).unwrap();
+    let truncated = inc.to_model_truncated(policy, 9, 1e-10).unwrap();
+    assert_eq!(dense.normal_dim(), truncated.normal_dim());
+}

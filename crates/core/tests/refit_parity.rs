@@ -1,0 +1,215 @@
+//! Refit-strategy parity: on the canned Abilene week, the *detections*
+//! (alarm decisions and identified flows) must be identical across
+//! every `--refit` choice — `FullSvd`, `Incremental`, and
+//! `Truncated` — and the truncated route's threshold must agree with
+//! the full-Jacobi route's to solver tolerance (its residual moments
+//! are computed exactly from covariance traces, so the Jackson–
+//! Mudholkar threshold is the same number both ways).
+//!
+//! This is the acceptance contract of the truncated eigensolver:
+//! truncation changes the refit *cost*, never what is detected.
+
+use netanom_core::method::{DetectionBackend, SubspaceBackend};
+use netanom_core::shard::ShardedEngine;
+use netanom_core::stream::{RefitStrategy, StreamConfig, StreamingEngine};
+use netanom_core::{DiagnoserConfig, DiagnosisReport};
+use netanom_linalg::Matrix;
+use netanom_topology::LinkPartition;
+use netanom_traffic::datasets;
+
+const TRAIN_BINS: usize = 864; // 6 days; stream the remaining day
+const REFIT_EVERY: usize = 72;
+const CHUNK: usize = 36;
+
+fn abilene_split() -> (Matrix, Matrix, netanom_topology::Network) {
+    let ds = datasets::abilene();
+    let links = ds.links.matrix();
+    let training = links.row_block(0, TRAIN_BINS).unwrap();
+    let tail = links
+        .row_block(TRAIN_BINS, links.rows() - TRAIN_BINS)
+        .unwrap();
+    (training, tail, ds.network)
+}
+
+fn stream_reports(strategy: RefitStrategy) -> (Vec<DiagnosisReport>, StreamingEngine) {
+    let (training, tail, network) = abilene_split();
+    let mut engine = StreamingEngine::new(
+        &training,
+        &network.routing_matrix,
+        DiagnoserConfig::default(),
+        StreamConfig::new(TRAIN_BINS)
+            .refit_every(REFIT_EVERY)
+            .strategy(strategy),
+    )
+    .unwrap();
+    let mut reports = Vec::with_capacity(tail.rows());
+    let mut next = 0;
+    while next < tail.rows() {
+        let take = CHUNK.min(tail.rows() - next);
+        let block = tail.row_block(next, take).unwrap();
+        reports.extend(engine.process_batch(&block).unwrap());
+        next += take;
+    }
+    assert!(engine.refits() >= 1, "the stream must cross refits");
+    (reports, engine)
+}
+
+/// The decision trace of a report stream: (detected, identified flow).
+fn decisions(reports: &[DiagnosisReport]) -> Vec<(bool, Option<usize>)> {
+    reports
+        .iter()
+        .map(|r| (r.detected, r.identification.as_ref().map(|id| id.flow)))
+        .collect()
+}
+
+#[test]
+fn abilene_detections_bitwise_across_refit_strategies() {
+    let (full, _) = stream_reports(RefitStrategy::FullSvd);
+    let (incremental, inc_engine) = stream_reports(RefitStrategy::Incremental);
+    let (truncated, trunc_engine) = stream_reports(RefitStrategy::truncated());
+
+    // The canned week embeds anomalies; the stream must alarm at all.
+    assert!(
+        full.iter().any(|r| r.detected),
+        "no detections on the contaminated Abilene tail"
+    );
+    // Decisions bitwise-identical across every --refit choice.
+    assert_eq!(
+        decisions(&full),
+        decisions(&incremental),
+        "full-SVD vs incremental detections diverge"
+    );
+    assert_eq!(
+        decisions(&incremental),
+        decisions(&truncated),
+        "incremental vs truncated detections diverge"
+    );
+
+    // SPEs of the statistics-based strategies agree to solver tolerance.
+    for (t, (a, b)) in incremental.iter().zip(&truncated).enumerate() {
+        let rel = (a.spe - b.spe).abs() / a.spe.max(1.0);
+        assert!(rel < 1e-6, "SPE divergence {rel:.2e} at arrival {t}");
+    }
+    // The exact-moment threshold matches the full-spectrum threshold.
+    let thr_inc = inc_engine.diagnoser().detector().threshold().delta_sq;
+    let thr_trunc = trunc_engine.diagnoser().detector().threshold().delta_sq;
+    let rel = (thr_inc - thr_trunc).abs() / thr_inc;
+    assert!(rel < 1e-9, "threshold divergence {rel:.2e}");
+    // Both froze the same normal dimension under the 3σ policy.
+    assert_eq!(
+        inc_engine.diagnoser().model().normal_dim(),
+        trunc_engine.diagnoser().model().normal_dim()
+    );
+}
+
+#[test]
+fn truncated_threshold_moments_match_full_spectrum() {
+    // Directly compare the two refit products on identical statistics.
+    let (training, _, _) = abilene_split();
+    let stats = netanom_core::incremental::IncrementalCovariance::from_matrix(&training);
+    let policy = netanom_core::SeparationPolicy::FixedCount(4);
+    let dense = stats.to_model(policy).unwrap();
+    let truncated = stats.to_model_truncated(policy, 8, 1e-12).unwrap();
+
+    // Top-k eigenvalues to 1e-9 relative (the acceptance gate).
+    let scale = dense.eigenvalues()[0];
+    for (i, (a, b)) in dense
+        .eigenvalues()
+        .iter()
+        .zip(truncated.eigenvalues())
+        .enumerate()
+    {
+        assert!((a - b).abs() <= 1e-9 * scale, "eigenvalue {i}: {a} vs {b}");
+    }
+    // Sign-fixed basis parity.
+    for c in 0..dense.normal_basis().cols() {
+        let a = dense.normal_basis().col(c);
+        let b = truncated.normal_basis().col(c);
+        let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let sign = if dot >= 0.0 { 1.0 } else { -1.0 };
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - sign * y).abs() < 1e-8, "basis column {c} differs");
+        }
+    }
+    // The moments route reproduces the spectrum-summed threshold.
+    let qa = dense.q_threshold(0.999).unwrap();
+    let qb = truncated.q_threshold(0.999).unwrap();
+    assert!((qa.delta_sq - qb.delta_sq).abs() <= 1e-9 * qa.delta_sq);
+    assert!((qa.phi1 - qb.phi1).abs() <= 1e-9 * qa.phi1);
+    assert!((qa.phi2 - qb.phi2).abs() <= 1e-9 * qa.phi2);
+    assert!((qa.phi3 - qb.phi3).abs() <= 1e-9 * qa.phi3);
+}
+
+#[test]
+fn sharded_truncated_refits_match_streaming() {
+    let (training, tail, network) = abilene_split();
+    let rm = &network.routing_matrix;
+    let cfg = StreamConfig::new(TRAIN_BINS)
+        .refit_every(REFIT_EVERY)
+        .strategy(RefitStrategy::truncated());
+    let mut streaming =
+        StreamingEngine::new(&training, rm, DiagnoserConfig::default(), cfg).unwrap();
+    let partition = LinkPartition::round_robin(rm.num_links(), 4).unwrap();
+    let mut sharded =
+        ShardedEngine::new(&training, rm, DiagnoserConfig::default(), cfg, &partition).unwrap();
+
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    let mut next = 0;
+    while next < tail.rows() {
+        let take = CHUNK.min(tail.rows() - next);
+        let block = tail.row_block(next, take).unwrap();
+        a.extend(streaming.process_batch(&block).unwrap());
+        b.extend(sharded.process_batch(&block).unwrap());
+        next += take;
+    }
+    assert!(streaming.refits() >= 1);
+    assert_eq!(streaming.refits(), sharded.refits());
+    assert_eq!(decisions(&a), decisions(&b), "sharding changed decisions");
+    for (t, (x, y)) in a.iter().zip(&b).enumerate() {
+        let rel = (x.spe - y.spe).abs() / x.spe.max(1.0);
+        assert!(rel < 1e-9, "SPE divergence {rel:.2e} at arrival {t}");
+    }
+    // Merged statistics are bitwise the single-process statistics, so
+    // the post-refit thresholds must be *identical*.
+    assert_eq!(
+        streaming.diagnoser().detector().threshold().delta_sq,
+        sharded.diagnoser().detector().threshold().delta_sq,
+    );
+}
+
+#[test]
+fn truncated_state_roundtrips_with_identical_threshold() {
+    let (_, _, network) = abilene_split();
+    let rm = &network.routing_matrix;
+    let (_, engine) = stream_reports(RefitStrategy::truncated());
+    let backend = engine.backend();
+    let model = engine.diagnoser().model();
+    assert!(
+        model.residual_moments().is_some(),
+        "truncated refits must carry exact residual moments"
+    );
+
+    let state = backend.export_state();
+    let bytes = state.to_bytes();
+    let restored = netanom_core::method::MethodState::from_bytes(&bytes).unwrap();
+    assert_eq!(restored, state);
+
+    // Import into a fresh full-fit backend: scoring and threshold must
+    // become bitwise the exporter's.
+    let (training, tail, _) = abilene_split();
+    let mut other = SubspaceBackend::fit(
+        &training,
+        rm,
+        DiagnoserConfig::default(),
+        RefitStrategy::FullSvd,
+    )
+    .unwrap();
+    other.import_state(&restored).unwrap();
+    assert_eq!(other.threshold(), backend.threshold());
+    for t in 0..10 {
+        let a = backend.score_vector(tail.row(t)).unwrap();
+        let b = other.score_vector(tail.row(t)).unwrap();
+        assert_eq!(a, b, "bin {t}");
+    }
+}

@@ -39,8 +39,9 @@ pub struct ExperimentOutput {
 /// All experiment ids, in the paper's presentation order, followed by
 /// this repository's ablations (not figures of the paper, but the design
 /// choices DESIGN.md calls out) and the deployment scenarios: streaming,
-/// sharded, and the pluggable-methods head-to-head.
-pub const EXPERIMENT_IDS: [&str; 18] = [
+/// sharded, the pluggable-methods head-to-head, and the synthetic
+/// large-topology scale sweep.
+pub const EXPERIMENT_IDS: [&str; 19] = [
     "table1",
     "fig1",
     "fig2",
@@ -59,6 +60,7 @@ pub const EXPERIMENT_IDS: [&str; 18] = [
     "streaming",
     "sharded",
     "methods",
+    "scale",
 ];
 
 /// Expand and validate a user-supplied id list: `all` expands to the
@@ -112,6 +114,7 @@ pub fn run_by_id(id: &str, lab: &Lab, out_dir: &Path) -> Option<ExperimentOutput
         "streaming" => crate::streaming::experiment(lab, out_dir),
         "sharded" => crate::sharded::experiment(lab, out_dir),
         "methods" => crate::methods::experiment(lab, out_dir),
+        "scale" => crate::scale::experiment(lab, out_dir),
         _ => return None,
     };
     Some(out)

@@ -26,6 +26,10 @@
 //!   contaminated stream, reporting detection quality vs. the staged
 //!   ground truth and arrivals/sec per backend (experiment id
 //!   `methods`).
+//! * [`scale`] — the large-topology scenario: synthetic networks at
+//!   several link counts, streamed under full-Jacobi vs truncated
+//!   refits — throughput, refit latency, and ground-truth detection
+//!   quality vs `m` (experiment id `scale`, JSONL report for CI).
 //!
 //! The `experiments` binary (`cargo run -p netanom-eval --release --bin
 //! experiments -- all`) runs everything and writes results under
@@ -61,5 +65,6 @@ pub mod lab;
 pub mod methods;
 pub mod metrics;
 pub mod report;
+pub mod scale;
 pub mod sharded;
 pub mod streaming;

@@ -204,10 +204,7 @@ pub fn run_scenario(
 }
 
 fn strategy_label(s: RefitStrategy) -> &'static str {
-    match s {
-        RefitStrategy::FullSvd => "full-svd",
-        RefitStrategy::Incremental => "incremental",
-    }
+    crate::scale::strategy_label(s)
 }
 
 /// The `streaming` experiment driver: the scenario on the Abilene week

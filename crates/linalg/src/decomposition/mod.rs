@@ -14,13 +14,19 @@
 //!   Fourier baseline's basis functions.
 //! * [`Cholesky`] — SPD factorization used by the multi-flow identification
 //!   extension (Section 7.2) for its small normal-equation solves.
+//! * [`TruncatedEigen`] — the top-k eigenpairs only, by blocked subspace
+//!   iteration with deflation: the `O(m²k)`-per-sweep refit route the
+//!   streaming engines use at large link counts, where a full Jacobi
+//!   solve is wasteful (the subspace method keeps `k ≈ 4` axes of `m`).
 
 mod cholesky;
 mod jacobi;
 mod qr;
 mod svd;
+mod truncated;
 
 pub use cholesky::Cholesky;
 pub use jacobi::SymmetricEigen;
 pub use qr::{least_squares, Qr};
 pub use svd::Svd;
+pub use truncated::{power_traces, TruncatedEigen};

@@ -3,7 +3,9 @@
 //! Matrices are generated with bounded entries so that tolerance choices
 //! scale predictably; shapes are kept in the workspace's realistic range.
 
-use netanom_linalg::decomposition::{Cholesky, Qr, Svd, SymmetricEigen};
+use netanom_linalg::decomposition::{
+    power_traces, Cholesky, Qr, Svd, SymmetricEigen, TruncatedEigen,
+};
 use netanom_linalg::{stats, vector, Matrix};
 use proptest::prelude::*;
 
@@ -196,5 +198,140 @@ proptest! {
         let c_tilde = Matrix::identity(6).sub(&p).unwrap();
         let c2 = c_tilde.matmul(&c_tilde).unwrap();
         prop_assert!(c2.approx_eq(&c_tilde, 1e-10));
+    }
+}
+
+/// Deterministic pseudo-random value in `[-1, 1)` for spectral fixtures.
+fn hash_unit(i: usize) -> f64 {
+    let mut x = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+}
+
+/// A symmetric matrix with a prescribed spectrum: `A = V Λ Vᵀ` over a
+/// hash-seeded orthonormal basis (modified Gram–Schmidt, two passes).
+fn spectral_matrix(lambdas: &[f64], seed: u64) -> Matrix {
+    let m = lambdas.len();
+    let mut v = Matrix::from_fn(m, m, |i, j| hash_unit(seed as usize * m * m + i * m + j));
+    for j in 0..m {
+        for _pass in 0..2 {
+            for prev in 0..j {
+                let mut dot = 0.0;
+                for i in 0..m {
+                    dot += v[(i, prev)] * v[(i, j)];
+                }
+                for i in 0..m {
+                    let sub = dot * v[(i, prev)];
+                    v[(i, j)] -= sub;
+                }
+            }
+        }
+        let norm: f64 = (0..m).map(|i| v[(i, j)] * v[(i, j)]).sum::<f64>().sqrt();
+        for i in 0..m {
+            v[(i, j)] /= norm;
+        }
+    }
+    let mut a = Matrix::zeros(m, m);
+    for (j, &l) in lambdas.iter().enumerate() {
+        for r in 0..m {
+            for c in 0..m {
+                a[(r, c)] += l * v[(r, j)] * v[(c, j)];
+            }
+        }
+    }
+    Matrix::from_fn(m, m, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Well-separated spectra: the truncated solver must reproduce the
+    /// full Jacobi solve's top-k eigenpairs — values and sign-fixed
+    /// vectors — to 1e-9 of the leading eigenvalue.
+    #[test]
+    fn truncated_matches_jacobi_on_separated_spectra(
+        seed in 0u64..500,
+        m in 18usize..40,
+        k in 1usize..5,
+        ratio in 0.25..0.75f64,
+    ) {
+        let lambdas: Vec<f64> = (0..m).map(|i| 1e8 * ratio.powi(i as i32)).collect();
+        let a = spectral_matrix(&lambdas, seed);
+        let full = SymmetricEigen::new(&a).unwrap();
+        let top = TruncatedEigen::top_k(&a, k, 1e-12).unwrap();
+        let scale = full.eigenvalues[0];
+        for i in 0..k {
+            prop_assert!(
+                (top.eigenvalues[i] - full.eigenvalues[i]).abs() <= 1e-9 * scale,
+                "eigenvalue {} differs: {} vs {}", i, top.eigenvalues[i], full.eigenvalues[i]
+            );
+            let tv = top.eigenvectors.col(i);
+            let fv = full.eigenvectors.col(i);
+            let dot: f64 = tv.iter().zip(&fv).map(|(x, y)| x * y).sum();
+            let sign = if dot >= 0.0 { 1.0 } else { -1.0 };
+            for (x, y) in tv.iter().zip(&fv) {
+                prop_assert!((x - sign * y).abs() <= 1e-9, "eigenvector {} differs", i);
+            }
+        }
+    }
+
+    /// Near-degenerate spectra: clustered eigenvalues make individual
+    /// eigenvectors ill-defined, but the computed *values* must still
+    /// match Jacobi to 1e-9, every returned pair must satisfy the
+    /// eigen-equation to the requested residual, and the basis must be
+    /// orthonormal.
+    #[test]
+    fn truncated_survives_near_degenerate_spectra(
+        seed in 0u64..300,
+        m in 16usize..32,
+        gap in 1e-12..1e-6f64,
+    ) {
+        let mut lambdas: Vec<f64> = (0..m).map(|i| 1e8 * 0.5f64.powi(i as i32)).collect();
+        // Collapse λ₂ onto λ₁ and λ₄ onto λ₃ to within `gap` relative.
+        lambdas[1] = lambdas[0] * (1.0 - gap);
+        lambdas[3] = lambdas[2] * (1.0 - gap);
+        let a = spectral_matrix(&lambdas, seed);
+        let full = SymmetricEigen::new(&a).unwrap();
+        let k = 5;
+        let tol = 1e-11;
+        let top = TruncatedEigen::top_k(&a, k, tol).unwrap();
+        let scale = full.eigenvalues[0];
+        for i in 0..k {
+            prop_assert!(
+                (top.eigenvalues[i] - full.eigenvalues[i]).abs() <= 1e-9 * scale,
+                "clustered eigenvalue {} differs", i
+            );
+            let v = top.eigenvectors.col(i);
+            let av = a.matvec(&v).unwrap();
+            let mut res = 0.0f64;
+            for (x, y) in av.iter().zip(&v) {
+                let d = x - top.eigenvalues[i] * y;
+                res += d * d;
+            }
+            // Rayleigh-quotient residual honored (room for the lock
+            // threshold plus roundoff of this recomputation).
+            prop_assert!(res.sqrt() <= 10.0 * tol * scale, "pair {} residual {:e}", i, res.sqrt());
+        }
+        let g = top.eigenvectors.gram();
+        prop_assert!(g.approx_eq(&Matrix::identity(k), 1e-9));
+    }
+
+    /// The power traces equal the spectrum's power sums — the identity
+    /// the truncated refit's exact threshold rests on.
+    #[test]
+    fn power_traces_equal_spectrum_power_sums(seed in 0u64..300, m in 4usize..24) {
+        let lambdas: Vec<f64> = (0..m)
+            .map(|i| 1e6 * (1.0 + hash_unit(seed as usize * 31 + i)).max(1e-3))
+            .collect();
+        let a = spectral_matrix(&lambdas, seed);
+        let (t1, t2, t3) = power_traces(&a).unwrap();
+        let s1: f64 = lambdas.iter().sum();
+        let s2: f64 = lambdas.iter().map(|l| l * l).sum();
+        let s3: f64 = lambdas.iter().map(|l| l * l * l).sum();
+        prop_assert!((t1 - s1).abs() <= 1e-9 * s1.abs().max(1.0));
+        prop_assert!((t2 - s2).abs() <= 1e-9 * s2.abs().max(1.0));
+        prop_assert!((t3 - s3).abs() <= 1e-8 * s3.abs().max(1.0));
     }
 }

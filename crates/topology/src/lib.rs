@@ -19,6 +19,9 @@
 //!   direction) and `Āᵢ = Aᵢ/ΣAᵢ` (quantification weights).
 //! * [`builtin`] — the two topologies studied in the paper plus small
 //!   fixtures and a seeded random generator.
+//! * [`synth`] — parameterized synthetic backbones (PoP count, degree
+//!   distribution, jittered IGP weights, exact link-count targeting) for
+//!   thousand-link scale workloads.
 //! * [`partition`] — [`LinkPartition`]: validated splits of the link set
 //!   (per-PoP, round-robin, explicit) for the sharded diagnosis layer.
 //!
@@ -42,6 +45,7 @@ mod graph;
 mod matrix;
 pub mod partition;
 pub mod routing;
+pub mod synth;
 
 pub use builtin::Network;
 pub use error::TopologyError;

@@ -1,0 +1,314 @@
+//! Parameterized synthetic backbone topologies — the workload generator
+//! for thousand-link scale tests.
+//!
+//! The paper's two networks stop at 41 and 49 links; nothing about the
+//! subspace method does. This module manufactures PoP graphs of any
+//! size with backbone-shaped structure, deterministically from a seed:
+//!
+//! * **Connectivity by construction** — a random spanning tree first,
+//!   so every generated graph routes (no rejection loops);
+//! * **Degree distribution** — extra edges attach to endpoints sampled
+//!   `∝ (degree + 1)^bias`: `bias = 0` gives an Erdős–Rényi-flavoured
+//!   flat degree profile, larger values a preferential-attachment
+//!   hub-and-spoke profile like real PoP maps;
+//! * **Jittered IGP weights** — per-edge weights `1 + jitter·u` break
+//!   equal-cost ties so shortest paths spread over the mesh instead of
+//!   collapsing onto lexicographic tie-breaks;
+//! * **Exact link-count targeting** — [`SynthConfig::with_target_links`]
+//!   picks a PoP count and edge count so the directed-links-plus-intra
+//!   total `m = 2E + P` lands exactly on the requested `m`, making
+//!   "give me an `m = 1024` network" one call.
+//!
+//! The output is an ordinary [`Topology`]/[`Network`]: shortest-path
+//! routing (Dijkstra with deterministic tie-breaking) and the routing
+//! matrix `A` come from the same machinery the built-in networks use.
+//!
+//! # Example
+//!
+//! ```
+//! use netanom_topology::synth;
+//!
+//! let cfg = synth::SynthConfig::with_target_links(121, 7).unwrap();
+//! let net = synth::network(&cfg).unwrap();
+//! assert_eq!(net.topology.num_links(), 121);
+//! assert_eq!(
+//!     net.routing_matrix.num_flows(),
+//!     net.topology.num_pops() * net.topology.num_pops()
+//! );
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builtin::Network;
+use crate::graph::{PopId, Topology};
+use crate::{Result, TopologyError};
+
+/// Parameters of a synthetic backbone.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of PoPs (`≥ 2`).
+    pub pops: usize,
+    /// Number of bidirectional inter-PoP edges; clamped into
+    /// `[pops − 1, pops·(pops − 1)/2]` (spanning tree … complete graph).
+    pub edges: usize,
+    /// Preferential-attachment strength: endpoint sampling weight is
+    /// `(degree + 1)^bias`. `0.0` = uniform; `0.5–1.0` matches the
+    /// hub-heavy degree profiles of measured PoP maps.
+    pub degree_bias: f64,
+    /// IGP weight jitter: each edge's weight is `1 + jitter·u` with
+    /// `u ~ U[0, 1)`. Zero produces unit weights (and therefore many
+    /// equal-cost ties resolved by the deterministic tie-break).
+    pub weight_jitter: f64,
+    /// Master seed; the same configuration always builds the same graph.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// A backbone-shaped default: mean inter-PoP degree ≈ 4, mild
+    /// preferential attachment, 20% weight jitter.
+    pub fn new(pops: usize, seed: u64) -> Self {
+        SynthConfig {
+            pops,
+            edges: pops * 2,
+            degree_bias: 0.6,
+            weight_jitter: 0.2,
+            seed,
+        }
+    }
+
+    /// Pick `pops` and `edges` so the total link count — `2·edges`
+    /// directed links plus one intra-PoP link per PoP — is **exactly**
+    /// `target_links`, at mean degree ≈ 4 (the regime of the paper's
+    /// networks: Abilene's 41 links are 30 + 11 at degree 2.7).
+    ///
+    /// Errors for targets below 7 links (a 2-PoP backbone needs
+    /// `2·1 + 2 = 4`, but degree targeting needs a little room; 7 is the
+    /// 3-PoP triangle's count minus nothing — the smallest target with a
+    /// tree and one spare edge).
+    pub fn with_target_links(target_links: usize, seed: u64) -> Result<Self> {
+        if target_links < 7 {
+            return Err(TopologyError::EmptyTopology);
+        }
+        // m = 2E + P with E ≈ 2P (degree 4) ⇒ P ≈ m/5. Walk outward from
+        // that estimate to the nearest P of matching parity whose edge
+        // count fits between a tree and the complete graph.
+        let estimate = (target_links / 5).max(2);
+        for delta in 0..=target_links {
+            for p in [estimate.saturating_sub(delta), estimate + delta] {
+                if p < 2 || p >= target_links {
+                    continue;
+                }
+                if !(target_links - p).is_multiple_of(2) {
+                    continue;
+                }
+                let e = (target_links - p) / 2;
+                if e >= p - 1 && e <= p * (p - 1) / 2 {
+                    return Ok(SynthConfig {
+                        edges: e,
+                        ..SynthConfig::new(p, seed)
+                    });
+                }
+            }
+        }
+        Err(TopologyError::EmptyTopology)
+    }
+}
+
+/// Sample an index from `weights` proportionally (weights must be
+/// positive); deterministic given the rng state.
+fn weighted_pick(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut pick = rng.random_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if pick < w {
+            return i;
+        }
+        pick -= w;
+    }
+    weights.len() - 1
+}
+
+/// Build the synthetic PoP graph (no routing derived yet).
+pub fn topology(cfg: &SynthConfig) -> Result<Topology> {
+    if cfg.pops < 2 {
+        return Err(TopologyError::EmptyTopology);
+    }
+    let p = cfg.pops;
+    let max_edges = p * (p - 1) / 2;
+    let edges = cfg.edges.clamp(p - 1, max_edges);
+    let bias = cfg.degree_bias.max(0.0);
+    let jitter = cfg.weight_jitter.max(0.0);
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x73796E74 /* "synt" */);
+    let mut b = Topology::builder(format!("synth{p}-{}", cfg.seed));
+    let ids: Vec<PopId> = (0..p)
+        .map(|i| b.pop(format!("s{i}")).expect("unique"))
+        .collect();
+
+    let mut degree = vec![0usize; p];
+    let mut present = vec![false; p * p];
+    let weight = |rng: &mut StdRng| 1.0 + jitter * rng.random_range(0.0..1.0);
+
+    // Random spanning tree with preferential attachment: node i joins a
+    // previous node sampled ∝ (degree+1)^bias.
+    for i in 1..p {
+        let weights: Vec<f64> = (0..i)
+            .map(|j| ((degree[j] + 1) as f64).powf(bias))
+            .collect();
+        let j = weighted_pick(&mut rng, &weights);
+        let w = weight(&mut rng);
+        b.weighted_edge(ids[i], ids[j], w).expect("tree edge");
+        degree[i] += 1;
+        degree[j] += 1;
+        present[i * p + j] = true;
+        present[j * p + i] = true;
+    }
+
+    // Extra edges: endpoints sampled by degree preference; duplicates
+    // and self-loops are re-drawn, with a deterministic scan fallback so
+    // dense requests terminate.
+    let mut added = p - 1;
+    'outer: while added < edges {
+        for _attempt in 0..64 {
+            let weights: Vec<f64> = degree
+                .iter()
+                .map(|&d| ((d + 1) as f64).powf(bias))
+                .collect();
+            let a = weighted_pick(&mut rng, &weights);
+            let c = weighted_pick(&mut rng, &weights);
+            if a == c || present[a * p + c] {
+                continue;
+            }
+            let w = weight(&mut rng);
+            b.weighted_edge(ids[a], ids[c], w).expect("fresh edge");
+            degree[a] += 1;
+            degree[c] += 1;
+            present[a * p + c] = true;
+            present[c * p + a] = true;
+            added += 1;
+            continue 'outer;
+        }
+        // Rejection stalled (graph nearly complete): take the first
+        // absent pair in scan order.
+        for a in 0..p {
+            for c in (a + 1)..p {
+                if !present[a * p + c] {
+                    let w = weight(&mut rng);
+                    b.weighted_edge(ids[a], ids[c], w).expect("fresh edge");
+                    degree[a] += 1;
+                    degree[c] += 1;
+                    present[a * p + c] = true;
+                    present[c * p + a] = true;
+                    added += 1;
+                    continue 'outer;
+                }
+            }
+        }
+        break; // complete graph reached
+    }
+    b.build()
+}
+
+/// Build the full [`Network`]: graph, shortest-path routes, routing
+/// matrix. Connectivity is guaranteed by the spanning-tree construction.
+pub fn network(cfg: &SynthConfig) -> Result<Network> {
+    Ok(Network::from_topology(topology(cfg)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_link_targets_hit() {
+        for target in [7, 41, 121, 240, 512, 1023, 1024] {
+            let cfg = SynthConfig::with_target_links(target, 3).unwrap();
+            let topo = topology(&cfg).unwrap();
+            assert_eq!(
+                topo.num_links(),
+                target,
+                "target {target}: pops {} edges {}",
+                cfg.pops,
+                cfg.edges
+            );
+        }
+        assert!(SynthConfig::with_target_links(3, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let cfg = SynthConfig::new(20, 11);
+        let a = network(&cfg).unwrap();
+        let b = network(&cfg).unwrap();
+        assert_eq!(a.topology.num_links(), b.topology.num_links());
+        for f in 0..a.routing_matrix.num_flows() {
+            assert_eq!(a.routing_matrix.flow(f).path, b.routing_matrix.flow(f).path);
+        }
+        let c = network(&SynthConfig::new(20, 12)).unwrap();
+        let same = (0..a.routing_matrix.num_flows())
+            .all(|f| a.routing_matrix.flow(f).path == c.routing_matrix.flow(f).path);
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn routes_and_matrix_are_consistent() {
+        let cfg = SynthConfig::with_target_links(121, 5).unwrap();
+        let net = network(&cfg).unwrap();
+        let rm = &net.routing_matrix;
+        assert_eq!(rm.num_links(), 121);
+        // Every link carries at least one flow (no dead columns).
+        for l in 0..rm.num_links() {
+            let carried = (0..rm.num_flows()).any(|f| rm.column(f)[l] != 0.0);
+            assert!(carried, "link {l} carries nothing");
+        }
+    }
+
+    #[test]
+    fn degree_bias_concentrates_degree() {
+        // Strong preferential attachment should produce a larger max
+        // degree than uniform attachment on the same size.
+        let max_degree = |bias: f64| {
+            let cfg = SynthConfig {
+                degree_bias: bias,
+                ..SynthConfig::new(60, 21)
+            };
+            let t = topology(&cfg).unwrap();
+            (0..60).map(|i| t.out_links(PopId(i)).len()).max().unwrap()
+        };
+        assert!(
+            max_degree(2.0) > max_degree(0.0),
+            "bias should concentrate degree"
+        );
+    }
+
+    #[test]
+    fn edge_count_clamps_to_valid_range() {
+        // More edges than pairs: complete graph, no panic.
+        let cfg = SynthConfig {
+            edges: 10_000,
+            ..SynthConfig::new(8, 2)
+        };
+        let t = topology(&cfg).unwrap();
+        assert_eq!(t.num_links(), 8 * 7 + 8); // complete: 2·28 + 8
+                                              // Fewer than a tree: clamped up to connectivity.
+        let cfg = SynthConfig {
+            edges: 0,
+            ..SynthConfig::new(8, 2)
+        };
+        let t = topology(&cfg).unwrap();
+        assert_eq!(t.num_links(), 2 * 7 + 8);
+        assert!(topology(&SynthConfig::new(1, 0)).is_err());
+    }
+
+    #[test]
+    fn zero_jitter_and_zero_bias_still_build() {
+        let cfg = SynthConfig {
+            degree_bias: 0.0,
+            weight_jitter: 0.0,
+            ..SynthConfig::new(12, 9)
+        };
+        let net = network(&cfg).unwrap();
+        assert!(net.topology.num_links() > 12);
+    }
+}

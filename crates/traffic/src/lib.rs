@@ -53,6 +53,7 @@ pub mod gravity;
 pub mod io;
 pub mod sampling;
 mod series;
+pub mod synth;
 
 pub use anomaly::AnomalyEvent;
 pub use generator::{GeneratorConfig, NoiseModel, TrafficClass, TrafficGenerator};

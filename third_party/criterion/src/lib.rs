@@ -9,6 +9,11 @@
 //! and can be redirected with `--save-baseline NAME` (written to
 //! `target/criterion/NAME.jsonl`) or the `CRITERION_BASELINE_FILE`
 //! environment variable.
+//!
+//! `--quick` (or real criterion's `--test`) switches to smoke mode:
+//! every benchmark routine runs exactly once, with no calibration and
+//! no baseline write — the mode CI uses to prove the benches still
+//! compile and run without paying for measurements.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -40,6 +45,7 @@ pub struct Criterion {
     baseline_file: PathBuf,
     results: Vec<BenchResult>,
     default_sample_size: usize,
+    quick: bool,
 }
 
 impl Default for Criterion {
@@ -49,6 +55,7 @@ impl Default for Criterion {
             baseline_file: default_baseline_file(None),
             results: Vec::new(),
             default_sample_size: 20,
+            quick: false,
         }
     }
 }
@@ -73,7 +80,8 @@ impl Criterion {
         let mut save: Option<String> = None;
         while let Some(a) = args.next() {
             match a.as_str() {
-                "--bench" | "--test" => {}
+                "--bench" => {}
+                "--quick" | "--test" => c.quick = true,
                 "--save-baseline" => save = args.next(),
                 "--sample-size" => {
                     if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
@@ -119,6 +127,7 @@ impl Criterion {
         }
         let mut bencher = Bencher {
             sample_size,
+            quick: self.quick,
             samples_ns: Vec::new(),
             iters_per_sample: 0,
         };
@@ -145,7 +154,11 @@ impl Criterion {
             samples: ns.len(),
             iters_per_sample: bencher.iters_per_sample,
         };
-        self.append_baseline(&result);
+        // Smoke mode proves the routine runs; a one-shot timing is not a
+        // baseline worth diffing against.
+        if !self.quick {
+            self.append_baseline(&result);
+        }
         self.results.push(result);
     }
 
@@ -174,7 +187,13 @@ impl Criterion {
 
     /// Print the closing summary (called by `criterion_main!`).
     pub fn final_summary(&self) {
-        if !self.results.is_empty() {
+        if self.results.is_empty() {
+        } else if self.quick {
+            println!(
+                "\n{} benchmarks ran (smoke mode, no baseline)",
+                self.results.len()
+            );
+        } else {
             println!(
                 "\n{} benchmarks; baseline appended to {}",
                 self.results.len(),
@@ -228,6 +247,7 @@ impl BenchmarkGroup<'_> {
 /// Passed to the benchmark closure; runs and times the routine.
 pub struct Bencher {
     sample_size: usize,
+    quick: bool,
     samples_ns: Vec<f64>,
     iters_per_sample: u64,
 }
@@ -236,6 +256,16 @@ impl Bencher {
     /// Time `routine`, auto-calibrating the iteration count so each
     /// sample is long enough to measure reliably.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            // Smoke mode: one untimed-in-spirit execution, recorded so
+            // the report still lists the benchmark.
+            let start = Instant::now();
+            black_box(routine());
+            self.iters_per_sample = 1;
+            self.samples_ns.clear();
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+            return;
+        }
         // Calibrate: grow the batch until one batch takes >= 5 ms (or a
         // single iteration already exceeds it).
         let mut iters: u64 = 1;
@@ -298,11 +328,22 @@ mod tests {
     fn bencher_measures_something() {
         let mut b = Bencher {
             sample_size: 3,
+            quick: false,
             samples_ns: Vec::new(),
             iters_per_sample: 0,
         };
         b.iter(|| std::hint::black_box(2u64).wrapping_mul(3));
         assert_eq!(b.samples_ns.len(), 3);
+        // Smoke mode runs the routine exactly once.
+        let mut q = Bencher {
+            sample_size: 3,
+            quick: true,
+            samples_ns: Vec::new(),
+            iters_per_sample: 0,
+        };
+        q.iter(|| std::hint::black_box(2u64).wrapping_mul(3));
+        assert_eq!(q.samples_ns.len(), 1);
+        assert_eq!(q.iters_per_sample, 1);
         assert!(b.samples_ns.iter().all(|&ns| ns >= 0.0));
         assert!(b.iters_per_sample >= 1);
     }
