@@ -75,6 +75,51 @@ fn help_exits_zero_and_mentions_method_selection() {
 }
 
 #[test]
+fn diagnose_on_mini_routes_small_operands_through_the_reference_kernel() {
+    // The mini dataset has 10 links and 16 flows, so every GEMM in the
+    // fit/score pipeline sits below the packed-kernel crossover and
+    // falls through to the reference kernels (`linalg::kernel`'s
+    // graceful degradation on tiny operands). The detections and
+    // identifications pinned here are the pre-kernel-layer decisions —
+    // the crossover must never be observable in results.
+    let dir = std::env::temp_dir().join("netanom-exit-diagnose");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = netanom(&[
+        "simulate",
+        "--dataset",
+        "mini",
+        "--out-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "simulate: {:?}", out.status);
+    let out = netanom(&[
+        "diagnose",
+        "--links",
+        dir.join("links.csv").to_str().unwrap(),
+        "--paths",
+        dir.join("paths.csv").to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "diagnose: {:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let rows: Vec<(&str, &str)> = stdout
+        .lines()
+        .skip(1)
+        .map(|l| {
+            let mut f = l.split(',');
+            (f.next().unwrap(), f.nth(2).unwrap())
+        })
+        .collect();
+    assert_eq!(
+        rows,
+        [("181", "9"), ("198", "0"), ("221", "12")],
+        "detected (bin, flow) pairs changed: {stdout}"
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("3 anomalies in 288 bins"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn stream_with_a_method_succeeds_end_to_end() {
     // A tiny but real run: simulate the mini dataset, then stream it
     // through a temporal backend.

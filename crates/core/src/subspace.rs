@@ -391,11 +391,10 @@ impl SubspaceModel {
     /// (`Matrix::centered_residual_norms_sq`): centering, projection and
     /// the norm reduction never materialize per-row vectors, which makes
     /// this several times faster than the per-vector loop even on one
-    /// core, and row-parallel beyond that. The kernel's blocked
-    /// reductions agree with [`SubspaceModel::spe`] to within `1e-12`
-    /// relative (measured ~1e-14) rather than bitwise; callers needing
-    /// the exact per-vector value can take row norms of
-    /// [`SubspaceModel::residual_matrix`].
+    /// core, and row-parallel beyond that. The kernel keeps the exact
+    /// per-vector operation order, so every SPE is bitwise identical to
+    /// [`SubspaceModel::spe`] — well inside the documented `1e-12`
+    /// relative contract of this batch API.
     pub fn spe_all(&self, links: &Matrix) -> Result<Vec<f64>> {
         if links.cols() != self.dim() {
             return Err(CoreError::DimensionMismatch {
@@ -433,7 +432,7 @@ impl SubspaceModel {
         }
         // coeffs = Pᵀ·dirs accumulates over the link axis in the same
         // order as the per-vector matvec_t; modeled = P·coeffs likewise.
-        let coeffs = self.p.transpose().matmul(dirs).expect("dims checked");
+        let coeffs = self.p.matmul_tn(dirs).expect("dims checked");
         let modeled = self.p.matmul(&coeffs).expect("dims checked");
         dirs.sub(&modeled)
             .map_err(|_| CoreError::DimensionMismatch {

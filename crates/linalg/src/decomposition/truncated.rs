@@ -161,8 +161,8 @@ impl TruncatedEigen {
             let z = a.matmul(&q).expect("shapes fixed by construction");
             // Rayleigh–Ritz on the active block: S = QᵀAQ (symmetrized
             // against roundoff), small dense solve, rotate onto the
-            // Ritz basis.
-            let s_raw = q.transpose().matmul(&z).expect("b × b");
+            // Ritz basis. `matmul_tn` skips the transposed copy of Q.
+            let s_raw = q.matmul_tn(&z).expect("b × b");
             let b_active = q.cols();
             let s = Matrix::from_fn(b_active, b_active, |i, j| {
                 0.5 * (s_raw[(i, j)] + s_raw[(j, i)])

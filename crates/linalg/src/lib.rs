@@ -12,6 +12,11 @@
 //! * [`Matrix`] — a row-major dense `f64` matrix with the operations the
 //!   workspace needs (products, transposes, column statistics,
 //!   mean-centering, norms).
+//! * [`kernel`] — the packed, cache-blocked GEMM layer every matrix
+//!   product routes through: panel packing, a register-blocked
+//!   micro-kernel, and naive reference kernels the packed path is pinned
+//!   against (bitwise — see the module docs for the accumulation-order
+//!   contract).
 //! * [`vector`] — free functions over `&[f64]` slices (dot products, norms,
 //!   elementwise arithmetic) so that callers can stay allocation-light.
 //! * [`decomposition`] — cyclic Jacobi symmetric eigendecomposition,
@@ -54,6 +59,7 @@
 
 pub mod decomposition;
 mod error;
+pub mod kernel;
 pub mod matrix;
 pub mod parallel;
 pub mod stats;

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use crate::kernel;
 use crate::parallel;
 use crate::vector;
 use crate::{LinalgError, Result};
@@ -10,11 +11,13 @@ use crate::{LinalgError, Result};
 /// A dense, row-major matrix of `f64` values.
 ///
 /// Storage is a flat `Vec<f64>`, easy to audit. Products ([`Matrix::matmul`],
-/// [`Matrix::matmul_nt`], [`Matrix::gram`]) run a cache-friendly row-axpy
-/// kernel and split their *output rows* across threads once the operation is
-/// large enough to amortize the spawn cost; because a row's scalar loop is
-/// identical on every path, results are bitwise independent of the thread
-/// count (see [`crate::parallel`]).
+/// [`Matrix::matmul_nt`], [`Matrix::matmul_tn`], [`Matrix::gram`]) route
+/// through the packed, cache-blocked [`crate::kernel`] layer once the shape
+/// amortizes panel packing, and split their *output rows* across threads once
+/// the operation is large enough to amortize the spawn cost; because every
+/// path accumulates each output element in the same strictly-ascending-`k`
+/// order, results are bitwise independent of both the thread count (see
+/// [`crate::parallel`]) and the packed-vs-reference routing.
 ///
 /// Indexing uses `(row, col)` tuples and panics out-of-bounds, like slice
 /// indexing. Shape-dependent operations (`matmul`, solves, …) return
@@ -193,6 +196,12 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable flat row-major storage — for the [`crate::kernel`] layer,
+    /// which writes GEMM output blocks in place.
+    pub(crate) fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
         Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
@@ -200,8 +209,11 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Row-parallel for large operands; bitwise identical to the serial
-    /// kernel regardless of thread count.
+    /// Routed through the packed [`crate::kernel`] layer for large
+    /// shapes and the bitwise-identical reference kernel otherwise;
+    /// row-parallel on top, so results are independent of thread count
+    /// and routing alike. No term is ever skipped: `0 × NaN` columns
+    /// poison the product exactly as IEEE arithmetic dictates.
     ///
     /// Returns an error if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
@@ -216,17 +228,17 @@ impl Matrix {
         if out.data.is_empty() {
             return Ok(out);
         }
-        let workers = parallel::workers_for(self.rows * self.cols * rhs.cols, self.rows);
+        let (n, kdim) = (rhs.cols, self.cols);
+        let lhs_op = kernel::Operand::normal(self);
+        let rhs_op = kernel::Operand::normal(rhs);
+        let packed = kernel::use_packed(self.rows, kdim, n);
+        let workers = parallel::workers_for(self.rows * kdim * n, self.rows);
         let boundaries = parallel::balanced_boundaries(self.rows, workers, |_| 1.0);
-        parallel::for_row_blocks(&mut out.data, rhs.cols, &boundaries, |first_row, block| {
-            for (li, orow) in block.chunks_mut(rhs.cols).enumerate() {
-                let arow = self.row(first_row + li);
-                for (k, &aik) in arow.iter().enumerate() {
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    vector::axpy(aik, rhs.row(k), orow);
-                }
+        parallel::for_row_blocks(&mut out.data, n, &boundaries, |first_row, block| {
+            if packed {
+                kernel::gemm_block(&lhs_op, &rhs_op, first_row, block, n, kdim, false);
+            } else {
+                kernel::gemm_reference(&lhs_op, &rhs_op, first_row, block, n, kdim, false);
             }
         });
         Ok(out)
@@ -235,9 +247,11 @@ impl Matrix {
     /// Matrix product with a transposed right-hand side: `self * rhsᵀ`
     /// (`rhs` given as `n × k` with `k = self.cols`).
     ///
-    /// Both operands are walked row-major, so no transposed copy is
-    /// materialized; entry `(i, j)` is exactly [`vector::dot`] of row `i`
-    /// of `self` with row `j` of `rhs`. Row-parallel like
+    /// No transposed copy is materialized: the kernel layer's packing
+    /// (or, below the packing crossover, a contiguous per-element dot)
+    /// absorbs the orientation. Entry `(i, j)` accumulates
+    /// `self[i][k] · rhs[j][k]` over ascending `k`, exactly like
+    /// [`vector::dot`] of the two rows. Row-parallel like
     /// [`Matrix::matmul`].
     ///
     /// Returns an error if `self.cols != rhs.cols`.
@@ -253,14 +267,55 @@ impl Matrix {
         if out.data.is_empty() {
             return Ok(out);
         }
-        let workers = parallel::workers_for(self.rows * self.cols * rhs.rows, self.rows);
+        let (n, kdim) = (rhs.rows, self.cols);
+        let lhs_op = kernel::Operand::normal(self);
+        let rhs_op = kernel::Operand::transposed(rhs);
+        let packed = kernel::use_packed(self.rows, kdim, n);
+        let workers = parallel::workers_for(self.rows * kdim * n, self.rows);
         let boundaries = parallel::balanced_boundaries(self.rows, workers, |_| 1.0);
-        parallel::for_row_blocks(&mut out.data, rhs.rows, &boundaries, |first_row, block| {
-            for (li, orow) in block.chunks_mut(rhs.rows).enumerate() {
-                let arow = self.row(first_row + li);
-                for (j, o) in orow.iter_mut().enumerate() {
-                    *o = vector::dot(arow, rhs.row(j));
-                }
+        parallel::for_row_blocks(&mut out.data, n, &boundaries, |first_row, block| {
+            if packed {
+                kernel::gemm_block(&lhs_op, &rhs_op, first_row, block, n, kdim, false);
+            } else {
+                kernel::gemm_reference(&lhs_op, &rhs_op, first_row, block, n, kdim, false);
+            }
+        });
+        Ok(out)
+    }
+
+    /// Matrix product with a transposed left-hand side: `selfᵀ * rhs`
+    /// (`self` given as `k × m`, `rhs` as `k × n`).
+    ///
+    /// The subspace-iteration projections (`QᵀZ`, `PᵀD`) are exactly
+    /// this shape; computing them here avoids materializing the
+    /// transpose while accumulating each element over ascending `k` —
+    /// bitwise what `self.transpose().matmul(rhs)` produces.
+    /// Row-parallel over the `m` output rows like [`Matrix::matmul`].
+    ///
+    /// Returns an error if `self.rows != rhs.rows`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_tn",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        if out.data.is_empty() {
+            return Ok(out);
+        }
+        let (n, kdim) = (rhs.cols, self.rows);
+        let lhs_op = kernel::Operand::transposed(self);
+        let rhs_op = kernel::Operand::normal(rhs);
+        let packed = kernel::use_packed(self.cols, kdim, n);
+        let workers = parallel::workers_for(self.cols * kdim * n, self.cols);
+        let boundaries = parallel::balanced_boundaries(self.cols, workers, |_| 1.0);
+        parallel::for_row_blocks(&mut out.data, n, &boundaries, |first_row, block| {
+            if packed {
+                kernel::gemm_block(&lhs_op, &rhs_op, first_row, block, n, kdim, false);
+            } else {
+                kernel::gemm_reference(&lhs_op, &rhs_op, first_row, block, n, kdim, false);
             }
         });
         Ok(out)
@@ -271,16 +326,16 @@ impl Matrix {
     /// `out[i] = ‖z − P(Pᵀz)‖²` with `z = row(i) − mean`.
     ///
     /// This is the detection hot path of the subspace method (the SPE of
-    /// every timestep), fused into a single row-parallel pass: the
-    /// centered row never leaves a cache-resident scratch buffer, the
-    /// basis width is specialized to a compile-time constant for
-    /// `r ≤ 8`, and the two long reductions run two-way blocked. The
-    /// blocking reassociates the sums, so values agree with the exact
-    /// per-vector computation ([`Matrix::matvec_t`] → [`Matrix::matvec`]
-    /// → subtract → norm) to ~1e-14 relative — far inside the 1e-12
-    /// contract the `netanom-core` batch API documents — instead of
-    /// bitwise. For bitwise results use [`Matrix::project_rows_split`]
-    /// and [`Matrix::row_norms_sq`], at roughly 4× the cost.
+    /// every timestep), fused into a single row-parallel pass: each
+    /// worker centers a small stack of rows into a cache-resident
+    /// scratch block, runs one packed [`crate::kernel`] GEMM for the
+    /// coefficient stack `C = Z·P`, and folds the modeled reconstruction
+    /// and the residual norm in a single epilogue sweep — the centered
+    /// rows never touch main memory. Every reduction keeps the exact
+    /// per-vector operation order, so values are **bitwise identical**
+    /// to the exact route ([`Matrix::matvec_t`] → [`Matrix::matvec`] →
+    /// subtract → norm per row) — strictly inside the 1e-12 contract the
+    /// `netanom-core` batch API documents.
     ///
     /// Returns an error if `mean.len() != cols` or
     /// `basis.rows() != cols`.
@@ -293,31 +348,109 @@ impl Matrix {
             });
         }
         let r = basis.cols();
+        let m = self.cols;
         let mut out = vec![0.0_f64; self.rows];
         if self.rows == 0 {
             return Ok(out);
         }
-        let workers = parallel::workers_for(self.rows * self.cols * (2 * r + 3), self.rows);
+        let workers = parallel::workers_for(self.rows * m * (2 * r + 3), self.rows);
         let boundaries = parallel::balanced_boundaries(self.rows, workers, |_| 1.0);
         let bdata = basis.as_slice();
+        let basis_op = kernel::Operand::normal(basis);
         parallel::for_row_blocks(&mut out, 1, &boundaries, |first_row, block| {
-            let mut zbuf = vec![0.0_f64; self.cols];
-            for (li, spe) in block.iter_mut().enumerate() {
-                let yrow = self.row(first_row + li);
-                for ((z, &y), &mu) in zbuf.iter_mut().zip(yrow).zip(mean) {
-                    *z = y - mu;
+            // Stack height: tall enough that the coefficient GEMM can
+            // take the packed path, short enough that the centered
+            // stack stays cache-resident (32 × 2048 links = 512 KiB).
+            const SPE_STACK: usize = 32;
+            let stack = SPE_STACK.min(block.len());
+            let mut zbuf = vec![0.0_f64; stack * m];
+            let mut cbuf = vec![0.0_f64; stack * r];
+            let mut done = 0;
+            while done < block.len() {
+                let take = stack.min(block.len() - done);
+                for li in 0..take {
+                    let yrow = self.row(first_row + done + li);
+                    let dst = &mut zbuf[li * m..(li + 1) * m];
+                    for ((z, &y), &mu) in dst.iter_mut().zip(yrow).zip(mean) {
+                        *z = y - mu;
+                    }
                 }
-                *spe = match r {
-                    1 => centered_spe_row::<1>(&zbuf, bdata),
-                    2 => centered_spe_row::<2>(&zbuf, bdata),
-                    3 => centered_spe_row::<3>(&zbuf, bdata),
-                    4 => centered_spe_row::<4>(&zbuf, bdata),
-                    5 => centered_spe_row::<5>(&zbuf, bdata),
-                    6 => centered_spe_row::<6>(&zbuf, bdata),
-                    7 => centered_spe_row::<7>(&zbuf, bdata),
-                    8 => centered_spe_row::<8>(&zbuf, bdata),
-                    _ => centered_spe_row_dyn(&zbuf, bdata, r),
-                };
+                if r > 0 {
+                    let cblock = &mut cbuf[..take * r];
+                    cblock.fill(0.0);
+                    if kernel::use_packed(take, m, r) {
+                        let z_op =
+                            kernel::Operand::N(kernel::View::new(&zbuf[..take * m], take, m));
+                        kernel::gemm_block(&z_op, &basis_op, 0, cblock, r, m, false);
+                    } else if r <= 8 {
+                        // Below the packed crossover a const-width
+                        // coefficient pass beats the reference GEMM's
+                        // dynamic-width inner loop; same ascending-k
+                        // order, so the routing stays unobservable.
+                        for li in 0..take {
+                            let zrow = &zbuf[li * m..(li + 1) * m];
+                            let crow = &mut cblock[li * r..(li + 1) * r];
+                            match r {
+                                1 => spe_coeffs::<1>(zrow, bdata, crow),
+                                2 => spe_coeffs::<2>(zrow, bdata, crow),
+                                3 => spe_coeffs::<3>(zrow, bdata, crow),
+                                4 => spe_coeffs::<4>(zrow, bdata, crow),
+                                5 => spe_coeffs::<5>(zrow, bdata, crow),
+                                6 => spe_coeffs::<6>(zrow, bdata, crow),
+                                7 => spe_coeffs::<7>(zrow, bdata, crow),
+                                _ => spe_coeffs::<8>(zrow, bdata, crow),
+                            }
+                        }
+                    } else {
+                        let z_op =
+                            kernel::Operand::N(kernel::View::new(&zbuf[..take * m], take, m));
+                        kernel::gemm_reference(&z_op, &basis_op, 0, cblock, r, m, false);
+                    }
+                }
+                // Epilogue over row *pairs*: each row's reductions keep
+                // their exact ascending order (the bitwise contract),
+                // but interleaving two independent rows gives the
+                // superscalar core a second accumulator chain to hide
+                // the serial-add latency behind.
+                let mut li = 0;
+                while li + 1 < take {
+                    let (zpair, cpair) = (&zbuf[li * m..(li + 2) * m], &cbuf[li * r..(li + 2) * r]);
+                    let (s0, s1) = match r {
+                        0 => (vector::norm_sq(&zpair[..m]), vector::norm_sq(&zpair[m..])),
+                        1 => spe_epilogue_pair::<1>(zpair, bdata, cpair),
+                        2 => spe_epilogue_pair::<2>(zpair, bdata, cpair),
+                        3 => spe_epilogue_pair::<3>(zpair, bdata, cpair),
+                        4 => spe_epilogue_pair::<4>(zpair, bdata, cpair),
+                        5 => spe_epilogue_pair::<5>(zpair, bdata, cpair),
+                        6 => spe_epilogue_pair::<6>(zpair, bdata, cpair),
+                        7 => spe_epilogue_pair::<7>(zpair, bdata, cpair),
+                        8 => spe_epilogue_pair::<8>(zpair, bdata, cpair),
+                        _ => (
+                            spe_epilogue_dyn(&zpair[..m], bdata, &cpair[..r]),
+                            spe_epilogue_dyn(&zpair[m..], bdata, &cpair[r..]),
+                        ),
+                    };
+                    block[done + li] = s0;
+                    block[done + li + 1] = s1;
+                    li += 2;
+                }
+                if li < take {
+                    let zrow = &zbuf[li * m..(li + 1) * m];
+                    let crow = &cbuf[li * r..(li + 1) * r];
+                    block[done + li] = match r {
+                        0 => vector::norm_sq(zrow),
+                        1 => spe_epilogue::<1>(zrow, bdata, crow),
+                        2 => spe_epilogue::<2>(zrow, bdata, crow),
+                        3 => spe_epilogue::<3>(zrow, bdata, crow),
+                        4 => spe_epilogue::<4>(zrow, bdata, crow),
+                        5 => spe_epilogue::<5>(zrow, bdata, crow),
+                        6 => spe_epilogue::<6>(zrow, bdata, crow),
+                        7 => spe_epilogue::<7>(zrow, bdata, crow),
+                        8 => spe_epilogue::<8>(zrow, bdata, crow),
+                        _ => spe_epilogue_dyn(zrow, bdata, crow),
+                    };
+                }
+                done += take;
             }
         });
         Ok(out)
@@ -340,15 +473,14 @@ impl Matrix {
     ///
     /// This is the batched residual-projection kernel behind the subspace
     /// method: for each row `z`, `modeled = P(Pᵀz)` and `residual` is the
-    /// anomalous-subspace part — computed for all rows in one fused,
-    /// row-parallel pass instead of per-vector matvec pairs. Each output
-    /// value accumulates in exactly the per-vector operation order
-    /// (coefficient `k` sums `z_j·P[j][k]` over ascending `j`; modeled
-    /// entry `l` sums `c_k·P[l][k]` over ascending `k`), so results are
-    /// bitwise identical to [`Matrix::matvec_t`] + [`Matrix::matvec`] per
-    /// row, at a fraction of the cost: the basis width is specialized to
-    /// a compile-time constant for `r ≤ 8` (the subspace method's normal
-    /// dimension in practice), keeping the `r` accumulators in registers.
+    /// anomalous-subspace part — two packed GEMMs (`coeffs = self · P`,
+    /// `modeled = coeffs · Pᵀ`) and an elementwise subtraction, all
+    /// riding the [`crate::kernel`] layer. Each output value accumulates
+    /// in exactly the per-vector operation order (coefficient `k` sums
+    /// `z_j·P[j][k]` over ascending `j`; modeled entry `l` sums
+    /// `c_k·P[l][k]` over ascending `k`), so results are bitwise
+    /// identical to [`Matrix::matvec_t`] + [`Matrix::matvec`] per row,
+    /// at a fraction of the cost.
     ///
     /// Returns an error if `basis.rows() != self.cols`.
     pub fn project_rows_split(&self, basis: &Matrix) -> Result<(Matrix, Matrix)> {
@@ -359,41 +491,14 @@ impl Matrix {
                 rhs: basis.shape(),
             });
         }
-        let r = basis.cols();
-        let mut modeled = Matrix::zeros(self.rows, self.cols);
-        let mut residual = Matrix::zeros(self.rows, self.cols);
-        if self.data.is_empty() {
-            return Ok((modeled, residual));
-        }
-        let pt = basis.transpose();
-        let workers = parallel::workers_for(2 * self.rows * self.cols * r.max(1), self.rows);
-        let boundaries = parallel::balanced_boundaries(self.rows, workers, |_| 1.0);
-        parallel::for_row_blocks2(
-            &mut modeled.data,
-            &mut residual.data,
-            self.cols,
-            &boundaries,
-            |first_row, mblock, rblock| {
-                let rows = mblock
-                    .chunks_mut(self.cols)
-                    .zip(rblock.chunks_mut(self.cols))
-                    .enumerate();
-                for (li, (mrow, rrow)) in rows {
-                    let zrow = self.row(first_row + li);
-                    match r {
-                        1 => project_row::<1>(zrow, basis, &pt, mrow, rrow),
-                        2 => project_row::<2>(zrow, basis, &pt, mrow, rrow),
-                        3 => project_row::<3>(zrow, basis, &pt, mrow, rrow),
-                        4 => project_row::<4>(zrow, basis, &pt, mrow, rrow),
-                        5 => project_row::<5>(zrow, basis, &pt, mrow, rrow),
-                        6 => project_row::<6>(zrow, basis, &pt, mrow, rrow),
-                        7 => project_row::<7>(zrow, basis, &pt, mrow, rrow),
-                        8 => project_row::<8>(zrow, basis, &pt, mrow, rrow),
-                        _ => project_row_dyn(zrow, basis, &pt, mrow, rrow),
-                    }
-                }
-            },
-        );
+        let coeffs = self.matmul(basis)?;
+        // `coeffs · Pᵀ` via the row-major N·N kernel on the materialized
+        // transpose: the shared dimension r is typically tiny (< one
+        // k-tile), and the N·N reference walks long contiguous rows
+        // where the N·T per-element dot would grind through r-length
+        // strides. Same ascending-k order either way.
+        let modeled = coeffs.matmul(&basis.transpose())?;
+        let residual = self.sub(&modeled)?;
         Ok((modeled, residual))
     }
 
@@ -441,33 +546,26 @@ impl Matrix {
         if out.data.is_empty() {
             return out;
         }
-        // Each worker owns a block of output rows `a`, accumulating the
-        // upper-triangle row `out[a][a..]` over all data rows in order —
-        // the same per-entry operation sequence as a serial (i, a, b)
-        // loop nest, so the result is thread-count independent. Later
-        // rows have shorter triangles, hence the weighted split.
-        let workers = parallel::workers_for(self.rows * self.cols * self.cols / 2, self.cols);
-        let boundaries =
-            parallel::balanced_boundaries(self.cols, workers, |a| (self.cols - a) as f64);
-        parallel::for_row_blocks(&mut out.data, self.cols, &boundaries, |first_row, block| {
-            for (la, orow) in block.chunks_mut(self.cols).enumerate() {
-                let a = first_row + la;
-                for i in 0..self.rows {
-                    let r = self.row(i);
-                    let ra = r[a];
-                    if ra == 0.0 {
-                        continue;
-                    }
-                    vector::axpy(ra, &r[a..], &mut orow[a..]);
-                }
+        // Only the upper triangle is computed (micro-tiles strictly
+        // below the global diagonal are skipped inside the kernel), then
+        // mirrored — the per-entry operation sequence matches a serial
+        // (i, a, b) loop nest, so the result is thread-count
+        // independent. Later rows have shorter triangles, hence the
+        // weighted split.
+        let (n, kdim) = (self.cols, self.rows);
+        let lhs_op = kernel::Operand::transposed(self);
+        let rhs_op = kernel::Operand::normal(self);
+        let packed = kernel::use_packed(n, kdim, n);
+        let workers = parallel::workers_for(kdim * n * n / 2, n);
+        let boundaries = parallel::balanced_boundaries(n, workers, |a| (n - a) as f64);
+        parallel::for_row_blocks(&mut out.data, n, &boundaries, |first_row, block| {
+            if packed {
+                kernel::gemm_block(&lhs_op, &rhs_op, first_row, block, n, kdim, true);
+            } else {
+                kernel::gemm_reference(&lhs_op, &rhs_op, first_row, block, n, kdim, true);
             }
         });
-        // Mirror the upper triangle.
-        for a in 0..self.cols {
-            for b in (a + 1)..self.cols {
-                out[(b, a)] = out[(a, b)];
-            }
-        }
+        kernel::mirror_upper(&mut out);
         out
     }
 
@@ -783,133 +881,98 @@ pub struct BlockPlacement<'a> {
     pub block: &'a Matrix,
 }
 
-/// One row of the fused projection kernel with the basis width `R` known
-/// at compile time: `coeffs = Pᵀz` (each lane accumulating over
-/// ascending `j`, exactly like [`Matrix::matvec_t`]), then
-/// `modeled = P·coeffs` via `R` long axpys (each element accumulating
-/// over ascending `k`, exactly like [`Matrix::matvec`]), then the
-/// residual subtraction.
-fn project_row<const R: usize>(
-    zrow: &[f64],
-    basis: &Matrix,
-    pt: &Matrix,
-    mrow: &mut [f64],
-    rrow: &mut [f64],
-) {
-    let mut coeffs = [0.0_f64; R];
-    for (j, &z) in zrow.iter().enumerate() {
-        let brow = &basis.row(j)[..R];
-        for k in 0..R {
-            coeffs[k] += z * brow[k];
-        }
-    }
-    for (k, &c) in coeffs.iter().enumerate() {
-        vector::axpy(c, pt.row(k), mrow);
-    }
-    for ((out, &z), &m) in rrow.iter_mut().zip(zrow).zip(mrow.iter()) {
-        *out = z - m;
-    }
-}
-
-/// One row of the fused SPE kernel with the basis width `R` known at
-/// compile time: coefficients and the residual norm accumulate two-way
-/// blocked over the link axis (fixed reassociation — deterministic, but
-/// not bitwise equal to the serial order; see
-/// [`Matrix::centered_residual_norms_sq`]).
+/// Coefficient row `c = Pᵀz` for one centered row with the basis width
+/// `R` known at compile time, accumulating each coefficient's `m` terms
+/// in ascending link order — bitwise the reference GEMM's (and the
+/// packed kernel's) order, so the small-shape routing in
+/// [`Matrix::centered_residual_norms_sq`] stays unobservable.
 #[inline]
-fn centered_spe_row<const R: usize>(zrow: &[f64], bdata: &[f64]) -> f64 {
-    let m = zrow.len();
-    // Pass 1: coeffs = Pᵀz.
-    let mut c0 = [0.0_f64; R];
-    let mut c1 = [0.0_f64; R];
-    let mut zit = zrow.chunks_exact(2);
-    let mut bit = bdata.chunks_exact(2 * R);
-    for (pair, bpair) in (&mut zit).zip(&mut bit) {
-        let ba = &bpair[..R];
-        let bb = &bpair[R..2 * R];
-        for k in 0..R {
-            c0[k] += pair[0] * ba[k];
-            c1[k] += pair[1] * bb[k];
+fn spe_coeffs<const R: usize>(zrow: &[f64], bdata: &[f64], crow: &mut [f64]) {
+    let mut acc = [0.0_f64; R];
+    for (k, &z) in zrow.iter().enumerate() {
+        let brow: &[f64; R] = bdata[k * R..(k + 1) * R]
+            .try_into()
+            .expect("basis row is R wide");
+        for j in 0..R {
+            acc[j] += z * brow[j];
         }
     }
-    if let [zv] = *zit.remainder() {
-        let ba = &bdata[(m - 1) * R..];
-        for k in 0..R {
-            c0[k] += zv * ba[k];
-        }
-    }
-    let mut c = [0.0_f64; R];
-    for k in 0..R {
-        c[k] = c0[k] + c1[k];
-    }
-    // Pass 2: ‖z − P·coeffs‖².
-    let mut a0 = 0.0_f64;
-    let mut a1 = 0.0_f64;
-    let mut zit = zrow.chunks_exact(2);
-    let mut bit = bdata.chunks_exact(2 * R);
-    for (pair, bpair) in (&mut zit).zip(&mut bit) {
-        let ba = &bpair[..R];
-        let bb = &bpair[R..2 * R];
-        let mut ma = 0.0;
-        let mut mb = 0.0;
-        for k in 0..R {
-            ma += c[k] * ba[k];
-            mb += c[k] * bb[k];
-        }
-        let ra = pair[0] - ma;
-        let rb = pair[1] - mb;
-        a0 += ra * ra;
-        a1 += rb * rb;
-    }
-    if let [zv] = *zit.remainder() {
-        let ba = &bdata[(m - 1) * R..];
-        let mut ma = 0.0;
-        for k in 0..R {
-            ma += c[k] * ba[k];
-        }
-        let rv = zv - ma;
-        a0 += rv * rv;
-    }
-    a0 + a1
+    crow.copy_from_slice(&acc);
 }
 
-/// Fallback of [`centered_spe_row`] for basis widths above the
-/// specialized range (heap-allocated coefficient accumulators, same
-/// two-way blocking).
-fn centered_spe_row_dyn(zrow: &[f64], bdata: &[f64], r: usize) -> f64 {
-    let mut c = vec![0.0_f64; r];
+/// SPE epilogue for one centered row with the basis width `R` known at
+/// compile time: given the precomputed coefficient row `c = Pᵀz`, fold
+/// `‖z − P·c‖²` in one sweep over the link axis. The modeled entry for
+/// link `j` sums `P[j][k]·c[k]` over ascending `k` (exactly like
+/// [`Matrix::matvec`]) and the norm accumulates over ascending `j`
+/// (exactly like [`vector::norm_sq`]), so the fused SPE stays bitwise
+/// equal to the exact per-vector route.
+#[inline]
+fn spe_epilogue<const R: usize>(zrow: &[f64], bdata: &[f64], coeffs: &[f64]) -> f64 {
+    let c: &[f64; R] = coeffs.try_into().expect("coefficient row is R wide");
+    let mut acc = 0.0_f64;
     for (j, &z) in zrow.iter().enumerate() {
-        let brow = &bdata[j * r..(j + 1) * r];
-        for k in 0..r {
-            c[k] += z * brow[k];
-        }
-    }
-    let mut a0 = 0.0_f64;
-    for (j, &z) in zrow.iter().enumerate() {
-        let brow = &bdata[j * r..(j + 1) * r];
-        let mut mm = 0.0;
-        for k in 0..r {
-            mm += c[k] * brow[k];
+        let brow: &[f64; R] = bdata[j * R..(j + 1) * R]
+            .try_into()
+            .expect("basis row is R wide");
+        let mut mm = 0.0_f64;
+        for k in 0..R {
+            mm += brow[k] * c[k];
         }
         let rv = z - mm;
-        a0 += rv * rv;
+        acc += rv * rv;
     }
-    a0
+    acc
 }
 
-/// Fallback for basis widths above the specialized range; identical
-/// operation order, heap-allocated coefficient accumulator.
-fn project_row_dyn(zrow: &[f64], basis: &Matrix, pt: &Matrix, mrow: &mut [f64], rrow: &mut [f64]) {
-    let mut coeffs = vec![0.0_f64; basis.cols()];
+/// Two independent [`spe_epilogue`] rows interleaved in one sweep.
+///
+/// `zpair` holds two consecutive centered rows, `cpair` their
+/// coefficient rows. Each row's reductions run in exactly the order of
+/// [`spe_epilogue`] — the interleave only gives the core two dependent
+/// accumulator chains to overlap, so the results are bitwise the
+/// one-row function's.
+#[inline]
+fn spe_epilogue_pair<const R: usize>(zpair: &[f64], bdata: &[f64], cpair: &[f64]) -> (f64, f64) {
+    let m = zpair.len() / 2;
+    let (z0, z1) = zpair.split_at(m);
+    let c0: &[f64; R] = cpair[..R].try_into().expect("coefficient row is R wide");
+    let c1: &[f64; R] = cpair[R..].try_into().expect("coefficient row is R wide");
+    let mut a0 = 0.0_f64;
+    let mut a1 = 0.0_f64;
+    for (j, (&za, &zb)) in z0.iter().zip(z1).enumerate() {
+        let brow: &[f64; R] = bdata[j * R..(j + 1) * R]
+            .try_into()
+            .expect("basis row is R wide");
+        let mut m0 = 0.0_f64;
+        let mut m1 = 0.0_f64;
+        for k in 0..R {
+            m0 += brow[k] * c0[k];
+            m1 += brow[k] * c1[k];
+        }
+        let r0 = za - m0;
+        let r1 = zb - m1;
+        a0 += r0 * r0;
+        a1 += r1 * r1;
+    }
+    (a0, a1)
+}
+
+/// Fallback of [`spe_epilogue`] for basis widths above the specialized
+/// range; identical operation order.
+fn spe_epilogue_dyn(zrow: &[f64], bdata: &[f64], coeffs: &[f64]) -> f64 {
+    let r = coeffs.len();
+    let mut acc = 0.0_f64;
     for (j, &z) in zrow.iter().enumerate() {
-        vector::axpy(z, basis.row(j), &mut coeffs);
+        let brow = &bdata[j * r..(j + 1) * r];
+        let mut mm = 0.0_f64;
+        for (&bv, &cv) in brow.iter().zip(coeffs) {
+            mm += bv * cv;
+        }
+        let rv = z - mm;
+        acc += rv * rv;
     }
-    for (k, &c) in coeffs.iter().enumerate() {
-        vector::axpy(c, pt.row(k), mrow);
-    }
-    for ((out, &z), &m) in rrow.iter_mut().zip(zrow).zip(mrow.iter()) {
-        *out = z - m;
-    }
+    acc
 }
 
 impl Index<(usize, usize)> for Matrix {

@@ -6,11 +6,10 @@
 //! are produced by exactly the same scalar loop regardless of how many
 //! blocks exist, results are **bitwise independent of the thread
 //! count** — the split only changes *who* computes a row, never the
-//! order of floating-point operations within it. (Whether a kernel also
-//! matches the per-vector path bitwise is a separate, per-kernel
-//! property: the materializing projections do, the fused SPE kernel
-//! trades that for speed within a documented 1e-12; see
-//! `Matrix::centered_residual_norms_sq`.)
+//! order of floating-point operations within it. The packed
+//! [`crate::kernel`] layer preserves this by accumulating every output
+//! element in the same ascending-`k` order on all paths, so the
+//! fan-out composes with packing without weakening the guarantee.
 
 /// Minimum number of fused multiply-add operations before spawning
 /// threads pays for itself. Below this the kernels stay serial; the
@@ -92,39 +91,6 @@ where
             s.spawn(move |_| f(lo, block));
         }
         f(boundaries[boundaries.len() - 2], rest);
-    });
-}
-
-/// Like [`for_row_blocks`], but splitting two equally-shaped buffers at
-/// the same boundaries, handing each worker the matching pair of blocks.
-pub(crate) fn for_row_blocks2<F>(
-    a: &mut [f64],
-    b: &mut [f64],
-    cols: usize,
-    boundaries: &[usize],
-    f: F,
-) where
-    F: Fn(usize, &mut [f64], &mut [f64]) + Sync,
-{
-    debug_assert_eq!(a.len(), b.len());
-    debug_assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
-    if boundaries.len() <= 2 {
-        f(0, a, b);
-        return;
-    }
-    rayon::scope(|s| {
-        let mut rest_a = a;
-        let mut rest_b = b;
-        for w in boundaries[..boundaries.len() - 1].windows(2) {
-            let (lo, hi) = (w[0], w[1]);
-            let (block_a, tail_a) = rest_a.split_at_mut((hi - lo) * cols);
-            let (block_b, tail_b) = rest_b.split_at_mut((hi - lo) * cols);
-            rest_a = tail_a;
-            rest_b = tail_b;
-            let f = &f;
-            s.spawn(move |_| f(lo, block_a, block_b));
-        }
-        f(boundaries[boundaries.len() - 2], rest_a, rest_b);
     });
 }
 
