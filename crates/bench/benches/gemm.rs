@@ -1,22 +1,31 @@
 //! Benchmarks of the packed GEMM kernel layer (`linalg::kernel`), the
 //! engine under every product in the workspace.
 //!
-//! `gemm/{matmul,matmul_nt,gram}_{m512,m1024,m2048}` time the packed
-//! path on the shapes the scale scenarios exercise: square `m × m`
-//! products for `matmul`/`matmul_nt` (the truncated refit's
-//! `A·Q` / `A·Aᵀ` steps) and a 288-bin training window for `gram` (the
-//! covariance build). The `*_m512_ref` ids time the serial reference
-//! kernels — the same row-axpy/dot loop nests the crate ran before the
-//! packed layer — on the m512 shapes, so
+//! `gemm/{matmul,matmul_nt,gram}_{m512,m1024,m2048}` and
+//! `gemm/matmul_tn_{m512,m1024}` time the packed path on the shapes the
+//! scale scenarios exercise: square `m × m` products for
+//! `matmul`/`matmul_nt`/`matmul_tn` (the truncated refit's `A·Q`,
+//! `A·Aᵀ`, and Rayleigh–Ritz `QᵀZ` steps) and a 288-bin training
+//! window for `gram` (the covariance build). The un-suffixed ids run
+//! whatever backend the dispatcher selects for the host (honouring
+//! `NETANOM_KERNEL`); the `_portable` / `_fma` suffixed ids pin each
+//! tier explicitly through the `*_with` entry points, so
+//! `median(..._portable) / median(..._fma)` in one run is the FMA
+//! speedup on that shape. The `*_m512_ref` ids time the serial
+//! reference kernels — the same row-axpy/dot loop nests the crate ran
+//! before the packed layer — so
 //! `median(matmul_m512_ref) / median(matmul_m512)` in the committed
 //! baseline is the packed-vs-old kernel ratio.
 //!
 //! Committed baseline: `scripts/bench-baseline-gemm.jsonl` (diffed by
-//! `scripts/bench-compare.sh`).
+//! `scripts/bench-compare.sh`). The `_fma` ids only appear on hosts
+//! with AVX2+FMA; `bench-compare.sh` treats one-sided ids as
+//! informational, so the same baseline works on either host class.
 
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use netanom_linalg::kernel::KernelBackend;
 use netanom_linalg::{kernel, Matrix};
 
 const TRAIN_BINS: usize = 288;
@@ -47,6 +56,26 @@ fn bench_gemm(c: &mut Criterion) {
         group.bench_function(&format!("gram_m{m}"), |bch| {
             bch.iter(|| black_box(&data).gram())
         });
+        if m <= 1024 {
+            group.bench_function(&format!("matmul_tn_m{m}"), |bch| {
+                bch.iter(|| black_box(&a).matmul_tn(black_box(&b)).unwrap())
+            });
+            // Explicit per-tier legs: the portable/fma ratio on the
+            // same shape is the micro-kernel speedup, independent of
+            // what the dispatcher picked for the un-suffixed ids.
+            let mut tiers = vec![KernelBackend::Portable];
+            if KernelBackend::Fma.is_supported() {
+                tiers.push(KernelBackend::Fma);
+            }
+            for tier in tiers {
+                group.bench_function(&format!("matmul_m{m}_{}", tier.name()), |bch| {
+                    bch.iter(|| kernel::matmul_with(tier, black_box(&a), black_box(&b)).unwrap())
+                });
+                group.bench_function(&format!("matmul_tn_m{m}_{}", tier.name()), |bch| {
+                    bch.iter(|| kernel::matmul_tn_with(tier, black_box(&a), black_box(&b)).unwrap())
+                });
+            }
+        }
         // Reference-kernel counterparts at the smallest size only (the
         // serial loops take minutes beyond it).
         if m == 512 {

@@ -17,7 +17,7 @@ fn usage() {
          netanom shard    --links FILE|- --train-bins N --shards K [--method NAME] [--paths FILE]\n           \
          [--confidence C] [--window N] [--refit-every K] [--refit full|incremental] [--chunk B]\n  \
          netanom eval     --list | ID... [--out DIR]\n  \
-         netanom --list-methods"
+         netanom --list-methods | --version"
     );
 }
 
@@ -36,6 +36,10 @@ fn main() -> ExitCode {
         "eval" => commands::eval(rest),
         "--list-methods" => {
             commands::list_methods();
+            return ExitCode::SUCCESS;
+        }
+        "--version" | "-V" => {
+            commands::version();
             return ExitCode::SUCCESS;
         }
         "--help" | "-h" | "help" => {

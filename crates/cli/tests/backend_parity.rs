@@ -1,0 +1,201 @@
+//! Cross-backend decision parity of the `netanom` binary, pinned by
+//! running the real executable under both `NETANOM_KERNEL` values.
+//!
+//! The kernel backend accelerates model *fitting*; scoring and
+//! identification are pinned to the portable tier by design (see
+//! `netanom_linalg::kernel`). The observable contract is therefore:
+//! a `diagnose` run under `NETANOM_KERNEL=fma` and one under
+//! `NETANOM_KERNEL=portable` report the **same detections and the same
+//! identified flows** — the discrete decisions are bitwise — while the
+//! fitted model's continuous outputs (SPE, threshold, estimated bytes)
+//! agree to ≤ 1e-9 relative, the same floor the sharded-engine parity
+//! suite uses for cross-engine refits.
+//!
+//! The FMA legs gate on `KernelBackend::Fma.is_supported()` and pass
+//! vacuously on hosts without AVX2+FMA; the portable-only assertions
+//! (version output, override echo) run everywhere.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use netanom_linalg::kernel::KernelBackend;
+
+fn netanom_env(args: &[&str], kernel: &str) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_netanom"))
+        .args(args)
+        .env("NETANOM_KERNEL", kernel)
+        .output()
+        .expect("binary runs")
+}
+
+/// `simulate` a dataset into a temp dir, returning
+/// `(links.csv, paths.csv, dir)`.
+fn simulated(dataset: &str, tag: &str) -> (PathBuf, PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("netanom-backend-parity-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = netanom_env(
+        &[
+            "simulate",
+            "--dataset",
+            dataset,
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ],
+        "portable",
+    );
+    assert!(out.status.success(), "simulate {dataset}: {:?}", out.status);
+    (dir.join("links.csv"), dir.join("paths.csv"), dir)
+}
+
+/// Parsed `diagnose` report row: discrete decision columns as strings,
+/// continuous columns as floats (`None` for the `-` placeholder).
+struct Row {
+    time: String,
+    flow: String,
+    spe: f64,
+    threshold: f64,
+    bytes: Option<f64>,
+}
+
+fn diagnose_rows(links: &Path, paths: &Path, kernel: &str, out_csv: &Path) -> Vec<Row> {
+    let out = netanom_env(
+        &[
+            "diagnose",
+            "--links",
+            links.to_str().unwrap(),
+            "--paths",
+            paths.to_str().unwrap(),
+            "--out",
+            out_csv.to_str().unwrap(),
+        ],
+        kernel,
+    );
+    assert!(
+        out.status.success(),
+        "diagnose ({kernel}): {:?}",
+        out.status
+    );
+    let csv = std::fs::read_to_string(out_csv).expect("report written");
+    csv.lines()
+        .skip(1) // header
+        .map(|line| {
+            let f: Vec<&str> = line.split(',').collect();
+            assert_eq!(f.len(), 6, "malformed row: {line}");
+            Row {
+                time: f[0].to_string(),
+                flow: f[3].to_string(),
+                spe: f[1].parse().unwrap(),
+                threshold: f[2].parse().unwrap(),
+                bytes: (f[4] != "-").then(|| f[4].parse().unwrap()),
+            }
+        })
+        .collect()
+}
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
+}
+
+/// Decision parity on one dataset: identical (time, flow) decision
+/// pairs, ≤ 1e-9 relative on the continuous columns.
+fn assert_backend_parity(dataset: &str) {
+    let (links, paths, dir) = simulated(dataset, dataset);
+    let portable = diagnose_rows(&links, &paths, "portable", &dir.join("portable.csv"));
+    let fma = diagnose_rows(&links, &paths, "fma", &dir.join("fma.csv"));
+    assert!(
+        !portable.is_empty(),
+        "{dataset}: expected at least one detection"
+    );
+    assert_eq!(
+        portable.len(),
+        fma.len(),
+        "{dataset}: detection count differs across backends"
+    );
+    for (p, f) in portable.iter().zip(&fma) {
+        assert_eq!(p.time, f.time, "{dataset}: detected bins differ");
+        assert_eq!(p.flow, f.flow, "{dataset}: identified flows differ");
+        assert!(
+            rel_close(p.spe, f.spe, 1e-9),
+            "{dataset} t={}: spe {} vs {}",
+            p.time,
+            p.spe,
+            f.spe
+        );
+        assert!(
+            rel_close(p.threshold, f.threshold, 1e-9),
+            "{dataset} t={}: threshold {} vs {}",
+            p.time,
+            p.threshold,
+            f.threshold
+        );
+        match (p.bytes, f.bytes) {
+            (None, None) => {}
+            (Some(pb), Some(fb)) => assert!(
+                rel_close(pb, fb, 1e-9),
+                "{dataset} t={}: bytes {} vs {}",
+                p.time,
+                pb,
+                fb
+            ),
+            _ => panic!("{dataset} t={}: bytes column presence differs", p.time),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mini_decisions_identical_across_backends() {
+    if !KernelBackend::Fma.is_supported() {
+        return;
+    }
+    assert_backend_parity("mini");
+}
+
+#[test]
+fn abilene_decisions_identical_across_backends() {
+    if !KernelBackend::Fma.is_supported() {
+        return;
+    }
+    assert_backend_parity("abilene");
+}
+
+#[test]
+fn version_reports_the_dispatched_backend() {
+    let out = netanom_env(&["--version"], "portable");
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("kernel backend: portable (NETANOM_KERNEL=portable override)"),
+        "override must be echoed in diagnostics: {stdout}"
+    );
+
+    // Without the override the binary reports whatever it detected;
+    // the line must name one of the two tiers.
+    let out = Command::new(env!("CARGO_BIN_EXE_netanom"))
+        .arg("--version")
+        .env_remove("NETANOM_KERNEL")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("netanom "), "{stdout}");
+    assert!(
+        stdout.contains("kernel backend: portable") || stdout.contains("kernel backend: fma"),
+        "diagnostics must name the dispatched tier: {stdout}"
+    );
+}
+
+#[test]
+fn invalid_override_falls_back_to_detection() {
+    let out = netanom_env(&["--version"], "avx9000");
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("kernel backend: portable") || stdout.contains("kernel backend: fma"),
+        "invalid override must fall back, not fail: {stdout}"
+    );
+    assert!(
+        stdout.contains("ignored"),
+        "diagnostics should flag the ignored override: {stdout}"
+    );
+}

@@ -180,19 +180,29 @@ impl TruncatedEigen {
                 .abs()
                 .max(small.eigenvalues[0].abs())
                 .max(f64::MIN_POSITIVE);
+            // Residual norms for every active Ritz pair in one
+            // row-major pass: walking `az` and `ritz_vecs` a row at a
+            // time touches memory contiguously, where the textbook
+            // per-column loop strides by `b_active` on every step.
+            // Each column's sum still accumulates in ascending-row
+            // order into its own accumulator, so the values are
+            // bitwise what the column-at-a-time loop produced.
+            let mut res_sq = vec![0.0f64; b_active];
+            for row in 0..m {
+                let az_row = az.row(row);
+                let rv_row = ritz_vecs.row(row);
+                for i in 0..b_active {
+                    let r = az_row[i] - small.eigenvalues[i] * rv_row[i];
+                    res_sq[i] += r * r;
+                }
+            }
             let mut newly_locked = 0;
             for i in 0..b_active {
                 if locked_vals.len() >= k {
                     break;
                 }
-                let theta = small.eigenvalues[i];
-                let mut res_sq = 0.0;
-                for row in 0..m {
-                    let r = az[(row, i)] - theta * ritz_vecs[(row, i)];
-                    res_sq += r * r;
-                }
-                if res_sq.sqrt() <= tol * theta1 {
-                    locked_vals.push(theta);
+                if res_sq[i].sqrt() <= tol * theta1 {
+                    locked_vals.push(small.eigenvalues[i]);
                     locked_vecs.push(ritz_vecs.col(i));
                     newly_locked += 1;
                 } else {

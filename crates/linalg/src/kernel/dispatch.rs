@@ -1,0 +1,220 @@
+//! Runtime kernel-backend selection.
+//!
+//! The packed GEMM layer has two micro-kernel tiers with *different
+//! numeric contracts* (see the module docs of [`crate::kernel`]):
+//!
+//! * [`KernelBackend::Portable`] — the autovectorized tier, bitwise
+//!   identical to the naive mul-then-add ascending-`k` triple loop.
+//! * [`KernelBackend::Fma`] — explicit AVX2+FMA intrinsics, bitwise
+//!   identical to the [`f64::mul_add`] ascending-`k` triple loop.
+//!
+//! The backend is chosen **once per process** the first time any
+//! dispatched product runs, from two inputs:
+//!
+//! 1. the `NETANOM_KERNEL` environment variable (`portable` | `fma`),
+//!    an explicit override for testing, debugging, and reproducing
+//!    portable-tier results on FMA-capable hosts;
+//! 2. failing that, CPU feature detection via
+//!    `is_x86_feature_detected!`: `avx2` **and** `fma` present selects
+//!    [`KernelBackend::Fma`], anything else (including every
+//!    non-x86_64 target) falls back to [`KernelBackend::Portable`].
+//!
+//! An override requesting `fma` on a CPU without the features is
+//! *ignored* (with the reason recorded in [`backend_diagnostics`])
+//! rather than honored: the FMA tier's entry points refuse to run
+//! without hardware support, so honoring the override could only
+//! abort. Unrecognized values are likewise ignored in favor of
+//! detection. The selection never errors and never silently changes
+//! mid-process, which is what makes "one run = one backend = one
+//! numeric contract" a usable testing contract ([`active_backend`] is
+//! cached in a [`OnceLock`]).
+
+use std::sync::OnceLock;
+
+/// The micro-kernel tier every dispatched product routes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelBackend {
+    /// Autovectorized portable tile (`super::micro`): bitwise equal
+    /// to the naive mul-then-add ascending-`k` loop on every target.
+    Portable,
+    /// Explicit AVX2+FMA tile (`super::fma`): bitwise equal to the
+    /// [`f64::mul_add`] ascending-`k` loop; requires `avx2` + `fma`.
+    Fma,
+}
+
+impl KernelBackend {
+    /// Stable lowercase name, matching the `NETANOM_KERNEL` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Portable => "portable",
+            KernelBackend::Fma => "fma",
+        }
+    }
+
+    /// `true` when this backend can run on the current CPU. `Portable`
+    /// always can; `Fma` needs runtime-detected `avx2` and `fma`.
+    pub fn is_supported(self) -> bool {
+        match self {
+            KernelBackend::Portable => true,
+            KernelBackend::Fma => fma_supported(),
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn fma_supported() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn fma_supported() -> bool {
+    false
+}
+
+/// How the active backend came to be selected — kept alongside the
+/// choice so diagnostics can explain *why*, not just *what*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Provenance {
+    /// CPU feature detection picked the tier (no override present).
+    Detected,
+    /// `NETANOM_KERNEL` forced the tier.
+    Override,
+    /// `NETANOM_KERNEL` asked for an unsupported tier; detection chose.
+    OverrideUnsupported,
+    /// `NETANOM_KERNEL` held an unrecognized value; detection chose.
+    OverrideInvalid,
+}
+
+/// Pure selection logic, separated from process state (environment,
+/// CPUID) so every branch is unit-testable on any host.
+fn select(env: Option<&str>, fma_supported: bool) -> (KernelBackend, Provenance) {
+    let detected = if fma_supported {
+        KernelBackend::Fma
+    } else {
+        KernelBackend::Portable
+    };
+    match env.map(str::trim) {
+        Some("portable") => (KernelBackend::Portable, Provenance::Override),
+        Some("fma") if fma_supported => (KernelBackend::Fma, Provenance::Override),
+        Some("fma") => (detected, Provenance::OverrideUnsupported),
+        Some(_) => (detected, Provenance::OverrideInvalid),
+        None => (detected, Provenance::Detected),
+    }
+}
+
+fn selection() -> (KernelBackend, Provenance) {
+    static ACTIVE: OnceLock<(KernelBackend, Provenance)> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        let env = std::env::var("NETANOM_KERNEL").ok();
+        select(env.as_deref(), fma_supported())
+    })
+}
+
+/// The backend every dispatched product in this process uses.
+///
+/// Selected on first call (see the module docs for the rules) and
+/// constant for the lifetime of the process, so all products computed
+/// by one run share one numeric contract.
+pub fn active_backend() -> KernelBackend {
+    selection().0
+}
+
+/// One-line, human-readable account of the active backend and how it
+/// was chosen, e.g. `fma (runtime-detected avx2+fma)` — surfaced by
+/// `netanom --version` so deployments can confirm which tier their
+/// numbers came from.
+pub fn backend_diagnostics() -> String {
+    let (backend, provenance) = selection();
+    let why = match (backend, provenance) {
+        (KernelBackend::Fma, Provenance::Detected) => "runtime-detected avx2+fma".to_string(),
+        (KernelBackend::Portable, Provenance::Detected) => {
+            "avx2+fma not detected; autovectorized fallback".to_string()
+        }
+        (_, Provenance::Override) => format!("NETANOM_KERNEL={} override", backend.name()),
+        (_, Provenance::OverrideUnsupported) => {
+            "NETANOM_KERNEL=fma requested but avx2+fma not detected; using portable".to_string()
+        }
+        (_, Provenance::OverrideInvalid) => format!(
+            "unrecognized NETANOM_KERNEL value ignored (expected portable|fma); \
+             runtime detection chose {}",
+            backend.name()
+        ),
+    };
+    format!("{} ({why})", backend.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_without_override_follows_cpu_support() {
+        assert_eq!(
+            select(None, true),
+            (KernelBackend::Fma, Provenance::Detected)
+        );
+        assert_eq!(
+            select(None, false),
+            (KernelBackend::Portable, Provenance::Detected)
+        );
+    }
+
+    #[test]
+    fn portable_override_wins_even_on_fma_hardware() {
+        assert_eq!(
+            select(Some("portable"), true),
+            (KernelBackend::Portable, Provenance::Override)
+        );
+        assert_eq!(
+            select(Some("portable"), false),
+            (KernelBackend::Portable, Provenance::Override)
+        );
+    }
+
+    #[test]
+    fn fma_override_requires_hardware_support() {
+        assert_eq!(
+            select(Some("fma"), true),
+            (KernelBackend::Fma, Provenance::Override)
+        );
+        assert_eq!(
+            select(Some("fma"), false),
+            (KernelBackend::Portable, Provenance::OverrideUnsupported)
+        );
+    }
+
+    #[test]
+    fn invalid_override_falls_back_to_detection() {
+        assert_eq!(
+            select(Some("avx512"), true),
+            (KernelBackend::Fma, Provenance::OverrideInvalid)
+        );
+        assert_eq!(
+            select(Some(""), false),
+            (KernelBackend::Portable, Provenance::OverrideInvalid)
+        );
+    }
+
+    #[test]
+    fn override_values_are_trimmed() {
+        assert_eq!(
+            select(Some(" portable\n"), true),
+            (KernelBackend::Portable, Provenance::Override)
+        );
+    }
+
+    #[test]
+    fn portable_is_always_supported_and_named_stably() {
+        assert!(KernelBackend::Portable.is_supported());
+        assert_eq!(KernelBackend::Portable.name(), "portable");
+        assert_eq!(KernelBackend::Fma.name(), "fma");
+    }
+
+    #[test]
+    fn active_backend_is_stable_and_supported() {
+        let first = active_backend();
+        assert!(first.is_supported());
+        assert_eq!(active_backend(), first);
+        assert!(backend_diagnostics().starts_with(first.name()));
+    }
+}

@@ -16,19 +16,43 @@
 //!   (packed `B` stays in L2/L3), `KC`-deep slices of the shared
 //!   dimension (one packed `A` block stays in L2), and `MC`-tall row
 //!   blocks, following [`Tiles`].
-//! * **Register-blocked micro-kernel** (`micro`). The innermost unit
-//!   computes an `MR × NR` tile of `C` held entirely in accumulator
-//!   registers, reading one `MR`-slice of packed `A` and one `NR`-slice
-//!   of packed `B` per `k` step. The loops are written over fixed-size
-//!   arrays so the autovectorizer emits wide multiply-add lanes across
-//!   the `NR` dimension.
+//! * **Register-blocked micro-kernel** (`micro` and `fma`). The
+//!   innermost unit computes an `MR × NR` tile of `C` held entirely in
+//!   accumulator registers, reading one `MR`-slice of packed `A` and
+//!   one `NR`-slice of packed `B` per `k` step. Two tiers exist: the
+//!   portable tile (`micro`, loops over fixed-size arrays the
+//!   autovectorizer unrolls) and the AVX2+FMA tile (`fma`, explicit
+//!   `std::arch` intrinsics with a wider 6×8 shape and a ×4-unrolled
+//!   `k` loop).
 //!
-//! # Accumulation-order contract
+//! # Backend dispatch
 //!
-//! The packed kernel is **bitwise identical to the naive `i j k`
-//! triple loop**: every output element accumulates its `k`-terms in
-//! strictly ascending order into a single accumulator. Three design
-//! choices guarantee this:
+//! Which tier runs is a process-wide choice made once by the dispatch
+//! module:
+//! runtime CPU feature detection (`is_x86_feature_detected!`) picks
+//! [`KernelBackend::Fma`] when `avx2`+`fma` are present, and the
+//! `NETANOM_KERNEL=portable|fma` environment variable overrides it.
+//! [`Matrix`]'s product methods route through [`active_backend`]; the
+//! explicit `*_with` entry points ([`matmul_with`],
+//! [`matmul_nt_with`], [`matmul_tn_with`], [`gram_with`]) run a chosen
+//! backend for tests, benches, and the pinned-portable SPE path.
+//!
+//! # Accumulation-order contract (two tiers)
+//!
+//! Per output element, **every** tier accumulates its `k`-terms in
+//! strictly ascending order into a single accumulator; the tiers
+//! differ only in the rounding of each step:
+//!
+//! * [`KernelBackend::Portable`] rounds the multiply and the add
+//!   separately (`acc += a·b`), making it **bitwise identical to the
+//!   naive mul-then-add `i j k` triple loop** — the original kernel
+//!   contract, unchanged.
+//! * [`KernelBackend::Fma`] fuses each step into one rounding
+//!   (`acc = fma(a, b, acc)`), making it **bitwise identical to the
+//!   [`f64::mul_add`] ascending-`k` triple loop** and `≤ 1e-12`
+//!   relative against the portable tier (one rounding per term).
+//!
+//! Three design choices guarantee the shared ascending-`k` order:
 //!
 //! 1. the `KC` loop sits *outside* the row/column tile loops, and each
 //!    micro-kernel invocation loads the partial `C` tile, extends it,
@@ -42,31 +66,35 @@
 //!
 //! The reference kernels in this module ([`matmul_reference`],
 //! [`matmul_nt_reference`], [`matmul_tn_reference`],
-//! [`gram_reference`]) realize the same ascending-`k` order with plain
-//! loop nests; the packed path is pinned against them bitwise in the
-//! unit tests and to `≤ 1e-12` relative (the documented contract,
-//! should a future kernel ever trade exact order for speed) in the
-//! property tests. Because the order also matches the pre-kernel
-//! row-axpy/dot implementations, every parity suite that pinned
-//! bitwise values across the old code remains valid — with one
-//! deliberate exception: the old kernels skipped `a[i][k] == 0.0`
-//! terms, which made throughput data-dependent and silently dropped
-//! NaN/∞ propagation from the skipped `B` row. The kernel layer never
-//! skips; `0 × NaN` poisons the product on every path.
+//! [`gram_reference`]) realize the portable tier's order with plain
+//! loop nests; `fma::gemm_reference_fma` is the fused counterpart.
+//! Each packed tier is pinned against its own reference bitwise in the
+//! unit and property tests. Because the portable order also matches
+//! the pre-kernel row-axpy/dot implementations, every parity suite
+//! that pinned bitwise values across the old code remains valid under
+//! `NETANOM_KERNEL=portable` — with one deliberate exception: the old
+//! kernels skipped `a[i][k] == 0.0` terms, which made throughput
+//! data-dependent and silently dropped NaN/∞ propagation from the
+//! skipped `B` row. Neither tier ever skips; `0 × NaN` poisons the
+//! product on every path and every backend.
 //!
 //! # Shape routing
 //!
 //! [`use_packed`] routes a product to the packed path only when the
 //! operand shapes amortize the packing traffic (roughly one tile of
-//! useful work); tiny, skinny, or degenerate shapes fall through to the
-//! reference kernels, which are bitwise identical, so routing is purely
-//! a performance decision and never observable in results.
+//! useful work); tiny, skinny, or degenerate shapes fall through to
+//! the active backend's reference kernel, which follows the same
+//! per-element order, so routing is purely a performance decision and
+//! never observable in results.
 
+pub(crate) mod dispatch;
+pub(crate) mod fma;
 pub(crate) mod micro;
 pub(crate) mod pack;
 
-use crate::{Matrix, Result};
-use micro::{MR, NR};
+pub use dispatch::{active_backend, backend_diagnostics, KernelBackend};
+
+use crate::{parallel, LinalgError, Matrix, Result};
 
 /// Cache-block sizes for one packed product, in elements (`f64`).
 ///
@@ -208,7 +236,9 @@ impl<'a> Operand<'a> {
 /// the diagonal are computed in full — their below-diagonal lanes are
 /// bitwise the mirrored values anyway, multiplication being
 /// commutative).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_block(
+    backend: KernelBackend,
     a: &Operand,
     b: &Operand,
     first_row: usize,
@@ -216,6 +246,57 @@ pub(crate) fn gemm_block(
     n: usize,
     kdim: usize,
     upper_only: bool,
+) {
+    match backend {
+        KernelBackend::Portable => gemm_block_tiled(
+            a,
+            b,
+            first_row,
+            block,
+            n,
+            kdim,
+            upper_only,
+            micro::MR,
+            micro::NR,
+            micro::kernel_update,
+        ),
+        KernelBackend::Fma => gemm_block_tiled(
+            a,
+            b,
+            first_row,
+            block,
+            n,
+            kdim,
+            upper_only,
+            fma::MR,
+            fma::NR,
+            fma::kernel_update,
+        ),
+    }
+}
+
+/// A backend's tile-update entry point:
+/// `(kc, apanel, bpanel, c, ldc, tile_row, tile_col, mr_eff, nr_eff)`.
+/// Accumulates one `mr_eff × nr_eff` corner of a micro-tile of `C`
+/// from the packed panels.
+type TileUpdateFn = fn(usize, &[f64], &[f64], &mut [f64], usize, usize, usize, usize, usize);
+
+/// The shared cache-blocked loop nest, parameterized by the backend's
+/// micro-tile shape (`mr × nr`) and tile-update function. `update`
+/// must consume panels packed with exactly the `mr`/`nr` it is paired
+/// with ([`gemm_block`] keeps the pairing).
+#[allow(clippy::too_many_arguments)]
+fn gemm_block_tiled(
+    a: &Operand,
+    b: &Operand,
+    first_row: usize,
+    block: &mut [f64],
+    n: usize,
+    kdim: usize,
+    upper_only: bool,
+    mr: usize,
+    nr: usize,
+    update: TileUpdateFn,
 ) {
     debug_assert_eq!(block.len() % n.max(1), 0);
     let Some(mb) = block.len().checked_div(n) else {
@@ -225,15 +306,15 @@ pub(crate) fn gemm_block(
         return;
     }
     let t = tiles_for(mb, kdim, n);
-    let mut apack = vec![0.0; t.mc.div_ceil(MR) * MR * t.kc];
-    let mut bpack = vec![0.0; t.nc.div_ceil(NR) * NR * t.kc];
+    let mut apack = vec![0.0; t.mc.div_ceil(mr) * mr * t.kc];
+    let mut bpack = vec![0.0; t.nc.div_ceil(nr) * nr * t.kc];
     let mut jc = 0;
     while jc < n {
         let ncb = t.nc.min(n - jc);
         let mut pc = 0;
         while pc < kdim {
             let kcb = t.kc.min(kdim - pc);
-            pack::pack_b(b, pc, kcb, jc, ncb, &mut bpack);
+            pack::pack_b(b, pc, kcb, jc, ncb, nr, &mut bpack);
             let mut ic = 0;
             while ic < mb {
                 let mcb = t.mc.min(mb - ic);
@@ -243,9 +324,10 @@ pub(crate) fn gemm_block(
                     ic += mcb;
                     continue;
                 }
-                pack::pack_a(a, first_row + ic, mcb, pc, kcb, &mut apack);
+                pack::pack_a(a, first_row + ic, mcb, pc, kcb, mr, &mut apack);
                 macro_kernel(
-                    &apack, &bpack, kcb, block, n, ic, mcb, jc, ncb, first_row, upper_only,
+                    &apack, &bpack, kcb, block, n, ic, mcb, jc, ncb, first_row, upper_only, mr, nr,
+                    update,
                 );
                 ic += mcb;
             }
@@ -255,7 +337,7 @@ pub(crate) fn gemm_block(
     }
 }
 
-/// Run the micro-kernel over every `MR × NR` tile of one packed
+/// Run the micro-kernel over every `mr × nr` tile of one packed
 /// `A`-block × packed `B`-block pair, updating `C` in place.
 #[allow(clippy::too_many_arguments)]
 fn macro_kernel(
@@ -270,26 +352,49 @@ fn macro_kernel(
     ncb: usize,
     first_row: usize,
     upper_only: bool,
+    mr: usize,
+    nr: usize,
+    update: TileUpdateFn,
 ) {
-    let a_panels = mcb.div_ceil(MR);
-    let b_panels = ncb.div_ceil(NR);
+    let a_panels = mcb.div_ceil(mr);
+    let b_panels = ncb.div_ceil(nr);
     for jp in 0..b_panels {
-        let bpanel = &bpack[jp * kc * NR..(jp + 1) * kc * NR];
-        let nr_eff = NR.min(ncb - jp * NR);
+        let bpanel = &bpack[jp * kc * nr..(jp + 1) * kc * nr];
+        let nr_eff = nr.min(ncb - jp * nr);
         for ip in 0..a_panels {
-            let tile_row = ic + ip * MR;
-            let tile_col = jc + jp * NR;
+            let tile_row = ic + ip * mr;
+            let tile_col = jc + jp * nr;
             // Upper-triangle mode: skip tiles whose every column lies
             // strictly left of (below) the diagonal.
             if upper_only && tile_col + nr_eff <= first_row + tile_row {
                 continue;
             }
-            let apanel = &apack[ip * kc * MR..(ip + 1) * kc * MR];
-            let mr_eff = MR.min(mcb - ip * MR);
-            micro::kernel_update(
+            let apanel = &apack[ip * kc * mr..(ip + 1) * kc * mr];
+            let mr_eff = mr.min(mcb - ip * mr);
+            update(
                 kc, apanel, bpanel, c, ldc, tile_row, tile_col, mr_eff, nr_eff,
             );
         }
+    }
+}
+
+/// Route a sub-crossover (or explicitly un-packed) product to the
+/// reference loop nest matching `backend`'s per-step rounding, so the
+/// [`use_packed`] routing decision stays unobservable per backend.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_reference_with(
+    backend: KernelBackend,
+    a: &Operand,
+    b: &Operand,
+    first_row: usize,
+    block: &mut [f64],
+    n: usize,
+    kdim: usize,
+    upper_only: bool,
+) {
+    match backend {
+        KernelBackend::Portable => gemm_reference(a, b, first_row, block, n, kdim, upper_only),
+        KernelBackend::Fma => fma::gemm_reference_fma(a, b, first_row, block, n, kdim, upper_only),
     }
 }
 
@@ -395,6 +500,186 @@ pub(crate) fn mirror_upper(out: &mut Matrix) {
             out[(b, a)] = out[(a, b)];
         }
     }
+}
+
+/// The shared routed-and-parallel product driver behind the `*_with`
+/// entry points: pick packed vs reference by shape, fan the `m` output
+/// rows across workers, and run the chosen backend inside each block.
+/// Results are independent of both decisions — each output row is
+/// computed identically whichever worker owns it and whichever side of
+/// the packing crossover the shape lands on.
+#[allow(clippy::too_many_arguments)]
+fn run_product(
+    backend: KernelBackend,
+    a: &Operand,
+    b: &Operand,
+    out: &mut Matrix,
+    m: usize,
+    n: usize,
+    kdim: usize,
+    upper_only: bool,
+    flops: usize,
+    weight: impl Fn(usize) -> f64,
+) {
+    let packed = use_packed(m, kdim, n);
+    let workers = parallel::workers_for(flops, m);
+    let boundaries = parallel::balanced_boundaries(m, workers, weight);
+    parallel::for_row_blocks(out.data_mut(), n, &boundaries, |first_row, block| {
+        if packed {
+            gemm_block(backend, a, b, first_row, block, n, kdim, upper_only);
+        } else {
+            gemm_reference_with(backend, a, b, first_row, block, n, kdim, upper_only);
+        }
+    });
+}
+
+/// `a · b` on an explicitly chosen backend — the entry point behind
+/// [`Matrix::matmul`] (which passes [`active_backend`]), used directly
+/// by tests and benches that must pin a tier regardless of environment.
+///
+/// # Panics
+///
+/// Panics if `backend` is not supported on this CPU (see
+/// [`KernelBackend::is_supported`]). Returns an error if
+/// `a.cols() != b.rows()`.
+pub fn matmul_with(backend: KernelBackend, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    assert!(
+        backend.is_supported(),
+        "kernel backend '{}' is not supported on this CPU",
+        backend.name()
+    );
+    if a.cols() != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    if out.as_slice().is_empty() {
+        return Ok(out);
+    }
+    let (m, n, kdim) = (a.rows(), b.cols(), a.cols());
+    let (lhs_op, rhs_op) = (Operand::normal(a), Operand::normal(b));
+    run_product(
+        backend,
+        &lhs_op,
+        &rhs_op,
+        &mut out,
+        m,
+        n,
+        kdim,
+        false,
+        m * kdim * n,
+        |_| 1.0,
+    );
+    Ok(out)
+}
+
+/// `a · bᵀ` (`b` stored `n × k`) on an explicitly chosen backend; see
+/// [`matmul_with`] for the dispatch and panic rules. Returns an error
+/// if `a.cols() != b.cols()`.
+pub fn matmul_nt_with(backend: KernelBackend, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    assert!(
+        backend.is_supported(),
+        "kernel backend '{}' is not supported on this CPU",
+        backend.name()
+    );
+    if a.cols() != b.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "matmul_nt",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    if out.as_slice().is_empty() {
+        return Ok(out);
+    }
+    let (m, n, kdim) = (a.rows(), b.rows(), a.cols());
+    let (lhs_op, rhs_op) = (Operand::normal(a), Operand::transposed(b));
+    run_product(
+        backend,
+        &lhs_op,
+        &rhs_op,
+        &mut out,
+        m,
+        n,
+        kdim,
+        false,
+        m * kdim * n,
+        |_| 1.0,
+    );
+    Ok(out)
+}
+
+/// `aᵀ · b` (`a` stored `k × m`, `b` stored `k × n`) on an explicitly
+/// chosen backend; see [`matmul_with`] for the dispatch and panic
+/// rules. Returns an error if `a.rows() != b.rows()`.
+pub fn matmul_tn_with(backend: KernelBackend, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    assert!(
+        backend.is_supported(),
+        "kernel backend '{}' is not supported on this CPU",
+        backend.name()
+    );
+    if a.rows() != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "matmul_tn",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    if out.as_slice().is_empty() {
+        return Ok(out);
+    }
+    let (m, n, kdim) = (a.cols(), b.cols(), a.rows());
+    let (lhs_op, rhs_op) = (Operand::transposed(a), Operand::normal(b));
+    run_product(
+        backend,
+        &lhs_op,
+        &rhs_op,
+        &mut out,
+        m,
+        n,
+        kdim,
+        false,
+        m * kdim * n,
+        |_| 1.0,
+    );
+    Ok(out)
+}
+
+/// Gram product `aᵀ · a` on an explicitly chosen backend: upper
+/// triangle computed (row blocks weighted by their share of it),
+/// mirrored to the lower triangle afterwards. See [`matmul_with`] for
+/// the dispatch and panic rules.
+pub fn gram_with(backend: KernelBackend, a: &Matrix) -> Matrix {
+    assert!(
+        backend.is_supported(),
+        "kernel backend '{}' is not supported on this CPU",
+        backend.name()
+    );
+    let mut out = Matrix::zeros(a.cols(), a.cols());
+    if a.cols() == 0 {
+        return out;
+    }
+    let (n, kdim) = (a.cols(), a.rows());
+    let (lhs_op, rhs_op) = (Operand::transposed(a), Operand::normal(a));
+    run_product(
+        backend,
+        &lhs_op,
+        &rhs_op,
+        &mut out,
+        n,
+        n,
+        kdim,
+        true,
+        kdim * n * n / 2,
+        |start| (n - start) as f64,
+    );
+    mirror_upper(&mut out);
+    out
 }
 
 /// Scalar reference GEMM over a row block: per output element, terms

@@ -1,11 +1,13 @@
 //! Panel packing: copy one cache block of an operand into the
 //! contiguous, zero-padded layout the micro-kernel consumes.
 //!
-//! Packed `A` blocks are stored panel-major: `⌈mc/MR⌉` panels, each a
-//! `kc × MR` slab laid out k-major (`buf[panel][k*MR + i]` holds
-//! `A[row0 + panel*MR + i][k0 + k]`). Packed `B` blocks mirror that
-//! with `NR`-wide panels (`buf[panel][k*NR + j]` holds
-//! `B[k0 + k][col0 + panel*NR + j]`). Rows/columns past the operand's
+//! Packed `A` blocks are stored panel-major: `⌈mc/mr⌉` panels, each a
+//! `kc × mr` slab laid out k-major (`buf[panel][k*mr + i]` holds
+//! `A[row0 + panel*mr + i][k0 + k]`), where `mr`/`nr` are the
+//! micro-tile dimensions of the backend being packed for (the portable
+//! and FMA tiers use different tile heights). Packed `B` blocks mirror
+//! that with `nr`-wide panels (`buf[panel][k*nr + j]` holds
+//! `B[k0 + k][col0 + panel*nr + j]`). Rows/columns past the operand's
 //! edge are padded with `0.0`, which contributes only to output lanes
 //! the macro kernel discards — real elements see exactly their own
 //! `a·b` terms.
@@ -15,46 +17,54 @@
 //! the packed buffer, which is small enough to stay cache-resident
 //! while being filled.
 
-use super::micro::{MR, NR};
 use super::Operand;
 
 /// Pack `mc` logical rows of `a` starting at `row0`, depth `k0..k0+kc`,
-/// into `MR`-row panels. `buf` must hold at least `⌈mc/MR⌉·MR·kc`
-/// elements; only that prefix is written.
-pub(crate) fn pack_a(a: &Operand, row0: usize, mc: usize, k0: usize, kc: usize, buf: &mut [f64]) {
-    let panels = mc.div_ceil(MR);
+/// into `mr`-row panels (`mr` is the micro-tile height of the active
+/// backend). `buf` must hold at least `⌈mc/mr⌉·mr·kc` elements; only
+/// that prefix is written.
+pub(crate) fn pack_a(
+    a: &Operand,
+    row0: usize,
+    mc: usize,
+    k0: usize,
+    kc: usize,
+    mr: usize,
+    buf: &mut [f64],
+) {
+    let panels = mc.div_ceil(mr);
     match a {
         // Rows of `a` are logical rows: walk each source row once,
         // scattering into its panel's k-major slots.
         Operand::N(m) => {
             for p in 0..panels {
-                let panel = &mut buf[p * kc * MR..(p + 1) * kc * MR];
-                for i in 0..MR {
-                    let r = p * MR + i;
+                let panel = &mut buf[p * kc * mr..(p + 1) * kc * mr];
+                for i in 0..mr {
+                    let r = p * mr + i;
                     if r < mc {
                         let src = &m.row(row0 + r)[k0..k0 + kc];
                         for (k, &v) in src.iter().enumerate() {
-                            panel[k * MR + i] = v;
+                            panel[k * mr + i] = v;
                         }
                     } else {
                         for k in 0..kc {
-                            panel[k * MR + i] = 0.0;
+                            panel[k * mr + i] = 0.0;
                         }
                     }
                 }
             }
         }
         // `a` is the transpose of `m`: logical row `r` at depth `k` is
-        // `m[k][r]`, so each source row yields one contiguous MR-slice
+        // `m[k][r]`, so each source row yields one contiguous mr-slice
         // per panel — the natural layout for `Aᵀ` packing (gram,
         // matmul_tn).
         Operand::T(m) => {
             for (k, srow) in (k0..k0 + kc).enumerate() {
                 let src = m.row(srow);
                 for p in 0..panels {
-                    let dst = &mut buf[p * kc * MR + k * MR..p * kc * MR + (k + 1) * MR];
-                    let c0 = row0 + p * MR;
-                    let take = MR.min(mc - p * MR);
+                    let dst = &mut buf[p * kc * mr + k * mr..p * kc * mr + (k + 1) * mr];
+                    let c0 = row0 + p * mr;
+                    let take = mr.min(mc - p * mr);
                     dst[..take].copy_from_slice(&src[c0..c0 + take]);
                     dst[take..].fill(0.0);
                 }
@@ -64,20 +74,29 @@ pub(crate) fn pack_a(a: &Operand, row0: usize, mc: usize, k0: usize, kc: usize, 
 }
 
 /// Pack `nc` logical columns of `b` starting at `col0`, depth
-/// `k0..k0+kc`, into `NR`-column panels. `buf` must hold at least
-/// `⌈nc/NR⌉·NR·kc` elements; only that prefix is written.
-pub(crate) fn pack_b(b: &Operand, k0: usize, kc: usize, col0: usize, nc: usize, buf: &mut [f64]) {
-    let panels = nc.div_ceil(NR);
+/// `k0..k0+kc`, into `nr`-column panels (`nr` is the micro-tile width
+/// of the active backend). `buf` must hold at least `⌈nc/nr⌉·nr·kc`
+/// elements; only that prefix is written.
+pub(crate) fn pack_b(
+    b: &Operand,
+    k0: usize,
+    kc: usize,
+    col0: usize,
+    nc: usize,
+    nr: usize,
+    buf: &mut [f64],
+) {
+    let panels = nc.div_ceil(nr);
     match b {
-        // Row-major `b`: each source row k yields contiguous NR-slices
+        // Row-major `b`: each source row k yields contiguous nr-slices
         // for every panel.
         Operand::N(m) => {
             for (k, srow) in (k0..k0 + kc).enumerate() {
                 let src = m.row(srow);
                 for p in 0..panels {
-                    let dst = &mut buf[p * kc * NR + k * NR..p * kc * NR + (k + 1) * NR];
-                    let c0 = col0 + p * NR;
-                    let take = NR.min(nc - p * NR);
+                    let dst = &mut buf[p * kc * nr + k * nr..p * kc * nr + (k + 1) * nr];
+                    let c0 = col0 + p * nr;
+                    let take = nr.min(nc - p * nr);
                     dst[..take].copy_from_slice(&src[c0..c0 + take]);
                     dst[take..].fill(0.0);
                 }
@@ -87,17 +106,17 @@ pub(crate) fn pack_b(b: &Operand, k0: usize, kc: usize, col0: usize, nc: usize, 
         // is `m`'s row `j`, walked contiguously along k.
         Operand::T(m) => {
             for p in 0..panels {
-                let panel = &mut buf[p * kc * NR..(p + 1) * kc * NR];
-                for j in 0..NR {
-                    let c = p * NR + j;
+                let panel = &mut buf[p * kc * nr..(p + 1) * kc * nr];
+                for j in 0..nr {
+                    let c = p * nr + j;
                     if c < nc {
                         let src = &m.row(col0 + c)[k0..k0 + kc];
                         for (k, &v) in src.iter().enumerate() {
-                            panel[k * NR + j] = v;
+                            panel[k * nr + j] = v;
                         }
                     } else {
                         for k in 0..kc {
-                            panel[k * NR + j] = 0.0;
+                            panel[k * nr + j] = 0.0;
                         }
                     }
                 }
@@ -109,6 +128,7 @@ pub(crate) fn pack_b(b: &Operand, k0: usize, kc: usize, col0: usize, nc: usize, 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::micro::{MR, NR};
     use crate::Matrix;
 
     fn numbered(rows: usize, cols: usize) -> Matrix {
@@ -121,7 +141,7 @@ mod tests {
         let kc = 3;
         let mc = MR + 2; // one full panel + one padded panel
         let mut buf = vec![f64::NAN; mc.div_ceil(MR) * MR * kc];
-        pack_a(&Operand::normal(&m), 0, mc, 1, kc, &mut buf);
+        pack_a(&Operand::normal(&m), 0, mc, 1, kc, MR, &mut buf);
         // Panel 0, k-slice 0 holds column 1 of rows 0..MR.
         for i in 0..MR {
             assert_eq!(buf[i], m[(i, 1)]);
@@ -142,8 +162,8 @@ mod tests {
         let (mc, kc) = (MR * 2 + 1, 6);
         let mut from_t = vec![f64::NAN; mc.div_ceil(MR) * MR * kc];
         let mut from_n = vec![f64::NAN; mc.div_ceil(MR) * MR * kc];
-        pack_a(&Operand::transposed(&m), 0, mc, 1, kc, &mut from_t);
-        pack_a(&Operand::normal(&t), 0, mc, 1, kc, &mut from_n);
+        pack_a(&Operand::transposed(&m), 0, mc, 1, kc, MR, &mut from_t);
+        pack_a(&Operand::normal(&t), 0, mc, 1, kc, MR, &mut from_n);
         assert_eq!(from_t, from_n);
     }
 
@@ -154,8 +174,8 @@ mod tests {
         let (nc, kc) = (NR + 3, 7);
         let mut from_t = vec![f64::NAN; nc.div_ceil(NR) * NR * kc];
         let mut from_n = vec![f64::NAN; nc.div_ceil(NR) * NR * kc];
-        pack_b(&Operand::transposed(&m), 2, kc, 0, nc, &mut from_t);
-        pack_b(&Operand::normal(&t), 2, kc, 0, nc, &mut from_n);
+        pack_b(&Operand::transposed(&m), 2, kc, 0, nc, NR, &mut from_t);
+        pack_b(&Operand::normal(&t), 2, kc, 0, nc, NR, &mut from_n);
         assert_eq!(from_t, from_n);
     }
 
@@ -164,7 +184,7 @@ mod tests {
         let m = numbered(4, NR + 2);
         let (nc, kc) = (NR + 2, 4);
         let mut buf = vec![f64::NAN; nc.div_ceil(NR) * NR * kc];
-        pack_b(&Operand::normal(&m), 0, kc, 0, nc, &mut buf);
+        pack_b(&Operand::normal(&m), 0, kc, 0, nc, NR, &mut buf);
         // First panel k-slice 0 is row 0's first NR entries.
         assert_eq!(&buf[..NR], &m.row(0)[..NR]);
         // Second panel: 2 real lanes then zeros, for every k.

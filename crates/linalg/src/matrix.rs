@@ -161,6 +161,25 @@ impl Matrix {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
+    /// Borrow two distinct rows mutably at once — the unit the Jacobi
+    /// rotation updates operate on ([`crate::vector::rotate_pair`]
+    /// rotates the pair in place, walking both rows contiguously).
+    ///
+    /// # Panics
+    /// Panics unless `i < j < rows`.
+    pub fn row_pair_mut(&mut self, i: usize, j: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(
+            i < j && j < self.rows,
+            "row_pair_mut: need i < j < rows, got ({i}, {j}) of {}",
+            self.rows
+        );
+        let (head, tail) = self.data.split_at_mut(j * self.cols);
+        (
+            &mut head[i * self.cols..(i + 1) * self.cols],
+            &mut tail[..self.cols],
+        )
+    }
+
     /// Copy column `j` into a new vector.
     ///
     /// # Panics
@@ -209,39 +228,18 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Routed through the packed [`crate::kernel`] layer for large
-    /// shapes and the bitwise-identical reference kernel otherwise;
-    /// row-parallel on top, so results are independent of thread count
-    /// and routing alike. No term is ever skipped: `0 × NaN` columns
-    /// poison the product exactly as IEEE arithmetic dictates.
+    /// Routed through the packed [`crate::kernel`] layer on the
+    /// process-wide [`kernel::active_backend`] (runtime-detected
+    /// AVX2+FMA tier or the portable autovectorized tier, overridable
+    /// via `NETANOM_KERNEL`); row-parallel on top, so results are
+    /// independent of thread count and shape routing alike — within
+    /// one process every product follows one backend's per-element
+    /// contract. No term is ever skipped: `0 × NaN` columns poison the
+    /// product exactly as IEEE arithmetic dictates, on every backend.
     ///
     /// Returns an error if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
-        if self.cols != rhs.rows {
-            return Err(LinalgError::DimensionMismatch {
-                op: "matmul",
-                lhs: self.shape(),
-                rhs: rhs.shape(),
-            });
-        }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        if out.data.is_empty() {
-            return Ok(out);
-        }
-        let (n, kdim) = (rhs.cols, self.cols);
-        let lhs_op = kernel::Operand::normal(self);
-        let rhs_op = kernel::Operand::normal(rhs);
-        let packed = kernel::use_packed(self.rows, kdim, n);
-        let workers = parallel::workers_for(self.rows * kdim * n, self.rows);
-        let boundaries = parallel::balanced_boundaries(self.rows, workers, |_| 1.0);
-        parallel::for_row_blocks(&mut out.data, n, &boundaries, |first_row, block| {
-            if packed {
-                kernel::gemm_block(&lhs_op, &rhs_op, first_row, block, n, kdim, false);
-            } else {
-                kernel::gemm_reference(&lhs_op, &rhs_op, first_row, block, n, kdim, false);
-            }
-        });
-        Ok(out)
+        kernel::matmul_with(kernel::active_backend(), self, rhs)
     }
 
     /// Matrix product with a transposed right-hand side: `self * rhsᵀ`
@@ -250,37 +248,14 @@ impl Matrix {
     /// No transposed copy is materialized: the kernel layer's packing
     /// (or, below the packing crossover, a contiguous per-element dot)
     /// absorbs the orientation. Entry `(i, j)` accumulates
-    /// `self[i][k] · rhs[j][k]` over ascending `k`, exactly like
-    /// [`vector::dot`] of the two rows. Row-parallel like
-    /// [`Matrix::matmul`].
+    /// `self[i][k] · rhs[j][k]` over ascending `k` — on the portable
+    /// backend exactly like [`vector::dot`] of the two rows, on the
+    /// FMA backend with one fused rounding per term. Dispatched and
+    /// row-parallel like [`Matrix::matmul`].
     ///
     /// Returns an error if `self.cols != rhs.cols`.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Result<Matrix> {
-        if self.cols != rhs.cols {
-            return Err(LinalgError::DimensionMismatch {
-                op: "matmul_nt",
-                lhs: self.shape(),
-                rhs: rhs.shape(),
-            });
-        }
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        if out.data.is_empty() {
-            return Ok(out);
-        }
-        let (n, kdim) = (rhs.rows, self.cols);
-        let lhs_op = kernel::Operand::normal(self);
-        let rhs_op = kernel::Operand::transposed(rhs);
-        let packed = kernel::use_packed(self.rows, kdim, n);
-        let workers = parallel::workers_for(self.rows * kdim * n, self.rows);
-        let boundaries = parallel::balanced_boundaries(self.rows, workers, |_| 1.0);
-        parallel::for_row_blocks(&mut out.data, n, &boundaries, |first_row, block| {
-            if packed {
-                kernel::gemm_block(&lhs_op, &rhs_op, first_row, block, n, kdim, false);
-            } else {
-                kernel::gemm_reference(&lhs_op, &rhs_op, first_row, block, n, kdim, false);
-            }
-        });
-        Ok(out)
+        kernel::matmul_nt_with(kernel::active_backend(), self, rhs)
     }
 
     /// Matrix product with a transposed left-hand side: `selfᵀ * rhs`
@@ -289,36 +264,13 @@ impl Matrix {
     /// The subspace-iteration projections (`QᵀZ`, `PᵀD`) are exactly
     /// this shape; computing them here avoids materializing the
     /// transpose while accumulating each element over ascending `k` —
-    /// bitwise what `self.transpose().matmul(rhs)` produces.
-    /// Row-parallel over the `m` output rows like [`Matrix::matmul`].
+    /// bitwise what `self.transpose().matmul(rhs)` produces on the
+    /// same backend. Dispatched and row-parallel over the `m` output
+    /// rows like [`Matrix::matmul`].
     ///
     /// Returns an error if `self.rows != rhs.rows`.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Result<Matrix> {
-        if self.rows != rhs.rows {
-            return Err(LinalgError::DimensionMismatch {
-                op: "matmul_tn",
-                lhs: self.shape(),
-                rhs: rhs.shape(),
-            });
-        }
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        if out.data.is_empty() {
-            return Ok(out);
-        }
-        let (n, kdim) = (rhs.cols, self.rows);
-        let lhs_op = kernel::Operand::transposed(self);
-        let rhs_op = kernel::Operand::normal(rhs);
-        let packed = kernel::use_packed(self.cols, kdim, n);
-        let workers = parallel::workers_for(self.cols * kdim * n, self.cols);
-        let boundaries = parallel::balanced_boundaries(self.cols, workers, |_| 1.0);
-        parallel::for_row_blocks(&mut out.data, n, &boundaries, |first_row, block| {
-            if packed {
-                kernel::gemm_block(&lhs_op, &rhs_op, first_row, block, n, kdim, false);
-            } else {
-                kernel::gemm_reference(&lhs_op, &rhs_op, first_row, block, n, kdim, false);
-            }
-        });
-        Ok(out)
+        kernel::matmul_tn_with(kernel::active_backend(), self, rhs)
     }
 
     /// Squared residual norm of every row after subtracting `mean` and
@@ -335,7 +287,11 @@ impl Matrix {
     /// per-vector operation order, so values are **bitwise identical**
     /// to the exact route ([`Matrix::matvec_t`] → [`Matrix::matvec`] →
     /// subtract → norm per row) — strictly inside the 1e-12 contract the
-    /// `netanom-core` batch API documents.
+    /// `netanom-core` batch API documents. To keep that equivalence on
+    /// every host, the internal coefficient GEMM is pinned to
+    /// [`kernel::KernelBackend::Portable`] regardless of the dispatched
+    /// backend: the per-vector route is plain mul-then-add arithmetic,
+    /// and detection scores must not move when the refit path speeds up.
     ///
     /// Returns an error if `mean.len() != cols` or
     /// `basis.rows() != cols`.
@@ -381,7 +337,16 @@ impl Matrix {
                     if kernel::use_packed(take, m, r) {
                         let z_op =
                             kernel::Operand::N(kernel::View::new(&zbuf[..take * m], take, m));
-                        kernel::gemm_block(&z_op, &basis_op, 0, cblock, r, m, false);
+                        kernel::gemm_block(
+                            kernel::KernelBackend::Portable,
+                            &z_op,
+                            &basis_op,
+                            0,
+                            cblock,
+                            r,
+                            m,
+                            false,
+                        );
                     } else if r <= 8 {
                         // Below the packed crossover a const-width
                         // coefficient pass beats the reference GEMM's
@@ -480,7 +445,11 @@ impl Matrix {
     /// `z_j·P[j][k]` over ascending `j`; modeled entry `l` sums
     /// `c_k·P[l][k]` over ascending `k`), so results are bitwise
     /// identical to [`Matrix::matvec_t`] + [`Matrix::matvec`] per row,
-    /// at a fraction of the cost.
+    /// at a fraction of the cost. Like the fused SPE kernel, both GEMMs
+    /// are pinned to [`kernel::KernelBackend::Portable`]: this is a
+    /// *scoring* kernel, and the per-vector equivalence (plain
+    /// mul-then-add arithmetic) must hold on every host regardless of
+    /// which backend the process dispatches for model fitting.
     ///
     /// Returns an error if `basis.rows() != self.cols`.
     pub fn project_rows_split(&self, basis: &Matrix) -> Result<(Matrix, Matrix)> {
@@ -491,13 +460,14 @@ impl Matrix {
                 rhs: basis.shape(),
             });
         }
-        let coeffs = self.matmul(basis)?;
+        let coeffs = kernel::matmul_with(kernel::KernelBackend::Portable, self, basis)?;
         // `coeffs · Pᵀ` via the row-major N·N kernel on the materialized
         // transpose: the shared dimension r is typically tiny (< one
         // k-tile), and the N·N reference walks long contiguous rows
         // where the N·T per-element dot would grind through r-length
         // strides. Same ascending-k order either way.
-        let modeled = coeffs.matmul(&basis.transpose())?;
+        let modeled =
+            kernel::matmul_with(kernel::KernelBackend::Portable, &coeffs, &basis.transpose())?;
         let residual = self.sub(&modeled)?;
         Ok((modeled, residual))
     }
@@ -542,31 +512,12 @@ impl Matrix {
     /// mean-centered data matrix `Y`, `Y.gram() / (t − 1)` is the sample
     /// covariance.
     pub fn gram(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.cols);
-        if out.data.is_empty() {
-            return out;
-        }
         // Only the upper triangle is computed (micro-tiles strictly
         // below the global diagonal are skipped inside the kernel), then
         // mirrored — the per-entry operation sequence matches a serial
-        // (i, a, b) loop nest, so the result is thread-count
-        // independent. Later rows have shorter triangles, hence the
-        // weighted split.
-        let (n, kdim) = (self.cols, self.rows);
-        let lhs_op = kernel::Operand::transposed(self);
-        let rhs_op = kernel::Operand::normal(self);
-        let packed = kernel::use_packed(n, kdim, n);
-        let workers = parallel::workers_for(kdim * n * n / 2, n);
-        let boundaries = parallel::balanced_boundaries(n, workers, |a| (n - a) as f64);
-        parallel::for_row_blocks(&mut out.data, n, &boundaries, |first_row, block| {
-            if packed {
-                kernel::gemm_block(&lhs_op, &rhs_op, first_row, block, n, kdim, true);
-            } else {
-                kernel::gemm_reference(&lhs_op, &rhs_op, first_row, block, n, kdim, true);
-            }
-        });
-        kernel::mirror_upper(&mut out);
-        out
+        // (i, a, b) loop nest on the active backend, so the result is
+        // thread-count independent. Dispatched like [`Matrix::matmul`].
+        kernel::gram_with(kernel::active_backend(), self)
     }
 
     /// Elementwise sum `self + rhs`.

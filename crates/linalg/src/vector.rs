@@ -71,6 +71,27 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
+/// In-place plane (Givens) rotation of a vector pair:
+/// `(xᵢ, yᵢ) ← (c·xᵢ − s·yᵢ, s·xᵢ + c·yᵢ)`.
+///
+/// Each lane is independent — the loop autovectorizes across `i` with
+/// no reassociation, so every element computes exactly the scalar
+/// mul-then-sub/add expressions written here. This is the contiguous
+/// row-pair form of the Jacobi rotation update: applying it to two
+/// matrix *rows* touches memory sequentially, where the textbook
+/// column-pair update would stride by the row width.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn rotate_pair(c: f64, s: f64, x: &mut [f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "rotate_pair: length mismatch");
+    for (xi, yi) in x.iter_mut().zip(y.iter_mut()) {
+        let (a, b) = (*xi, *yi);
+        *xi = c * a - s * b;
+        *yi = s * a + c * b;
+    }
+}
+
 /// In-place scaling `x *= s`.
 pub fn scale_in_place(x: &mut [f64], s: f64) {
     for xi in x.iter_mut() {

@@ -1,0 +1,216 @@
+//! Property tests pinning the FMA kernel tier explicitly, whatever
+//! backend the host dispatches.
+//!
+//! `kernel_proptests.rs` pins the *dispatched* products against a
+//! backend-matched naive reference; this file requests
+//! [`KernelBackend::Fma`] by name through the `*_with` entry points and
+//! asserts the FMA tier's own contract:
+//!
+//! * **Bitwise vs the fused naive loops.** Every orientation
+//!   (`matmul`, `matmul_nt`, `matmul_tn`, `gram`) equals the textbook
+//!   `i j k` triple loop with `f64::mul_add` per step — single
+//!   accumulator per element, strictly ascending `k`, one fused
+//!   rounding per term. Both routing regimes are covered: packed
+//!   shapes that exercise the 6 × 8 AVX2 micro-kernel (including
+//!   `k > KC` so the tile accumulators are spilled and reloaded
+//!   across KC panels) and ragged/degenerate shapes that fall through
+//!   to the fused reference kernel.
+//! * **≤ 1e-12 relative vs the portable tier.** The documented
+//!   cross-backend floor: fusing only removes intermediate roundings.
+//! * **No zero-skip.** A `0 × NaN` pairing poisons the FMA product
+//!   exactly as it does the naive fused loop.
+//!
+//! Every test gates on `KernelBackend::Fma.is_supported()` and passes
+//! vacuously on hosts without AVX2+FMA — CI's x86-64 runners exercise
+//! the real assertions. The determinism job reruns this file under
+//! `RAYON_NUM_THREADS` 1 and 8: the packed shapes here sit past the
+//! parallel fan-out crossover, so bitwise-vs-serial-naive also proves
+//! thread-count invariance of the FMA path.
+
+use netanom_linalg::kernel::{
+    gram_with, matmul_nt_with, matmul_tn_with, matmul_with, KernelBackend,
+};
+use netanom_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random value in `[-1, 1)`.
+fn hash_unit(i: usize) -> f64 {
+    let mut x = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+}
+
+fn hashed(rows: usize, cols: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| hash_unit(seed + i * cols + j))
+}
+
+/// Textbook `i j k` product with one fused rounding per term: the FMA
+/// tier's reference semantics, written independently of the crate.
+fn naive_matmul_fused(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0_f64;
+            for k in 0..a.cols() {
+                acc = a[(i, k)].mul_add(b[(k, j)], acc);
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Largest relative elementwise difference between two same-shape
+/// matrices, with a unit floor on the denominator.
+fn max_rel_diff(a: &Matrix, b: &Matrix) -> f64 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0))
+        .fold(0.0_f64, f64::max)
+}
+
+fn fma_available() -> bool {
+    KernelBackend::Fma.is_supported()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Packed-path shapes match the fused naive loops bitwise on every
+    /// orientation, and sit within 1e-12 relative of the portable tier.
+    #[test]
+    fn fma_packed_family_matches_fused_naive(
+        m in 33usize..70,
+        k in 33usize..70,
+        n in 33usize..70,
+        seed in 0usize..1000,
+    ) {
+        if fma_available() {
+            let a = hashed(m, k, seed);
+            let b = hashed(k, n, seed + 1_000_000);
+            let nn = matmul_with(KernelBackend::Fma, &a, &b).unwrap();
+            prop_assert_eq!(bits(&nn), bits(&naive_matmul_fused(&a, &b)));
+            let portable = matmul_with(KernelBackend::Portable, &a, &b).unwrap();
+            prop_assert!(max_rel_diff(&nn, &portable) <= 1e-12);
+
+            let bt = hashed(n, k, seed + 2_000_000);
+            let nt = matmul_nt_with(KernelBackend::Fma, &a, &bt).unwrap();
+            prop_assert_eq!(bits(&nt), bits(&naive_matmul_fused(&a, &bt.transpose())));
+
+            let at = hashed(k, m, seed + 3_000_000);
+            let tn = matmul_tn_with(KernelBackend::Fma, &at, &b).unwrap();
+            prop_assert_eq!(bits(&tn), bits(&naive_matmul_fused(&at.transpose(), &b)));
+        }
+    }
+
+    /// FMA gram (upper triangle + mirror) matches fused naive `AᵀA`
+    /// bitwise and stays within the cross-backend floor of portable.
+    #[test]
+    fn fma_gram_matches_fused_naive(
+        rows in 40usize..90,
+        cols in 33usize..60,
+        seed in 0usize..1000,
+    ) {
+        if fma_available() {
+            let a = hashed(rows, cols, seed);
+            let g = gram_with(KernelBackend::Fma, &a);
+            prop_assert_eq!(bits(&g), bits(&naive_matmul_fused(&a.transpose(), &a)));
+            let portable = gram_with(KernelBackend::Portable, &a);
+            prop_assert!(max_rel_diff(&g, &portable) <= 1e-12);
+        }
+    }
+
+    /// Ragged and degenerate shapes — below one 6 × 8 tile, `1 × n`,
+    /// `n × 1`, empty dimensions — route through the fused reference
+    /// kernel and still match the fused naive loops bitwise.
+    #[test]
+    fn fma_ragged_shapes_match_fused_naive(
+        m in 0usize..12,
+        k in 0usize..12,
+        n in 0usize..12,
+        seed in 0usize..1000,
+    ) {
+        if fma_available() {
+            let a = hashed(m, k, seed);
+            let b = hashed(k, n, seed + 1_000_000);
+            let nn = matmul_with(KernelBackend::Fma, &a, &b).unwrap();
+            prop_assert_eq!(bits(&nn), bits(&naive_matmul_fused(&a, &b)));
+
+            let bt = hashed(n, k, seed + 2_000_000);
+            let nt = matmul_nt_with(KernelBackend::Fma, &a, &bt).unwrap();
+            prop_assert_eq!(bits(&nt), bits(&naive_matmul_fused(&a, &bt.transpose())));
+
+            let g = gram_with(KernelBackend::Fma, &a);
+            prop_assert_eq!(bits(&g), bits(&naive_matmul_fused(&a.transpose(), &a)));
+        }
+    }
+}
+
+/// `k` far beyond `KC = 256` forces the KC loop to spill the 6 × 8 tile
+/// accumulators to C and extend them on the next panel; the chain must
+/// still be bitwise the single ascending-`k` fused loop. The odd shape
+/// also leaves partial tiles on both edges.
+#[test]
+fn fma_kc_crossing_accumulation_is_bitwise() {
+    if !fma_available() {
+        return;
+    }
+    let a = hashed(37, 531, 17);
+    let b = hashed(531, 29, 23);
+    let got = matmul_with(KernelBackend::Fma, &a, &b).unwrap();
+    assert_eq!(bits(&got), bits(&naive_matmul_fused(&a, &b)));
+}
+
+/// The packed FMA path must be bit-identical regardless of the thread
+/// count the row fan-out picks. The serial naive loop is
+/// env-independent; the CI determinism job reruns this test at
+/// `RAYON_NUM_THREADS` 1 and 8, so any thread-count dependence fails
+/// at least one leg. The shape is far past the fan-out crossover.
+#[test]
+fn fma_packed_products_are_thread_count_invariant() {
+    if !fma_available() {
+        return;
+    }
+    let a = hashed(257, 131, 7);
+    let b = hashed(131, 197, 99);
+    let got = matmul_with(KernelBackend::Fma, &a, &b).unwrap();
+    assert_eq!(bits(&got), bits(&naive_matmul_fused(&a, &b)));
+    let g = gram_with(KernelBackend::Fma, &a);
+    assert_eq!(bits(&g), bits(&naive_matmul_fused(&a.transpose(), &a)));
+}
+
+/// Regression mirroring the portable suite: a `0 × NaN` pairing must
+/// poison the FMA product identically to the fused naive loop — the
+/// micro-kernel never skips "zero" terms.
+#[test]
+fn fma_zero_times_nan_propagates_identically() {
+    if !fma_available() {
+        return;
+    }
+    let m = 48;
+    let mut a = hashed(m, m, 11);
+    let mut b = hashed(m, m, 13);
+    for i in 0..m {
+        a[(i, 3)] = 0.0;
+    }
+    for j in 0..m {
+        b[(3, j)] = f64::NAN;
+    }
+    let packed = matmul_with(KernelBackend::Fma, &a, &b).unwrap();
+    let naive = naive_matmul_fused(&a, &b);
+    assert!(packed.as_slice().iter().all(|v| v.is_nan()));
+    assert_eq!(bits(&packed), bits(&naive));
+
+    let a_small = Matrix::from_rows(&[vec![0.0, 1.0], vec![2.0, 3.0]]);
+    let b_small = Matrix::from_rows(&[vec![f64::NAN, 4.0], vec![5.0, 6.0]]);
+    let small = matmul_with(KernelBackend::Fma, &a_small, &b_small).unwrap();
+    assert!(small[(0, 0)].is_nan(), "0 × NaN must poison the entry");
+    assert_eq!(bits(&small), bits(&naive_matmul_fused(&a_small, &b_small)));
+}
