@@ -733,6 +733,228 @@ pub fn shard(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a positive whole-second duration flag with a default.
+fn seconds_of(
+    flags: &HashMap<&str, &str>,
+    name: &str,
+    default_secs: u64,
+) -> Result<std::time::Duration, String> {
+    match flags.get(name) {
+        None => Ok(std::time::Duration::from_secs(default_secs)),
+        Some(s) => s
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n > 0)
+            .map(std::time::Duration::from_secs)
+            .ok_or_else(|| {
+                format!("--{name} must be a positive whole number of seconds, got {s:?}")
+            }),
+    }
+}
+
+/// `netanom tracker --listen ADDR --links FILE|- --train-bins N
+/// --workers K [--paths FILE] [--confidence C] [--window N]
+/// [--refit-every K] [--refit full|incremental|truncated] [--refit-k K]
+/// [--chunk B] [--join-timeout S] [--read-timeout S]`
+///
+/// The tracker side of the distributed deployment: fit the subspace
+/// method on the first `--train-bins` rows of `--links` (every worker
+/// reads the same series locally), bind `--listen`, wait for all
+/// `--workers` shards to join, then run the join-and-dispatch loop —
+/// phase-A partials in, merged coefficients out, refits on the cadence,
+/// model broadcasts back. Alarm output is byte-identical to
+/// `netanom shard --shards K` over the same series and options, because
+/// the protocol is bitwise-parity with the in-process engine by
+/// construction (the distributed method is subspace-only).
+///
+/// The bound address is announced as `# listening on ADDR` on stderr
+/// before any worker is awaited, so `--listen 127.0.0.1:0` runs can
+/// discover the ephemeral port.
+pub fn tracker(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "listen",
+            "links",
+            "paths",
+            "confidence",
+            "train-bins",
+            "window",
+            "refit-every",
+            "refit",
+            "refit-k",
+            "chunk",
+            "workers",
+            "join-timeout",
+            "read-timeout",
+        ],
+    )?;
+    let listen = require(&flags, "listen")?;
+    let links_arg = require(&flags, "links")?;
+    let confidence = confidence_of(&flags)?;
+    let workers: usize = require(&flags, "workers")?
+        .parse()
+        .ok()
+        .filter(|&k| k > 0)
+        .ok_or_else(|| "--workers must be a positive integer".to_string())?;
+    let opts = online_options_of(&flags, RefitStrategy::Incremental)?;
+
+    // Only the training prefix is read here — the streamed rows live at
+    // the workers; the tracker never sees a measurement row again.
+    let mut chunks = traffic_io::CsvChunks::new(open_links_reader(links_arg)?, opts.chunk)
+        .map_err(|e| format!("reading {links_arg}: {e}"))?;
+    let m = chunks.num_links();
+    if workers > m {
+        return Err(format!(
+            "--workers {workers} exceeds the {m} links in the CSV"
+        ));
+    }
+    let partition =
+        LinkPartition::round_robin(m, workers).map_err(|e| format!("partitioning: {e}"))?;
+    let rm = routing_of(&flags, m)?;
+    let training = chunks
+        .take_rows(opts.train_bins)
+        .map_err(|e| format!("reading {links_arg} training rows: {e}"))?;
+
+    let mut stream_cfg = StreamConfig::new(opts.window).strategy(opts.strategy);
+    stream_cfg.refit_every = opts.refit_every;
+    let diag_cfg = DiagnoserConfig {
+        confidence,
+        ..DiagnoserConfig::default()
+    };
+    let backend =
+        netanom_core::SubspaceBackend::fit_sharded(&training, &rm, diag_cfg, opts.strategy)
+            .map_err(|e| format!("fitting model: {e}"))?;
+
+    let mut cfg = netanom_net::TrackerConfig::new(opts.train_bins, stream_cfg);
+    cfg.chunk = opts.chunk;
+    cfg.join_timeout = seconds_of(&flags, "join-timeout", 30)?;
+    cfg.read_timeout = seconds_of(&flags, "read-timeout", 30)?;
+    let mut tracker = netanom_net::Tracker::bind(listen, backend, &partition, cfg)
+        .map_err(|e| format!("binding {listen}: {e}"))?;
+
+    let addr = tracker.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("# listening on {addr}");
+    let sizes: Vec<String> = partition
+        .groups()
+        .iter()
+        .map(|g| g.len().to_string())
+        .collect();
+    eprintln!(
+        "# trained on {} bins x {m} links; method = subspace, r = {}, \
+         delta^2({:.2}%) = {:.6e}; {workers} workers ({} links each), refit = {}",
+        opts.train_bins,
+        tracker.backend_ref().diagnoser().model().normal_dim(),
+        confidence * 100.0,
+        tracker
+            .backend_ref()
+            .diagnoser()
+            .detector()
+            .threshold()
+            .delta_sq,
+        sizes.join("/"),
+        refit_label(opts.refit_every, opts.strategy),
+    );
+    println!("bin,spe,threshold,flow,estimated_bytes,explained_fraction");
+
+    let start = std::time::Instant::now();
+    let mut alarms = 0usize;
+    let summary = tracker
+        .run(|block| {
+            alarms += emit_alarms(block, opts.train_bins);
+        })
+        .map_err(|e| format!("tracker run: {e}"))?;
+    let elapsed = start.elapsed().as_secs_f64();
+    eprintln!(
+        "{alarms} alarms in {} streamed bins; {} merges+refits; {} worker rejoins; {:.0} arrivals/sec",
+        summary.arrivals,
+        summary.refits,
+        summary.rejoins.len(),
+        summary.arrivals as f64 / elapsed.max(1e-9),
+    );
+    Ok(())
+}
+
+/// `netanom worker --connect ADDR --links FILE|- --train-bins N
+/// --workers K --shard S [--checkpoint FILE] [--retries N]
+/// [--read-timeout S]`
+///
+/// One shard of the distributed deployment: read the measurement series
+/// locally (the training prefix warms the shard state, the rest streams
+/// on the tracker's cadence), own shard `S` of the round-robin
+/// partition of `K`, and serve phase A/B rounds until the tracker says
+/// done. With `--checkpoint`, every completed round is persisted
+/// atomically, so a killed worker restarted with the same flags resumes
+/// mid-stream and rejoins without warmup.
+pub fn worker(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "connect",
+            "links",
+            "train-bins",
+            "workers",
+            "shard",
+            "checkpoint",
+            "retries",
+            "read-timeout",
+        ],
+    )?;
+    let connect = require(&flags, "connect")?;
+    let links_arg = require(&flags, "links")?;
+    let train_bins: usize = require(&flags, "train-bins")?
+        .parse()
+        .ok()
+        .filter(|&n| n >= 2)
+        .ok_or_else(|| "--train-bins must be an integer ≥ 2".to_string())?;
+    let workers: usize = require(&flags, "workers")?
+        .parse()
+        .ok()
+        .filter(|&k| k > 0)
+        .ok_or_else(|| "--workers must be a positive integer".to_string())?;
+    let shard: usize = require(&flags, "shard")?
+        .parse()
+        .map_err(|_| "--shard must be an integer".to_string())?;
+    if shard >= workers {
+        return Err(format!(
+            "--shard {shard} out of range for --workers {workers}"
+        ));
+    }
+
+    let chunks = traffic_io::CsvChunks::new(open_links_reader(links_arg)?, 144)
+        .map_err(|e| format!("reading {links_arg}: {e}"))?;
+    let m = chunks.num_links();
+    if workers > m {
+        return Err(format!(
+            "--workers {workers} exceeds the {m} links in the CSV"
+        ));
+    }
+    let partition =
+        LinkPartition::round_robin(m, workers).map_err(|e| format!("partitioning: {e}"))?;
+    let feed = netanom_net::CsvRowFeed::new(chunks);
+
+    let mut cfg = netanom_net::WorkerConfig::new(shard, workers, train_bins);
+    cfg.read_timeout = seconds_of(&flags, "read-timeout", 30)?;
+    if let Some(path) = flags.get("checkpoint") {
+        cfg.checkpoint = Some(PathBuf::from(path));
+    }
+    if let Some(s) = flags.get("retries") {
+        cfg.retries = s
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("--retries must be a positive integer, got {s:?}"))?;
+    }
+
+    let summary = netanom_net::run_worker(connect, feed, partition.group(shard), &cfg)
+        .map_err(|e| format!("worker {shard}/{workers}: {e}"))?;
+    eprintln!(
+        "# worker {shard}/{workers}: {} streamed bins in {} rounds; {} rejoins",
+        summary.arrivals, summary.rounds, summary.rejoins,
+    );
+    Ok(())
+}
+
 /// `netanom eval (--list | ID... ) [--out DIR]`
 ///
 /// The experiment registry from `netanom-eval`: `--list` enumerates

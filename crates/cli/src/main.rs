@@ -16,6 +16,11 @@ fn usage() {
          [--confidence C] [--window N] [--refit-every K] [--refit full|incremental] [--chunk B]\n  \
          netanom shard    --links FILE|- --train-bins N --shards K [--method NAME] [--paths FILE]\n           \
          [--confidence C] [--window N] [--refit-every K] [--refit full|incremental] [--chunk B]\n  \
+         netanom tracker  --listen ADDR --links FILE|- --train-bins N --workers K [--paths FILE]\n           \
+         [--confidence C] [--window N] [--refit-every K] [--refit full|incremental]\n           \
+         [--chunk B] [--join-timeout S] [--read-timeout S]\n  \
+         netanom worker   --connect ADDR --links FILE|- --train-bins N --workers K --shard S\n           \
+         [--checkpoint FILE] [--retries N] [--read-timeout S]\n  \
          netanom eval     --list | ID... [--out DIR]\n  \
          netanom --list-methods | --version"
     );
@@ -33,6 +38,8 @@ fn main() -> ExitCode {
         "diagnose" => commands::diagnose(rest),
         "stream" => commands::stream(rest),
         "shard" => commands::shard(rest),
+        "tracker" => commands::tracker(rest),
+        "worker" => commands::worker(rest),
         "eval" => commands::eval(rest),
         "--list-methods" => {
             commands::list_methods();

@@ -1,0 +1,277 @@
+//! Integration tests for the distributed verbs on the real binary
+//! (`CARGO_BIN_EXE_netanom`): a tracker plus two worker processes on
+//! loopback must print alarm CSV **byte-identical** to
+//! `netanom shard --shards 2` over the same series, and every failure
+//! mode — unreachable tracker, bad listen address, partition
+//! disagreement — must exit non-zero with a useful message.
+
+use std::io::{BufRead, BufReader, Read};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::thread;
+
+fn netanom(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_netanom"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+/// Simulate the mini dataset into a fresh temp dir; returns
+/// (dir, links.csv, paths.csv).
+fn simulated(name: &str) -> (PathBuf, PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("netanom-dist-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = netanom(&[
+        "simulate",
+        "--dataset",
+        "mini",
+        "--out-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "simulate: {:?}", out.status);
+    let links = dir.join("links.csv");
+    let paths = dir.join("paths.csv");
+    (dir, links, paths)
+}
+
+/// Spawn a tracker with piped stdio and wait for its
+/// `# listening on ADDR` stderr announcement; returns the child, the
+/// bound address, and a thread draining the rest of stderr.
+fn spawn_tracker(args: &[&str]) -> (Child, String, thread::JoinHandle<String>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_netanom"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("tracker spawns");
+    let mut reader = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let mut addr = None;
+    let mut line = String::new();
+    while reader
+        .read_line(&mut line)
+        .expect("tracker stderr readable")
+        > 0
+    {
+        if let Some(rest) = line.trim().strip_prefix("# listening on ") {
+            addr = Some(rest.to_string());
+            break;
+        }
+        line.clear();
+    }
+    let addr = addr.expect("tracker announced its address before exiting");
+    // Keep draining stderr on a thread so the tracker can never block
+    // on a full pipe.
+    let drain = thread::spawn(move || {
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).expect("stderr drains");
+        rest
+    });
+    (child, addr, drain)
+}
+
+#[test]
+fn tracker_and_two_workers_match_shard_stdout_byte_for_byte() {
+    let (dir, links, paths) = simulated("parity");
+    let l = links.to_str().unwrap();
+    let p = paths.to_str().unwrap();
+
+    // The in-process reference: the sharded online path with the same
+    // partition, cadence, and chunking.
+    let reference = netanom(&[
+        "shard",
+        "--links",
+        l,
+        "--paths",
+        p,
+        "--train-bins",
+        "192",
+        "--shards",
+        "2",
+        "--refit-every",
+        "24",
+        "--chunk",
+        "17",
+    ]);
+    assert!(reference.status.success(), "shard: {:?}", reference.status);
+    let want = String::from_utf8(reference.stdout).unwrap();
+    assert!(
+        want.lines().count() > 1,
+        "reference produced no alarms: {want}"
+    );
+
+    let (tracker, addr, tracker_stderr) = spawn_tracker(&[
+        "tracker",
+        "--listen",
+        "127.0.0.1:0",
+        "--links",
+        l,
+        "--paths",
+        p,
+        "--train-bins",
+        "192",
+        "--workers",
+        "2",
+        "--refit-every",
+        "24",
+        "--chunk",
+        "17",
+    ]);
+    let workers: Vec<Child> = (0..2)
+        .map(|shard| {
+            Command::new(env!("CARGO_BIN_EXE_netanom"))
+                .args([
+                    "worker",
+                    "--connect",
+                    &addr,
+                    "--links",
+                    l,
+                    "--train-bins",
+                    "192",
+                    "--workers",
+                    "2",
+                    "--shard",
+                    &shard.to_string(),
+                ])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .expect("worker spawns")
+        })
+        .collect();
+
+    for (shard, w) in workers.into_iter().enumerate() {
+        let out = w.wait_with_output().expect("worker exits");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(out.status.success(), "worker {shard} failed: {stderr}");
+        assert!(
+            stderr.contains(&format!("# worker {shard}/2: 96 streamed bins")),
+            "worker {shard} summary: {stderr}"
+        );
+        assert!(out.stdout.is_empty(), "workers print nothing to stdout");
+    }
+    let out = tracker.wait_with_output().expect("tracker exits");
+    let stderr = tracker_stderr.join().unwrap();
+    assert!(out.status.success(), "tracker failed: {stderr}");
+    let got = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(got, want, "distributed stdout differs from `netanom shard`");
+    assert!(stderr.contains("0 worker rejoins"), "{stderr}");
+    assert!(stderr.contains("merges+refits"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn worker_with_unreachable_tracker_exits_nonzero() {
+    let (dir, links, _paths) = simulated("unreachable");
+    // Bind-then-drop reserves a port nobody is listening on.
+    let port = {
+        let sock = TcpListener::bind("127.0.0.1:0").unwrap();
+        sock.local_addr().unwrap().port()
+    };
+    let out = netanom(&[
+        "worker",
+        "--connect",
+        &format!("127.0.0.1:{port}"),
+        "--links",
+        links.to_str().unwrap(),
+        "--train-bins",
+        "192",
+        "--workers",
+        "2",
+        "--shard",
+        "0",
+        "--retries",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "exit: {:?}", out.status);
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("worker 0/2"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tracker_with_unbindable_listen_address_exits_nonzero() {
+    let (dir, links, _paths) = simulated("badlisten");
+    let out = netanom(&[
+        "tracker",
+        "--listen",
+        "not-an-address",
+        "--links",
+        links.to_str().unwrap(),
+        "--train-bins",
+        "192",
+        "--workers",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "exit: {:?}", out.status);
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("not-an-address"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn partition_disagreement_rejects_the_worker_and_times_out_the_tracker() {
+    let (dir, links, _paths) = simulated("mismatch");
+    let l = links.to_str().unwrap();
+
+    // Tracker expects 2 workers with a short join window; the lone
+    // worker believes the partition has 3 shards, so its join is
+    // rejected and the tracker's join deadline expires.
+    let (tracker, addr, tracker_stderr) = spawn_tracker(&[
+        "tracker",
+        "--listen",
+        "127.0.0.1:0",
+        "--links",
+        l,
+        "--train-bins",
+        "192",
+        "--workers",
+        "2",
+        "--join-timeout",
+        "2",
+    ]);
+    let worker = netanom(&[
+        "worker",
+        "--connect",
+        &addr,
+        "--links",
+        l,
+        "--train-bins",
+        "192",
+        "--workers",
+        "3",
+        "--shard",
+        "0",
+    ]);
+    assert_eq!(worker.status.code(), Some(1), "exit: {:?}", worker.status);
+    let worker_stderr = String::from_utf8(worker.stderr).unwrap();
+    assert!(
+        worker_stderr.contains("rejected") && worker_stderr.contains("3 shards"),
+        "{worker_stderr}"
+    );
+
+    let out = tracker.wait_with_output().expect("tracker exits");
+    let stderr = tracker_stderr.join().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "tracker should time out: {stderr}"
+    );
+    assert!(stderr.contains("timed out"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_mentions_the_distributed_verbs() {
+    let out = netanom(&["--help"]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    for needle in ["tracker", "worker", "--listen", "--connect", "--checkpoint"] {
+        assert!(
+            stderr.contains(needle),
+            "usage must mention {needle}: {stderr}"
+        );
+    }
+}

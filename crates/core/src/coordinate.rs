@@ -1,0 +1,76 @@
+//! Transport-agnostic coordination: the merge/finalize logic every
+//! sharded driver shares, whether the shards live on threads
+//! ([`ShardedEngine`](crate::ShardedEngine)) or on TCP workers
+//! (`netanom-net`'s tracker).
+//!
+//! [`ShardableBackend`] already splits a block
+//! into per-shard phase A (raw slice → partial) and phase B (merged
+//! partial → scores + residual slices). What remains coordinator-side is
+//! *pure placement*: sum the per-shard score partials in shard order,
+//! assemble the fired bins' residual rows from the shard slices, and
+//! hand each bin to the backend's `finalize`. [`Coordinator`] extracts
+//! exactly that loop so the in-process engine and the TCP tracker run
+//! the same code — bitwise identity between them is by construction,
+//! not by test alone.
+
+use crate::diagnose::DiagnosisReport;
+use crate::method::{DetectionBackend, ShardScores, ShardableBackend};
+use crate::Result;
+
+/// A driver that owns a [`ShardableBackend`] and a link partition, and
+/// finalizes per-shard phase-B outputs into diagnosis reports.
+///
+/// The provided [`finalize_block`](Coordinator::finalize_block) is the
+/// single implementation of the coordinator's scoring loop; implementors
+/// only say where the backend and the partition live. Reports come back
+/// with `time == 0` — the driver stamps arrival indices.
+pub trait Coordinator {
+    /// The detection backend whose shards this coordinator drives.
+    type Backend: ShardableBackend;
+
+    /// The backend (read-only: finalize never mutates model state).
+    fn backend(&self) -> &Self::Backend;
+
+    /// The link partition, one strictly-ascending column set per shard,
+    /// in shard order — the same order phase-B outputs are passed in.
+    fn shard_links(&self) -> &[Vec<usize>];
+
+    /// Sum score partials in shard order, detect, and finalize the
+    /// fired bins on the assembled residual.
+    ///
+    /// `outs[s]` is shard `s`'s phase-B output for the same `bins`-row
+    /// block; summation and residual placement both walk shards in
+    /// partition order, so results are independent of where (or in what
+    /// thread/socket order) the shards computed.
+    fn finalize_block(&self, bins: usize, outs: &[ShardScores]) -> Result<Vec<DiagnosisReport>> {
+        let backend = self.backend();
+        let links = self.shard_links();
+        let threshold = backend.threshold();
+        let wants_residual = backend.wants_residual();
+        let m = backend.dim();
+        let mut reports = Vec::with_capacity(bins);
+        for t in 0..bins {
+            let score: f64 = outs.iter().map(|o| o.scores[t]).sum();
+            let assembled: Vec<f64>;
+            let residual = if wants_residual && score > threshold {
+                let mut buf = vec![0.0; m];
+                for (links, out) in links.iter().zip(outs) {
+                    let slice = out
+                        .residual
+                        .as_ref()
+                        .expect("wants_residual backends return residual slices");
+                    let row = slice.row(t);
+                    for (k, &l) in links.iter().enumerate() {
+                        buf[l] = row[k];
+                    }
+                }
+                assembled = buf;
+                Some(&assembled[..])
+            } else {
+                None
+            };
+            reports.push(backend.finalize(score, residual)?);
+        }
+        Ok(reports)
+    }
+}

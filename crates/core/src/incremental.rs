@@ -358,6 +358,11 @@ impl IncrementalCovariance {
     }
 }
 
+/// Magic prefix of [`CovarianceShard`]'s binary encoding.
+const SHARD_MAGIC: [u8; 4] = *b"NACS";
+/// Encoding version.
+const SHARD_VERSION: u32 = 1;
+
 /// One shard's slice of the global sufficient statistics: the rows of
 /// `Σ y yᵀ` (upper triangle) belonging to the shard's links, plus the
 /// matching entries of `Σ y` and the shared measurement count.
@@ -479,6 +484,102 @@ impl CovarianceShard {
     pub fn slide(&mut self, old: &[f64], new: &[f64]) -> Result<()> {
         self.remove(old)?;
         self.add(new)
+    }
+
+    /// Encode as a self-contained little-endian byte buffer — the wire
+    /// format workers use to ship statistics partials to the tracker
+    /// (`"NACS"` = netanom covariance shard). Every `f64` bit pattern is
+    /// preserved exactly, so a decoded shard merges bitwise identically
+    /// to the original.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&SHARD_MAGIC);
+        out.extend_from_slice(&SHARD_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.dim as u64).to_le_bytes());
+        out.extend_from_slice(&(self.count as u64).to_le_bytes());
+        out.extend_from_slice(&(self.links.len() as u64).to_le_bytes());
+        for &l in &self.links {
+            out.extend_from_slice(&(l as u64).to_le_bytes());
+        }
+        for &v in &self.sum {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for k in 0..self.cross.rows() {
+            for &v in self.cross.row(k) {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a buffer produced by [`CovarianceShard::to_bytes`],
+    /// re-validating every structural invariant (`links` strictly
+    /// ascending and inside `0..dim`, exact buffer length).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let take = |at: &mut usize, n: usize| -> Result<&[u8]> {
+            let end = at.checked_add(n).filter(|&e| e <= bytes.len());
+            let Some(end) = end else {
+                return Err(CoreError::InvalidState {
+                    reason: "truncated statistics buffer",
+                });
+            };
+            let out = &bytes[*at..end];
+            *at = end;
+            Ok(out)
+        };
+        let u64_at = |at: &mut usize| -> Result<u64> {
+            let b = take(at, 8)?;
+            Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        };
+        let mut at = 0usize;
+        if take(&mut at, 4)? != SHARD_MAGIC {
+            return Err(CoreError::InvalidState {
+                reason: "bad statistics magic prefix",
+            });
+        }
+        if u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes")) != SHARD_VERSION {
+            return Err(CoreError::InvalidState {
+                reason: "unsupported statistics version",
+            });
+        }
+        let dim = u64_at(&mut at)? as usize;
+        let count = u64_at(&mut at)? as usize;
+        let nlinks = u64_at(&mut at)? as usize;
+        let mut links = Vec::with_capacity(nlinks.min(1 << 20));
+        for _ in 0..nlinks {
+            links.push(u64_at(&mut at)? as usize);
+        }
+        let f64s_at = |at: &mut usize, n: usize| -> Result<Vec<f64>> {
+            let b = take(
+                at,
+                n.checked_mul(8).ok_or(CoreError::InvalidState {
+                    reason: "statistics length overflow",
+                })?,
+            )?;
+            Ok(b.chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect())
+        };
+        let sum = f64s_at(&mut at, nlinks)?;
+        let cross_len = nlinks.checked_mul(dim).ok_or(CoreError::InvalidState {
+            reason: "statistics shape overflow",
+        })?;
+        let cross_data = f64s_at(&mut at, cross_len)?;
+        if at != bytes.len() {
+            return Err(CoreError::InvalidState {
+                reason: "trailing bytes after statistics",
+            });
+        }
+        // Reuse the constructor's link validation, then install the
+        // decoded payload over the empty shell.
+        let mut shard = CovarianceShard::new(dim, &links)?;
+        shard.count = count;
+        shard.sum = sum;
+        shard.cross =
+            Matrix::from_vec(nlinks, dim, cross_data).map_err(|_| CoreError::InvalidState {
+                reason: "statistics data does not match its shape",
+            })?;
+        Ok(shard)
     }
 }
 
@@ -660,6 +761,58 @@ mod tests {
         assert_eq!(s.count(), 1);
         s.remove(&[1.0; 4]).unwrap();
         assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn covariance_shard_bytes_roundtrip_is_bitwise() {
+        let y = data(40, 6, 11);
+        let mut s = CovarianceShard::new(6, &[1, 3, 4]).unwrap();
+        for t in 0..y.rows() {
+            s.add(y.row(t)).unwrap();
+        }
+        let bytes = s.to_bytes();
+        let back = CovarianceShard::from_bytes(&bytes).unwrap();
+        assert_eq!(back.dim(), s.dim());
+        assert_eq!(back.links(), s.links());
+        assert_eq!(back.count(), s.count());
+        assert_eq!(back.sum, s.sum, "sum must round-trip bitwise");
+        assert!(back.cross == s.cross, "cross rows must round-trip bitwise");
+        // A decoded shard must merge exactly like the original.
+        let mut other = CovarianceShard::new(6, &[0, 2, 5]).unwrap();
+        for t in 0..y.rows() {
+            other.add(y.row(t)).unwrap();
+        }
+        let merged_orig = IncrementalCovariance::merge([&s, &other]).unwrap();
+        let merged_back = IncrementalCovariance::merge([&back, &other]).unwrap();
+        assert!(merged_orig.covariance().unwrap() == merged_back.covariance().unwrap());
+    }
+
+    #[test]
+    fn covariance_shard_bytes_rejects_corruption() {
+        let mut s = CovarianceShard::new(3, &[0, 2]).unwrap();
+        s.add(&[1.0, 2.0, 3.0]).unwrap();
+        let bytes = s.to_bytes();
+        // Truncation at every prefix length fails cleanly.
+        for cut in 0..bytes.len() {
+            assert!(CovarianceShard::from_bytes(&bytes[..cut]).is_err());
+        }
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(CovarianceShard::from_bytes(&bad).is_err());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(CovarianceShard::from_bytes(&long).is_err());
+        // Non-ascending links are re-validated on decode.
+        let mut swapped = bytes;
+        // links live after magic(4)+version(4)+dim(8)+count(8)+len(8).
+        let at = 4 + 4 + 8 + 8 + 8;
+        let (a, b) = (at, at + 8);
+        for i in 0..8 {
+            swapped.swap(a + i, b + i);
+        }
+        assert!(CovarianceShard::from_bytes(&swapped).is_err());
     }
 
     #[test]

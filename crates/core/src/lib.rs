@@ -65,6 +65,7 @@
 #![allow(clippy::needless_range_loop)]
 #![forbid(unsafe_code)]
 
+pub mod coordinate;
 pub mod detectability;
 mod diagnose;
 mod error;
@@ -81,11 +82,13 @@ pub mod stream;
 mod subspace;
 pub mod timescale;
 
+pub use coordinate::Coordinator;
 pub use diagnose::{quantify, Diagnoser, DiagnoserConfig, DiagnosisReport};
 pub use error::CoreError;
 pub use identify::{Identification, Identifier};
 pub use method::{
-    DetectionBackend, MethodState, ShardCtx, ShardScores, ShardableBackend, SubspaceBackend,
+    merge_coeff_partials, subspace_model_from_state, DetectionBackend, MethodState, ShardCtx,
+    ShardScores, ShardableBackend, SubspaceBackend, SubspacePartial, SubspaceShard,
 };
 pub use online::OnlineDiagnoser;
 pub use pca::{Pca, PcaMethod};

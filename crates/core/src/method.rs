@@ -271,6 +271,51 @@ impl MethodState {
     }
 }
 
+/// Rebuild a [`SubspaceModel`] (and its confidence level) from an
+/// exported subspace [`MethodState`] — the single decoder behind
+/// [`DetectionBackend::import_state`] and the distributed worker's model
+/// broadcast, so a state installed over the wire assembles into
+/// **bitwise** the model the exporter froze.
+pub fn subspace_model_from_state(state: &MethodState) -> Result<(SubspaceModel, f64)> {
+    state.expect_method("subspace")?;
+    let (r, confidence, moments) = match state.scalars[..] {
+        [r, confidence] => (r, confidence, None),
+        [r, confidence, phi1, phi2, phi3] => (r, confidence, Some((phi1, phi2, phi3))),
+        _ => {
+            return Err(CoreError::InvalidState {
+                reason: "subspace state needs [r, confidence] or \
+                         [r, confidence, phi1, phi2, phi3] scalars",
+            })
+        }
+    };
+    let [mean, eigenvalues] = &state.vectors[..] else {
+        return Err(CoreError::InvalidState {
+            reason: "subspace state needs [mean, eigenvalues] vectors",
+        });
+    };
+    let [basis] = &state.matrices[..] else {
+        return Err(CoreError::InvalidState {
+            reason: "subspace state needs [basis] matrix",
+        });
+    };
+    let model = match moments {
+        None => {
+            SubspaceModel::from_parts(mean.clone(), basis.clone(), eigenvalues.clone(), r as usize)
+        }
+        Some(moments) => SubspaceModel::from_parts_truncated(
+            mean.clone(),
+            basis.clone(),
+            eigenvalues.clone(),
+            r as usize,
+            moments,
+        ),
+    }
+    .map_err(|_| CoreError::InvalidState {
+        reason: "subspace state does not assemble into a model",
+    })?;
+    Ok((model, confidence))
+}
+
 /// Per-bin output of one shard's phase B: its partial score
 /// contributions and (for methods that identify) its residual slice.
 #[derive(Debug)]
@@ -488,6 +533,40 @@ impl SubspaceBackend {
             other => other,
         }
     }
+
+    /// Refit the frozen model from merged sufficient statistics — the
+    /// coordinator step after an [`IncrementalCovariance::merge`] of the
+    /// shard rows, shared by the in-process
+    /// [`refit_shards`](ShardableBackend::refit_shards) and the TCP
+    /// tracker so both refit bitwise identically. Applies the same 3σ
+    /// normal-dimension freeze as the streaming refit. Errors with
+    /// [`CoreError::ShardMismatch`] under [`RefitStrategy::FullSvd`],
+    /// which does not refit from statistics.
+    pub fn refit_from_statistics(&mut self, stats: &IncrementalCovariance) -> Result<()> {
+        let model = match self.strategy {
+            RefitStrategy::FullSvd => {
+                return Err(CoreError::ShardMismatch {
+                    reason: "full-SVD refits rebuild from the window, not statistics",
+                })
+            }
+            RefitStrategy::Incremental => stats.to_model(self.incremental_policy())?,
+            RefitStrategy::Truncated { k, tol } => {
+                stats.to_model_truncated(self.incremental_policy(), k, tol)?
+            }
+        };
+        self.diagnoser
+            .refit_model(model, &self.rm, self.config.confidence)
+    }
+
+    /// Refit the frozen model with a full fit over an assembled window
+    /// (`len × m`, arrival order) — the [`RefitStrategy::FullSvd`]
+    /// coordinator step, shared by the in-process engine and the TCP
+    /// tracker.
+    pub fn refit_from_window(&mut self, window: &Matrix) -> Result<()> {
+        let model = SubspaceModel::fit(window, self.config.separation, self.config.pca_method)?;
+        self.diagnoser
+            .refit_model(model, &self.rm, self.config.confidence)
+    }
 }
 
 impl DetectionBackend for SubspaceBackend {
@@ -565,56 +644,25 @@ impl DetectionBackend for SubspaceBackend {
     }
 
     fn import_state(&mut self, state: &MethodState) -> Result<()> {
-        state.expect_method("subspace")?;
-        let (r, confidence, moments) = match state.scalars[..] {
-            [r, confidence] => (r, confidence, None),
-            [r, confidence, phi1, phi2, phi3] => (r, confidence, Some((phi1, phi2, phi3))),
-            _ => {
-                return Err(CoreError::InvalidState {
-                    reason: "subspace state needs [r, confidence] or \
-                             [r, confidence, phi1, phi2, phi3] scalars",
-                })
-            }
-        };
-        let [mean, eigenvalues] = &state.vectors[..] else {
-            return Err(CoreError::InvalidState {
-                reason: "subspace state needs [mean, eigenvalues] vectors",
-            });
-        };
-        let [basis] = &state.matrices[..] else {
-            return Err(CoreError::InvalidState {
-                reason: "subspace state needs [basis] matrix",
-            });
-        };
-        if mean.len() != self.dim() {
+        let (model, confidence) = subspace_model_from_state(state)?;
+        if model.dim() != self.dim() {
             return Err(CoreError::InvalidState {
                 reason: "subspace state has the wrong link count",
             });
         }
-        let model = match moments {
-            None => SubspaceModel::from_parts(
-                mean.clone(),
-                basis.clone(),
-                eigenvalues.clone(),
-                r as usize,
-            ),
-            Some(moments) => SubspaceModel::from_parts_truncated(
-                mean.clone(),
-                basis.clone(),
-                eigenvalues.clone(),
-                r as usize,
-                moments,
-            ),
-        }
-        .map_err(|_| CoreError::InvalidState {
-            reason: "subspace state does not assemble into a model",
-        })?;
         self.diagnoser.refit_model(model, &self.rm, confidence)
     }
 }
 
 /// One shard's slice of the subspace state: its rows of the global
 /// sufficient statistics and its broadcast slice of the frozen model.
+///
+/// The phase methods ([`SubspaceShard::phase_a`],
+/// [`SubspaceShard::phase_b`]) are the *worker side* of the sharded
+/// subspace computation. [`ShardedEngine`](crate::ShardedEngine) drives
+/// them in process through the [`ShardableBackend`] impl; a distributed
+/// worker (`netanom-net`) drives the same methods over TCP — one code
+/// path, so the two deployments are bitwise identical by construction.
 #[derive(Debug, Clone)]
 pub struct SubspaceShard {
     /// Statistics rows; maintained only under
@@ -626,6 +674,94 @@ pub struct SubspaceShard {
     basis: Matrix,
 }
 
+impl SubspaceShard {
+    /// Build a shard from the model it will score against: the slice of
+    /// `model`'s mean and normal basis owned by `links`, plus optional
+    /// pre-seeded statistics rows. This is exactly the seeding
+    /// [`ShardableBackend::make_shards`] performs, exposed so an
+    /// out-of-process worker can construct its shard from a broadcast
+    /// [`MethodState`] (via [`subspace_model_from_state`]).
+    pub fn from_model(
+        model: &SubspaceModel,
+        links: &[usize],
+        stats: Option<CovarianceShard>,
+    ) -> Self {
+        let mean = model.mean();
+        let basis = model.normal_basis();
+        SubspaceShard {
+            stats,
+            mean: links.iter().map(|&l| mean[l]).collect(),
+            basis: Matrix::from_fn(links.len(), basis.cols(), |k, j| basis[(links[k], j)]),
+        }
+    }
+
+    /// Re-cut the model slices after a refit broadcast, keeping the
+    /// statistics rows — the worker side of the coordinator's
+    /// merge-refit-broadcast step.
+    pub fn install_model(&mut self, model: &SubspaceModel, links: &[usize]) {
+        let mean = model.mean();
+        let basis = model.normal_basis();
+        self.mean = links.iter().map(|&l| mean[l]).collect();
+        self.basis = Matrix::from_fn(links.len(), basis.cols(), |k, j| basis[(links[k], j)]);
+    }
+
+    /// Phase A: cut the raw column slice, center it against the shard's
+    /// mean slice, and project onto the shard's basis rows — no
+    /// cross-shard information, no state mutation.
+    pub fn phase_a(&self, links: &[usize], block: &Matrix) -> SubspacePartial {
+        let m_s = links.len();
+        let raw = block.select_columns(links);
+        let centered = Matrix::from_fn(raw.rows(), m_s, |t, k| raw[(t, k)] - self.mean[k]);
+        let coeffs = centered
+            .matmul(&self.basis)
+            .expect("basis rows match the shard width");
+        SubspacePartial {
+            raw,
+            centered,
+            coeffs,
+        }
+    }
+
+    /// Phase B: given the merged global projection coefficients, compute
+    /// the shard's residual slice and partial SPE contributions, and
+    /// advance the statistics rows over the block (`evicted[t]` is the
+    /// full row the `t`-th window push evicts, `None` while filling).
+    pub fn phase_b(
+        &mut self,
+        partial: &SubspacePartial,
+        merged: &Matrix,
+        block: &Matrix,
+        evicted: &[Option<Vec<f64>>],
+    ) -> Result<ShardScores> {
+        let modeled = merged
+            .matmul_nt(&self.basis)
+            .expect("basis width matches the merged coefficients");
+        let residual = partial
+            .centered
+            .sub(&modeled)
+            .expect("shapes match by construction");
+        let norms = residual.row_norms_sq();
+        for t in 0..block.rows() {
+            if let Some(stats) = &mut self.stats {
+                match &evicted[t] {
+                    Some(old) => stats.slide(old, block.row(t))?,
+                    None => stats.add(block.row(t))?,
+                }
+            }
+        }
+        Ok(ShardScores {
+            scores: norms,
+            residual: Some(residual),
+        })
+    }
+
+    /// The shard's statistics rows (`None` under
+    /// [`RefitStrategy::FullSvd`]).
+    pub fn stats(&self) -> Option<&CovarianceShard> {
+        self.stats.as_ref()
+    }
+}
+
 /// Phase-A output of one subspace shard.
 #[derive(Debug)]
 pub struct SubspacePartial {
@@ -635,6 +771,35 @@ pub struct SubspacePartial {
     centered: Matrix,
     /// Partial projection coefficients `Z_s · P_s` (`b × r`).
     coeffs: Matrix,
+}
+
+impl SubspacePartial {
+    /// The partial projection coefficients (`b × r`) the coordinator
+    /// merges — the only phase-A output that crosses shard (or process)
+    /// boundaries.
+    pub fn coeffs(&self) -> &Matrix {
+        &self.coeffs
+    }
+}
+
+/// Sum per-shard projection-coefficient partials (`bins × r` each) **in
+/// the given order** from a zero accumulator — the coordinator's merge.
+/// Both [`ShardableBackend::merge_partials`] for the in-process engine
+/// and the TCP tracker call this one function, so the merged
+/// coefficients (and everything downstream) are bitwise identical
+/// across transports.
+///
+/// # Panics
+/// Panics if any partial is not `bins × r`.
+pub fn merge_coeff_partials<'a, I>(bins: usize, r: usize, partials: I) -> Matrix
+where
+    I: IntoIterator<Item = &'a Matrix>,
+{
+    let mut coeffs = Matrix::zeros(bins, r);
+    for partial in partials {
+        coeffs = coeffs.add(partial).expect("all partials are bins × r");
+    }
+    coeffs
 }
 
 impl ShardableBackend for SubspaceBackend {
@@ -649,8 +814,6 @@ impl ShardableBackend for SubspaceBackend {
     ) -> Result<Vec<Self::Shard>> {
         let m = self.dim();
         let model = self.diagnoser.model();
-        let mean = model.mean();
-        let basis = model.normal_basis();
         let mut shards = Vec::with_capacity(partition.num_shards());
         for links in partition.groups() {
             let stats = if self.strategy.maintains_statistics() {
@@ -662,11 +825,7 @@ impl ShardableBackend for SubspaceBackend {
             } else {
                 None
             };
-            shards.push(SubspaceShard {
-                stats,
-                mean: links.iter().map(|&l| mean[l]).collect(),
-                basis: Matrix::from_fn(links.len(), basis.cols(), |k, j| basis[(links[k], j)]),
-            });
+            shards.push(SubspaceShard::from_model(model, links, stats));
         }
         Ok(shards)
     }
@@ -680,17 +839,7 @@ impl ShardableBackend for SubspaceBackend {
     }
 
     fn shard_phase_a(&self, shard: &Self::Shard, links: &[usize], block: &Matrix) -> Self::Partial {
-        let m_s = links.len();
-        let raw = block.select_columns(links);
-        let centered = Matrix::from_fn(raw.rows(), m_s, |t, k| raw[(t, k)] - shard.mean[k]);
-        let coeffs = centered
-            .matmul(&shard.basis)
-            .expect("basis rows match the shard width");
-        SubspacePartial {
-            raw,
-            centered,
-            coeffs,
-        }
+        shard.phase_a(links, block)
     }
 
     fn partial_raw<'a>(&self, partial: &'a Self::Partial) -> &'a Matrix {
@@ -699,13 +848,7 @@ impl ShardableBackend for SubspaceBackend {
 
     fn merge_partials(&self, bins: usize, partials: &[&Self::Partial]) -> Self::Merged {
         let r = self.diagnoser.model().normal_dim();
-        let mut coeffs = Matrix::zeros(bins, r);
-        for partial in partials {
-            coeffs = coeffs
-                .add(&partial.coeffs)
-                .expect("all partials are bins × r");
-        }
-        coeffs
+        merge_coeff_partials(bins, r, partials.iter().map(|p| p.coeffs()))
     }
 
     fn shard_phase_b(
@@ -717,26 +860,7 @@ impl ShardableBackend for SubspaceBackend {
         block: &Matrix,
         evicted: &[Option<Vec<f64>>],
     ) -> Result<ShardScores> {
-        let modeled = merged
-            .matmul_nt(&shard.basis)
-            .expect("basis width matches the merged coefficients");
-        let residual = partial
-            .centered
-            .sub(&modeled)
-            .expect("shapes match by construction");
-        let norms = residual.row_norms_sq();
-        for t in 0..block.rows() {
-            if let Some(stats) = &mut shard.stats {
-                match &evicted[t] {
-                    Some(old) => stats.slide(old, block.row(t))?,
-                    None => stats.add(block.row(t))?,
-                }
-            }
-        }
-        Ok(ShardScores {
-            scores: norms,
-            residual: Some(residual),
-        })
+        shard.phase_b(partial, merged, block, evicted)
     }
 
     fn finalize(&self, score: f64, residual: Option<&[f64]>) -> Result<DiagnosisReport> {
@@ -765,10 +889,10 @@ impl ShardableBackend for SubspaceBackend {
     }
 
     fn refit_shards(&mut self, shards: &mut [Self::Shard], ctx: &[ShardCtx<'_>]) -> Result<()> {
-        let model = match self.strategy {
+        match self.strategy {
             RefitStrategy::FullSvd => {
                 let window = assemble_shard_windows(self.dim(), ctx)?;
-                SubspaceModel::fit(&window, self.config.separation, self.config.pca_method)?
+                self.refit_from_window(&window)?;
             }
             RefitStrategy::Incremental | RefitStrategy::Truncated { .. } => {
                 let mut parts = Vec::with_capacity(shards.len());
@@ -779,25 +903,13 @@ impl ShardableBackend for SubspaceBackend {
                     })?);
                 }
                 let stats = IncrementalCovariance::merge(parts)?;
-                match self.strategy {
-                    RefitStrategy::Incremental => stats.to_model(self.incremental_policy())?,
-                    RefitStrategy::Truncated { k, tol } => {
-                        stats.to_model_truncated(self.incremental_policy(), k, tol)?
-                    }
-                    RefitStrategy::FullSvd => unreachable!("outer match excludes FullSvd"),
-                }
+                self.refit_from_statistics(&stats)?;
             }
-        };
-        self.diagnoser
-            .refit_model(model, &self.rm, self.config.confidence)?;
+        }
         // Broadcast the refreshed model's slices back to the shards.
         let model = self.diagnoser.model();
-        let mean = model.mean();
-        let basis = model.normal_basis();
         for (shard, c) in shards.iter_mut().zip(ctx) {
-            shard.mean = c.links.iter().map(|&l| mean[l]).collect();
-            shard.basis =
-                Matrix::from_fn(c.links.len(), basis.cols(), |k, j| basis[(c.links[k], j)]);
+            shard.install_model(model, c.links);
         }
         Ok(())
     }

@@ -88,6 +88,7 @@ use std::time::Instant;
 use netanom_linalg::{BlockPlacement, Matrix};
 use netanom_topology::{LinkPartition, RoutingMatrix};
 
+use crate::coordinate::Coordinator;
 use crate::diagnose::{Diagnoser, DiagnoserConfig, DiagnosisReport};
 use crate::incremental::IncrementalCovariance;
 use crate::method::{ShardCtx, ShardScores, ShardableBackend, SubspaceBackend};
@@ -534,34 +535,9 @@ impl<B: ShardableBackend> ShardedEngine<B> {
         }
 
         // Coordinator: sum score partials in shard order, detect, and
-        // finalize the fired bins on the assembled residual.
-        let threshold = backend.threshold();
-        let wants_residual = backend.wants_residual();
-        let m = backend.dim();
-        let mut reports = Vec::with_capacity(bins);
-        for t in 0..bins {
-            let score: f64 = shard_outs.iter().map(|o| o.scores[t]).sum();
-            let assembled: Vec<f64>;
-            let residual = if wants_residual && score > threshold {
-                let mut buf = vec![0.0; m];
-                for (links, out) in self.links.iter().zip(&shard_outs) {
-                    let slice = out
-                        .residual
-                        .as_ref()
-                        .expect("wants_residual backends return residual slices");
-                    let row = slice.row(t);
-                    for (k, &l) in links.iter().enumerate() {
-                        buf[l] = row[k];
-                    }
-                }
-                assembled = buf;
-                Some(&assembled[..])
-            } else {
-                None
-            };
-            reports.push(backend.finalize(score, residual)?);
-        }
-        Ok(reports)
+        // finalize the fired bins on the assembled residual — the
+        // [`Coordinator`] default method, shared with the TCP tracker.
+        self.finalize_block(bins, &shard_outs)
     }
 
     /// The full rows evicted by each push of the block, in push order:
@@ -623,6 +599,18 @@ impl<B: ShardableBackend> ShardedEngine<B> {
         self.refits += 1;
         self.refit_seconds += t0.elapsed().as_secs_f64();
         Ok(())
+    }
+}
+
+impl<B: ShardableBackend> Coordinator for ShardedEngine<B> {
+    type Backend = B;
+
+    fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    fn shard_links(&self) -> &[Vec<usize>] {
+        &self.links
     }
 }
 

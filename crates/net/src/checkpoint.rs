@@ -1,0 +1,284 @@
+//! Worker checkpoint/resume.
+//!
+//! A worker checkpoints at every round boundary (after applying phase B,
+//! before replying), so a killed worker restarted from its checkpoint
+//! rejoins without re-running warmup — and without double-applying
+//! anything: the checkpoint carries the round's cached phase A/B
+//! replies, so when the tracker re-requests the round the restarted
+//! worker *replays* the cached bytes instead of recomputing, which is
+//! what makes kill-and-rejoin runs bitwise identical to never-killed
+//! runs.
+//!
+//! Saves are atomic (write to `<path>.tmp`, then rename) so a crash
+//! mid-save leaves the previous checkpoint intact. The file format is
+//! the crate's little-endian field encoding with a `"NACK"` magic and a
+//! version byte; the model state and statistics ride in their own
+//! self-describing encodings, untouched.
+
+use std::fs;
+use std::path::Path;
+
+use netanom_linalg::Matrix;
+
+use crate::error::{NetError, Result};
+use crate::wire::{put_bytes, put_f64s, put_matrix, put_u32, put_u64, put_u64s, put_u8, Dec};
+
+const CHECKPOINT_MAGIC: [u8; 4] = *b"NACK";
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// Cached wire replies for the most recently completed round, replayed
+/// verbatim when the tracker re-requests the round after a rejoin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundCache {
+    /// The completed round the cache belongs to.
+    pub round: u64,
+    /// Rows the round processed.
+    pub rows: u64,
+    /// Phase-A partial coefficients (`rows × r`).
+    pub coeffs: Matrix,
+    /// Phase-B partial scores.
+    pub scores: Vec<f64>,
+    /// Phase-B residual slice (`rows × m_s`).
+    pub residual: Matrix,
+}
+
+/// Everything a restarted worker needs to rejoin mid-stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Shard index.
+    pub shard: u32,
+    /// Total shard count.
+    pub shards: u32,
+    /// Global link count `m`.
+    pub dim: u64,
+    /// Ascending global link indices the shard owns.
+    pub links: Vec<usize>,
+    /// Training prefix length consumed.
+    pub train_bins: u64,
+    /// Rounds fully applied.
+    pub completed_round: u64,
+    /// Streamed rows applied beyond training.
+    pub arrivals: u64,
+    /// Encoded [`netanom_core::MethodState`] at checkpoint time. May be
+    /// stale relative to the tracker (a refit's model broadcast lands
+    /// *after* the round completes); the worker always installs the
+    /// fresher state from the rejoin `Welcome`.
+    pub state: Vec<u8>,
+    /// Encoded [`netanom_core::incremental::CovarianceShard`] under
+    /// statistics-maintaining strategies.
+    pub stats: Option<Vec<u8>>,
+    /// Resolved sliding-window capacity (rows).
+    pub window_capacity: u64,
+    /// The full-width retained window (`len × m`, arrival order).
+    pub window: Matrix,
+    /// Cached replies for `completed_round`.
+    pub cache: Option<RoundCache>,
+}
+
+impl Checkpoint {
+    /// Encode to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        put_u32(&mut out, CHECKPOINT_VERSION);
+        put_u32(&mut out, self.shard);
+        put_u32(&mut out, self.shards);
+        put_u64(&mut out, self.dim);
+        let links: Vec<u64> = self.links.iter().map(|&l| l as u64).collect();
+        put_u64s(&mut out, &links);
+        put_u64(&mut out, self.train_bins);
+        put_u64(&mut out, self.completed_round);
+        put_u64(&mut out, self.arrivals);
+        put_bytes(&mut out, &self.state);
+        match &self.stats {
+            None => put_u8(&mut out, 0),
+            Some(bytes) => {
+                put_u8(&mut out, 1);
+                put_bytes(&mut out, bytes);
+            }
+        }
+        put_u64(&mut out, self.window_capacity);
+        put_matrix(&mut out, &self.window);
+        match &self.cache {
+            None => put_u8(&mut out, 0),
+            Some(cache) => {
+                put_u8(&mut out, 1);
+                put_u64(&mut out, cache.round);
+                put_u64(&mut out, cache.rows);
+                put_matrix(&mut out, &cache.coeffs);
+                put_f64s(&mut out, &cache.scores);
+                put_matrix(&mut out, &cache.residual);
+            }
+        }
+        out
+    }
+
+    /// Decode from bytes; rejects bad magic/version, truncation, and
+    /// trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 8 || bytes[..4] != CHECKPOINT_MAGIC {
+            return Err(NetError::Checkpoint {
+                reason: "not a checkpoint file (bad magic)".into(),
+            });
+        }
+        let mut d = Dec::new(&bytes[4..]);
+        let version = d.u32().map_err(trunc)?;
+        if version != CHECKPOINT_VERSION {
+            return Err(NetError::Checkpoint {
+                reason: format!("unsupported checkpoint version {version}"),
+            });
+        }
+        let shard = d.u32().map_err(trunc)?;
+        let shards = d.u32().map_err(trunc)?;
+        let dim = d.u64().map_err(trunc)?;
+        let links = d
+            .u64s()
+            .map_err(trunc)?
+            .into_iter()
+            .map(|l| l as usize)
+            .collect();
+        let train_bins = d.u64().map_err(trunc)?;
+        let completed_round = d.u64().map_err(trunc)?;
+        let arrivals = d.u64().map_err(trunc)?;
+        let state = d.bytes().map_err(trunc)?;
+        let stats = match d.u8().map_err(trunc)? {
+            0 => None,
+            1 => Some(d.bytes().map_err(trunc)?),
+            tag => {
+                return Err(NetError::Checkpoint {
+                    reason: format!("bad statistics tag {tag}"),
+                })
+            }
+        };
+        let window_capacity = d.u64().map_err(trunc)?;
+        let window = d.matrix().map_err(trunc)?;
+        let cache = match d.u8().map_err(trunc)? {
+            0 => None,
+            1 => Some(RoundCache {
+                round: d.u64().map_err(trunc)?,
+                rows: d.u64().map_err(trunc)?,
+                coeffs: d.matrix().map_err(trunc)?,
+                scores: d.f64s().map_err(trunc)?,
+                residual: d.matrix().map_err(trunc)?,
+            }),
+            tag => {
+                return Err(NetError::Checkpoint {
+                    reason: format!("bad cache tag {tag}"),
+                })
+            }
+        };
+        d.finish().map_err(trunc)?;
+        Ok(Checkpoint {
+            shard,
+            shards,
+            dim,
+            links,
+            train_bins,
+            completed_round,
+            arrivals,
+            state,
+            stats,
+            window_capacity,
+            window,
+            cache,
+        })
+    }
+
+    /// Atomically persist to `path` (write `<path>.tmp`, then rename).
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, self.to_bytes()).map_err(|e| NetError::Checkpoint {
+            reason: format!("writing {}: {e}", tmp.display()),
+        })?;
+        fs::rename(&tmp, path).map_err(|e| NetError::Checkpoint {
+            reason: format!("renaming into {}: {e}", path.display()),
+        })?;
+        Ok(())
+    }
+
+    /// Load and validate from `path`.
+    pub fn load(path: &Path) -> Result<Self> {
+        let bytes = fs::read(path).map_err(|e| NetError::Checkpoint {
+            reason: format!("reading {}: {e}", path.display()),
+        })?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// Re-label decoder protocol errors as checkpoint errors.
+fn trunc(e: NetError) -> NetError {
+    match e {
+        NetError::Protocol { reason } => NetError::Checkpoint { reason },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            shard: 1,
+            shards: 2,
+            dim: 4,
+            links: vec![1, 3],
+            train_bins: 120,
+            completed_round: 7,
+            arrivals: 84,
+            state: vec![9, 8, 7],
+            stats: Some(vec![1, 2, 3, 4]),
+            window_capacity: 120,
+            window: Matrix::from_fn(5, 4, |i, j| (i * 4 + j) as f64 * 0.5),
+            cache: Some(RoundCache {
+                round: 7,
+                rows: 12,
+                coeffs: Matrix::from_fn(12, 2, |i, j| (i + j) as f64),
+                scores: (0..12).map(|i| i as f64 * 1.25).collect(),
+                residual: Matrix::from_fn(12, 2, |i, j| (i * 2 + j) as f64 - 3.0),
+            }),
+        }
+    }
+
+    #[test]
+    fn roundtrips_bitwise() {
+        let ckpt = sample();
+        let decoded = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(decoded, ckpt);
+        // None branches too.
+        let bare = Checkpoint {
+            stats: None,
+            cache: None,
+            ..ckpt
+        };
+        assert_eq!(Checkpoint::from_bytes(&bare.to_bytes()).unwrap(), bare);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let bytes = sample().to_bytes();
+        assert!(Checkpoint::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Checkpoint::from_bytes(&[]).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(Checkpoint::from_bytes(&bad_magic).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Checkpoint::from_bytes(&trailing).is_err());
+        let mut bad_version = bytes;
+        bad_version[4] = 99;
+        assert!(Checkpoint::from_bytes(&bad_version).is_err());
+    }
+
+    #[test]
+    fn save_is_atomic_rename() {
+        let dir = std::env::temp_dir().join(format!("netanom-ckpt-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("worker1.ck");
+        let ckpt = sample();
+        ckpt.save(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+        assert_eq!(Checkpoint::load(&path).unwrap(), ckpt);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,134 @@
+//! u64-length-prefixed frame codec.
+//!
+//! Every message on the wire is one frame: an 8-byte little-endian
+//! payload length followed by the payload bytes. The codec's reader is
+//! written as a manual fill loop (not `read_exact`) so it can tell the
+//! three ways a stream ends apart:
+//!
+//! * `Ok(0)` before any prefix byte → the peer closed cleanly at a
+//!   frame boundary ([`read_frame`] returns `Ok(None)`);
+//! * `Ok(0)` after a partial prefix or partial payload → the
+//!   connection was severed mid-frame
+//!   ([`NetError::SeveredMidFrame`] with exact byte counts);
+//! * a length prefix above the negotiated maximum → protocol
+//!   corruption or a hostile peer ([`NetError::FrameTooLarge`]),
+//!   rejected *before* any payload allocation so an adversarial
+//!   16-exabyte prefix cannot OOM the receiver.
+//!
+//! Read timeouts surface as [`NetError::Timeout`] via the `io::Error`
+//! classification in [`crate::error`].
+
+use std::io::{self, Read, Write};
+
+use crate::error::{NetError, Result};
+
+/// Default maximum payload size (64 MiB) — comfortably above the
+/// largest legitimate frame (a full-window slice of a thousand-link
+/// topology) and far below anything that could exhaust memory.
+pub const DEFAULT_MAX_FRAME: u64 = 64 * 1024 * 1024;
+
+/// Write one frame: 8-byte little-endian payload length, then the
+/// payload, then flush.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<()> {
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Fill `buf` from `r`, distinguishing clean EOF at offset 0 from a
+/// mid-buffer cut. `already` is how many frame bytes arrived before
+/// this buffer (0 for the prefix, 8 for the payload), and `total` the
+/// frame's full size — both only feed the error report.
+fn fill(r: &mut impl Read, buf: &mut [u8], already: usize, total: usize) -> Result<bool> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                if already == 0 && got == 0 {
+                    return Ok(false);
+                }
+                return Err(NetError::SeveredMidFrame {
+                    got: already + got,
+                    expected: total,
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary; classifies mid-frame cuts, oversized frames, and
+/// timeouts per the module docs.
+pub fn read_frame<R: Read>(r: &mut R, max: u64) -> Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 8];
+    // Frame size is unknown until the prefix decodes; report the prefix
+    // length as the expectation for a cut inside it.
+    if !fill(r, &mut prefix, 0, 8)? {
+        return Ok(None);
+    }
+    let len = u64::from_le_bytes(prefix);
+    if len > max {
+        return Err(NetError::FrameTooLarge { len, max });
+    }
+    let mut payload = vec![0u8; len as usize];
+    let total = prefix.len() + payload.len();
+    if !fill(r, &mut payload, prefix.len(), total)? {
+        unreachable!("already > 0 never reports a clean EOF");
+    }
+    Ok(Some(payload))
+}
+
+/// A bidirectional stream with framed send/receive and an enforced
+/// maximum frame size. Over TCP this wraps a `TcpStream` (the crate's
+/// tracker and worker set `TCP_NODELAY` and read timeouts before
+/// wrapping); the codec tests wrap in-memory duplexes.
+#[derive(Debug)]
+pub struct FramedConn<S> {
+    stream: S,
+    max_frame: u64,
+}
+
+impl<S: Read + Write> FramedConn<S> {
+    /// Wrap a stream with the given maximum payload size.
+    pub fn new(stream: S, max_frame: u64) -> Self {
+        FramedConn { stream, max_frame }
+    }
+
+    /// The wrapped stream.
+    pub fn stream(&self) -> &S {
+        &self.stream
+    }
+
+    /// Encode and send one message as a frame.
+    pub fn send(&mut self, msg: &crate::wire::Message) -> Result<()> {
+        write_frame(&mut self.stream, &msg.to_bytes())
+    }
+
+    /// Receive and decode one message. A clean EOF is an error here
+    /// ([`NetError::CleanDisconnect`]) because both protocol roles
+    /// always know whether another message is owed; the lower-level
+    /// [`read_frame`] keeps the `Option` shape for callers that treat
+    /// EOF as a normal end.
+    pub fn recv(&mut self) -> Result<crate::wire::Message> {
+        match read_frame(&mut self.stream, self.max_frame)? {
+            Some(payload) => crate::wire::Message::from_bytes(&payload),
+            None => Err(NetError::CleanDisconnect),
+        }
+    }
+
+    /// Send raw payload bytes as one frame (tests and handshakes that
+    /// bypass the message enum).
+    pub fn send_raw(&mut self, payload: &[u8]) -> Result<()> {
+        write_frame(&mut self.stream, payload)
+    }
+
+    /// Receive one raw frame payload (`Ok(None)` on clean EOF).
+    pub fn recv_raw(&mut self) -> Result<Option<Vec<u8>>> {
+        read_frame(&mut self.stream, self.max_frame)
+    }
+}

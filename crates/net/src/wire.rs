@@ -1,0 +1,548 @@
+//! The tracker/worker message vocabulary and its binary encoding.
+//!
+//! One [`Message`] per frame; a `u8` tag selects the variant and the
+//! body is a fixed little-endian field sequence (see the table in
+//! `DESIGN.md`). Model state and covariance statistics ride as opaque
+//! byte payloads in their own self-describing encodings
+//! ([`netanom_core::MethodState::to_bytes`],
+//! [`netanom_core::incremental::CovarianceShard::to_bytes`]) so the frame layer
+//! never re-interprets them — what a worker decodes is byte-identical
+//! to what the coordinator encoded.
+
+use netanom_core::RefitStrategy;
+use netanom_linalg::Matrix;
+
+use crate::error::{NetError, Result};
+
+/// Round-trippable mirror of [`RefitStrategy`] (the core enum carries
+/// no serialization; mirroring it keeps the wire format explicit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireStrategy {
+    /// [`RefitStrategy::FullSvd`].
+    Full,
+    /// [`RefitStrategy::Incremental`].
+    Incremental,
+    /// [`RefitStrategy::Truncated`].
+    Truncated {
+        /// Top eigenpair count.
+        k: u64,
+        /// Solver tolerance.
+        tol: f64,
+    },
+}
+
+impl From<RefitStrategy> for WireStrategy {
+    fn from(s: RefitStrategy) -> Self {
+        match s {
+            RefitStrategy::FullSvd => WireStrategy::Full,
+            RefitStrategy::Incremental => WireStrategy::Incremental,
+            RefitStrategy::Truncated { k, tol } => WireStrategy::Truncated { k: k as u64, tol },
+        }
+    }
+}
+
+impl From<WireStrategy> for RefitStrategy {
+    fn from(s: WireStrategy) -> Self {
+        match s {
+            WireStrategy::Full => RefitStrategy::FullSvd,
+            WireStrategy::Incremental => RefitStrategy::Incremental,
+            WireStrategy::Truncated { k, tol } => RefitStrategy::Truncated { k: k as usize, tol },
+        }
+    }
+}
+
+/// Everything the tracker and workers say to each other.
+///
+/// Worker → tracker: [`Message::Join`], [`Message::PhaseA`],
+/// [`Message::Exhausted`], [`Message::PhaseB`], [`Message::Stats`],
+/// [`Message::WindowSlice`]. Tracker → worker: the rest. Every
+/// round-scoped message carries its round number so resends after a
+/// rejoin are unambiguous.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Worker hello: who it is, what partition it believes in, and how
+    /// far it had progressed (both zero on a fresh start; a rejoining
+    /// worker reports its checkpoint so the tracker can validate).
+    Join {
+        /// Shard index in `0..shards`.
+        shard: u32,
+        /// Total shard count the worker was launched with.
+        shards: u32,
+        /// Global link count.
+        dim: u64,
+        /// Ascending global link indices the worker owns.
+        links: Vec<u64>,
+        /// Training prefix length the worker consumed.
+        train_bins: u64,
+        /// Rounds the worker has fully applied.
+        completed_round: u64,
+        /// Streamed rows applied beyond training.
+        arrivals: u64,
+    },
+    /// Tracker accepts a join: current model state, refit strategy, the
+    /// resolved per-shard window capacity, and the tracker's completed
+    /// round.
+    Welcome {
+        /// Encoded [`netanom_core::MethodState`] of the current model.
+        state: Vec<u8>,
+        /// Refit strategy the worker must maintain statistics for.
+        strategy: WireStrategy,
+        /// Resolved sliding-window capacity (rows).
+        window_capacity: u64,
+        /// Rounds the tracker has finalized.
+        round: u64,
+    },
+    /// Tracker refuses a join.
+    Reject {
+        /// Why.
+        reason: String,
+    },
+    /// Tracker asks for phase A of round `round` over the next `take`
+    /// rows of the worker's feed.
+    RunBlock {
+        /// Round number (1-based; round `n` requires `completed == n-1`).
+        round: u64,
+        /// Rows to read (the worker may return fewer at end of feed).
+        take: u64,
+    },
+    /// Worker's phase-A reply: how many rows it actually read and the
+    /// partial projection coefficients.
+    PhaseA {
+        /// Round number echoed.
+        round: u64,
+        /// Rows read (≤ the requested take, > 0).
+        rows: u64,
+        /// Partial coefficients (`rows × r`).
+        coeffs: Matrix,
+    },
+    /// Worker's phase-A reply when its feed is exhausted.
+    Exhausted {
+        /// Round number echoed.
+        round: u64,
+    },
+    /// Tracker broadcasts the merged global coefficients for phase B.
+    Merged {
+        /// Round number.
+        round: u64,
+        /// Merged coefficients (`rows × r`).
+        coeffs: Matrix,
+    },
+    /// Worker's phase-B reply: partial scores and its residual slice.
+    PhaseB {
+        /// Round number echoed.
+        round: u64,
+        /// Partial SPE contributions, one per row.
+        scores: Vec<f64>,
+        /// Residual column slice (`rows × m_s`).
+        residual: Matrix,
+    },
+    /// Tracker asks for the worker's refit inputs.
+    StatsRequest {
+        /// Round number the refit follows.
+        round: u64,
+    },
+    /// Worker's refit input under statistics-maintaining strategies.
+    Stats {
+        /// Round number echoed.
+        round: u64,
+        /// Encoded [`netanom_core::incremental::CovarianceShard`].
+        bytes: Vec<u8>,
+    },
+    /// Worker's refit input under [`WireStrategy::Full`]: its window's
+    /// column slice in arrival order.
+    WindowSlice {
+        /// Round number echoed.
+        round: u64,
+        /// Window column slice (`len × m_s`).
+        slice: Matrix,
+    },
+    /// Tracker broadcasts the refitted model.
+    Model {
+        /// Round number the refit followed.
+        round: u64,
+        /// Encoded [`netanom_core::MethodState`].
+        state: Vec<u8>,
+    },
+    /// Tracker announces the end of the stream.
+    Done {
+        /// Total streamed rows diagnosed.
+        arrivals: u64,
+    },
+    /// Tracker announces an unrecoverable error; workers exit.
+    Fatal {
+        /// Why.
+        reason: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Little-endian field helpers, shared with the checkpoint encoding.
+// ---------------------------------------------------------------------
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64s(out: &mut Vec<u8>, vs: &[u64]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        put_u64(out, v);
+    }
+}
+
+pub(crate) fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        put_f64(out, v);
+    }
+}
+
+pub(crate) fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+pub(crate) fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    put_u64(out, m.rows() as u64);
+    put_u64(out, m.cols() as u64);
+    for v in m.as_slice() {
+        put_f64(out, *v);
+    }
+}
+
+/// A bounds-checked little-endian field reader over one payload.
+pub(crate) struct Dec<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Dec { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or(NetError::Protocol {
+            reason: "payload truncated".into(),
+        })?;
+        let out = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A `u64` that must fit in `usize` and pass a sanity bound (all
+    /// wire counts are bounded by frame size / 8, so `len / 8` of the
+    /// remaining payload is a safe ceiling against allocation bombs).
+    pub(crate) fn count(&mut self) -> Result<usize> {
+        let v = self.u64()?;
+        let ceiling = (self.bytes.len() - self.at) as u64;
+        if v > ceiling {
+            return Err(NetError::Protocol {
+                reason: format!("count {v} exceeds the {ceiling} bytes remaining"),
+            });
+        }
+        Ok(v as usize)
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64s(&mut self) -> Result<Vec<u64>> {
+        let n = self.count()?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    pub(crate) fn f64s(&mut self) -> Result<Vec<f64>> {
+        let n = self.count()?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.count()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String> {
+        String::from_utf8(self.bytes()?).map_err(|_| NetError::Protocol {
+            reason: "string field is not utf-8".into(),
+        })
+    }
+
+    pub(crate) fn matrix(&mut self) -> Result<Matrix> {
+        let rows = self.count()?;
+        let cols = self.count()?;
+        let n = rows.checked_mul(cols).ok_or(NetError::Protocol {
+            reason: "matrix shape overflows".into(),
+        })?;
+        let fits = (n as u64)
+            .checked_mul(8)
+            .map(|b| b <= (self.bytes.len() - self.at) as u64);
+        if fits != Some(true) {
+            return Err(NetError::Protocol {
+                reason: "matrix data exceeds the payload".into(),
+            });
+        }
+        let data: Vec<f64> = (0..n).map(|_| self.f64()).collect::<Result<_>>()?;
+        Matrix::from_vec(rows, cols, data).map_err(|_| NetError::Protocol {
+            reason: "matrix shape does not match its data".into(),
+        })
+    }
+
+    pub(crate) fn finish(self) -> Result<()> {
+        if self.at != self.bytes.len() {
+            return Err(NetError::Protocol {
+                reason: format!(
+                    "{} trailing bytes after payload",
+                    self.bytes.len() - self.at
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn put_strategy(out: &mut Vec<u8>, s: WireStrategy) {
+    match s {
+        WireStrategy::Full => put_u8(out, 0),
+        WireStrategy::Incremental => put_u8(out, 1),
+        WireStrategy::Truncated { k, tol } => {
+            put_u8(out, 2);
+            put_u64(out, k);
+            put_f64(out, tol);
+        }
+    }
+}
+
+fn strategy(d: &mut Dec<'_>) -> Result<WireStrategy> {
+    match d.u8()? {
+        0 => Ok(WireStrategy::Full),
+        1 => Ok(WireStrategy::Incremental),
+        2 => Ok(WireStrategy::Truncated {
+            k: d.u64()?,
+            tol: d.f64()?,
+        }),
+        tag => Err(NetError::Protocol {
+            reason: format!("unknown strategy tag {tag}"),
+        }),
+    }
+}
+
+impl Message {
+    /// Short name for protocol-error reporting.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::Join { .. } => "join",
+            Message::Welcome { .. } => "welcome",
+            Message::Reject { .. } => "reject",
+            Message::RunBlock { .. } => "run-block",
+            Message::PhaseA { .. } => "phase-a",
+            Message::Exhausted { .. } => "exhausted",
+            Message::Merged { .. } => "merged",
+            Message::PhaseB { .. } => "phase-b",
+            Message::StatsRequest { .. } => "stats-request",
+            Message::Stats { .. } => "stats",
+            Message::WindowSlice { .. } => "window-slice",
+            Message::Model { .. } => "model",
+            Message::Done { .. } => "done",
+            Message::Fatal { .. } => "fatal",
+        }
+    }
+
+    /// Encode to one frame payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::Join {
+                shard,
+                shards,
+                dim,
+                links,
+                train_bins,
+                completed_round,
+                arrivals,
+            } => {
+                put_u8(&mut out, 0);
+                put_u32(&mut out, *shard);
+                put_u32(&mut out, *shards);
+                put_u64(&mut out, *dim);
+                put_u64s(&mut out, links);
+                put_u64(&mut out, *train_bins);
+                put_u64(&mut out, *completed_round);
+                put_u64(&mut out, *arrivals);
+            }
+            Message::Welcome {
+                state,
+                strategy,
+                window_capacity,
+                round,
+            } => {
+                put_u8(&mut out, 1);
+                put_bytes(&mut out, state);
+                put_strategy(&mut out, *strategy);
+                put_u64(&mut out, *window_capacity);
+                put_u64(&mut out, *round);
+            }
+            Message::Reject { reason } => {
+                put_u8(&mut out, 2);
+                put_str(&mut out, reason);
+            }
+            Message::RunBlock { round, take } => {
+                put_u8(&mut out, 3);
+                put_u64(&mut out, *round);
+                put_u64(&mut out, *take);
+            }
+            Message::PhaseA {
+                round,
+                rows,
+                coeffs,
+            } => {
+                put_u8(&mut out, 4);
+                put_u64(&mut out, *round);
+                put_u64(&mut out, *rows);
+                put_matrix(&mut out, coeffs);
+            }
+            Message::Exhausted { round } => {
+                put_u8(&mut out, 5);
+                put_u64(&mut out, *round);
+            }
+            Message::Merged { round, coeffs } => {
+                put_u8(&mut out, 6);
+                put_u64(&mut out, *round);
+                put_matrix(&mut out, coeffs);
+            }
+            Message::PhaseB {
+                round,
+                scores,
+                residual,
+            } => {
+                put_u8(&mut out, 7);
+                put_u64(&mut out, *round);
+                put_f64s(&mut out, scores);
+                put_matrix(&mut out, residual);
+            }
+            Message::StatsRequest { round } => {
+                put_u8(&mut out, 8);
+                put_u64(&mut out, *round);
+            }
+            Message::Stats { round, bytes } => {
+                put_u8(&mut out, 9);
+                put_u64(&mut out, *round);
+                put_bytes(&mut out, bytes);
+            }
+            Message::WindowSlice { round, slice } => {
+                put_u8(&mut out, 10);
+                put_u64(&mut out, *round);
+                put_matrix(&mut out, slice);
+            }
+            Message::Model { round, state } => {
+                put_u8(&mut out, 11);
+                put_u64(&mut out, *round);
+                put_bytes(&mut out, state);
+            }
+            Message::Done { arrivals } => {
+                put_u8(&mut out, 12);
+                put_u64(&mut out, *arrivals);
+            }
+            Message::Fatal { reason } => {
+                put_u8(&mut out, 13);
+                put_str(&mut out, reason);
+            }
+        }
+        out
+    }
+
+    /// Decode one frame payload; rejects unknown tags, truncation, and
+    /// trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut d = Dec::new(bytes);
+        let msg = match d.u8()? {
+            0 => Message::Join {
+                shard: d.u32()?,
+                shards: d.u32()?,
+                dim: d.u64()?,
+                links: d.u64s()?,
+                train_bins: d.u64()?,
+                completed_round: d.u64()?,
+                arrivals: d.u64()?,
+            },
+            1 => Message::Welcome {
+                state: d.bytes()?,
+                strategy: strategy(&mut d)?,
+                window_capacity: d.u64()?,
+                round: d.u64()?,
+            },
+            2 => Message::Reject { reason: d.str()? },
+            3 => Message::RunBlock {
+                round: d.u64()?,
+                take: d.u64()?,
+            },
+            4 => Message::PhaseA {
+                round: d.u64()?,
+                rows: d.u64()?,
+                coeffs: d.matrix()?,
+            },
+            5 => Message::Exhausted { round: d.u64()? },
+            6 => Message::Merged {
+                round: d.u64()?,
+                coeffs: d.matrix()?,
+            },
+            7 => Message::PhaseB {
+                round: d.u64()?,
+                scores: d.f64s()?,
+                residual: d.matrix()?,
+            },
+            8 => Message::StatsRequest { round: d.u64()? },
+            9 => Message::Stats {
+                round: d.u64()?,
+                bytes: d.bytes()?,
+            },
+            10 => Message::WindowSlice {
+                round: d.u64()?,
+                slice: d.matrix()?,
+            },
+            11 => Message::Model {
+                round: d.u64()?,
+                state: d.bytes()?,
+            },
+            12 => Message::Done { arrivals: d.u64()? },
+            13 => Message::Fatal { reason: d.str()? },
+            tag => {
+                return Err(NetError::Protocol {
+                    reason: format!("unknown message tag {tag}"),
+                })
+            }
+        };
+        d.finish()?;
+        Ok(msg)
+    }
+}

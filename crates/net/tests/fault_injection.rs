@@ -1,0 +1,310 @@
+//! Fault-injection suite: severed connections are *classified*
+//! (clean EOF vs mid-frame cut), the tracker's bounded retry/backoff
+//! rejoin windows recover a restarted worker, and a worker killed and
+//! restarted from its checkpoint produces a report stream **bitwise
+//! identical** to a run where nothing ever failed.
+
+use std::path::PathBuf;
+use std::thread;
+use std::time::Duration;
+
+use netanom_core::{
+    DiagnoserConfig, DiagnosisReport, RefitStrategy, SeparationPolicy, ShardedEngine, StreamConfig,
+    SubspaceBackend,
+};
+use netanom_linalg::Matrix;
+use netanom_net::{
+    run_worker, FailureKind, InjectedFault, MatrixFeed, NetError, Tracker, TrackerConfig,
+    WorkerConfig,
+};
+use netanom_topology::{LinkPartition, RoutingMatrix};
+use netanom_traffic::datasets;
+
+const TRAIN_BINS: usize = 192;
+const CHUNK: usize = 17;
+const REFIT_EVERY: usize = 24;
+const FAULT_SHARD: usize = 0;
+
+fn config() -> DiagnoserConfig {
+    DiagnoserConfig {
+        separation: SeparationPolicy::FixedCount(2),
+        ..DiagnoserConfig::default()
+    }
+}
+
+fn mini_data() -> (Matrix, RoutingMatrix) {
+    let ds = datasets::mini(7);
+    (ds.links.matrix().clone(), ds.network.routing_matrix)
+}
+
+fn stream_config() -> StreamConfig {
+    let mut stream = StreamConfig::new(TRAIN_BINS).strategy(RefitStrategy::Incremental);
+    stream.refit_every = Some(REFIT_EVERY);
+    stream
+}
+
+fn tracker_config() -> TrackerConfig {
+    let mut cfg = TrackerConfig::new(TRAIN_BINS, stream_config());
+    cfg.chunk = CHUNK;
+    cfg.read_timeout = Duration::from_secs(10);
+    cfg.join_timeout = Duration::from_secs(10);
+    cfg.rejoin_backoff = Duration::from_millis(100);
+    cfg
+}
+
+fn worker_config(shard: usize) -> WorkerConfig {
+    let mut cfg = WorkerConfig::new(shard, 2, TRAIN_BINS);
+    cfg.read_timeout = Duration::from_secs(10);
+    cfg
+}
+
+fn checkpoint_path(test: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("netanom_fault_{test}_{}.ckpt", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// The fault-free in-process reference on the same partition and
+/// chunking — what every faulted distributed run must match bitwise.
+fn reference(data: &Matrix, rm: &RoutingMatrix, partition: &LinkPartition) -> Vec<DiagnosisReport> {
+    let training = data.row_block(0, TRAIN_BINS).unwrap();
+    let backend =
+        SubspaceBackend::fit_sharded(&training, rm, config(), RefitStrategy::Incremental).unwrap();
+    let mut engine =
+        ShardedEngine::with_backend(backend, &training, stream_config(), partition).unwrap();
+    let mut reports = Vec::new();
+    let mut next = TRAIN_BINS;
+    while next < data.rows() {
+        let take = CHUNK.min(data.rows() - next);
+        let block = data.row_block(next, take).unwrap();
+        reports.extend(engine.process_batch(&block).unwrap());
+        next += take;
+    }
+    reports
+}
+
+/// Run shard `FAULT_SHARD` with an injected fault: the first
+/// `run_worker` call must die with [`NetError::Injected`], and the
+/// restart — same checkpoint path, fault cleared, fresh feed — must
+/// resume mid-stream and finish the run.
+fn faulted_then_restarted(
+    addr: String,
+    data: Matrix,
+    links: Vec<usize>,
+    fault: InjectedFault,
+    ckpt: PathBuf,
+) -> thread::JoinHandle<(u64, usize)> {
+    thread::spawn(move || {
+        let mut cfg = worker_config(FAULT_SHARD);
+        cfg.checkpoint = Some(ckpt.clone());
+        cfg.fault = Some(fault);
+        let first = run_worker(&addr, MatrixFeed::new(data.clone()), &links, &cfg);
+        assert!(
+            matches!(first, Err(NetError::Injected)),
+            "faulted run should die with Injected, got {first:?}"
+        );
+        assert!(ckpt.exists(), "the killed worker left no checkpoint");
+        cfg.fault = None;
+        let summary = run_worker(&addr, MatrixFeed::new(data), &links, &cfg).unwrap();
+        let _ = std::fs::remove_file(&ckpt);
+        (summary.arrivals, summary.rejoins)
+    })
+}
+
+/// Drive a 2-worker run where shard `FAULT_SHARD` dies with `fault`
+/// after completing round `n` and is restarted from its checkpoint;
+/// asserts the failure classification and bitwise parity with the
+/// fault-free reference.
+fn kill_and_rejoin_case(fault: InjectedFault, expected_kind: FailureKind, test: &str) {
+    let (data, rm) = mini_data();
+    let partition = LinkPartition::round_robin(rm.num_links(), 2).unwrap();
+    let want = reference(&data, &rm, &partition);
+
+    let training = data.row_block(0, TRAIN_BINS).unwrap();
+    let backend =
+        SubspaceBackend::fit_sharded(&training, &rm, config(), RefitStrategy::Incremental).unwrap();
+    let mut tracker = Tracker::bind("127.0.0.1:0", backend, &partition, tracker_config()).unwrap();
+    let addr = tracker.local_addr().unwrap().to_string();
+
+    let faulted = faulted_then_restarted(
+        addr.clone(),
+        data.clone(),
+        partition.group(FAULT_SHARD).to_vec(),
+        fault,
+        checkpoint_path(test),
+    );
+    let healthy = {
+        let links = partition.group(1).to_vec();
+        let feed = MatrixFeed::new(data.clone());
+        thread::spawn(move || run_worker(&addr, feed, &links, &worker_config(1)).unwrap())
+    };
+
+    let mut got = Vec::new();
+    let summary = tracker.run(|block| got.extend_from_slice(block)).unwrap();
+    let (restarted_arrivals, _) = faulted.join().unwrap();
+    let healthy_summary = healthy.join().unwrap();
+
+    // Classification: exactly one failure episode, on the faulted
+    // shard, with the injected signature.
+    assert_eq!(summary.rejoins.len(), 1, "expected one rejoin episode");
+    let event = &summary.rejoins[0];
+    assert_eq!(event.shard, FAULT_SHARD);
+    assert_eq!(event.kind, expected_kind);
+    assert!(event.attempts >= 1);
+
+    // The restarted worker resumed mid-stream (no warmup): its final
+    // arrival count covers the whole stream, like the healthy worker's.
+    let total = (data.rows() - TRAIN_BINS) as u64;
+    assert_eq!(restarted_arrivals, total);
+    assert_eq!(healthy_summary.arrivals, total);
+
+    // Bitwise parity with the fault-free reference, and non-vacuous.
+    assert_eq!(got.len(), want.len());
+    for (i, (x, y)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(x, y, "report {i} differs from the fault-free run");
+    }
+    assert!(got.iter().any(|r| r.detected && r.identification.is_some()));
+}
+
+#[test]
+fn clean_drop_mid_stream_classifies_clean_eof_and_resumes_bitwise() {
+    // Round 3 is mid-stream, one round past the first refit: the
+    // restarted worker must carry refitted state and sliding
+    // statistics out of its checkpoint.
+    kill_and_rejoin_case(
+        InjectedFault::DropAfterRounds(3),
+        FailureKind::CleanEof,
+        "drop_mid_stream",
+    );
+}
+
+#[test]
+fn clean_drop_at_refit_boundary_faults_inside_the_refit_collection() {
+    // Round 2 completes exactly `refit_every` arrivals: the EOF lands
+    // while the tracker is collecting refit statistics, so the rejoin
+    // and the re-requested statistics must still merge bitwise.
+    kill_and_rejoin_case(
+        InjectedFault::DropAfterRounds(2),
+        FailureKind::CleanEof,
+        "drop_at_refit",
+    );
+}
+
+#[test]
+fn mid_frame_sever_classifies_severed_and_replays_the_round_bitwise() {
+    // The tracker never received this worker's phase B for round 3, so
+    // after the rejoin it re-drives the round and the worker replays
+    // its checkpointed caches instead of recomputing.
+    kill_and_rejoin_case(
+        InjectedFault::SeverMidFrameAfterRounds(3),
+        FailureKind::SeveredMidFrame,
+        "sever_mid_stream",
+    );
+}
+
+#[test]
+fn unrecovered_worker_exhausts_bounded_rejoin_windows() {
+    let (data, rm) = mini_data();
+    let partition = LinkPartition::round_robin(rm.num_links(), 2).unwrap();
+    let training = data.row_block(0, TRAIN_BINS).unwrap();
+    let backend =
+        SubspaceBackend::fit_sharded(&training, &rm, config(), RefitStrategy::Incremental).unwrap();
+    let mut cfg = tracker_config();
+    cfg.rejoin_attempts = 2;
+    cfg.rejoin_backoff = Duration::from_millis(50);
+    let mut tracker = Tracker::bind("127.0.0.1:0", backend, &partition, cfg).unwrap();
+    let addr = tracker.local_addr().unwrap().to_string();
+
+    // Shard 0 dies after round 1 and is never restarted; shard 1 dies
+    // with the tracker and must not hang (its own reconnects are
+    // bounded too).
+    let dead = {
+        let addr = addr.clone();
+        let links = partition.group(0).to_vec();
+        let feed = MatrixFeed::new(data.clone());
+        thread::spawn(move || {
+            let mut cfg = worker_config(0);
+            cfg.fault = Some(InjectedFault::DropAfterRounds(1));
+            run_worker(&addr, feed, &links, &cfg)
+        })
+    };
+    let orphan = {
+        let links = partition.group(1).to_vec();
+        let feed = MatrixFeed::new(data.clone());
+        thread::spawn(move || {
+            let mut cfg = worker_config(1);
+            cfg.retries = 2;
+            cfg.backoff = Duration::from_millis(10);
+            run_worker(&addr, feed, &links, &cfg)
+        })
+    };
+
+    let err = tracker.run(|_| {}).unwrap_err();
+    match err {
+        NetError::WorkerLost {
+            shard,
+            attempts,
+            last,
+        } => {
+            assert_eq!(shard, 0);
+            assert_eq!(attempts, 2);
+            assert_eq!(last.kind(), FailureKind::CleanEof);
+        }
+        other => panic!("expected WorkerLost, got {other:?}"),
+    }
+    drop(tracker);
+    assert!(matches!(dead.join().unwrap(), Err(NetError::Injected)));
+    assert!(orphan.join().unwrap().is_err(), "orphan must not finish");
+}
+
+#[test]
+fn mismatched_checkpoint_is_refused() {
+    let (data, rm) = mini_data();
+    let partition = LinkPartition::round_robin(rm.num_links(), 2).unwrap();
+    let training = data.row_block(0, TRAIN_BINS).unwrap();
+    let backend =
+        SubspaceBackend::fit_sharded(&training, &rm, config(), RefitStrategy::Incremental).unwrap();
+    let mut tracker = Tracker::bind("127.0.0.1:0", backend, &partition, tracker_config()).unwrap();
+    let addr = tracker.local_addr().unwrap().to_string();
+    let ckpt = checkpoint_path("mismatch");
+
+    // Run shard 0 to completion with a checkpoint...
+    let w0 = {
+        let addr = addr.clone();
+        let links = partition.group(0).to_vec();
+        let feed = MatrixFeed::new(data.clone());
+        let ckpt = ckpt.clone();
+        thread::spawn(move || {
+            let mut cfg = worker_config(0);
+            cfg.checkpoint = Some(ckpt);
+            run_worker(&addr, feed, &links, &cfg).unwrap()
+        })
+    };
+    let w1 = {
+        let addr = addr.clone();
+        let links = partition.group(1).to_vec();
+        let feed = MatrixFeed::new(data.clone());
+        thread::spawn(move || run_worker(&addr, feed, &links, &worker_config(1)).unwrap())
+    };
+    tracker.run(|_| {}).unwrap();
+    w0.join().unwrap();
+    w1.join().unwrap();
+
+    // ...then hand that checkpoint to a differently-configured worker:
+    // it must refuse before touching the network.
+    let mut cfg = worker_config(1);
+    cfg.checkpoint = Some(ckpt.clone());
+    let err = run_worker(
+        "127.0.0.1:1",
+        MatrixFeed::new(data),
+        partition.group(1),
+        &cfg,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, NetError::Checkpoint { .. }),
+        "expected a checkpoint refusal, got {err:?}"
+    );
+    let _ = std::fs::remove_file(&ckpt);
+}

@@ -290,6 +290,47 @@ impl<R: BufRead> CsvChunks<R> {
             .collect();
         Ok(Matrix::from_segments(m, &spans).expect("aligned blocks"))
     }
+
+    /// Read *up to* `need` data rows as one matrix, splitting the
+    /// boundary chunk exactly like [`CsvChunks::take_rows`] — but where
+    /// `take_rows` errors on a short input, this returns the rows that
+    /// were there, and `Ok(None)` once the input is exhausted. This is
+    /// the demand-driven reader a distributed tracker's `RunBlock{take}`
+    /// dispatch maps onto: every worker reads the same row count per
+    /// round regardless of its local chunk size.
+    pub fn take_up_to(&mut self, need: usize) -> Result<Option<Matrix>, CsvError> {
+        assert!(need > 0, "need must be positive");
+        let m = self.names.len();
+        let mut blocks: Vec<Matrix> = Vec::new();
+        let mut got = 0usize;
+        while got < need {
+            let Some(block) = self.next_chunk()? else {
+                break;
+            };
+            let take = (need - got).min(block.rows());
+            if take < block.rows() {
+                self.pending = Some(
+                    block
+                        .row_block(take, block.rows() - take)
+                        .expect("within block"),
+                );
+                blocks.push(block.row_block(0, take).expect("within block"));
+            } else {
+                blocks.push(block);
+            }
+            got += take;
+        }
+        if got == 0 {
+            return Ok(None);
+        }
+        let spans: Vec<&[f64]> = blocks
+            .iter()
+            .map(|b| b.row_span(0, b.rows()).expect("whole matrix"))
+            .collect();
+        Ok(Some(
+            Matrix::from_segments(m, &spans).expect("aligned blocks"),
+        ))
+    }
 }
 
 impl<R: BufRead> Iterator for CsvChunks<R> {
@@ -349,10 +390,46 @@ impl<R: BufRead> ShardedChunks<R> {
         self.groups.len()
     }
 
+    /// The partition's link groups, one strictly-ascending global index
+    /// set per shard, in shard order.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
     /// Read exactly `need` full-width rows (the global training prefix);
     /// see [`CsvChunks::take_rows`].
     pub fn take_rows(&mut self, need: usize) -> Result<Matrix, CsvError> {
         self.inner.take_rows(need)
+    }
+
+    /// Read *up to* `need` full-width rows; see
+    /// [`CsvChunks::take_up_to`]. A distributed worker reads full rows —
+    /// sliding [`CovarianceShard`] statistics need every column of each
+    /// arrival — and slices columns only inside the per-shard compute.
+    ///
+    /// [`CovarianceShard`]: https://docs.rs/netanom-core
+    pub fn take_up_to(&mut self, need: usize) -> Result<Option<Matrix>, CsvError> {
+        self.inner.take_up_to(need)
+    }
+
+    /// Parse the next block and return it *both* full-width and
+    /// scattered into per-shard column slices (partition order, all cut
+    /// from the same rows). The full block is what sliding-statistics
+    /// backends consume as evicted-row context; the slices feed
+    /// `process_batch_slices`.
+    ///
+    /// Returns `Ok(None)` at end of input.
+    #[allow(clippy::type_complexity)]
+    pub fn next_block_and_slices(&mut self) -> Result<Option<(Matrix, Vec<Matrix>)>, CsvError> {
+        let Some(block) = self.inner.next_chunk()? else {
+            return Ok(None);
+        };
+        let slices = self
+            .groups
+            .iter()
+            .map(|g| block.select_columns(g))
+            .collect();
+        Ok(Some((block, slices)))
     }
 
     /// Parse the next block and scatter it into per-shard column slices
@@ -360,15 +437,7 @@ impl<R: BufRead> ShardedChunks<R> {
     ///
     /// Returns `Ok(None)` at end of input.
     pub fn next_slices(&mut self) -> Result<Option<Vec<Matrix>>, CsvError> {
-        let Some(block) = self.inner.next_chunk()? else {
-            return Ok(None);
-        };
-        Ok(Some(
-            self.groups
-                .iter()
-                .map(|g| block.select_columns(g))
-                .collect(),
-        ))
+        Ok(self.next_block_and_slices()?.map(|(_, slices)| slices))
     }
 }
 
@@ -620,6 +689,47 @@ mod tests {
             CsvError::Truncated { got, need } => assert_eq!((got, need), (1, 5)),
             other => panic!("wrong error: {other}"),
         }
+    }
+
+    #[test]
+    fn take_up_to_returns_short_tail_then_none() {
+        let csv = "a,b\n1,2\n3,4\n5,6\n7,8\n9,10\n";
+        let mut chunks = CsvChunks::new(csv.as_bytes(), 2).unwrap();
+        // Exact-demand reads split chunk boundaries without loss.
+        let b1 = chunks.take_up_to(3).unwrap().unwrap();
+        assert_eq!(b1.shape(), (3, 2));
+        assert_eq!(b1.row(2), &[5.0, 6.0]);
+        // A demand past EOF yields the short tail, not an error.
+        let b2 = chunks.take_up_to(10).unwrap().unwrap();
+        assert_eq!(b2.shape(), (2, 2));
+        assert_eq!(b2.row(1), &[9.0, 10.0]);
+        // Exhausted input yields None, fused.
+        assert!(chunks.take_up_to(1).unwrap().is_none());
+        assert!(chunks.take_up_to(1).unwrap().is_none());
+        // take_up_to and take_rows interleave through the same pending
+        // buffer.
+        let mut mixed = CsvChunks::new(csv.as_bytes(), 4).unwrap();
+        let train = mixed.take_rows(1).unwrap();
+        assert_eq!(train.row(0), &[1.0, 2.0]);
+        let rest = mixed.take_up_to(2).unwrap().unwrap();
+        assert_eq!(rest.row(0), &[3.0, 4.0]);
+        assert_eq!(rest.rows(), 2);
+    }
+
+    #[test]
+    fn next_block_and_slices_returns_both_views_of_the_same_rows() {
+        let csv = "a,b,c,d,e\n0,1,2,3,4\n10,11,12,13,14\n";
+        let partition = LinkPartition::round_robin(5, 2).unwrap();
+        let chunks = CsvChunks::new(csv.as_bytes(), 4).unwrap();
+        let mut sharded = ShardedChunks::new(chunks, &partition).unwrap();
+        assert_eq!(sharded.groups().len(), 2);
+        let (block, slices) = sharded.next_block_and_slices().unwrap().unwrap();
+        assert_eq!(block.shape(), (2, 5));
+        assert_eq!(slices.len(), 2);
+        for (group, slice) in sharded.groups().iter().zip(&slices) {
+            assert!(*slice == block.select_columns(group));
+        }
+        assert!(sharded.next_block_and_slices().unwrap().is_none());
     }
 
     #[test]
