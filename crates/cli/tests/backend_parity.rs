@@ -1,24 +1,27 @@
 //! Cross-backend decision parity of the `netanom` binary, pinned by
-//! running the real executable under both `NETANOM_KERNEL` values.
+//! running the real executable under every supported `NETANOM_KERNEL`
+//! value.
 //!
 //! The kernel backend accelerates model *fitting*; scoring and
 //! identification are pinned to the portable tier by design (see
 //! `netanom_linalg::kernel`). The observable contract is therefore:
-//! a `diagnose` run under `NETANOM_KERNEL=fma` and one under
-//! `NETANOM_KERNEL=portable` report the **same detections and the same
-//! identified flows** — the discrete decisions are bitwise — while the
-//! fitted model's continuous outputs (SPE, threshold, estimated bytes)
-//! agree to ≤ 1e-9 relative, the same floor the sharded-engine parity
-//! suite uses for cross-engine refits.
+//! a `diagnose` run under `NETANOM_KERNEL=fma` or
+//! `NETANOM_KERNEL=avx512` and one under `NETANOM_KERNEL=portable`
+//! report the **same detections and the same identified flows** — the
+//! discrete decisions are bitwise — while the fitted model's
+//! continuous outputs (SPE, threshold, estimated bytes) agree to
+//! ≤ 1e-9 relative, the same floor the sharded-engine parity suite
+//! uses for cross-engine refits.
 //!
-//! The FMA legs gate on `KernelBackend::Fma.is_supported()` and pass
-//! vacuously on hosts without AVX2+FMA; the portable-only assertions
-//! (version output, override echo) run everywhere.
+//! The hardware-tier legs iterate `supported_backends()` and so pass
+//! vacuously on hosts without the matching SIMD extensions; the
+//! portable-only assertions (version output, override echo) run
+//! everywhere.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
-use netanom_linalg::kernel::KernelBackend;
+use netanom_linalg::kernel::{supported_backends, KernelBackend};
 
 fn netanom_env(args: &[&str], kernel: &str) -> Output {
     Command::new(env!("CARGO_BIN_EXE_netanom"))
@@ -96,48 +99,58 @@ fn rel_close(a: f64, b: f64, tol: f64) -> bool {
     (a - b).abs() <= tol * a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
 }
 
-/// Decision parity on one dataset: identical (time, flow) decision
-/// pairs, ≤ 1e-9 relative on the continuous columns.
+/// Decision parity on one dataset across every supported tier:
+/// identical (time, flow) decision pairs, ≤ 1e-9 relative on the
+/// continuous columns, each hardware tier compared against portable.
 fn assert_backend_parity(dataset: &str) {
     let (links, paths, dir) = simulated(dataset, dataset);
     let portable = diagnose_rows(&links, &paths, "portable", &dir.join("portable.csv"));
-    let fma = diagnose_rows(&links, &paths, "fma", &dir.join("fma.csv"));
     assert!(
         !portable.is_empty(),
         "{dataset}: expected at least one detection"
     );
-    assert_eq!(
-        portable.len(),
-        fma.len(),
-        "{dataset}: detection count differs across backends"
-    );
-    for (p, f) in portable.iter().zip(&fma) {
-        assert_eq!(p.time, f.time, "{dataset}: detected bins differ");
-        assert_eq!(p.flow, f.flow, "{dataset}: identified flows differ");
-        assert!(
-            rel_close(p.spe, f.spe, 1e-9),
-            "{dataset} t={}: spe {} vs {}",
-            p.time,
-            p.spe,
-            f.spe
+    for tier in supported_backends() {
+        if tier == KernelBackend::Portable {
+            continue;
+        }
+        let name = tier.name();
+        let hw = diagnose_rows(&links, &paths, name, &dir.join(format!("{name}.csv")));
+        assert_eq!(
+            portable.len(),
+            hw.len(),
+            "{dataset}/{name}: detection count differs across backends"
         );
-        assert!(
-            rel_close(p.threshold, f.threshold, 1e-9),
-            "{dataset} t={}: threshold {} vs {}",
-            p.time,
-            p.threshold,
-            f.threshold
-        );
-        match (p.bytes, f.bytes) {
-            (None, None) => {}
-            (Some(pb), Some(fb)) => assert!(
-                rel_close(pb, fb, 1e-9),
-                "{dataset} t={}: bytes {} vs {}",
+        for (p, f) in portable.iter().zip(&hw) {
+            assert_eq!(p.time, f.time, "{dataset}/{name}: detected bins differ");
+            assert_eq!(p.flow, f.flow, "{dataset}/{name}: identified flows differ");
+            assert!(
+                rel_close(p.spe, f.spe, 1e-9),
+                "{dataset}/{name} t={}: spe {} vs {}",
                 p.time,
-                pb,
-                fb
-            ),
-            _ => panic!("{dataset} t={}: bytes column presence differs", p.time),
+                p.spe,
+                f.spe
+            );
+            assert!(
+                rel_close(p.threshold, f.threshold, 1e-9),
+                "{dataset}/{name} t={}: threshold {} vs {}",
+                p.time,
+                p.threshold,
+                f.threshold
+            );
+            match (p.bytes, f.bytes) {
+                (None, None) => {}
+                (Some(pb), Some(fb)) => assert!(
+                    rel_close(pb, fb, 1e-9),
+                    "{dataset}/{name} t={}: bytes {} vs {}",
+                    p.time,
+                    pb,
+                    fb
+                ),
+                _ => panic!(
+                    "{dataset}/{name} t={}: bytes column presence differs",
+                    p.time
+                ),
+            }
         }
     }
     std::fs::remove_dir_all(&dir).ok();
@@ -145,17 +158,11 @@ fn assert_backend_parity(dataset: &str) {
 
 #[test]
 fn mini_decisions_identical_across_backends() {
-    if !KernelBackend::Fma.is_supported() {
-        return;
-    }
     assert_backend_parity("mini");
 }
 
 #[test]
 fn abilene_decisions_identical_across_backends() {
-    if !KernelBackend::Fma.is_supported() {
-        return;
-    }
     assert_backend_parity("abilene");
 }
 
@@ -170,7 +177,7 @@ fn version_reports_the_dispatched_backend() {
     );
 
     // Without the override the binary reports whatever it detected;
-    // the line must name one of the two tiers.
+    // the line must name one of the supported tiers.
     let out = Command::new(env!("CARGO_BIN_EXE_netanom"))
         .arg("--version")
         .env_remove("NETANOM_KERNEL")
@@ -180,9 +187,27 @@ fn version_reports_the_dispatched_backend() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.starts_with("netanom "), "{stdout}");
     assert!(
-        stdout.contains("kernel backend: portable") || stdout.contains("kernel backend: fma"),
+        ["portable", "fma", "avx512"]
+            .iter()
+            .any(|t| stdout.contains(&format!("kernel backend: {t}"))),
         "diagnostics must name the dispatched tier: {stdout}"
     );
+}
+
+#[test]
+fn every_supported_override_is_echoed() {
+    for tier in supported_backends() {
+        let name = tier.name();
+        let out = netanom_env(&["--version"], name);
+        assert!(out.status.success(), "exit ({name}): {:?}", out.status);
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(
+            stdout.contains(&format!(
+                "kernel backend: {name} (NETANOM_KERNEL={name} override)"
+            )),
+            "override must be echoed in diagnostics ({name}): {stdout}"
+        );
+    }
 }
 
 #[test]
@@ -191,7 +216,9 @@ fn invalid_override_falls_back_to_detection() {
     assert!(out.status.success(), "exit: {:?}", out.status);
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(
-        stdout.contains("kernel backend: portable") || stdout.contains("kernel backend: fma"),
+        ["portable", "fma", "avx512"]
+            .iter()
+            .any(|t| stdout.contains(&format!("kernel backend: {t}"))),
         "invalid override must fall back, not fail: {stdout}"
     );
     assert!(

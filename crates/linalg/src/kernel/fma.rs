@@ -188,14 +188,12 @@ unsafe fn kernel_update_avx2(
         }
     } else {
         // Edge tile: stage the valid corner through a stack scratch
-        // tile so the vector loop never reads or writes past `C`.
-        // Padding lanes accumulate garbage from the packed zeros
-        // (exactly `fma(0, x, 0)` chains) and are discarded.
-        let mut tile = [[0.0_f64; NR]; MR];
-        for (i, trow) in tile.iter_mut().enumerate().take(mr_eff) {
-            let off = (tile_row + i) * ldc + tile_col;
-            trow[..nr_eff].copy_from_slice(&c[off..off + nr_eff]);
-        }
+        // tile (shared helpers in `super::micro`) so the vector loop
+        // never reads or writes past `C`. Padding lanes accumulate
+        // garbage from the packed zeros (exactly `fma(0, x, 0)`
+        // chains) and are discarded.
+        let mut tile =
+            super::micro::load_edge_tile::<MR, NR>(c, ldc, tile_row, tile_col, mr_eff, nr_eff);
         for (i, arow) in acc.iter_mut().enumerate() {
             // SAFETY: each scratch row holds NR = 8 contiguous f64s.
             arow[0] = unsafe { _mm256_loadu_pd(tile[i].as_ptr()) };
@@ -223,10 +221,7 @@ unsafe fn kernel_update_avx2(
                 _mm256_storeu_pd(tile[i].as_mut_ptr().add(4), arow[1]);
             }
         }
-        for (i, trow) in tile.iter().enumerate().take(mr_eff) {
-            let off = (tile_row + i) * ldc + tile_col;
-            c[off..off + nr_eff].copy_from_slice(&trow[..nr_eff]);
-        }
+        super::micro::store_edge_tile(&tile, c, ldc, tile_row, tile_col, mr_eff, nr_eff);
     }
 }
 

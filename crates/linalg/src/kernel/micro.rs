@@ -49,6 +49,49 @@ fn micro_tile(kc: usize, apanel: &[f64], bpanel: &[f64], acc: &mut [[f64; NR]; M
     }
 }
 
+/// Copy the `mr_eff × nr_eff` valid corner of the `C` tile at
+/// `(tile_row, tile_col)` into a zero-initialized `M × N` stack
+/// scratch tile. Shared by every tier's edge-tile path (`M`/`N` are
+/// the tier's micro-tile dimensions): the vector loops then run over
+/// the scratch tile at full width and never read past `C`; padding
+/// lanes start at `0.0` and accumulate only discarded garbage.
+#[inline]
+pub(crate) fn load_edge_tile<const M: usize, const N: usize>(
+    c: &[f64],
+    ldc: usize,
+    tile_row: usize,
+    tile_col: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) -> [[f64; N]; M] {
+    let mut tile = [[0.0_f64; N]; M];
+    for (i, trow) in tile.iter_mut().enumerate().take(mr_eff) {
+        let off = (tile_row + i) * ldc + tile_col;
+        trow[..nr_eff].copy_from_slice(&c[off..off + nr_eff]);
+    }
+    tile
+}
+
+/// Write the `mr_eff × nr_eff` valid corner of an `M × N` scratch tile
+/// back to `C` — the counterpart of [`load_edge_tile`]. Padding lanes
+/// are never written, so neighbouring `C` elements (other tiles' data,
+/// or rows past the matrix edge) are untouched.
+#[inline]
+pub(crate) fn store_edge_tile<const M: usize, const N: usize>(
+    tile: &[[f64; N]; M],
+    c: &mut [f64],
+    ldc: usize,
+    tile_row: usize,
+    tile_col: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    for (i, trow) in tile.iter().enumerate().take(mr_eff) {
+        let off = (tile_row + i) * ldc + tile_col;
+        c[off..off + nr_eff].copy_from_slice(&trow[..nr_eff]);
+    }
+}
+
 /// Load the `mr_eff × nr_eff` valid corner of the `C` tile at
 /// `(tile_row, tile_col)`, extend it by `kc` packed rank-1 updates, and
 /// store the valid corner back.
@@ -70,8 +113,8 @@ pub(crate) fn kernel_update(
     mr_eff: usize,
     nr_eff: usize,
 ) {
-    let mut acc = [[0.0_f64; NR]; MR];
     if mr_eff == MR && nr_eff == NR {
+        let mut acc = [[0.0_f64; NR]; MR];
         for (i, arow) in acc.iter_mut().enumerate() {
             let off = (tile_row + i) * ldc + tile_col;
             arow.copy_from_slice(&c[off..off + NR]);
@@ -82,15 +125,9 @@ pub(crate) fn kernel_update(
             c[off..off + NR].copy_from_slice(arow);
         }
     } else {
-        for (i, arow) in acc.iter_mut().enumerate().take(mr_eff) {
-            let off = (tile_row + i) * ldc + tile_col;
-            arow[..nr_eff].copy_from_slice(&c[off..off + nr_eff]);
-        }
+        let mut acc = load_edge_tile::<MR, NR>(c, ldc, tile_row, tile_col, mr_eff, nr_eff);
         micro_tile(kc, apanel, bpanel, &mut acc);
-        for (i, arow) in acc.iter().enumerate().take(mr_eff) {
-            let off = (tile_row + i) * ldc + tile_col;
-            c[off..off + nr_eff].copy_from_slice(&arow[..nr_eff]);
-        }
+        store_edge_tile(&acc, c, ldc, tile_row, tile_col, mr_eff, nr_eff);
     }
 }
 
@@ -142,6 +179,32 @@ mod tests {
         let mut whole = vec![0.0; MR * ldc];
         kernel_update(ka, &apanel, &bpanel, &mut whole, ldc, 0, 0, MR, NR);
         assert_eq!(split, whole);
+    }
+
+    #[test]
+    fn edge_tile_helpers_roundtrip_only_the_valid_corner() {
+        let ldc = 7;
+        let c: Vec<f64> = (0..4 * ldc).map(|i| i as f64).collect();
+        let tile = load_edge_tile::<3, 4>(&c, ldc, 1, 2, 2, 3);
+        // Valid corner copied, padding zero-initialized.
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(tile[i][j], c[(1 + i) * ldc + 2 + j]);
+            }
+            assert_eq!(tile[i][3], 0.0);
+        }
+        assert_eq!(tile[2], [0.0; 4]);
+        // Store writes the corner back and nothing else.
+        let mut out = vec![f64::NAN; c.len()];
+        store_edge_tile(&tile, &mut out, ldc, 1, 2, 2, 3);
+        for (idx, v) in out.iter().enumerate() {
+            let (i, j) = (idx / ldc, idx % ldc);
+            if (1..3).contains(&i) && (2..5).contains(&j) {
+                assert_eq!(*v, c[idx], "corner ({i},{j})");
+            } else {
+                assert!(v.is_nan(), "lane ({i},{j}) was written");
+            }
+        }
     }
 
     #[test]

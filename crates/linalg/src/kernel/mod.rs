@@ -16,28 +16,31 @@
 //!   (packed `B` stays in L2/L3), `KC`-deep slices of the shared
 //!   dimension (one packed `A` block stays in L2), and `MC`-tall row
 //!   blocks, following [`Tiles`].
-//! * **Register-blocked micro-kernel** (`micro` and `fma`). The
-//!   innermost unit computes an `MR × NR` tile of `C` held entirely in
-//!   accumulator registers, reading one `MR`-slice of packed `A` and
-//!   one `NR`-slice of packed `B` per `k` step. Two tiers exist: the
+//! * **Register-blocked micro-kernel** (`micro`, `fma`, and `avx512`).
+//!   The innermost unit computes an `MR × NR` tile of `C` held entirely
+//!   in accumulator registers, reading one `MR`-slice of packed `A` and
+//!   one `NR`-slice of packed `B` per `k` step. Three tiers exist: the
 //!   portable tile (`micro`, loops over fixed-size arrays the
-//!   autovectorizer unrolls) and the AVX2+FMA tile (`fma`, explicit
+//!   autovectorizer unrolls), the AVX2+FMA tile (`fma`, explicit
 //!   `std::arch` intrinsics with a wider 6×8 shape and a ×4-unrolled
-//!   `k` loop).
+//!   `k` loop), and the AVX-512 tile (`avx512`, an 8×8 shape whose
+//!   accumulator rows are whole ZMM registers, same ×4 unroll).
 //!
 //! # Backend dispatch
 //!
 //! Which tier runs is a process-wide choice made once by the dispatch
 //! module:
 //! runtime CPU feature detection (`is_x86_feature_detected!`) picks
-//! [`KernelBackend::Fma`] when `avx2`+`fma` are present, and the
-//! `NETANOM_KERNEL=portable|fma` environment variable overrides it.
+//! the widest supported tier — [`KernelBackend::Avx512`] when
+//! `avx512f`+`avx512vl` are present, else [`KernelBackend::Fma`] when
+//! `avx2`+`fma` are — and the `NETANOM_KERNEL=portable|fma|avx512`
+//! environment variable overrides it.
 //! [`Matrix`]'s product methods route through [`active_backend`]; the
 //! explicit `*_with` entry points ([`matmul_with`],
 //! [`matmul_nt_with`], [`matmul_tn_with`], [`gram_with`]) run a chosen
 //! backend for tests, benches, and the pinned-portable SPE path.
 //!
-//! # Accumulation-order contract (two tiers)
+//! # Accumulation-order contract (three tiers, two roundings)
 //!
 //! Per output element, **every** tier accumulates its `k`-terms in
 //! strictly ascending order into a single accumulator; the tiers
@@ -47,10 +50,12 @@
 //!   separately (`acc += a·b`), making it **bitwise identical to the
 //!   naive mul-then-add `i j k` triple loop** — the original kernel
 //!   contract, unchanged.
-//! * [`KernelBackend::Fma`] fuses each step into one rounding
-//!   (`acc = fma(a, b, acc)`), making it **bitwise identical to the
-//!   [`f64::mul_add`] ascending-`k` triple loop** and `≤ 1e-12`
-//!   relative against the portable tier (one rounding per term).
+//! * [`KernelBackend::Fma`] and [`KernelBackend::Avx512`] fuse each
+//!   step into one rounding (`acc = fma(a, b, acc)`), making both
+//!   **bitwise identical to the [`f64::mul_add`] ascending-`k` triple
+//!   loop** — and therefore to each other, lane width being invisible
+//!   to a per-lane fused chain — and `≤ 1e-12` relative against the
+//!   portable tier (one rounding per term).
 //!
 //! Three design choices guarantee the shared ascending-`k` order:
 //!
@@ -67,9 +72,9 @@
 //! The reference kernels in this module ([`matmul_reference`],
 //! [`matmul_nt_reference`], [`matmul_tn_reference`],
 //! [`gram_reference`]) realize the portable tier's order with plain
-//! loop nests; `fma::gemm_reference_fma` is the fused counterpart.
-//! Each packed tier is pinned against its own reference bitwise in the
-//! unit and property tests. Because the portable order also matches
+//! loop nests; `fma::gemm_reference_fma` is the fused counterpart
+//! serving both hardware tiers. Each packed tier is pinned against
+//! its own reference bitwise in the unit and property tests. Because the portable order also matches
 //! the pre-kernel row-axpy/dot implementations, every parity suite
 //! that pinned bitwise values across the old code remains valid under
 //! `NETANOM_KERNEL=portable` — with one deliberate exception: the old
@@ -87,12 +92,15 @@
 //! per-element order, so routing is purely a performance decision and
 //! never observable in results.
 
+pub(crate) mod avx512;
 pub(crate) mod dispatch;
 pub(crate) mod fma;
 pub(crate) mod micro;
 pub(crate) mod pack;
 
-pub use dispatch::{active_backend, backend_diagnostics, KernelBackend};
+pub use dispatch::{
+    active_backend, backend_diagnostics, supported_backends, KernelBackend, ALL_BACKENDS,
+};
 
 use crate::{parallel, LinalgError, Matrix, Result};
 
@@ -272,6 +280,18 @@ pub(crate) fn gemm_block(
             fma::NR,
             fma::kernel_update,
         ),
+        KernelBackend::Avx512 => gemm_block_tiled(
+            a,
+            b,
+            first_row,
+            block,
+            n,
+            kdim,
+            upper_only,
+            avx512::MR,
+            avx512::NR,
+            avx512::kernel_update,
+        ),
     }
 }
 
@@ -394,7 +414,11 @@ pub(crate) fn gemm_reference_with(
 ) {
     match backend {
         KernelBackend::Portable => gemm_reference(a, b, first_row, block, n, kdim, upper_only),
-        KernelBackend::Fma => fma::gemm_reference_fma(a, b, first_row, block, n, kdim, upper_only),
+        // Both hardware tiers share the fused ascending-k contract, so
+        // one fused reference loop serves them bitwise-identically.
+        KernelBackend::Fma | KernelBackend::Avx512 => {
+            fma::gemm_reference_fma(a, b, first_row, block, n, kdim, upper_only)
+        }
     }
 }
 

@@ -4,8 +4,8 @@
 //! Packed `A` blocks are stored panel-major: `⌈mc/mr⌉` panels, each a
 //! `kc × mr` slab laid out k-major (`buf[panel][k*mr + i]` holds
 //! `A[row0 + panel*mr + i][k0 + k]`), where `mr`/`nr` are the
-//! micro-tile dimensions of the backend being packed for (the portable
-//! and FMA tiers use different tile heights). Packed `B` blocks mirror
+//! micro-tile dimensions of the backend being packed for (the three
+//! tiers use different tile heights). Packed `B` blocks mirror
 //! that with `nr`-wide panels (`buf[panel][k*nr + j]` holds
 //! `B[k0 + k][col0 + panel*nr + j]`). Rows/columns past the operand's
 //! edge are padded with `0.0`, which contributes only to output lanes
@@ -16,13 +16,75 @@
 //! walked along contiguous rows; the strided side of the copy lands in
 //! the packed buffer, which is small enough to stay cache-resident
 //! while being filled.
+//!
+//! # Parallel packing
+//!
+//! Packing is pure data movement, and a large block (a `KC × NC`
+//! packed `B` is up to 2 MiB) serializes the calling thread on memcpy
+//! before any flops run. Both entry points therefore fan the *panel
+//! range* out across rayon workers once a block is past
+//! [`MIN_PACK_ELEMS_PER_WORKER`] ×2: panels are disjoint,
+//! fixed-length slices of the destination buffer, so the fan-out is
+//! **placement-only** — each panel's bytes are produced by exactly
+//! the same copies whichever worker owns it, making the packed block
+//! bitwise identical to the serial pack (and therefore invisible to
+//! every numeric contract above). Below the threshold (and on 1-thread
+//! hosts) the loop nests run serially on the caller, unchanged.
 
 use super::Operand;
+use crate::parallel;
+
+/// Elements of packed output per additional packing worker. Packing
+/// moves ~2 passes of memory per element (read + packed write), so a
+/// worker's share should amortize an OS-thread spawn under the
+/// `rayon` stub (~tens of µs): 64 Ki elements ≈ 512 KiB ≈ 50+ µs of
+/// memcpy. Blocks under twice this stay serial.
+const MIN_PACK_ELEMS_PER_WORKER: usize = 64 * 1024;
+
+/// Worker count for packing `elems` elements into `panels` panels:
+/// 1 (serial) below the crossover, then one worker per
+/// [`MIN_PACK_ELEMS_PER_WORKER`], capped by the hardware thread count
+/// and the panel count (a panel is the placement unit).
+fn pack_workers(elems: usize, panels: usize) -> usize {
+    if elems < 2 * MIN_PACK_ELEMS_PER_WORKER || panels < 2 {
+        1
+    } else {
+        (elems / MIN_PACK_ELEMS_PER_WORKER)
+            .min(rayon::current_num_threads())
+            .min(panels)
+            .max(1)
+    }
+}
+
+/// Run `pack_range(p0, p1, chunk)` over the panel range `0..panels`,
+/// serially or fanned across workers ([`pack_workers`]); `chunk` is
+/// the sub-slice of `buf` holding panels `p0..p1`. The range split is
+/// the only thing parallelism changes — every panel's contents are
+/// computed by the same single-threaded loop nest either way.
+fn for_panel_ranges(
+    buf: &mut [f64],
+    panel_len: usize,
+    panels: usize,
+    pack_range: impl Fn(usize, usize, &mut [f64]) + Sync,
+) {
+    let used = &mut buf[..panels * panel_len];
+    let workers = pack_workers(used.len(), panels);
+    if workers <= 1 {
+        pack_range(0, panels, used);
+        return;
+    }
+    let boundaries = parallel::balanced_boundaries(panels, workers, |_| 1.0);
+    parallel::for_row_blocks(used, panel_len, &boundaries, |p0, chunk| {
+        pack_range(p0, p0 + chunk.len() / panel_len, chunk);
+    });
+}
 
 /// Pack `mc` logical rows of `a` starting at `row0`, depth `k0..k0+kc`,
 /// into `mr`-row panels (`mr` is the micro-tile height of the active
 /// backend). `buf` must hold at least `⌈mc/mr⌉·mr·kc` elements; only
-/// that prefix is written.
+/// that prefix is written. Large blocks fan the panel range across
+/// rayon workers (see the module docs); the packed bytes are bitwise
+/// identical either way.
 pub(crate) fn pack_a(
     a: &Operand,
     row0: usize,
@@ -33,12 +95,32 @@ pub(crate) fn pack_a(
     buf: &mut [f64],
 ) {
     let panels = mc.div_ceil(mr);
+    for_panel_ranges(buf, kc * mr, panels, |p0, p1, chunk| {
+        pack_a_range(a, row0, mc, k0, kc, mr, p0, p1, chunk);
+    });
+}
+
+/// The serial `A`-packing loop nests, restricted to panels `p0..p1`
+/// (`chunk` holds exactly those panels). Each orientation walks its
+/// *source* along contiguous rows within the range.
+#[allow(clippy::too_many_arguments)]
+fn pack_a_range(
+    a: &Operand,
+    row0: usize,
+    mc: usize,
+    k0: usize,
+    kc: usize,
+    mr: usize,
+    p0: usize,
+    p1: usize,
+    chunk: &mut [f64],
+) {
     match a {
         // Rows of `a` are logical rows: walk each source row once,
         // scattering into its panel's k-major slots.
         Operand::N(m) => {
-            for p in 0..panels {
-                let panel = &mut buf[p * kc * mr..(p + 1) * kc * mr];
+            for p in p0..p1 {
+                let panel = &mut chunk[(p - p0) * kc * mr..(p - p0 + 1) * kc * mr];
                 for i in 0..mr {
                     let r = p * mr + i;
                     if r < mc {
@@ -61,8 +143,9 @@ pub(crate) fn pack_a(
         Operand::T(m) => {
             for (k, srow) in (k0..k0 + kc).enumerate() {
                 let src = m.row(srow);
-                for p in 0..panels {
-                    let dst = &mut buf[p * kc * mr + k * mr..p * kc * mr + (k + 1) * mr];
+                for p in p0..p1 {
+                    let base = (p - p0) * kc * mr;
+                    let dst = &mut chunk[base + k * mr..base + (k + 1) * mr];
                     let c0 = row0 + p * mr;
                     let take = mr.min(mc - p * mr);
                     dst[..take].copy_from_slice(&src[c0..c0 + take]);
@@ -76,7 +159,9 @@ pub(crate) fn pack_a(
 /// Pack `nc` logical columns of `b` starting at `col0`, depth
 /// `k0..k0+kc`, into `nr`-column panels (`nr` is the micro-tile width
 /// of the active backend). `buf` must hold at least `⌈nc/nr⌉·nr·kc`
-/// elements; only that prefix is written.
+/// elements; only that prefix is written. Large blocks fan the panel
+/// range across rayon workers (see the module docs); the packed bytes
+/// are bitwise identical either way.
 pub(crate) fn pack_b(
     b: &Operand,
     k0: usize,
@@ -87,14 +172,33 @@ pub(crate) fn pack_b(
     buf: &mut [f64],
 ) {
     let panels = nc.div_ceil(nr);
+    for_panel_ranges(buf, kc * nr, panels, |p0, p1, chunk| {
+        pack_b_range(b, k0, kc, col0, nc, nr, p0, p1, chunk);
+    });
+}
+
+/// The serial `B`-packing loop nests, restricted to panels `p0..p1`.
+#[allow(clippy::too_many_arguments)]
+fn pack_b_range(
+    b: &Operand,
+    k0: usize,
+    kc: usize,
+    col0: usize,
+    nc: usize,
+    nr: usize,
+    p0: usize,
+    p1: usize,
+    chunk: &mut [f64],
+) {
     match b {
         // Row-major `b`: each source row k yields contiguous nr-slices
         // for every panel.
         Operand::N(m) => {
             for (k, srow) in (k0..k0 + kc).enumerate() {
                 let src = m.row(srow);
-                for p in 0..panels {
-                    let dst = &mut buf[p * kc * nr + k * nr..p * kc * nr + (k + 1) * nr];
+                for p in p0..p1 {
+                    let base = (p - p0) * kc * nr;
+                    let dst = &mut chunk[base + k * nr..base + (k + 1) * nr];
                     let c0 = col0 + p * nr;
                     let take = nr.min(nc - p * nr);
                     dst[..take].copy_from_slice(&src[c0..c0 + take]);
@@ -105,8 +209,8 @@ pub(crate) fn pack_b(
         // `b` is the transpose of `m` (matmul_nt): logical column `j`
         // is `m`'s row `j`, walked contiguously along k.
         Operand::T(m) => {
-            for p in 0..panels {
-                let panel = &mut buf[p * kc * nr..(p + 1) * kc * nr];
+            for p in p0..p1 {
+                let panel = &mut chunk[(p - p0) * kc * nr..(p - p0 + 1) * kc * nr];
                 for j in 0..nr {
                     let c = p * nr + j;
                     if c < nc {
@@ -196,5 +300,69 @@ mod tests {
                 assert_eq!(p1[k * NR + j], 0.0, "k={k} j={j}");
             }
         }
+    }
+
+    /// A block big enough to fan out (≥ 2 × [`MIN_PACK_ELEMS_PER_WORKER`]
+    /// elements) must pack bitwise identically to the serial panel
+    /// ranges — packing parallelism is placement-only. The workspace
+    /// `rayon` stub reads `RAYON_NUM_THREADS` at call time and the CI
+    /// determinism job reruns this suite at 1 and 8 threads, so both
+    /// regimes are pinned whatever this host's core count.
+    #[test]
+    fn parallel_pack_is_bitwise_the_serial_pack() {
+        let nr = 8usize;
+        let kc = 192usize;
+        let nc = 1000usize; // 125 panels ≥ 192k elements: past the crossover
+        let panels = nc.div_ceil(nr);
+        let m = Matrix::from_fn(kc + 3, nc + 5, |i, j| {
+            let h = (i * (nc + 5) + j).wrapping_mul(2654435761) % 8192;
+            h as f64 / 4096.0 - 1.0
+        });
+        let mut fanned = vec![f64::NAN; panels * nr * kc];
+        pack_b(&Operand::normal(&m), 2, kc, 3, nc, nr, &mut fanned);
+        assert!(pack_workers(fanned.len(), panels) >= 1);
+        // Serial reference: the same loop nest over the full range.
+        let mut serial = vec![f64::NAN; panels * nr * kc];
+        pack_b_range(
+            &Operand::normal(&m),
+            2,
+            kc,
+            3,
+            nc,
+            nr,
+            0,
+            panels,
+            &mut serial,
+        );
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&fanned), bits(&serial));
+
+        // Same for an A block (transposed orientation, ragged edge).
+        let mr = 8usize;
+        let mc = 999usize;
+        let apanels = mc.div_ceil(mr);
+        let mut a_fanned = vec![f64::NAN; apanels * mr * kc];
+        pack_a(&Operand::transposed(&m), 1, mc, 0, kc, mr, &mut a_fanned);
+        let mut a_serial = vec![f64::NAN; apanels * mr * kc];
+        pack_a_range(
+            &Operand::transposed(&m),
+            1,
+            mc,
+            0,
+            kc,
+            mr,
+            0,
+            apanels,
+            &mut a_serial,
+        );
+        assert_eq!(bits(&a_fanned), bits(&a_serial));
+    }
+
+    #[test]
+    fn pack_workers_stay_serial_below_the_crossover() {
+        assert_eq!(pack_workers(MIN_PACK_ELEMS_PER_WORKER, 64), 1);
+        assert_eq!(pack_workers(10 * MIN_PACK_ELEMS_PER_WORKER, 1), 1);
+        let w = pack_workers(4 * MIN_PACK_ELEMS_PER_WORKER, 64);
+        assert!((1..=4).contains(&w));
     }
 }

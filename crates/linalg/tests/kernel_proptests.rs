@@ -6,15 +6,16 @@
 //! output element in strictly ascending shared-dimension order into a
 //! single accumulator, with the per-step rounding fixed by the active
 //! backend: separate multiply and add on `Portable`, one fused
-//! rounding per term on `Fma`. That makes the dispatched products
-//! **bitwise** equal to the textbook `i j k` loops written out below
-//! with the matching per-step op, which is what these tests assert
-//! (strictly stronger than the `≤ 1e-12` relative tolerance the crate
-//! documents as the cross-backend floor). The naive reference below
-//! follows `kernel::active_backend()`, so this file pins whichever
-//! tier the host (or `NETANOM_KERNEL`) selects; the CI matrix runs it
-//! under both values, and `fma_proptests.rs` pins the FMA tier
-//! explicitly. The fused SPE kernel is the exception: it is pinned to
+//! rounding per term on the `Fma` and `Avx512` hardware tiers. That
+//! makes the dispatched products **bitwise** equal to the textbook
+//! `i j k` loops written out below with the matching per-step op,
+//! which is what these tests assert (strictly stronger than the
+//! `≤ 1e-12` relative tolerance the crate documents as the cross-tier
+//! floor). The naive reference below follows
+//! `kernel::active_backend()`, so this file pins whichever tier the
+//! host (or `NETANOM_KERNEL`) selects; the CI matrix runs it under
+//! every supported value, and `kernel_tier_proptests.rs` pins each
+//! supported tier explicitly. The fused SPE kernel is the exception: it is pinned to
 //! the portable tier by design (detection scores must not move across
 //! hosts), so its reference is always mul-then-add. Shapes cover both
 //! routing regimes: large operands that take the packed path —
@@ -27,7 +28,7 @@
 //! forces explicit 1- and 8-thread pools so the invariance holds even
 //! in a single CI environment.
 
-use netanom_linalg::kernel::{active_backend, KernelBackend};
+use netanom_linalg::kernel::active_backend;
 use netanom_linalg::Matrix;
 use proptest::prelude::*;
 
@@ -46,10 +47,10 @@ fn hashed(rows: usize, cols: usize, seed: usize) -> Matrix {
 
 /// Textbook `i j k` product: single accumulator per element, ascending
 /// `k`, per-step rounding matching the active backend's contract
-/// (mul-then-add on `Portable`, `f64::mul_add` on `Fma`). Written
-/// independently of the crate's kernels on purpose.
+/// (mul-then-add on `Portable`, `f64::mul_add` on the hardware
+/// tiers). Written independently of the crate's kernels on purpose.
 fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    let fused = active_backend() == KernelBackend::Fma;
+    let fused = active_backend().is_fused();
     let mut out = Matrix::zeros(a.rows(), b.cols());
     for i in 0..a.rows() {
         for j in 0..b.cols() {

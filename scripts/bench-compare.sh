@@ -4,11 +4,15 @@
 # performance gates DESIGN.md records.
 #
 # Usage:
-#   scripts/bench-compare.sh [fresh.jsonl] [--threshold PCT] [--baseline FILE ...]
+#   scripts/bench-compare.sh [fresh.jsonl] [--threshold PCT] \
+#     [--baseline FILE ...] [--filter REGEX]
 #
 # With no fresh file, runs `scripts/bench.sh compare-run` first (all
 # criterion benches) and compares target/criterion/compare-run.jsonl.
 # With no --baseline, every scripts/bench-baseline-*.jsonl is used.
+# With --filter, only bench ids matching the extended regex (on both
+# sides) are compared — e.g. --filter 'gemm/matmul_m1024' to gate one
+# shape, or --filter '_avx512$' for the AVX-512 legs only.
 # A bench regresses when its fresh median exceeds the baseline median by
 # more than --threshold percent (default 25). Benchmarks present on only
 # one side are reported but never fail the check. Exit code 1 iff any
@@ -22,6 +26,7 @@ cd "$(dirname "$0")/.."
 
 fresh=""
 threshold=25
+filter=""
 baselines=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -31,6 +36,10 @@ while [ $# -gt 0 ]; do
       ;;
     --baseline)
       baselines+=("$2")
+      shift 2
+      ;;
+    --filter)
+      filter="$2"
       shift 2
       ;;
     *)
@@ -55,9 +64,11 @@ if [ ${#baselines[@]} -eq 0 ]; then
   done
 fi
 
-# Extract "id median_ns" pairs from the stub's fixed JSONL shape.
+# Extract "id median_ns" pairs from the stub's fixed JSONL shape,
+# keeping only ids matching --filter (matches everything when unset).
 extract() {
-  sed -n 's/.*"id":"\([^"]*\)".*"median_ns":\([0-9.]*\).*/\1 \2/p' "$@"
+  sed -n 's/.*"id":"\([^"]*\)".*"median_ns":\([0-9.]*\).*/\1 \2/p' "$@" |
+    awk -v re="$filter" 're == "" || $1 ~ re'
 }
 
 extract "${baselines[@]}" | sort >/tmp/bench-compare-base.$$
