@@ -247,6 +247,25 @@ impl TemporalBackend {
         })
     }
 
+    /// Reconstruct a backend over `dim` links from an exported
+    /// [`MethodState`] without recalibrating — the restore half of a
+    /// service-session checkpoint. The state carries the complete
+    /// per-link forecaster states (levels, seasonals, coefficients,
+    /// pending wavelet buffers), so scoring after a restore is bitwise
+    /// the scoring of the exporting process.
+    pub fn from_state(kind: TemporalKind, dim: usize, state: &MethodState) -> Result<Self> {
+        // Placeholder per-link states of the right count; import_state
+        // replaces them wholesale and only reads their length.
+        let mut backend = TemporalBackend {
+            kind,
+            confidence: 0.0,
+            threshold: f64::INFINITY,
+            links: vec![LinkState::Ewma(EwmaStream::new(0.5)); dim],
+        };
+        backend.import_state(state)?;
+        Ok(backend)
+    }
+
     /// The temporal method this backend runs.
     pub fn kind(&self) -> TemporalKind {
         self.kind
@@ -863,6 +882,95 @@ impl MethodName {
             other => other.fit(training, rm, config, strategy),
         }
     }
+
+    /// The [`TemporalKind`] this name selects (with the registry's
+    /// default parameters), or `None` for the subspace method.
+    pub fn temporal_kind(self) -> Option<TemporalKind> {
+        match self {
+            MethodName::Subspace => None,
+            MethodName::Ewma => Some(TemporalKind::Ewma),
+            MethodName::HoltWinters => Some(TemporalKind::HoltWinters {
+                period: DEFAULT_HW_PERIOD,
+            }),
+            MethodName::Fourier => Some(TemporalKind::Fourier),
+            MethodName::Wavelet => Some(TemporalKind::Wavelet {
+                levels: DEFAULT_WAVELET_LEVELS,
+            }),
+        }
+    }
+
+    /// Reconstruct a fitted backend from an exported [`MethodState`]
+    /// without training data — the restore half of a service-session
+    /// checkpoint ([`SubspaceBackend::from_state`] /
+    /// [`TemporalBackend::from_state`]).
+    ///
+    /// `stats` reinstalls the subspace method's sliding sufficient
+    /// statistics when `strategy` maintains them; the temporal methods
+    /// carry their complete state in the [`MethodState`] itself and
+    /// reject a statistics payload as a corrupt checkpoint.
+    pub fn backend_from_state(
+        self,
+        state: &MethodState,
+        dim: usize,
+        rm: &RoutingMatrix,
+        config: DiagnoserConfig,
+        strategy: RefitStrategy,
+        stats: Option<netanom_core::incremental::IncrementalCovariance>,
+    ) -> Result<MethodBackend> {
+        match self.temporal_kind() {
+            None => Ok(MethodBackend::Subspace(SubspaceBackend::from_state(
+                state, rm, config, strategy, stats,
+            )?)),
+            Some(kind) => {
+                if stats.is_some() {
+                    return Err(CoreError::InvalidState {
+                        reason: "temporal methods carry no covariance statistics",
+                    });
+                }
+                Ok(MethodBackend::Temporal(TemporalBackend::from_state(
+                    kind, dim, state,
+                )?))
+            }
+        }
+    }
+}
+
+/// Fit `cfg`'s method on `training` and assemble the streaming engine —
+/// the single construction path behind `netanom stream`, the `serve`
+/// sessions, and the eval scenarios.
+///
+/// The method name is resolved against the registry here (unknown names
+/// error with the valid set); every other knob was validated when `cfg`
+/// was built.
+pub fn build_streaming(
+    cfg: &netanom_core::EngineConfig,
+    training: &Matrix,
+    rm: &RoutingMatrix,
+) -> std::result::Result<netanom_core::StreamingEngine<MethodBackend>, String> {
+    let method = MethodName::parse(cfg.method())?;
+    let backend = method
+        .fit(training, rm, cfg.diagnoser_config(), cfg.strategy())
+        .map_err(|e| format!("fitting {method} model: {e}"))?;
+    netanom_core::StreamingEngine::with_backend(backend, training, cfg.stream_config())
+        .map_err(|e| format!("assembling {method} engine: {e}"))
+}
+
+/// Fit `cfg`'s method for a sharded deployment and assemble the sharded
+/// engine over `partition` — the single construction path behind
+/// `netanom shard` (the distributed tracker shares the backend-fitting
+/// half).
+pub fn build_sharded(
+    cfg: &netanom_core::EngineConfig,
+    training: &Matrix,
+    rm: &RoutingMatrix,
+    partition: &LinkPartition,
+) -> std::result::Result<netanom_core::ShardedEngine<MethodBackend>, String> {
+    let method = MethodName::parse(cfg.method())?;
+    let backend = method
+        .fit_sharded(training, rm, cfg.diagnoser_config(), cfg.strategy())
+        .map_err(|e| format!("fitting {method} model: {e}"))?;
+    netanom_core::ShardedEngine::with_backend(backend, training, cfg.stream_config(), partition)
+        .map_err(|e| format!("assembling {method} engine: {e}"))
 }
 
 impl std::fmt::Display for MethodName {
@@ -892,6 +1000,19 @@ impl MethodBackend {
     pub fn as_subspace(&self) -> Option<&SubspaceBackend> {
         match self {
             MethodBackend::Subspace(b) => Some(b),
+            MethodBackend::Temporal(_) => None,
+        }
+    }
+
+    /// The subspace method's sliding sufficient statistics, when the
+    /// active strategy maintains them — what a service-session
+    /// checkpoint serializes alongside
+    /// [`DetectionBackend::export_state`]. Temporal backends carry
+    /// their whole state in the exported [`MethodState`] and return
+    /// `None`.
+    pub fn statistics(&self) -> Option<&netanom_core::incremental::IncrementalCovariance> {
+        match self {
+            MethodBackend::Subspace(b) => b.statistics(),
             MethodBackend::Temporal(_) => None,
         }
     }

@@ -6,11 +6,13 @@ use std::fs;
 use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
 
-use netanom_baselines::methods::{MethodBackend, MethodName, METHOD_NAMES};
+use netanom_baselines::methods::{
+    build_sharded, build_streaming, MethodBackend, MethodName, METHOD_NAMES,
+};
 use netanom_core::method::DetectionBackend;
-use netanom_core::shard::ShardedEngine;
-use netanom_core::stream::{RefitStrategy, StreamConfig, StreamingEngine};
-use netanom_core::{Diagnoser, DiagnoserConfig};
+use netanom_core::service::PARTITION_KINDS;
+use netanom_core::stream::RefitStrategy;
+use netanom_core::{Diagnoser, DiagnoserConfig, EngineConfig, PartitionSpec};
 use netanom_topology::{LinkPartition, RoutingMatrix};
 use netanom_traffic::datasets::{self, Dataset};
 use netanom_traffic::io as traffic_io;
@@ -91,19 +93,26 @@ fn confidence_of(flags: &HashMap<&str, &str>) -> Result<f64, String> {
     }
 }
 
+/// Resolve a `--dataset` name into the canned dataset it names.
+fn dataset_of(name: &str) -> Result<Dataset, String> {
+    match name {
+        "sprint1" => Ok(datasets::sprint1()),
+        "sprint2" => Ok(datasets::sprint2()),
+        "abilene" => Ok(datasets::abilene()),
+        "mini" => Ok(datasets::mini(1)),
+        other => Err(format!(
+            "unknown dataset {other:?}; must be sprint1|sprint2|abilene|mini"
+        )),
+    }
+}
+
 /// `netanom simulate --dataset NAME --out-dir DIR`
 pub fn simulate(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &["dataset", "out-dir"])?;
     let name = require(&flags, "dataset")?;
     let out_dir = PathBuf::from(require(&flags, "out-dir")?);
 
-    let ds: Dataset = match name {
-        "sprint1" => datasets::sprint1(),
-        "sprint2" => datasets::sprint2(),
-        "abilene" => datasets::abilene(),
-        "mini" => datasets::mini(1),
-        other => return Err(format!("unknown dataset {other:?}")),
-    };
+    let ds: Dataset = dataset_of(name)?;
 
     fs::create_dir_all(&out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
 
@@ -346,100 +355,126 @@ fn load_paths(paths_file: &str, num_links: usize) -> Result<RoutingMatrix, Strin
     Ok(RoutingMatrix::from_paths(num_links, &paths))
 }
 
-/// Options shared by the online commands (`stream`, `shard`).
-struct OnlineOptions {
-    chunk: usize,
-    strategy: RefitStrategy,
-    refit_every: Option<usize>,
-    train_bins: usize,
-    window: usize,
-}
-
-/// Parse the chunk/refit/window/train-bins options the online commands
-/// share. `default_strategy` applies when `--refit` is absent; an
-/// incremental strategy without a refit cadence is downgraded to full
-/// refits (with a note), because statistics that are never consumed
-/// should not be paid for at `O(m²)` per arrival.
-fn online_options_of(
+/// Parse the shared engine options (`--train-bins`, `--method`,
+/// `--refit*`, `--window`, `--chunk`, `--confidence`) into the one
+/// [`EngineConfig`] builder every deployment verb (and the `serve`
+/// daemon's `open` command) constructs its engine from.
+/// `default_strategy` applies when `--refit` is absent. The method name
+/// is validated eagerly so a typo errors with the registry's valid set
+/// before any file is opened.
+fn engine_config_of(
     flags: &HashMap<&str, &str>,
     default_strategy: RefitStrategy,
-) -> Result<OnlineOptions, String> {
-    let chunk: usize = match flags.get("chunk") {
-        None => 144,
-        Some(s) => s
-            .parse()
-            .ok()
-            .filter(|&n| n > 0)
-            .ok_or_else(|| format!("--chunk must be a positive integer, got {s:?}"))?,
-    };
-    let strategy = match flags.get("refit").copied() {
-        None => default_strategy,
-        Some("full") => RefitStrategy::FullSvd,
-        Some("incremental") => RefitStrategy::Incremental,
-        Some("truncated") => RefitStrategy::truncated(),
-        Some(other) => {
-            return Err(format!(
-                "--refit must be full|incremental|truncated, got {other:?}"
-            ))
-        }
-    };
-    let strategy = match (flags.get("refit-k"), strategy) {
-        (None, s) => s,
-        (Some(v), RefitStrategy::Truncated { tol, .. }) => {
-            let k: usize = v
-                .parse()
-                .ok()
-                .filter(|&k| k > 0)
-                .ok_or_else(|| format!("--refit-k must be a positive integer, got {v:?}"))?;
-            RefitStrategy::Truncated { k, tol }
-        }
-        (Some(_), _) => {
-            return Err("--refit-k only applies with --refit truncated".to_string());
-        }
-    };
-    let refit_every = match flags.get("refit-every") {
-        None => None,
-        Some(s) => Some(
-            s.parse::<usize>()
-                .ok()
-                .filter(|&k| k > 0)
-                .ok_or_else(|| format!("--refit-every must be a positive integer, got {s:?}"))?,
-        ),
-    };
-    let strategy = if refit_every.is_none() && strategy.maintains_statistics() {
-        let requested = match strategy {
-            RefitStrategy::Incremental => "incremental",
-            RefitStrategy::Truncated { .. } => "truncated",
-            RefitStrategy::FullSvd => unreachable!("maintains no statistics"),
-        };
-        eprintln!(
-            "# note: --refit {requested} maintains statistics that are never consumed \
-             without --refit-every; using full refits"
-        );
-        RefitStrategy::FullSvd
-    } else {
-        strategy
-    };
+) -> Result<EngineConfig, String> {
     let train_bins: usize = require(flags, "train-bins")?
         .parse()
         .ok()
         .filter(|&n| n >= 2)
         .ok_or_else(|| "--train-bins must be an integer ≥ 2".to_string())?;
-    let window = match flags.get("window") {
-        None => train_bins,
-        Some(s) => s
+    let mut cfg = EngineConfig::new(train_bins)?.with_refit(default_strategy);
+    if let Some(name) = flags.get("method") {
+        MethodName::parse(name)?;
+        cfg = cfg.with_method(name);
+    }
+    if let Some(v) = flags.get("refit") {
+        cfg = cfg.with_refit_str(v)?;
+    }
+    if let Some(v) = flags.get("refit-k") {
+        let k: usize = v
+            .parse()
+            .ok()
+            .filter(|&k| k > 0)
+            .ok_or_else(|| format!("--refit-k must be a positive integer, got {v:?}"))?;
+        cfg = cfg.with_refit_k(k).map_err(|e| format!("--{e}"))?;
+    }
+    if let Some(s) = flags.get("refit-every") {
+        let n: usize = s
+            .parse()
+            .ok()
+            .filter(|&k| k > 0)
+            .ok_or_else(|| format!("--refit-every must be a positive integer, got {s:?}"))?;
+        cfg = cfg.with_refit_every(n).map_err(|e| format!("--{e}"))?;
+    }
+    if let Some(s) = flags.get("window") {
+        let n: usize = s
             .parse()
             .ok()
             .filter(|&n| n > 0)
-            .ok_or_else(|| format!("--window must be a positive integer, got {s:?}"))?,
+            .ok_or_else(|| format!("--window must be a positive integer, got {s:?}"))?;
+        cfg = cfg.with_window(n).map_err(|e| format!("--{e}"))?;
+    }
+    if let Some(s) = flags.get("chunk") {
+        let n: usize = s
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("--chunk must be a positive integer, got {s:?}"))?;
+        cfg = cfg.with_chunk(n).map_err(|e| format!("--{e}"))?;
+    }
+    cfg = cfg
+        .with_confidence(confidence_of(flags)?)
+        .map_err(|e| format!("--{e}"))?;
+    Ok(cfg)
+}
+
+/// Apply the cadence-downgrade rule, printing the note `stream`/`shard`
+/// historically printed when a statistics-maintaining `--refit` has no
+/// `--refit-every` to consume it.
+fn note_downgrade(cfg: &mut EngineConfig) {
+    if let Some(requested) = cfg.normalize() {
+        eprintln!(
+            "# note: --refit {requested} maintains statistics that are never consumed \
+             without --refit-every; using full refits"
+        );
+    }
+}
+
+/// Resolve the partition flags (`--partition round-robin|per-pop|explicit`,
+/// with `--dataset` supplying the topology for `per-pop` and
+/// `--partition-file` the link groups for `explicit`) into a
+/// [`PartitionSpec`]. `shards` is the `--shards`/`--workers` count when
+/// one was given; `round-robin` requires it, and the resolved kinds
+/// must agree with it — every process of a distributed deployment must
+/// mean the same partition, or the tracker rejects the join.
+fn partition_spec_of(
+    flags: &HashMap<&str, &str>,
+    shards: Option<usize>,
+    shards_flag: &str,
+) -> Result<PartitionSpec, String> {
+    let spec = match flags.get("partition").copied().unwrap_or("round-robin") {
+        "round-robin" => PartitionSpec::RoundRobin {
+            shards: shards.ok_or_else(|| format!("--{shards_flag} is required"))?,
+        },
+        "per-pop" => {
+            let name = flags
+                .get("dataset")
+                .ok_or("--partition per-pop needs --dataset to supply the topology")?;
+            let topo = dataset_of(name)?.network.topology;
+            PartitionSpec::Groups(LinkPartition::per_pop(&topo).groups().to_vec())
+        }
+        "explicit" => {
+            let file = flags
+                .get("partition-file")
+                .ok_or("--partition explicit needs --partition-file FILE")?;
+            let text = fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+            PartitionSpec::parse_explicit_csv(&text).map_err(|e| format!("{file}: {e}"))?
+        }
+        other => {
+            return Err(format!(
+                "unknown partition kind {other:?}; must be {}",
+                PARTITION_KINDS.join("|")
+            ))
+        }
     };
-    Ok(OnlineOptions {
-        chunk,
-        strategy,
-        refit_every,
-        train_bins,
-        window,
-    })
+    if let Some(k) = shards {
+        if k != spec.num_shards() {
+            return Err(format!(
+                "--{shards_flag} {k} disagrees with the {}-shard partition",
+                spec.num_shards()
+            ));
+        }
+    }
+    Ok(spec)
 }
 
 /// Open `--links` as a buffered reader (`-` reads stdin).
@@ -486,23 +521,9 @@ fn emit_alarms(reports: &[netanom_core::DiagnosisReport], train_bins: usize) -> 
     let mut alarms = 0;
     for rep in reports.iter().filter(|r| r.detected) {
         alarms += 1;
-        match rep.identification {
-            Some(id) => println!(
-                "{},{:.6e},{:.6e},{},{:.6e},{:.4}",
-                train_bins + rep.time,
-                rep.spe,
-                rep.threshold,
-                id.flow,
-                rep.estimated_bytes.unwrap_or(0.0),
-                id.explained_fraction(),
-            ),
-            None => println!(
-                "{},{:.6e},{:.6e},-,-,-",
-                train_bins + rep.time,
-                rep.spe,
-                rep.threshold,
-            ),
-        }
+        // The shared payload formatter keeps these lines byte-identical
+        // to the `alarm` events `netanom serve` emits.
+        println!("{}", netanom_serve::alarm_csv_row(rep, train_bins));
     }
     alarms
 }
@@ -542,7 +563,8 @@ fn online_banner(
 /// Consume a link-measurement CSV (a file, or stdin with `--links -`) in
 /// chunks: train the selected method (default: subspace; see
 /// `netanom --list-methods`) on the first `--train-bins` rows, then
-/// stream the rest through the [`StreamingEngine`], printing one CSV
+/// stream the rest through the
+/// [`StreamingEngine`](netanom_core::stream::StreamingEngine), printing one CSV
 /// line per alarm *as the chunk containing it is processed* — the whole
 /// series is never materialized.
 ///
@@ -566,11 +588,10 @@ pub fn stream(args: &[String]) -> Result<(), String> {
         ],
     )?;
     let links_arg = require(&flags, "links")?;
-    let confidence = confidence_of(&flags)?;
-    let method = method_of(&flags)?;
-    let opts = online_options_of(&flags, RefitStrategy::FullSvd)?;
+    let mut cfg = engine_config_of(&flags, RefitStrategy::FullSvd)?;
+    note_downgrade(&mut cfg);
 
-    let mut chunks = traffic_io::CsvChunks::new(open_links_reader(links_arg)?, opts.chunk)
+    let mut chunks = traffic_io::CsvChunks::new(open_links_reader(links_arg)?, cfg.chunk())
         .map_err(|e| format!("reading {links_arg}: {e}"))?;
     let m = chunks.num_links();
     let rm = routing_of(&flags, m)?;
@@ -578,27 +599,20 @@ pub fn stream(args: &[String]) -> Result<(), String> {
     // The training prefix; the boundary chunk's overflow stays buffered
     // inside `chunks` and streams first.
     let training = chunks
-        .take_rows(opts.train_bins)
+        .take_rows(cfg.train_bins())
         .map_err(|e| format!("reading {links_arg} training rows: {e}"))?;
 
-    let mut stream_cfg = StreamConfig::new(opts.window).strategy(opts.strategy);
-    stream_cfg.refit_every = opts.refit_every;
-    let diag_cfg = DiagnoserConfig {
-        confidence,
-        ..DiagnoserConfig::default()
-    };
-    let backend = method
-        .fit(&training, &rm, diag_cfg, opts.strategy)
-        .map_err(|e| format!("fitting {method} model: {e}"))?;
-    let mut engine = StreamingEngine::with_backend(backend, &training, stream_cfg)
-        .map_err(|e| format!("fitting model: {e}"))?;
+    let mut engine = build_streaming(&cfg, &training, &rm)?;
 
     online_banner(
         engine.backend(),
-        opts.train_bins,
+        cfg.train_bins(),
         m,
-        confidence,
-        &format!(", refit = {}", refit_label(opts.refit_every, opts.strategy)),
+        cfg.confidence(),
+        &format!(
+            ", refit = {}",
+            refit_label(cfg.refit_every(), cfg.strategy())
+        ),
     );
     println!("bin,spe,threshold,flow,estimated_bytes,explained_fraction");
 
@@ -609,7 +623,7 @@ pub fn stream(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("reading {links_arg}: {e}"))?
     {
         let reports = engine.process_batch(&block).map_err(|e| e.to_string())?;
-        alarms += emit_alarms(&reports, opts.train_bins);
+        alarms += emit_alarms(&reports, cfg.train_bins());
     }
     let elapsed = start.elapsed().as_secs_f64();
     let arrivals = engine.arrivals();
@@ -621,20 +635,36 @@ pub fn stream(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse an optional shard/worker-count flag (`--shards`, `--workers`).
+fn shard_count_of(flags: &HashMap<&str, &str>, name: &str) -> Result<Option<usize>, String> {
+    match flags.get(name) {
+        None => Ok(None),
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&k| k > 0)
+            .map(Some)
+            .ok_or_else(|| format!("--{name} must be a positive integer")),
+    }
+}
+
 /// `netanom shard --links FILE|- --train-bins N --shards K
 /// [--method NAME] [--paths FILE] [--confidence C] [--window N]
 /// [--refit-every K] [--refit full|incremental|truncated] [--refit-k K]
-/// [--chunk B]`
+/// [--chunk B] [--partition round-robin|per-pop|explicit]
+/// [--dataset NAME] [--partition-file FILE]`
 ///
-/// The sharded online path: the link set is partitioned round-robin
-/// into `--shards K` shards, the CSV is consumed in chunks and
-/// scattered into per-shard column-slice feeds
-/// (`traffic::io::ShardedChunks`), and each shard ingests its slice —
-/// windows, per-shard method state, and score contributions — while the
-/// coordinator merges, detects, identifies (subspace), and (on the
-/// refit cadence) rebuilds the global model from the merged shard
-/// state. Detections are bitwise the ones `netanom stream` would print
-/// for the subspace method, and decision-identical for every method.
+/// The sharded online path: the link set is partitioned into shards
+/// (`--partition round-robin` over `--shards K` by default; `per-pop`
+/// groups by the `--dataset` topology's PoPs; `explicit` reads a
+/// `shard,links` CSV), the link CSV is consumed in chunks and scattered
+/// into per-shard column-slice feeds (`traffic::io::ShardedChunks`),
+/// and each shard ingests its slice — windows, per-shard method state,
+/// and score contributions — while the coordinator merges, detects,
+/// identifies (subspace), and (on the refit cadence) rebuilds the
+/// global model from the merged shard state. Detections are bitwise the
+/// ones `netanom stream` would print for the subspace method, and
+/// decision-identical for every method.
 ///
 /// Defaults to `--refit incremental`: mergeable sufficient statistics
 /// are the point of the sharded deployment.
@@ -653,19 +683,19 @@ pub fn shard(args: &[String]) -> Result<(), String> {
             "chunk",
             "shards",
             "method",
+            "partition",
+            "dataset",
+            "partition-file",
         ],
     )?;
     let links_arg = require(&flags, "links")?;
-    let confidence = confidence_of(&flags)?;
-    let method = method_of(&flags)?;
-    let shards: usize = require(&flags, "shards")?
-        .parse()
-        .ok()
-        .filter(|&k| k > 0)
-        .ok_or_else(|| "--shards must be a positive integer".to_string())?;
-    let opts = online_options_of(&flags, RefitStrategy::Incremental)?;
+    let spec = partition_spec_of(&flags, shard_count_of(&flags, "shards")?, "shards")?;
+    let shards = spec.num_shards();
+    let mut cfg = engine_config_of(&flags, RefitStrategy::Incremental)?;
+    note_downgrade(&mut cfg);
+    cfg = cfg.with_partition(spec);
 
-    let chunks = traffic_io::CsvChunks::new(open_links_reader(links_arg)?, opts.chunk)
+    let chunks = traffic_io::CsvChunks::new(open_links_reader(links_arg)?, cfg.chunk())
         .map_err(|e| format!("reading {links_arg}: {e}"))?;
     let m = chunks.num_links();
     if shards > m {
@@ -673,40 +703,33 @@ pub fn shard(args: &[String]) -> Result<(), String> {
             "--shards {shards} exceeds the {m} links in the CSV"
         ));
     }
-    let partition =
-        LinkPartition::round_robin(m, shards).map_err(|e| format!("partitioning: {e}"))?;
+    let partition = cfg
+        .partition()
+        .expect("set above")
+        .resolve(m)
+        .map_err(|e| format!("partitioning: {e}"))?;
     let mut feeds = traffic_io::ShardedChunks::new(chunks, &partition)
         .map_err(|e| format!("sharding {links_arg}: {e}"))?;
     let rm = routing_of(&flags, m)?;
 
     let training = feeds
-        .take_rows(opts.train_bins)
+        .take_rows(cfg.train_bins())
         .map_err(|e| format!("reading {links_arg} training rows: {e}"))?;
 
-    let mut stream_cfg = StreamConfig::new(opts.window).strategy(opts.strategy);
-    stream_cfg.refit_every = opts.refit_every;
-    let diag_cfg = DiagnoserConfig {
-        confidence,
-        ..DiagnoserConfig::default()
-    };
-    let backend = method
-        .fit_sharded(&training, &rm, diag_cfg, opts.strategy)
-        .map_err(|e| format!("fitting {method} model: {e}"))?;
-    let mut engine = ShardedEngine::with_backend(backend, &training, stream_cfg, &partition)
-        .map_err(|e| format!("fitting model: {e}"))?;
+    let mut engine = build_sharded(&cfg, &training, &rm, &partition)?;
 
     let sizes: Vec<String> = (0..engine.num_shards())
         .map(|s| engine.shard_links(s).len().to_string())
         .collect();
     online_banner(
         engine.backend(),
-        opts.train_bins,
+        cfg.train_bins(),
         m,
-        confidence,
+        cfg.confidence(),
         &format!(
             "; {shards} shards ({} links each), refit = {}",
             sizes.join("/"),
-            refit_label(opts.refit_every, opts.strategy),
+            refit_label(cfg.refit_every(), cfg.strategy()),
         ),
     );
     println!("bin,spe,threshold,flow,estimated_bytes,explained_fraction");
@@ -720,7 +743,7 @@ pub fn shard(args: &[String]) -> Result<(), String> {
         let reports = engine
             .process_batch_slices(&slices)
             .map_err(|e| e.to_string())?;
-        alarms += emit_alarms(&reports, opts.train_bins);
+        alarms += emit_alarms(&reports, cfg.train_bins());
     }
     let elapsed = start.elapsed().as_secs_f64();
     let arrivals = engine.arrivals();
@@ -755,7 +778,9 @@ fn seconds_of(
 /// `netanom tracker --listen ADDR --links FILE|- --train-bins N
 /// --workers K [--paths FILE] [--confidence C] [--window N]
 /// [--refit-every K] [--refit full|incremental|truncated] [--refit-k K]
-/// [--chunk B] [--join-timeout S] [--read-timeout S]`
+/// [--chunk B] [--join-timeout S] [--read-timeout S]
+/// [--partition round-robin|per-pop|explicit] [--dataset NAME]
+/// [--partition-file FILE]`
 ///
 /// The tracker side of the distributed deployment: fit the subspace
 /// method on the first `--train-bins` rows of `--links` (every worker
@@ -766,6 +791,10 @@ fn seconds_of(
 /// `netanom shard --shards K` over the same series and options, because
 /// the protocol is bitwise-parity with the in-process engine by
 /// construction (the distributed method is subspace-only).
+///
+/// The partition (default round-robin over `--workers`) must be the
+/// same at every worker: a worker joining with a different link set is
+/// rejected at the join handshake.
 ///
 /// The bound address is announced as `# listening on ADDR` on stderr
 /// before any worker is awaited, so `--listen 127.0.0.1:0` runs can
@@ -787,21 +816,26 @@ pub fn tracker(args: &[String]) -> Result<(), String> {
             "workers",
             "join-timeout",
             "read-timeout",
+            "partition",
+            "dataset",
+            "partition-file",
         ],
     )?;
     let listen = require(&flags, "listen")?;
     let links_arg = require(&flags, "links")?;
-    let confidence = confidence_of(&flags)?;
     let workers: usize = require(&flags, "workers")?
         .parse()
         .ok()
         .filter(|&k| k > 0)
         .ok_or_else(|| "--workers must be a positive integer".to_string())?;
-    let opts = online_options_of(&flags, RefitStrategy::Incremental)?;
+    let spec = partition_spec_of(&flags, Some(workers), "workers")?;
+    let mut engine_cfg = engine_config_of(&flags, RefitStrategy::Incremental)?;
+    note_downgrade(&mut engine_cfg);
+    engine_cfg = engine_cfg.with_partition(spec);
 
     // Only the training prefix is read here — the streamed rows live at
     // the workers; the tracker never sees a measurement row again.
-    let mut chunks = traffic_io::CsvChunks::new(open_links_reader(links_arg)?, opts.chunk)
+    let mut chunks = traffic_io::CsvChunks::new(open_links_reader(links_arg)?, engine_cfg.chunk())
         .map_err(|e| format!("reading {links_arg}: {e}"))?;
     let m = chunks.num_links();
     if workers > m {
@@ -809,25 +843,27 @@ pub fn tracker(args: &[String]) -> Result<(), String> {
             "--workers {workers} exceeds the {m} links in the CSV"
         ));
     }
-    let partition =
-        LinkPartition::round_robin(m, workers).map_err(|e| format!("partitioning: {e}"))?;
+    let partition = engine_cfg
+        .partition()
+        .expect("set above")
+        .resolve(m)
+        .map_err(|e| format!("partitioning: {e}"))?;
     let rm = routing_of(&flags, m)?;
     let training = chunks
-        .take_rows(opts.train_bins)
+        .take_rows(engine_cfg.train_bins())
         .map_err(|e| format!("reading {links_arg} training rows: {e}"))?;
 
-    let mut stream_cfg = StreamConfig::new(opts.window).strategy(opts.strategy);
-    stream_cfg.refit_every = opts.refit_every;
-    let diag_cfg = DiagnoserConfig {
-        confidence,
-        ..DiagnoserConfig::default()
-    };
-    let backend =
-        netanom_core::SubspaceBackend::fit_sharded(&training, &rm, diag_cfg, opts.strategy)
-            .map_err(|e| format!("fitting model: {e}"))?;
+    let backend = netanom_core::SubspaceBackend::fit_sharded(
+        &training,
+        &rm,
+        engine_cfg.diagnoser_config(),
+        engine_cfg.strategy(),
+    )
+    .map_err(|e| format!("fitting model: {e}"))?;
 
-    let mut cfg = netanom_net::TrackerConfig::new(opts.train_bins, stream_cfg);
-    cfg.chunk = opts.chunk;
+    let mut cfg =
+        netanom_net::TrackerConfig::new(engine_cfg.train_bins(), engine_cfg.stream_config());
+    cfg.chunk = engine_cfg.chunk();
     cfg.join_timeout = seconds_of(&flags, "join-timeout", 30)?;
     cfg.read_timeout = seconds_of(&flags, "read-timeout", 30)?;
     let mut tracker = netanom_net::Tracker::bind(listen, backend, &partition, cfg)
@@ -843,9 +879,9 @@ pub fn tracker(args: &[String]) -> Result<(), String> {
     eprintln!(
         "# trained on {} bins x {m} links; method = subspace, r = {}, \
          delta^2({:.2}%) = {:.6e}; {workers} workers ({} links each), refit = {}",
-        opts.train_bins,
+        engine_cfg.train_bins(),
         tracker.backend_ref().diagnoser().model().normal_dim(),
-        confidence * 100.0,
+        engine_cfg.confidence() * 100.0,
         tracker
             .backend_ref()
             .diagnoser()
@@ -853,7 +889,7 @@ pub fn tracker(args: &[String]) -> Result<(), String> {
             .threshold()
             .delta_sq,
         sizes.join("/"),
-        refit_label(opts.refit_every, opts.strategy),
+        refit_label(engine_cfg.refit_every(), engine_cfg.strategy()),
     );
     println!("bin,spe,threshold,flow,estimated_bytes,explained_fraction");
 
@@ -861,7 +897,7 @@ pub fn tracker(args: &[String]) -> Result<(), String> {
     let mut alarms = 0usize;
     let summary = tracker
         .run(|block| {
-            alarms += emit_alarms(block, opts.train_bins);
+            alarms += emit_alarms(block, engine_cfg.train_bins());
         })
         .map_err(|e| format!("tracker run: {e}"))?;
     let elapsed = start.elapsed().as_secs_f64();
@@ -877,15 +913,18 @@ pub fn tracker(args: &[String]) -> Result<(), String> {
 
 /// `netanom worker --connect ADDR --links FILE|- --train-bins N
 /// --workers K --shard S [--checkpoint FILE] [--retries N]
-/// [--read-timeout S]`
+/// [--read-timeout S] [--partition round-robin|per-pop|explicit]
+/// [--dataset NAME] [--partition-file FILE]`
 ///
 /// One shard of the distributed deployment: read the measurement series
 /// locally (the training prefix warms the shard state, the rest streams
-/// on the tracker's cadence), own shard `S` of the round-robin
-/// partition of `K`, and serve phase A/B rounds until the tracker says
-/// done. With `--checkpoint`, every completed round is persisted
-/// atomically, so a killed worker restarted with the same flags resumes
-/// mid-stream and rejoins without warmup.
+/// on the tracker's cadence), own shard `S` of the partition of `K`
+/// (round-robin by default; the `--partition` flags must match the
+/// tracker's, or the join handshake rejects this worker's link set),
+/// and serve phase A/B rounds until the tracker says done. With
+/// `--checkpoint`, every completed round is persisted atomically, so a
+/// killed worker restarted with the same flags resumes mid-stream and
+/// rejoins without warmup.
 pub fn worker(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
@@ -898,6 +937,9 @@ pub fn worker(args: &[String]) -> Result<(), String> {
             "checkpoint",
             "retries",
             "read-timeout",
+            "partition",
+            "dataset",
+            "partition-file",
         ],
     )?;
     let connect = require(&flags, "connect")?;
@@ -920,6 +962,7 @@ pub fn worker(args: &[String]) -> Result<(), String> {
             "--shard {shard} out of range for --workers {workers}"
         ));
     }
+    let spec = partition_spec_of(&flags, Some(workers), "workers")?;
 
     let chunks = traffic_io::CsvChunks::new(open_links_reader(links_arg)?, 144)
         .map_err(|e| format!("reading {links_arg}: {e}"))?;
@@ -929,8 +972,7 @@ pub fn worker(args: &[String]) -> Result<(), String> {
             "--workers {workers} exceeds the {m} links in the CSV"
         ));
     }
-    let partition =
-        LinkPartition::round_robin(m, workers).map_err(|e| format!("partitioning: {e}"))?;
+    let partition = spec.resolve(m).map_err(|e| format!("partitioning: {e}"))?;
     let feed = netanom_net::CsvRowFeed::new(chunks);
 
     let mut cfg = netanom_net::WorkerConfig::new(shard, workers, train_bins);
@@ -953,6 +995,57 @@ pub fn worker(args: &[String]) -> Result<(), String> {
         summary.arrivals, summary.rounds, summary.rejoins,
     );
     Ok(())
+}
+
+/// `netanom serve [--listen ADDR] [--read-timeout S] [--max-conns N]`
+///
+/// The persistent diagnosis daemon: a long-running engine speaking the
+/// newline-framed session protocol (see `netanom-serve`) over
+/// stdin/stdout, or — with `--listen` — over a TCP socket. Clients
+/// `open` named engine configurations, feed interleaved `obs` rows
+/// through bounded per-session queues (a full queue answers `busy`),
+/// receive `alarm` events as they fire, and may `checkpoint`/`restore`
+/// sessions bitwise mid-stream. `stats` reports per-session arrival
+/// rates and alarm counts.
+///
+/// TCP clients are served sequentially and sessions persist across
+/// connections; `--max-conns N` exits after `N` clients (for scripted
+/// runs), and `--read-timeout S` disconnects a client idle for `S`
+/// seconds. The bound address is announced as `# listening on ADDR` on
+/// stderr, so `--listen 127.0.0.1:0` runs can discover the ephemeral
+/// port.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["listen", "read-timeout", "max-conns"])?;
+    let mut service = netanom_serve::Service::new();
+    match flags.get("listen") {
+        None => {
+            if flags.contains_key("read-timeout") || flags.contains_key("max-conns") {
+                return Err("--read-timeout and --max-conns apply only with --listen".to_string());
+            }
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            netanom_serve::serve_lines(&mut service, stdin.lock(), stdout.lock())
+                .map_err(|e| format!("stdio transport: {e}"))
+        }
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            eprintln!("# listening on {local}");
+            let mut options = netanom_serve::TcpServeOptions::default();
+            if flags.contains_key("read-timeout") {
+                options.read_timeout = Some(seconds_of(&flags, "read-timeout", 30)?);
+            }
+            if let Some(s) = flags.get("max-conns") {
+                options.max_connections =
+                    Some(s.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("--max-conns must be a positive integer, got {s:?}")
+                    })?);
+            }
+            netanom_serve::serve_tcp(&mut service, &listener, &options)
+                .map_err(|e| format!("serving {local}: {e}"))
+        }
+    }
 }
 
 /// `netanom eval (--list | ID... ) [--out DIR]`
@@ -1223,7 +1316,7 @@ mod tests {
         .unwrap();
         // --refit-k outside the truncated strategy is a clean error.
         let err = stream(&s(&["--links", l, "--train-bins", "216", "--refit-k", "6"])).unwrap_err();
-        assert!(err.contains("--refit truncated"), "{err}");
+        assert!(err.contains("truncated"), "{err}");
         let err = stream(&s(&[
             "--links",
             l,

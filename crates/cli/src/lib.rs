@@ -13,6 +13,7 @@
 //!                  [--paths data/paths.csv] [--refit-every 144] [--refit incremental] [--chunk 144]
 //! netanom shard    --links data/links.csv --train-bins 1008 --shards 4 [--method subspace]
 //!                  [--paths data/paths.csv] [--refit-every 144] [--chunk 144]
+//! netanom serve    [--listen 127.0.0.1:9060] [--read-timeout 30] [--max-conns 1]
 //! netanom eval     --list | <experiment-id>... [--out DIR]
 //! netanom --list-methods
 //! ```
@@ -36,6 +37,18 @@
 //!   or one of the per-link temporal comparators — through the same
 //!   machinery; `netanom --list-methods` enumerates them, and an
 //!   unknown name errors with the valid set.
+//! * `shard`, `tracker`, and `worker` accept
+//!   `--partition round-robin|per-pop|explicit`: round-robin (the
+//!   default) splits links cyclically over the shard count, `per-pop`
+//!   groups links by the `--dataset` topology's PoPs, and `explicit`
+//!   reads a `shard,links` CSV (`--partition-file`). Every process of a
+//!   distributed deployment must name the same partition — a
+//!   disagreeing worker is rejected at the join handshake.
+//! * `serve` is the persistent daemon: a newline-framed session
+//!   protocol over stdin/stdout or `--listen` TCP, with per-session
+//!   engine configurations, bounded ingest queues, `alarm` events,
+//!   bitwise `checkpoint`/`restore`, and a `stats` verb (see the
+//!   `netanom-serve` crate docs for the protocol grammar).
 //! * `eval` lists or reruns the paper's tables/figures and the
 //!   deployment scenarios (the same registry as the `experiments`
 //!   binary).

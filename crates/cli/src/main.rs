@@ -21,8 +21,12 @@ fn usage() {
          [--chunk B] [--join-timeout S] [--read-timeout S]\n  \
          netanom worker   --connect ADDR --links FILE|- --train-bins N --workers K --shard S\n           \
          [--checkpoint FILE] [--retries N] [--read-timeout S]\n  \
+         netanom serve    [--listen ADDR] [--read-timeout S] [--max-conns N]\n  \
          netanom eval     --list | ID... [--out DIR]\n  \
-         netanom --list-methods | --version"
+         netanom --list-methods | --version\n\
+         \n\
+         shard/tracker/worker also accept --partition round-robin|per-pop|explicit\n           \
+         [--dataset NAME] [--partition-file FILE]"
     );
 }
 
@@ -40,6 +44,7 @@ fn main() -> ExitCode {
         "shard" => commands::shard(rest),
         "tracker" => commands::tracker(rest),
         "worker" => commands::worker(rest),
+        "serve" => commands::serve(rest),
         "eval" => commands::eval(rest),
         "--list-methods" => {
             commands::list_methods();

@@ -1,0 +1,398 @@
+//! Integration tests for `netanom serve` on the real binary
+//! (`CARGO_BIN_EXE_netanom`): a single-session daemon conversation —
+//! over stdin/stdout and over TCP — must emit alarm payloads
+//! **byte-identical** to `netanom stream` replaying the same series,
+//! for every refit strategy; plus coverage for the partition flags the
+//! sharded verbs grew (`--partition round-robin|per-pop|explicit`).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+fn netanom(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_netanom"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+const TRAIN: usize = 216;
+
+/// Simulate the mini dataset; returns (dir, links.csv path, the data
+/// rows of links.csv, the link count).
+fn simulated(name: &str) -> (PathBuf, PathBuf, Vec<String>, usize) {
+    let dir = std::env::temp_dir().join(format!("netanom-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = netanom(&[
+        "simulate",
+        "--dataset",
+        "mini",
+        "--out-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "simulate: {:?}", out.status);
+    let links = dir.join("links.csv");
+    let text = std::fs::read_to_string(&links).unwrap();
+    let mut lines = text.lines();
+    let dim = lines.next().unwrap().split(',').count();
+    let rows: Vec<String> = lines.map(String::from).collect();
+    (dir, links, rows, dim)
+}
+
+/// The alarm CSV lines `netanom stream` prints (stdout minus header).
+fn stream_alarms(links: &str, refit: &str) -> Vec<String> {
+    let out = netanom(&[
+        "stream",
+        "--links",
+        links,
+        "--train-bins",
+        "216",
+        "--refit",
+        refit,
+        "--refit-every",
+        "24",
+    ]);
+    assert!(
+        out.status.success(),
+        "stream --refit {refit}: {:?}",
+        out.status
+    );
+    String::from_utf8(out.stdout)
+        .unwrap()
+        .lines()
+        .skip(1) // the bin,spe,… header
+        .map(String::from)
+        .collect()
+}
+
+/// One full serve conversation: open, replay every row, stats, quit.
+fn serve_script(rows: &[String], dim: usize, refit: &str) -> String {
+    let mut script = format!("open s dim={dim} train-bins={TRAIN} refit={refit} refit-every=24\n");
+    for row in rows {
+        script.push_str("obs s ");
+        script.push_str(row);
+        script.push('\n');
+    }
+    script.push_str("stats\nquit\n");
+    script
+}
+
+/// The bare alarm payloads of a serve transcript.
+fn alarm_payloads(transcript: &str) -> Vec<String> {
+    transcript
+        .lines()
+        .filter_map(|l| l.strip_prefix("alarm s "))
+        .map(String::from)
+        .collect()
+}
+
+#[test]
+fn serve_over_stdin_is_byte_identical_to_stream_per_refit_strategy() {
+    let (dir, links, rows, dim) = simulated("stdio");
+    let l = links.to_str().unwrap();
+
+    for refit in ["full", "incremental", "truncated"] {
+        let want = stream_alarms(l, refit);
+        assert!(!want.is_empty(), "stream --refit {refit} fired no alarms");
+
+        let mut child = Command::new(env!("CARGO_BIN_EXE_netanom"))
+            .arg("serve")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("serve spawns");
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(serve_script(&rows, dim, refit).as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().expect("serve exits");
+        assert!(
+            out.status.success(),
+            "serve --refit {refit}: {:?}",
+            out.status
+        );
+        let transcript = String::from_utf8(out.stdout).unwrap();
+
+        assert_eq!(
+            alarm_payloads(&transcript),
+            want,
+            "serve stdio vs stream diverged for --refit {refit}"
+        );
+        // The conversation closed in order: stats answered, then bye.
+        assert!(
+            transcript.contains("\nok stats sessions=1\nok bye\n"),
+            "{transcript}"
+        );
+        let stat = transcript
+            .lines()
+            .find(|l| l.starts_with("stat s "))
+            .expect("stats line");
+        assert!(
+            stat.contains(&format!("arrivals={} ", rows.len())),
+            "{stat}"
+        );
+        assert!(stat.contains(&format!("alarms={} ", want.len())), "{stat}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_over_tcp_is_byte_identical_to_stream() {
+    let (dir, links, rows, dim) = simulated("tcp");
+    let l = links.to_str().unwrap();
+    let want = stream_alarms(l, "incremental");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_netanom"))
+        .args(["serve", "--listen", "127.0.0.1:0", "--max-conns", "1"])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    // The daemon announces the ephemeral port before accepting.
+    let mut reader = BufReader::new(child.stderr.take().unwrap());
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "no announcement");
+        if let Some(rest) = line.trim().strip_prefix("# listening on ") {
+            break rest.to_string();
+        }
+    };
+
+    let mut stream = TcpStream::connect(&addr).expect("connects");
+    stream
+        .write_all(serve_script(&rows, dim, "incremental").as_bytes())
+        .unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut transcript = String::new();
+    stream.read_to_string(&mut transcript).unwrap();
+    assert!(child.wait().expect("serve exits").success());
+
+    assert_eq!(
+        alarm_payloads(&transcript),
+        want,
+        "serve tcp vs stream diverged"
+    );
+    assert!(transcript.ends_with("ok bye\n"), "{transcript}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_answers_errors_without_dying() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_netanom"))
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"obs ghost 1,2\nteleport\nopen s dim=2\nping\nquit\n")
+        .unwrap();
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success(), "{:?}", out.status);
+    let got = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = got.lines().collect();
+    assert_eq!(lines.len(), 5, "{got}");
+    assert!(lines[0].starts_with("err no-session "), "{got}");
+    assert!(lines[1].starts_with("err unknown-command "), "{got}");
+    assert!(lines[2].starts_with("err bad-config "), "{got}");
+    assert_eq!(lines[3], "ok pong");
+    assert_eq!(lines[4], "ok bye");
+}
+
+#[test]
+fn shard_partitions_agree_on_alarms_across_kinds() {
+    let (dir, links, _, dim) = simulated("partition");
+    let l = links.to_str().unwrap();
+
+    let run = |extra: &[&str]| -> String {
+        let mut args = vec![
+            "shard",
+            "--links",
+            l,
+            "--train-bins",
+            "216",
+            "--refit-every",
+            "24",
+        ];
+        args.extend_from_slice(extra);
+        let out = netanom(&args);
+        assert!(
+            out.status.success(),
+            "shard {extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    // Round-robin reference over 3 shards.
+    let reference = run(&["--shards", "3"]);
+    assert!(reference.lines().count() > 1, "no alarms: {reference}");
+
+    // An explicit partition with the same links grouped differently —
+    // merged statistics make the global model partition-invariant, so
+    // the alarm stream is byte-identical.
+    let pf = dir.join("partition.csv");
+    let mut spec = String::from("shard,links\n");
+    let half = dim / 2;
+    spec.push_str(&format!(
+        "0,{}\n",
+        (0..half)
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join(";")
+    ));
+    spec.push_str(&format!(
+        "1,{}\n",
+        (half..dim)
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join(";")
+    ));
+    std::fs::write(&pf, spec).unwrap();
+    let explicit = run(&[
+        "--partition",
+        "explicit",
+        "--partition-file",
+        pf.to_str().unwrap(),
+    ]);
+    assert_eq!(explicit, reference, "explicit partition changed the alarms");
+
+    // Per-PoP grouping from the dataset's own topology.
+    let per_pop = run(&["--partition", "per-pop", "--dataset", "mini"]);
+    assert_eq!(per_pop, reference, "per-pop partition changed the alarms");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn partition_flag_errors_are_clean() {
+    let (dir, links, _, _) = simulated("partition-errors");
+    let l = links.to_str().unwrap();
+    let base = ["shard", "--links", l, "--train-bins", "216"];
+
+    // A shard count disagreeing with the named partition.
+    let pf = dir.join("two.csv");
+    std::fs::write(&pf, "shard,links\n0,0;1;2\n1,3;4;5\n").unwrap();
+    let mut args = base.to_vec();
+    args.extend_from_slice(&[
+        "--shards",
+        "3",
+        "--partition",
+        "explicit",
+        "--partition-file",
+        pf.to_str().unwrap(),
+    ]);
+    let out = netanom(&args);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("disagrees"), "{err}");
+
+    // per-pop without a dataset, unknown kinds, explicit without a file.
+    for (extra, needle) in [
+        (vec!["--partition", "per-pop"], "--dataset"),
+        (vec!["--partition", "explicit"], "--partition-file"),
+        (
+            vec!["--partition", "zigzag"],
+            "round-robin|per-pop|explicit",
+        ),
+    ] {
+        let mut args = base.to_vec();
+        args.extend_from_slice(&["--shards", "2"]);
+        args.extend_from_slice(&extra);
+        let out = netanom(&args);
+        assert!(!out.status.success(), "{extra:?} unexpectedly succeeded");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "{extra:?}: {err}");
+    }
+
+    // A partition CSV naming links outside the measurement is rejected
+    // at resolve time.
+    let bad = dir.join("bad.csv");
+    std::fs::write(&bad, "shard,links\n0,0;99\n1,1;2\n").unwrap();
+    let mut args = base.to_vec();
+    args.extend_from_slice(&[
+        "--partition",
+        "explicit",
+        "--partition-file",
+        bad.to_str().unwrap(),
+    ]);
+    let out = netanom(&args);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("partition"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_checkpoint_restore_roundtrips_through_the_binary() {
+    let (dir, _, rows, dim) = simulated("checkpoint");
+    let cp = dir.join("session.bin");
+    let cp_arg = cp.to_str().unwrap();
+    let split = TRAIN + 30;
+
+    let run = |script: String| -> String {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_netanom"))
+            .arg("serve")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("serve spawns");
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(script.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().expect("serve exits");
+        assert!(out.status.success(), "{:?}", out.status);
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    // Uninterrupted reference.
+    let full = alarm_payloads(&run(serve_script(&rows, dim, "incremental")));
+
+    // First process: replay to the split, checkpoint, die.
+    let mut head_script =
+        format!("open s dim={dim} train-bins={TRAIN} refit=incremental refit-every=24\n");
+    for row in &rows[..split] {
+        head_script.push_str(&format!("obs s {row}\n"));
+    }
+    head_script.push_str(&format!("checkpoint s {cp_arg}\nquit\n"));
+    let head_transcript = run(head_script);
+    assert!(
+        head_transcript.contains("ok checkpoint s bytes="),
+        "{head_transcript}"
+    );
+    let head = alarm_payloads(&head_transcript);
+
+    // Second process: restore, replay only the tail.
+    let mut tail_script = format!("open s dim={dim} train-bins={TRAIN}\nrestore s {cp_arg}\n");
+    for row in &rows[split..] {
+        tail_script.push_str(&format!("obs s {row}\n"));
+    }
+    tail_script.push_str("quit\n");
+    let tail_transcript = run(tail_script);
+    assert!(
+        tail_transcript.contains(&format!("ok restore s phase=streaming arrivals={split}")),
+        "{tail_transcript}"
+    );
+    let tail = alarm_payloads(&tail_transcript);
+
+    let mut resumed = head;
+    resumed.extend(tail);
+    assert_eq!(
+        resumed, full,
+        "kill + restore-from-checkpoint diverged from the uninterrupted replay"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -172,6 +172,93 @@ impl IncrementalCovariance {
         Ok(cov)
     }
 
+    /// Serialize to the crate's little-endian binary layout with a
+    /// `"NAIC"` magic (netanom incremental covariance) — the statistics
+    /// half of a service-session checkpoint. Every `f64` bit pattern is
+    /// preserved exactly, so a decoded accumulator continues the exact
+    /// add/remove history of the original: refits after a restore are
+    /// bitwise the refits of an uninterrupted run.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&STATS_MAGIC);
+        out.extend_from_slice(&STATS_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.dim as u64).to_le_bytes());
+        out.extend_from_slice(&(self.count as u64).to_le_bytes());
+        for &v in &self.sum {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for i in 0..self.dim {
+            for &v in self.cross.row(i) {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a buffer produced by [`IncrementalCovariance::to_bytes`],
+    /// rejecting bad magic/version, truncation, and trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let take = |at: &mut usize, n: usize| -> Result<&[u8]> {
+            let end = at.checked_add(n).filter(|&e| e <= bytes.len());
+            let Some(end) = end else {
+                return Err(CoreError::InvalidState {
+                    reason: "truncated statistics buffer",
+                });
+            };
+            let out = &bytes[*at..end];
+            *at = end;
+            Ok(out)
+        };
+        let mut at = 0usize;
+        if take(&mut at, 4)? != STATS_MAGIC {
+            return Err(CoreError::InvalidState {
+                reason: "bad statistics magic prefix",
+            });
+        }
+        if u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes")) != STATS_VERSION {
+            return Err(CoreError::InvalidState {
+                reason: "unsupported statistics version",
+            });
+        }
+        let u64_at = |at: &mut usize| -> Result<u64> {
+            let b = take(at, 8)?;
+            Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        };
+        let dim = u64_at(&mut at)? as usize;
+        let count = u64_at(&mut at)? as usize;
+        let f64s_at = |at: &mut usize, n: usize| -> Result<Vec<f64>> {
+            let b = take(
+                at,
+                n.checked_mul(8).ok_or(CoreError::InvalidState {
+                    reason: "statistics length overflow",
+                })?,
+            )?;
+            Ok(b.chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect())
+        };
+        let sum = f64s_at(&mut at, dim)?;
+        let cross_len = dim.checked_mul(dim).ok_or(CoreError::InvalidState {
+            reason: "statistics shape overflow",
+        })?;
+        let cross_data = f64s_at(&mut at, cross_len)?;
+        if at != bytes.len() {
+            return Err(CoreError::InvalidState {
+                reason: "trailing bytes after statistics",
+            });
+        }
+        let cross =
+            Matrix::from_vec(dim, dim, cross_data).map_err(|_| CoreError::InvalidState {
+                reason: "statistics data does not match its shape",
+            })?;
+        Ok(IncrementalCovariance {
+            dim,
+            count,
+            sum,
+            cross,
+        })
+    }
+
     /// Rebuild a [`SubspaceModel`] from the current window under the
     /// given separation policy.
     ///
@@ -359,6 +446,12 @@ impl IncrementalCovariance {
 }
 
 /// Magic prefix of [`CovarianceShard`]'s binary encoding.
+/// Magic prefix of the serialized global accumulator
+/// ([`IncrementalCovariance::to_bytes`]).
+const STATS_MAGIC: [u8; 4] = *b"NAIC";
+/// Version of the serialized global accumulator layout.
+const STATS_VERSION: u32 = 1;
+
 const SHARD_MAGIC: [u8; 4] = *b"NACS";
 /// Encoding version.
 const SHARD_VERSION: u32 = 1;

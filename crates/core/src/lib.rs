@@ -77,6 +77,7 @@ mod online;
 mod pca;
 pub mod qstat;
 mod separation;
+pub mod service;
 pub mod shard;
 pub mod stream;
 mod subspace;
@@ -93,6 +94,7 @@ pub use method::{
 pub use online::OnlineDiagnoser;
 pub use pca::{Pca, PcaMethod};
 pub use separation::SeparationPolicy;
+pub use service::{EngineConfig, PartitionSpec};
 pub use shard::ShardedEngine;
 pub use stream::{
     MultiwayEngine, MultiwayReport, RefitStrategy, RingWindow, StreamConfig, StreamingEngine,

@@ -502,6 +502,56 @@ impl SubspaceBackend {
         })
     }
 
+    /// Reconstruct a backend from an exported [`MethodState`] without
+    /// refitting — the restore half of a service-session checkpoint.
+    ///
+    /// The model is rebuilt bit-exactly from the state (including the
+    /// truncated-refit residual moments, via
+    /// [`subspace_model_from_state`]); `stats` reinstalls the sliding
+    /// sufficient statistics a statistics-maintaining `strategy` needs,
+    /// so subsequent observes and refits continue the exact history of
+    /// the exporting process. The state's embedded confidence is
+    /// ignored in favor of `config.confidence` (the session's opened
+    /// configuration is authoritative, and an exporting session always
+    /// embeds the same value).
+    pub fn from_state(
+        state: &MethodState,
+        rm: &RoutingMatrix,
+        config: DiagnoserConfig,
+        strategy: RefitStrategy,
+        stats: Option<IncrementalCovariance>,
+    ) -> Result<Self> {
+        let (model, _confidence) = subspace_model_from_state(state)?;
+        if let Some(acc) = &stats {
+            if acc.dim() != model.dim() {
+                return Err(CoreError::DimensionMismatch {
+                    expected: model.dim(),
+                    got: acc.dim(),
+                });
+            }
+        }
+        if strategy.maintains_statistics() && stats.is_none() {
+            return Err(CoreError::InvalidState {
+                reason: "a statistics-maintaining strategy needs restored statistics",
+            });
+        }
+        let diagnoser = Diagnoser::from_model(model, rm, config.confidence)?;
+        Ok(SubspaceBackend {
+            diagnoser,
+            rm: rm.clone(),
+            config,
+            strategy,
+            stats,
+        })
+    }
+
+    /// The sliding sufficient statistics, when the strategy maintains
+    /// them — the statistics half of a service-session checkpoint
+    /// (serialize with [`IncrementalCovariance::to_bytes`]).
+    pub fn statistics(&self) -> Option<&IncrementalCovariance> {
+        self.stats.as_ref()
+    }
+
     /// The current (frozen) three-step diagnoser.
     pub fn diagnoser(&self) -> &Diagnoser {
         &self.diagnoser

@@ -387,6 +387,44 @@ impl<B: DetectionBackend> StreamingEngine<B> {
         })
     }
 
+    /// Reassemble an engine from checkpointed parts without refitting:
+    /// an already-restored backend, the retained window rows (oldest
+    /// first), and the arrival/refit counters of the exporting engine.
+    ///
+    /// With backend, window, and counters restored bit-exactly, every
+    /// subsequent [`StreamingEngine::process`] call — scoring, window
+    /// eviction, and refit timing — is bitwise identical to the engine
+    /// that was checkpointed, which is what lets a restarted service
+    /// session resume mid-stream with no warmup.
+    pub fn resume(
+        backend: B,
+        window: RingWindow,
+        refit_every: Option<usize>,
+        arrivals_total: usize,
+        arrivals_since_fit: usize,
+        refits: usize,
+    ) -> Result<Self> {
+        if window.dim() != backend.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: backend.dim(),
+                got: window.dim(),
+            });
+        }
+        Ok(StreamingEngine {
+            backend,
+            window,
+            refit_every,
+            arrivals_since_fit,
+            arrivals_total,
+            refits,
+        })
+    }
+
+    /// The refit cadence in arrivals, if any.
+    pub fn refit_cadence(&self) -> Option<usize> {
+        self.refit_every
+    }
+
     /// Total measurements processed so far.
     pub fn arrivals(&self) -> usize {
         self.arrivals_total

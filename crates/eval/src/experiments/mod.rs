@@ -39,9 +39,9 @@ pub struct ExperimentOutput {
 /// All experiment ids, in the paper's presentation order, followed by
 /// this repository's ablations (not figures of the paper, but the design
 /// choices DESIGN.md calls out) and the deployment scenarios: streaming,
-/// sharded, the pluggable-methods head-to-head, and the synthetic
-/// large-topology scale sweep.
-pub const EXPERIMENT_IDS: [&str; 19] = [
+/// sharded, the pluggable-methods head-to-head, the synthetic
+/// large-topology scale sweep, and the multi-tenant serve daemon.
+pub const EXPERIMENT_IDS: [&str; 20] = [
     "table1",
     "fig1",
     "fig2",
@@ -61,6 +61,7 @@ pub const EXPERIMENT_IDS: [&str; 19] = [
     "sharded",
     "methods",
     "scale",
+    "serve",
 ];
 
 /// Expand and validate a user-supplied id list: `all` expands to the
@@ -115,6 +116,7 @@ pub fn run_by_id(id: &str, lab: &Lab, out_dir: &Path) -> Option<ExperimentOutput
         "sharded" => crate::sharded::experiment(lab, out_dir),
         "methods" => crate::methods::experiment(lab, out_dir),
         "scale" => crate::scale::experiment(lab, out_dir),
+        "serve" => crate::serve::experiment(lab, out_dir),
         _ => return None,
     };
     Some(out)

@@ -66,5 +66,6 @@ pub mod methods;
 pub mod metrics;
 pub mod report;
 pub mod scale;
+pub mod serve;
 pub mod sharded;
 pub mod streaming;

@@ -1,0 +1,259 @@
+//! Serve-deployment scenario: multi-tenant throughput of the
+//! [`netanom_serve::Service`] core that backs `netanom serve`.
+//!
+//! The scenario opens one session per registered detection method on a
+//! single daemon, replays a link series through the textual protocol —
+//! one `obs` line per arrival, interleaved across all tenants the way
+//! concurrent feeds would arrive — and then reads each tenant's `stats`
+//! and `checkpoint` replies back out of the protocol itself. For every
+//! tenant it reports:
+//!
+//! * **arrivals/sec** — the daemon's own busy-time ingestion rate, as
+//!   answered by `stats`;
+//! * **alarms** — detections fired over the replay;
+//! * **checkpoint bytes** — the size of the session's persisted state,
+//!   the cost of the kill-and-resume guarantee.
+//!
+//! Because every number is parsed from protocol replies rather than
+//! from internal accessors, the scenario doubles as an end-to-end
+//! exercise of the serve grammar under sustained multi-session load.
+
+use std::path::Path;
+
+use netanom_baselines::methods::METHOD_NAMES;
+use netanom_linalg::Matrix;
+use netanom_serve::Service;
+
+use crate::experiments::ExperimentOutput;
+use crate::lab::Lab;
+use crate::report;
+
+/// Scenario parameters.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Bins used to bootstrap each tenant's model.
+    pub train_bins: usize,
+    /// Arrivals between refits for every tenant.
+    pub refit_every: usize,
+    /// One tenant session is opened per listed method name.
+    pub methods: Vec<&'static str>,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            train_bins: 216,
+            refit_every: 24,
+            methods: METHOD_NAMES.to_vec(),
+        }
+    }
+}
+
+/// One tenant's measurements, parsed from its `stats` and `checkpoint`
+/// protocol replies.
+#[derive(Debug, Clone)]
+pub struct TenantMeasurement {
+    /// Session id on the daemon.
+    pub session: String,
+    /// Detection method the session runs.
+    pub method: &'static str,
+    /// Arrivals accepted over the replay.
+    pub arrivals: usize,
+    /// Refits performed while streaming.
+    pub refits: usize,
+    /// Alarm events emitted.
+    pub alarms: usize,
+    /// The daemon's busy-time ingestion rate for this session.
+    pub arrivals_per_sec: f64,
+    /// Size of the session's checkpoint file in bytes.
+    pub checkpoint_bytes: usize,
+}
+
+/// Pull `key=` out of a space-separated `key=value` reply line.
+fn reply_field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let prefix = format!("{key}=");
+    line.split_whitespace()
+        .find_map(|kv| kv.strip_prefix(&prefix))
+        .ok_or_else(|| format!("no {key}= in reply {line:?}"))
+}
+
+/// Replay `links` through one daemon with one session per method in
+/// `cfg.methods`, interleaving arrivals across all tenants, and parse
+/// each tenant's measurements back out of the protocol.
+pub fn run_scenario(
+    links: &Matrix,
+    cfg: &ScenarioConfig,
+) -> Result<Vec<TenantMeasurement>, String> {
+    let rows: Vec<String> = (0..links.rows())
+        .map(|i| {
+            links
+                .row(i)
+                .iter()
+                .map(|v| format!("{v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    let dim = links.cols();
+
+    let mut service = Service::new();
+    let sessions: Vec<String> = cfg.methods.iter().map(|m| format!("tenant-{m}")).collect();
+    for (sid, method) in sessions.iter().zip(&cfg.methods) {
+        let open = format!(
+            "open {sid} dim={dim} train-bins={} method={method} refit-every={}",
+            cfg.train_bins, cfg.refit_every
+        );
+        let reply = service.handle_line(&open).lines.pop().unwrap_or_default();
+        if !reply.starts_with("ok open ") {
+            return Err(format!("open {method}: {reply}"));
+        }
+    }
+
+    // Interleave arrivals across tenants, counting alarm events as the
+    // daemon emits them.
+    let mut alarms = vec![0usize; sessions.len()];
+    for row in &rows {
+        for (t, sid) in sessions.iter().enumerate() {
+            let resp = service.handle_line(&format!("obs {sid} {row}"));
+            let last = resp.lines.last().cloned().unwrap_or_default();
+            if !last.starts_with("ok obs ") {
+                return Err(format!("obs {sid}: {last}"));
+            }
+            alarms[t] += resp
+                .lines
+                .iter()
+                .filter(|l| l.starts_with(&format!("alarm {sid} ")))
+                .count();
+        }
+    }
+
+    let dir = std::env::temp_dir().join(format!("netanom-serve-scenario-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let mut out = Vec::with_capacity(sessions.len());
+    for (t, (sid, method)) in sessions.iter().zip(&cfg.methods).enumerate() {
+        let cp = dir.join(format!("{sid}.bin"));
+        let reply = service
+            .handle_line(&format!("checkpoint {sid} {}", cp.display()))
+            .lines
+            .pop()
+            .unwrap_or_default();
+        if !reply.starts_with("ok checkpoint ") {
+            return Err(format!("checkpoint {sid}: {reply}"));
+        }
+        let checkpoint_bytes = reply_field(&reply, "bytes")?
+            .parse::<usize>()
+            .map_err(|e| e.to_string())?;
+
+        let stat = service
+            .handle_line(&format!("stats {sid}"))
+            .lines
+            .first()
+            .cloned()
+            .unwrap_or_default();
+        if !stat.starts_with(&format!("stat {sid} ")) {
+            return Err(format!("stats {sid}: {stat}"));
+        }
+        out.push(TenantMeasurement {
+            session: sid.clone(),
+            method,
+            arrivals: reply_field(&stat, "arrivals")?
+                .parse()
+                .map_err(|e: std::num::ParseIntError| e.to_string())?,
+            refits: reply_field(&stat, "refits")?
+                .parse()
+                .map_err(|e: std::num::ParseIntError| e.to_string())?,
+            alarms: alarms[t],
+            arrivals_per_sec: reply_field(&stat, "arrivals-per-sec")?
+                .parse()
+                .map_err(|e: std::num::ParseFloatError| e.to_string())?,
+            checkpoint_bytes,
+        });
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(out)
+}
+
+/// The `serve` experiment driver: the multi-tenant scenario on the mini
+/// dataset (the repository's canonical fast replay), one session per
+/// registered method, rendered as a table and a CSV.
+pub fn experiment(_lab: &Lab, out_dir: &Path) -> ExperimentOutput {
+    let ds = netanom_traffic::datasets::mini(1);
+    let cfg = ScenarioConfig::default();
+    let rows_data = run_scenario(ds.links.matrix(), &cfg).expect("mini dataset fits the scenario");
+
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|m| {
+            vec![
+                m.session.clone(),
+                m.method.to_string(),
+                m.arrivals.to_string(),
+                m.refits.to_string(),
+                m.alarms.to_string(),
+                report::fmt_num(m.arrivals_per_sec),
+                m.checkpoint_bytes.to_string(),
+            ]
+        })
+        .collect();
+    let headers = [
+        "session",
+        "method",
+        "arrivals",
+        "refits",
+        "alarms",
+        "arrivals_per_sec",
+        "checkpoint_bytes",
+    ];
+    let rendered = format!(
+        "Serve daemon on {} ({} links): {} tenant sessions interleaved on\n\
+         one service, measured through the protocol's own stats/checkpoint\n\
+         replies.\n\n{}",
+        ds.name,
+        ds.links.num_links(),
+        rows_data.len(),
+        report::ascii_table(&headers, &rows)
+    );
+    let csv = report::write_csv(&out_dir.join("serve.csv"), &headers, &rows)
+        .expect("output directory is writable");
+    ExperimentOutput {
+        id: "serve",
+        title: "Serve daemon: multi-tenant session throughput",
+        rendered,
+        files: vec![csv],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netanom_traffic::datasets;
+
+    #[test]
+    fn scenario_measures_every_tenant_through_the_protocol() {
+        let ds = datasets::mini(1);
+        let cfg = ScenarioConfig::default();
+        let rows = run_scenario(ds.links.matrix(), &cfg).unwrap();
+        assert_eq!(rows.len(), METHOD_NAMES.len());
+        let bins = ds.links.num_bins();
+        for m in &rows {
+            assert_eq!(m.arrivals, bins, "{}", m.method);
+            assert!(m.refits >= 1, "{} never refitted", m.method);
+            assert!(m.arrivals_per_sec > 0.0, "{}", m.method);
+            assert!(m.checkpoint_bytes > 0, "{}", m.method);
+        }
+        // The subspace tenant must fire on the staged mini anomalies.
+        let subspace = rows.iter().find(|m| m.method == "subspace").unwrap();
+        assert!(subspace.alarms > 0, "subspace fired no alarms");
+    }
+
+    #[test]
+    fn scenario_rejects_an_unknown_method() {
+        let ds = datasets::mini(1);
+        let cfg = ScenarioConfig {
+            methods: vec!["kalman"],
+            ..ScenarioConfig::default()
+        };
+        let err = run_scenario(ds.links.matrix(), &cfg).unwrap_err();
+        assert!(err.contains("subspace"), "{err}");
+    }
+}

@@ -1,0 +1,401 @@
+//! Session checkpoints: everything a restarted daemon needs to resume a
+//! session bitwise.
+//!
+//! The exported [`MethodState`](netanom_core::MethodState) (the crate-wide `"NAMS"` LE-binary
+//! model codec) is necessary but not sufficient for a no-warmup resume:
+//! refits read the retained window, the incremental strategy reads the
+//! sliding covariance accumulator (whose float accumulation history
+//! cannot be reproduced by re-adding window rows), and refit *timing*
+//! reads the engine counters. A [`SessionCheckpoint`] therefore
+//! serializes the opened configuration, the engine counters, the window
+//! rows in arrival order, the queued-but-unprocessed rows, the
+//! [`MethodState`](netanom_core::MethodState) bytes, and (when maintained) the exact
+//! `IncrementalCovariance` bit patterns — `"NASC"` magic, version 1,
+//! little-endian throughout, mirroring the worker checkpoint's
+//! encode/validate discipline.
+//!
+//! [`SessionCheckpoint::save`] writes via a temp file and atomic
+//! rename, so a crash mid-write leaves the previous checkpoint intact.
+
+use std::path::Path;
+
+use netanom_core::RefitStrategy;
+
+use crate::protocol::{ErrorCode, ServeError};
+
+const CHECKPOINT_MAGIC: [u8; 4] = *b"NASC";
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// A serialized session: configuration, counters, retained rows, and
+/// method state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionCheckpoint {
+    /// Registry name of the method.
+    pub method: String,
+    /// Number of links.
+    pub dim: usize,
+    /// Training prefix length.
+    pub train_bins: usize,
+    /// Detection confidence.
+    pub confidence: f64,
+    /// Refit strategy.
+    pub strategy: RefitStrategy,
+    /// Refit cadence in arrivals.
+    pub refit_every: Option<usize>,
+    /// Ring-window capacity.
+    pub window_capacity: usize,
+    /// Ingest queue capacity.
+    pub queue_capacity: usize,
+    /// Whether obs lines drain synchronously.
+    pub autodrain: bool,
+    /// Whether the session had finished training.
+    pub streaming: bool,
+    /// Engine counter: total arrivals processed.
+    pub arrivals_total: usize,
+    /// Engine counter: arrivals since the last (re)fit.
+    pub arrivals_since_fit: usize,
+    /// Engine counter: refits performed.
+    pub refits: usize,
+    /// Alarms emitted so far (continues the `stats` counters).
+    pub alarms: u64,
+    /// Rows rejected by the full queue so far.
+    pub drops: u64,
+    /// Training rows accumulated so far (training phase only).
+    pub training_rows: Vec<Vec<f64>>,
+    /// Retained window rows, oldest first (streaming phase only).
+    pub window_rows: Vec<Vec<f64>>,
+    /// Queued-but-unprocessed rows, oldest first.
+    pub pending: Vec<Vec<f64>>,
+    /// `MethodState::to_bytes` of the fitted backend (streaming only).
+    pub state: Option<Vec<u8>>,
+    /// `IncrementalCovariance::to_bytes` of the sliding statistics
+    /// (subspace method under a statistics-maintaining strategy).
+    pub stats: Option<Vec<u8>>,
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+fn put_rows(out: &mut Vec<u8>, rows: &[Vec<f64>]) {
+    put_u64(out, rows.len() as u64);
+    for row in rows {
+        for &v in row {
+            put_f64(out, v);
+        }
+    }
+}
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(ServeError::new(
+                ErrorCode::Checkpoint,
+                "truncated checkpoint",
+            ));
+        };
+        let out = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    fn u64(&mut self) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, ServeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn u8(&mut self) -> Result<u8, ServeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, ServeError> {
+        let n = self.u64()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn rows(&mut self, dim: usize) -> Result<Vec<Vec<f64>>, ServeError> {
+        let n = self.u64()? as usize;
+        // Bound the allocation by what the buffer can actually hold.
+        let need = n
+            .checked_mul(dim)
+            .and_then(|c| c.checked_mul(8))
+            .filter(|&c| self.at + c <= self.bytes.len());
+        if need.is_none() {
+            return Err(ServeError::new(
+                ErrorCode::Checkpoint,
+                "checkpoint row count exceeds the buffer",
+            ));
+        }
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                row.push(self.f64()?);
+            }
+            rows.push(row);
+        }
+        Ok(rows)
+    }
+}
+
+impl SessionCheckpoint {
+    /// Serialize to the `"NASC"` little-endian layout. Every `f64` bit
+    /// pattern is preserved exactly.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        put_bytes(&mut out, self.method.as_bytes());
+        put_u64(&mut out, self.dim as u64);
+        put_u64(&mut out, self.train_bins as u64);
+        put_f64(&mut out, self.confidence);
+        match self.strategy {
+            RefitStrategy::FullSvd => {
+                out.push(0);
+                put_u64(&mut out, 0);
+                put_f64(&mut out, 0.0);
+            }
+            RefitStrategy::Incremental => {
+                out.push(1);
+                put_u64(&mut out, 0);
+                put_f64(&mut out, 0.0);
+            }
+            RefitStrategy::Truncated { k, tol } => {
+                out.push(2);
+                put_u64(&mut out, k as u64);
+                put_f64(&mut out, tol);
+            }
+        }
+        put_u64(&mut out, self.refit_every.unwrap_or(0) as u64);
+        put_u64(&mut out, self.window_capacity as u64);
+        put_u64(&mut out, self.queue_capacity as u64);
+        out.push(self.autodrain as u8);
+        out.push(self.streaming as u8);
+        put_u64(&mut out, self.arrivals_total as u64);
+        put_u64(&mut out, self.arrivals_since_fit as u64);
+        put_u64(&mut out, self.refits as u64);
+        put_u64(&mut out, self.alarms);
+        put_u64(&mut out, self.drops);
+        put_rows(&mut out, &self.training_rows);
+        put_rows(&mut out, &self.window_rows);
+        put_rows(&mut out, &self.pending);
+        match &self.state {
+            None => out.push(0),
+            Some(b) => {
+                out.push(1);
+                put_bytes(&mut out, b);
+            }
+        }
+        match &self.stats {
+            None => out.push(0),
+            Some(b) => {
+                out.push(1);
+                put_bytes(&mut out, b);
+            }
+        }
+        out
+    }
+
+    /// Decode a buffer produced by [`SessionCheckpoint::to_bytes`],
+    /// rejecting bad magic/version, truncation, and trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut d = Dec { bytes, at: 0 };
+        if d.take(4)? != CHECKPOINT_MAGIC {
+            return Err(ServeError::new(
+                ErrorCode::Checkpoint,
+                "not a session checkpoint (bad magic)",
+            ));
+        }
+        let version = u32::from_le_bytes(d.take(4)?.try_into().expect("4"));
+        if version != CHECKPOINT_VERSION {
+            return Err(ServeError::new(
+                ErrorCode::Checkpoint,
+                format!("unsupported checkpoint version {version}"),
+            ));
+        }
+        let method = String::from_utf8(d.bytes()?).map_err(|_| {
+            ServeError::new(ErrorCode::Checkpoint, "checkpoint method name is not utf-8")
+        })?;
+        let dim = d.u64()? as usize;
+        let train_bins = d.u64()? as usize;
+        let confidence = d.f64()?;
+        let tag = d.u8()?;
+        let k = d.u64()? as usize;
+        let tol = d.f64()?;
+        let strategy = match tag {
+            0 => RefitStrategy::FullSvd,
+            1 => RefitStrategy::Incremental,
+            2 => RefitStrategy::Truncated { k, tol },
+            other => {
+                return Err(ServeError::new(
+                    ErrorCode::Checkpoint,
+                    format!("unknown refit-strategy tag {other}"),
+                ))
+            }
+        };
+        let refit_every = match d.u64()? as usize {
+            0 => None,
+            n => Some(n),
+        };
+        let window_capacity = d.u64()? as usize;
+        let queue_capacity = d.u64()? as usize;
+        let autodrain = d.u8()? != 0;
+        let streaming = d.u8()? != 0;
+        let arrivals_total = d.u64()? as usize;
+        let arrivals_since_fit = d.u64()? as usize;
+        let refits = d.u64()? as usize;
+        let alarms = d.u64()?;
+        let drops = d.u64()?;
+        let training_rows = d.rows(dim)?;
+        let window_rows = d.rows(dim)?;
+        let pending = d.rows(dim)?;
+        let state = match d.u8()? {
+            0 => None,
+            _ => Some(d.bytes()?),
+        };
+        let stats = match d.u8()? {
+            0 => None,
+            _ => Some(d.bytes()?),
+        };
+        if d.at != bytes.len() {
+            return Err(ServeError::new(
+                ErrorCode::Checkpoint,
+                "trailing bytes after checkpoint",
+            ));
+        }
+        Ok(SessionCheckpoint {
+            method,
+            dim,
+            train_bins,
+            confidence,
+            strategy,
+            refit_every,
+            window_capacity,
+            queue_capacity,
+            autodrain,
+            streaming,
+            arrivals_total,
+            arrivals_since_fit,
+            refits,
+            alarms,
+            drops,
+            training_rows,
+            window_rows,
+            pending,
+            state,
+            stats,
+        })
+    }
+
+    /// Write atomically: temp file in the destination directory, then
+    /// rename — a crash mid-write leaves any previous checkpoint
+    /// intact.
+    pub fn save(&self, path: &Path) -> Result<usize, ServeError> {
+        let bytes = self.to_bytes();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes).map_err(|e| {
+            ServeError::new(
+                ErrorCode::Checkpoint,
+                format!("writing {}: {e}", tmp.display()),
+            )
+        })?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            ServeError::new(
+                ErrorCode::Checkpoint,
+                format!("renaming into {}: {e}", path.display()),
+            )
+        })?;
+        Ok(bytes.len())
+    }
+
+    /// Read and decode a checkpoint file.
+    pub fn load(path: &Path) -> Result<Self, ServeError> {
+        let bytes = std::fs::read(path).map_err(|e| {
+            ServeError::new(
+                ErrorCode::Checkpoint,
+                format!("reading {}: {e}", path.display()),
+            )
+        })?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SessionCheckpoint {
+        SessionCheckpoint {
+            method: "subspace".to_string(),
+            dim: 3,
+            train_bins: 10,
+            confidence: 0.999,
+            strategy: RefitStrategy::Truncated { k: 4, tol: 1e-10 },
+            refit_every: Some(5),
+            window_capacity: 10,
+            queue_capacity: 64,
+            autodrain: true,
+            streaming: true,
+            arrivals_total: 17,
+            arrivals_since_fit: 2,
+            refits: 3,
+            alarms: 1,
+            drops: 2,
+            training_rows: vec![],
+            window_rows: vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.5]],
+            pending: vec![vec![7.0, 8.0, 9.0]],
+            state: Some(vec![1, 2, 3, 4]),
+            stats: Some(vec![9, 9]),
+        }
+    }
+
+    #[test]
+    fn roundtrips_bitwise() {
+        let cp = sample();
+        let decoded = SessionCheckpoint::from_bytes(&cp.to_bytes()).unwrap();
+        assert_eq!(cp, decoded);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let bytes = sample().to_bytes();
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(SessionCheckpoint::from_bytes(&bad_magic).is_err());
+        assert!(SessionCheckpoint::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(SessionCheckpoint::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn save_is_atomic_rename() {
+        let dir = std::env::temp_dir().join("netanom-serve-cp-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s1.nasc");
+        let cp = sample();
+        let n = cp.save(&path).unwrap();
+        assert_eq!(n, cp.to_bytes().len());
+        assert!(!path.with_extension("tmp").exists());
+        assert_eq!(SessionCheckpoint::load(&path).unwrap(), cp);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

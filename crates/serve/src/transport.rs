@@ -1,0 +1,164 @@
+//! Transports: the same [`Service`] behind stdin/stdout or a TCP
+//! socket.
+//!
+//! Both transports are thin line pumps around
+//! [`Service::handle_line`] — they read one line, write the response's
+//! lines, flush, and repeat. The TCP listener serves clients
+//! *sequentially* and keeps sessions alive across connections: a client
+//! may connect, feed a session, disconnect, and a later client resumes
+//! it — the daemon is the state holder, exactly like the stdio form.
+//! Socket failures reuse the [`netanom_net`] error taxonomy
+//! ([`NetError`]): a clean EOF ends the client (`CleanDisconnect`
+//! semantics, next client is accepted), a read deadline surfaces as
+//! [`NetError::Timeout`] and drops the idle client, and other I/O
+//! failures propagate.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use netanom_net::NetError;
+
+use crate::service::Service;
+
+/// Pump request lines from `reader` through the service, writing each
+/// response to `writer`. Returns when `quit` is handled or the reader
+/// reaches EOF.
+pub fn serve_lines<R: BufRead, W: Write>(
+    service: &mut Service,
+    reader: R,
+    mut writer: W,
+) -> io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        let response = service.handle_line(&line);
+        for out in &response.lines {
+            writeln!(writer, "{out}")?;
+        }
+        writer.flush()?;
+        if response.quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// TCP transport knobs.
+#[derive(Debug, Clone, Default)]
+pub struct TcpServeOptions {
+    /// Per-read deadline; an idle client past it is disconnected (the
+    /// daemon and its sessions keep running).
+    pub read_timeout: Option<Duration>,
+    /// Stop after this many client connections (for driving the daemon
+    /// from scripts and CI); `None` serves until `quit`.
+    pub max_connections: Option<usize>,
+}
+
+/// Accept clients sequentially on `listener`, serving each with the
+/// shared `service` until the client disconnects or sends `quit`.
+/// Sessions persist across client connections. Returns after `quit`,
+/// after `max_connections` clients, or on an unclassified I/O failure.
+pub fn serve_tcp(
+    service: &mut Service,
+    listener: &TcpListener,
+    options: &TcpServeOptions,
+) -> netanom_net::Result<()> {
+    let mut served = 0usize;
+    loop {
+        if let Some(max) = options.max_connections {
+            if served >= max {
+                return Ok(());
+            }
+        }
+        let (stream, _addr) = listener.accept().map_err(NetError::from)?;
+        served += 1;
+        match serve_client(service, stream, options) {
+            Ok(true) => return Ok(()),
+            Ok(false) => {}
+            // An idle client is the client's fault, not the daemon's:
+            // drop the connection and accept the next one.
+            Err(NetError::Timeout { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Serve one client connection. Returns `Ok(true)` when the client sent
+/// `quit` (the daemon should stop), `Ok(false)` on clean disconnect.
+fn serve_client(
+    service: &mut Service,
+    stream: TcpStream,
+    options: &TcpServeOptions,
+) -> netanom_net::Result<bool> {
+    stream
+        .set_read_timeout(options.read_timeout)
+        .map_err(NetError::from)?;
+    let mut writer = stream.try_clone().map_err(NetError::from)?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // `From<io::Error>` classifies an exceeded deadline into
+        // `NetError::Timeout`, matching the rest of the wire layer.
+        let n = reader.read_line(&mut line).map_err(NetError::from)?;
+        if n == 0 {
+            return Ok(false);
+        }
+        let response = service.handle_line(&line);
+        for out in &response.lines {
+            writeln!(writer, "{out}").map_err(NetError::from)?;
+        }
+        writer.flush().map_err(NetError::from)?;
+        if response.quit {
+            return Ok(true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn stdio_pump_answers_and_quits() {
+        let mut service = Service::new();
+        let input = Cursor::new("ping\nquit\nping\n");
+        let mut out = Vec::new();
+        serve_lines(&mut service, input, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // The third line is never read: quit stops the pump.
+        assert_eq!(text, "ok pong\nok bye\n");
+    }
+
+    #[test]
+    fn tcp_sessions_survive_reconnects() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut service = Service::new();
+            let options = TcpServeOptions::default();
+            serve_tcp(&mut service, &listener, &options).unwrap();
+        });
+
+        let talk = |lines: &str| -> Vec<String> {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            writer.write_all(lines.as_bytes()).unwrap();
+            writer.flush().unwrap();
+            // Half-close so the server sees EOF after our last command.
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+            let reader = BufReader::new(stream);
+            reader.lines().map(|l| l.unwrap()).collect()
+        };
+
+        let first = talk("open s1 dim=2 train-bins=4\n");
+        assert_eq!(first, vec!["ok open s1 phase=training queue=4096"]);
+        // A second connection sees the session opened by the first.
+        let second = talk("stats\nquit\n");
+        assert!(second[0].starts_with("stat s1 phase=training"));
+        assert_eq!(second[1], "ok stats sessions=1");
+        assert_eq!(second[2], "ok bye");
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,255 @@
+//! Parity suites: a served session is the same engine as
+//! `StreamingEngine` (bitwise alarm parity per refit strategy),
+//! multi-session interleaving equals isolated runs, and kill+restore
+//! from a checkpoint resumes bitwise with no warmup — for every
+//! registered method.
+
+use netanom_baselines::methods::{build_streaming, METHOD_NAMES};
+use netanom_core::EngineConfig;
+use netanom_serve::{alarm_csv_row, Service};
+use netanom_topology::RoutingMatrix;
+use netanom_traffic::datasets;
+
+const TRAIN: usize = 216;
+const CADENCE: usize = 24;
+
+/// The mini dataset's rows as obs-ready CSV strings (Display-formatted
+/// f64 round-trips bitwise through the obs parser) plus the raw matrix.
+fn mini_rows() -> (Vec<String>, netanom_linalg::Matrix, usize) {
+    let ds = datasets::mini(1);
+    let m = ds.links.num_links();
+    let matrix = ds.links.matrix().clone();
+    let rows = (0..matrix.rows())
+        .map(|i| {
+            matrix
+                .row(i)
+                .iter()
+                .map(|v| format!("{v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    (rows, matrix, m)
+}
+
+fn open_line(sid: &str, dim: usize, method: &str, refit: &str) -> String {
+    format!(
+        "open {sid} dim={dim} train-bins={TRAIN} method={method} refit={refit} \
+         refit-every={CADENCE}"
+    )
+}
+
+/// Feed every row to one session, returning the bare alarm payloads.
+fn serve_alarms(open: &str, sid: &str, rows: &[String]) -> Vec<String> {
+    let mut service = Service::new();
+    let reply = service.handle_line(open).lines.pop().unwrap();
+    assert!(reply.starts_with("ok open "), "{reply}");
+    let mut alarms = Vec::new();
+    let prefix = format!("alarm {sid} ");
+    for row in rows {
+        let resp = service.handle_line(&format!("obs {sid} {row}"));
+        let last = resp.lines.last().unwrap();
+        assert!(last.starts_with("ok obs "), "{last}");
+        alarms.extend(
+            resp.lines
+                .iter()
+                .filter_map(|l| l.strip_prefix(&prefix))
+                .map(String::from),
+        );
+    }
+    alarms
+}
+
+/// The reference: the same configuration run straight through
+/// `StreamingEngine` (the engine `netanom stream` drives), with the
+/// identity routing the daemon uses.
+fn engine_alarms(
+    matrix: &netanom_linalg::Matrix,
+    m: usize,
+    method: &str,
+    refit: &str,
+) -> Vec<String> {
+    let mut cfg = EngineConfig::new(TRAIN)
+        .unwrap()
+        .with_method(method)
+        .with_refit_str(refit)
+        .unwrap()
+        .with_refit_every(CADENCE)
+        .unwrap();
+    cfg.normalize();
+    let paths: Vec<Vec<usize>> = (0..m).map(|l| vec![l]).collect();
+    let rm = RoutingMatrix::from_paths(m, &paths);
+    let training = matrix.row_block(0, TRAIN).unwrap();
+    let mut engine = build_streaming(&cfg, &training, &rm).unwrap();
+    let tail = matrix.row_block(TRAIN, matrix.rows() - TRAIN).unwrap();
+    engine
+        .process_batch(&tail)
+        .unwrap()
+        .iter()
+        .filter(|r| r.detected)
+        .map(|r| alarm_csv_row(r, TRAIN))
+        .collect()
+}
+
+#[test]
+fn served_session_is_bitwise_identical_to_streaming_engine_per_strategy() {
+    let (rows, matrix, m) = mini_rows();
+    for refit in ["full", "incremental", "truncated"] {
+        let served = serve_alarms(&open_line("s", m, "subspace", refit), "s", &rows);
+        let direct = engine_alarms(&matrix, m, "subspace", refit);
+        assert!(!direct.is_empty(), "mini must fire alarms ({refit})");
+        assert_eq!(
+            served, direct,
+            "serve vs engine diverged for --refit {refit}"
+        );
+    }
+}
+
+#[test]
+fn served_session_matches_engine_for_every_method() {
+    let (rows, matrix, m) = mini_rows();
+    for method in METHOD_NAMES {
+        let served = serve_alarms(&open_line("s", m, method, "full"), "s", &rows);
+        let direct = engine_alarms(&matrix, m, method, "full");
+        assert_eq!(served, direct, "serve vs engine diverged for {method}");
+    }
+}
+
+#[test]
+fn interleaved_sessions_equal_isolated_runs() {
+    let (rows, _, m) = mini_rows();
+
+    // Isolated baselines.
+    let alone_a = serve_alarms(&open_line("a", m, "subspace", "incremental"), "a", &rows);
+    let alone_b = serve_alarms(&open_line("b", m, "ewma", "full"), "b", &rows);
+    assert!(!alone_a.is_empty());
+
+    // One daemon, both sessions, rows interleaved per arrival.
+    let mut service = Service::new();
+    service.handle_line(&open_line("a", m, "subspace", "incremental"));
+    service.handle_line(&open_line("b", m, "ewma", "full"));
+    let (mut together_a, mut together_b) = (Vec::new(), Vec::new());
+    for row in &rows {
+        for (sid, sink) in [("a", &mut together_a), ("b", &mut together_b)] {
+            let resp = service.handle_line(&format!("obs {sid} {row}"));
+            let prefix = format!("alarm {sid} ");
+            sink.extend(
+                resp.lines
+                    .iter()
+                    .filter_map(|l| l.strip_prefix(&prefix))
+                    .map(String::from),
+            );
+        }
+    }
+    assert_eq!(together_a, alone_a, "session a altered by interleaving");
+    assert_eq!(together_b, alone_b, "session b altered by interleaving");
+}
+
+#[test]
+fn kill_and_restore_resumes_bitwise_for_every_method() {
+    let (rows, _, m) = mini_rows();
+    let split = TRAIN + 30; // mid-stream, past at least one refit
+    let dir = std::env::temp_dir().join("netanom-serve-restore-parity");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    for (i, method) in METHOD_NAMES.into_iter().enumerate() {
+        // Incremental statistics exercise the covariance codec; the
+        // temporal methods restore from their state export alone.
+        let refit = if method == "subspace" {
+            "incremental"
+        } else {
+            "full"
+        };
+        let open = open_line("s", m, method, refit);
+
+        // Uninterrupted reference run.
+        let all = serve_alarms(&open, "s", &rows);
+        let head = serve_alarms(&open, "s", &rows[..split]);
+        let reference_tail: Vec<String> = all[head.len()..].to_vec();
+
+        // Run to the split, checkpoint, and drop the daemon (the
+        // "kill"): nothing survives but the checkpoint file.
+        let cp = dir.join(format!("{i}-{method}.bin"));
+        let cp_arg = cp.to_str().unwrap();
+        {
+            let mut service = Service::new();
+            service.handle_line(&open);
+            for row in &rows[..split] {
+                service.handle_line(&format!("obs s {row}"));
+            }
+            let r = service
+                .handle_line(&format!("checkpoint s {cp_arg}"))
+                .lines
+                .pop()
+                .unwrap();
+            assert!(r.starts_with("ok checkpoint "), "{r}");
+        }
+
+        // Fresh daemon: restore and replay only the remaining rows.
+        let mut service = Service::new();
+        service.handle_line(&format!(
+            "open s dim={m} train-bins={TRAIN} method={method}"
+        ));
+        let r = service
+            .handle_line(&format!("restore s {cp_arg}"))
+            .lines
+            .pop()
+            .unwrap();
+        assert_eq!(
+            r,
+            format!("ok restore s phase=streaming arrivals={split}"),
+            "restore must resume mid-stream with no warmup ({method})"
+        );
+        let mut resumed_tail = Vec::new();
+        for row in &rows[split..] {
+            let resp = service.handle_line(&format!("obs s {row}"));
+            resumed_tail.extend(
+                resp.lines
+                    .iter()
+                    .filter_map(|l| l.strip_prefix("alarm s "))
+                    .map(String::from),
+            );
+        }
+        assert_eq!(
+            resumed_tail, reference_tail,
+            "restored stream diverged from the uninterrupted run ({method})"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_reports_arrivals_rate_and_alarm_counts() {
+    let (rows, _, m) = mini_rows();
+    let mut service = Service::new();
+    service.handle_line(&open_line("s", m, "subspace", "full"));
+    let mut alarms = 0usize;
+    for row in &rows {
+        let resp = service.handle_line(&format!("obs s {row}"));
+        alarms += resp
+            .lines
+            .iter()
+            .filter(|l| l.starts_with("alarm s "))
+            .count();
+    }
+    assert!(alarms > 0, "mini must fire alarms");
+    let lines = service.handle_line("stats").lines;
+    assert_eq!(lines.len(), 2);
+    let stat = &lines[0];
+    assert!(
+        stat.contains(&format!("arrivals={} ", rows.len())),
+        "{stat}"
+    );
+    assert!(stat.contains(&format!("alarms={alarms} ")), "{stat}");
+    assert!(stat.contains("refits="), "{stat}");
+    // The rate denominator is busy time, which is nonzero after
+    // processing the whole series.
+    let rate: f64 = stat
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("arrivals-per-sec="))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(rate > 0.0, "{stat}");
+}

@@ -52,6 +52,7 @@
 //! | [`topology`] | PoP graphs, shortest-path routing, routing matrices, link partitions ([`topology::LinkPartition`]); [`topology::builtin::abilene`] and friends |
 //! | [`traffic`] | synthetic OD-flow generation, packet-sampling simulation, anomaly injection, the canned paper datasets |
 //! | [`baselines`] | EWMA / Fourier / Holt-Winters / wavelet comparators and ground-truth extraction |
+//! | [`serve`] | the persistent-daemon service core: the [`serve::Service`] session protocol, bounded ingest queues, and bitwise session checkpoints behind `netanom serve` |
 //! | [`eval`] | metrics, injection sweeps, and drivers regenerating every table and figure of the paper |
 //! | [`linalg`] | the dependency-free dense linear algebra underneath it all |
 //!
@@ -65,5 +66,6 @@ pub use netanom_baselines as baselines;
 pub use netanom_core as core;
 pub use netanom_eval as eval;
 pub use netanom_linalg as linalg;
+pub use netanom_serve as serve;
 pub use netanom_topology as topology;
 pub use netanom_traffic as traffic;
